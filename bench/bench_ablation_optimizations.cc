@@ -1,0 +1,119 @@
+// E13 — ablation of the protocol's optional mechanisms:
+//  * optimization 1 (§6.1): reader-to-writer upgrade without a page transfer;
+//  * optimization 2 (§6.1): downgraded writer retains a read copy;
+//  * §7.1 caveat 1: honor an invalidation when less than a retry round trip
+//    (12.9 ms) remains in the window (absent from the paper's implementation);
+//  * the "queued invalidation" the paper names but never implemented.
+//
+// The worst-case ping-pong exercises the read-then-write pattern that the
+// two optimizations were designed for (§6.1's "two advisory messages are
+// sent rather than ... transmitting the complete page"); the conflicting
+// read-writers show the window-mechanics options.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/trace/table.h"
+#include "src/workload/pingpong.h"
+#include "src/workload/readwriters.h"
+
+namespace {
+
+struct Out {
+  double pingpong_cps = 0;
+  double pp_large_per_cycle = 0;
+  double pp_msgs_per_cycle = 0;
+  double rw_ops_per_sec = 0;
+  std::uint64_t refusals = 0;
+};
+
+void AddRow(mtrace::TextTable& t, const std::string& name, const Out& o) {
+  t.AddRow({name, mtrace::TextTable::Num(o.pingpong_cps, 2),
+            mtrace::TextTable::Num(o.pp_msgs_per_cycle, 1),
+            mtrace::TextTable::Num(o.pp_large_per_cycle, 1),
+            mtrace::TextTable::Num(o.rw_ops_per_sec, 0),
+            mtrace::TextTable::Int(static_cast<long long>(o.refusals))});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E13 — protocol mechanism ablation\n");
+  std::printf("(ping-pong at Delta=1 tick; read-writers at Delta=100 ms)\n\n");
+  const msim::Duration kPpDelta = mos::SchedulerConfig{}.tick_us;
+  const msim::Duration kRwDelta = 100 * msim::kMillisecond;
+
+  mtrace::TextTable t({"configuration", "pingpong cycles/s", "msgs/cycle",
+                       "page transfers/cycle", "read-writers ops/s", "rw refusals"});
+
+  auto config = [&](bool upgrade, bool downgrade, bool honor, bool queued) {
+    mirage::ProtocolOptions p;
+    p.default_window_us = kPpDelta;
+    p.upgrade_optimization = upgrade;
+    p.downgrade_optimization = downgrade;
+    p.honor_small_remaining = honor;
+    p.queued_invalidation = queued;
+    return p;
+  };
+  auto with_rw_delta = [&](mirage::ProtocolOptions p) {
+    p.default_window_us = kRwDelta;
+    return p;
+  };
+
+  // Note: the two workloads run under their own Delta; Run() uses the
+  // options as given for ping-pong and the caller passes the rw variant.
+  struct Case {
+    const char* name;
+    bool upgrade, downgrade, honor, queued;
+  };
+  const Case cases[] = {
+      {"full Mirage (paper config)", true, true, false, false},
+      {"without opt 1 (no upgrade)", false, true, false, false},
+      {"without opt 2 (no downgrade)", true, false, false, false},
+      {"without both optimizations", false, false, false, false},
+      {"+ honor-small-remaining (§7.1)", true, true, true, false},
+      {"+ queued invalidation", true, true, false, true},
+  };
+  for (const Case& c : cases) {
+    mirage::ProtocolOptions pp = config(c.upgrade, c.downgrade, c.honor, c.queued);
+    Out o;
+    {
+      msysv::WorldOptions opts;
+      opts.protocol = pp;
+      msysv::World world(2, opts);
+      mwork::PingPongParams prm;
+      prm.rounds = 30;
+      auto r = mwork::LaunchPingPong(world, prm);
+      world.RunUntil([&] { return r->completed; }, 600 * msim::kSecond);
+      o.pingpong_cps = r->CyclesPerSecond();
+      o.pp_large_per_cycle =
+          static_cast<double>(world.network().stats().large_packets) / prm.rounds;
+      o.pp_msgs_per_cycle =
+          static_cast<double>(world.network().stats().packets) / prm.rounds;
+    }
+    {
+      msysv::WorldOptions opts;
+      opts.protocol = with_rw_delta(pp);
+      msysv::World world(2, opts);
+      mwork::ReadWritersParams prm;
+      prm.iterations = 50000;
+      auto r = mwork::LaunchReadWriters(world, prm);
+      world.RunUntil([&] { return r->completed; }, 600 * msim::kSecond);
+      o.rw_ops_per_sec = r->OpsPerSecond();
+      for (int s = 0; s < 2; ++s) {
+        o.refusals += world.engine(s)->stats().wait_replies_sent +
+                      world.engine(s)->stats().invalidation_retries +
+                      world.engine(s)->stats().queued_invalidations;
+      }
+    }
+    AddRow(t, c.name, o);
+  }
+  t.Print(std::cout);
+  std::printf(
+      "\nexpected shape: disabling the optimizations adds page transfers per ping-pong\n"
+      "cycle (upgrades and downgrade retentions become full copies); queued\n"
+      "invalidation removes the refusal/retry pair; honor-small-remaining trims the\n"
+      "window tail. The decrement loops fault on writes only, so the read-path\n"
+      "optimizations leave read-writers unchanged — as the paper's design predicts.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Host-time microbenchmarks of the simulation substrate itself (google-
+// benchmark): event queue throughput, coroutine task switching, and
+// end-to-end simulated-protocol throughput per host second. These gate the
+// practicality of the larger sweeps (Figures 7 and 8 run thousands of
+// simulated seconds).
+#include <benchmark/benchmark.h>
+
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sysv/world.h"
+#include "src/workload/readwriters.h"
+
+namespace {
+
+void BM_EventSchedule(benchmark::State& state) {
+  msim::Simulator sim;
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    sim.Schedule(1, [&n] { ++n; });
+    sim.Run();
+  }
+  benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_EventSchedule);
+
+void BM_EventBurst1k(benchmark::State& state) {
+  for (auto _ : state) {
+    msim::Simulator sim;
+    std::int64_t n = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(i, [&n] { ++n; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_EventBurst1k);
+
+msim::Task<> Chained(msim::Simulator& sim, int depth) {
+  if (depth > 0) {
+    co_await Chained(sim, depth - 1);
+  }
+  co_await msim::SleepFor(sim, 1);
+}
+
+void BM_CoroutineChain(benchmark::State& state) {
+  for (auto _ : state) {
+    msim::Simulator sim;
+    msim::Task<> t = Chained(sim, 32);
+    t.Start();
+    sim.Run();
+  }
+}
+BENCHMARK(BM_CoroutineChain);
+
+void BM_SimulatedReadWriters(benchmark::State& state) {
+  // Simulated protocol seconds processed per host second.
+  double simulated_us = 0;
+  for (auto _ : state) {
+    msysv::WorldOptions opts;
+    opts.protocol.default_window_us = 100 * msim::kMillisecond;
+    msysv::World world(2, opts);
+    mwork::ReadWritersParams prm;
+    prm.iterations = 5000;
+    auto r = mwork::LaunchReadWriters(world, prm);
+    world.RunUntil([&] { return r->completed; }, 60 * msim::kSecond);
+    simulated_us += static_cast<double>(world.sim().Now());
+  }
+  state.counters["sim_seconds_per_host_second"] =
+      benchmark::Counter(simulated_us / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedReadWriters)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+// The two hot-spot organizations of §8:
+//
+//   "In one approach, hot spots are separated from the remainder of the
+//    segment data. A uniform Delta for each segment is a possibility in
+//    this organization. In another approach all data is in one segment,
+//    including the hot spots. In this organization, per-page Delta-s may
+//    be useful."
+//
+// This example builds both: a hot ping-pong word plus a block of cold,
+// read-mostly data, organized (a) as one segment with a uniform window,
+// (b) as one segment with a per-page window on the hot page only, and
+// (c) as two segments with per-segment windows. It measures hot-word
+// throughput and cold-read latency under each organization.
+#include <cstdio>
+#include <iostream>
+
+#include "src/trace/table.h"
+#include "src/sysv/world.h"
+
+namespace {
+
+using mos::Priority;
+using mos::Process;
+using msim::kMillisecond;
+using msim::kSecond;
+using msim::Task;
+
+struct Outcome {
+  double hot_ops_per_sec = 0;
+  double cold_reads_per_sec = 0;
+};
+
+// Site 1 and site 2 ping-pong increments on the hot word; site 1 also
+// refreshes one cold page per round (so the cold data stays live), while
+// site 2 streams reads over the cold block. Under a uniform segment window
+// every cold refetch waits out the hot page's Delta; the per-page and
+// per-segment organizations leave the cold pages window-free.
+Outcome RunScenario(msysv::World& world, int hot_shmid, int cold_shmid,
+                    int cold_first_page, int cold_pages) {
+  auto hot_ops = std::make_shared<int>(0);
+  auto cold_reads = std::make_shared<int>(0);
+  int finished = 0;
+  msim::Time t_end = 0;
+
+  for (int s : {1, 2}) {
+    world.kernel(s).Spawn(
+        "hot-" + std::to_string(s), Priority::kUser,
+        [&world, s, hot_shmid, cold_shmid, cold_first_page, cold_pages, hot_ops,
+         &finished, &t_end](Process* p) -> Task<> {
+          auto& shm = world.shm(s);
+          mmem::VAddr hot = shm.Shmat(p, hot_shmid).value();
+          mmem::VAddr cold = hot;
+          if (cold_shmid != hot_shmid) {
+            cold = shm.Shmat(p, cold_shmid).value();
+          }
+          // Increment when the word's parity is ours: a paced ping-pong.
+          for (int i = 0; i < 30; ++i) {
+            for (;;) {
+              std::uint32_t v = co_await shm.ReadWord(p, hot);
+              if (static_cast<int>(v % 2) == s - 1) {
+                co_await shm.WriteWord(p, hot, v + 1);
+                ++*hot_ops;
+                break;
+              }
+              co_await world.kernel(s).Yield(p);
+            }
+            if (s == 1) {
+              // Refresh one cold page per round: the cold data stays live.
+              int pg = cold_first_page + (i % cold_pages);
+              co_await shm.WriteWord(
+                  p, cold + static_cast<mmem::VAddr>(pg) * mmem::kPageSize + 8,
+                  static_cast<std::uint32_t>(i));
+            }
+          }
+          ++finished;
+          t_end = world.sim().Now();
+        });
+  }
+  world.kernel(2).Spawn("cold-reader", Priority::kUser,
+                        [&world, cold_shmid, cold_first_page, cold_pages, cold_reads,
+                         &finished](Process* p) -> Task<> {
+                          auto& shm = world.shm(2);
+                          mmem::VAddr base = shm.Shmat(p, cold_shmid).value();
+                          for (;;) {
+                            if (finished >= 2) {
+                              break;
+                            }
+                            for (int pg = cold_first_page;
+                                 pg < cold_first_page + cold_pages; ++pg) {
+                              (void)co_await shm.ReadWord(
+                                  p, base + static_cast<mmem::VAddr>(pg) * mmem::kPageSize);
+                              ++*cold_reads;
+                            }
+                            co_await world.kernel(2).Compute(p, 2 * kMillisecond);
+                          }
+                        });
+  world.RunUntil([&] { return finished >= 2; }, 600 * kSecond);
+  Outcome o;
+  double secs = msim::ToSeconds(t_end);
+  o.hot_ops_per_sec = secs > 0 ? *hot_ops / secs : 0;
+  o.cold_reads_per_sec = secs > 0 ? *cold_reads / secs : 0;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Hot-spot organizations (paper §8)\n");
+  std::printf("=================================\n\n");
+  std::printf("A hot ping-pong word shares an application with 7 pages of cold,\n");
+  std::printf("read-mostly data. Three organizations of the same data:\n\n");
+  const msim::Duration kHotWindow = 300 * kMillisecond;
+  constexpr int kColdPages = 7;
+
+  mtrace::TextTable t({"organization", "hot ops/s", "cold reads/s"});
+
+  {
+    // (a) One segment, uniform window: the cold pages inherit the hot
+    // page's window, so the streaming reader's faults wait out windows.
+    msysv::WorldOptions opts;
+    opts.protocol.default_window_us = kHotWindow;
+    msysv::World w(3, opts);
+    int id = w.shm(0).Shmget(1, (1 + kColdPages) * mmem::kPageSize, true).value();
+    Outcome o = RunScenario(w, id, id, /*cold_first_page=*/1, kColdPages);
+    t.AddRow({"one segment, uniform Delta", mtrace::TextTable::Num(o.hot_ops_per_sec, 1),
+              mtrace::TextTable::Num(o.cold_reads_per_sec, 1)});
+  }
+  {
+    // (b) One segment, per-page windows: only the hot page carries Delta.
+    msysv::WorldOptions opts;
+    opts.protocol.default_window_us = kHotWindow;
+    msysv::World w(3, opts);
+    int id = w.shm(0).Shmget(1, (1 + kColdPages) * mmem::kPageSize, true).value();
+    for (int pg = 1; pg <= kColdPages; ++pg) {
+      w.engine(0)->SetPageWindow(id, pg, 0);
+    }
+    Outcome o = RunScenario(w, id, id, /*cold_first_page=*/1, kColdPages);
+    t.AddRow({"one segment, per-page Delta", mtrace::TextTable::Num(o.hot_ops_per_sec, 1),
+              mtrace::TextTable::Num(o.cold_reads_per_sec, 1)});
+  }
+  {
+    // (c) Two segments: the hot word in its own small windowed segment, the
+    // cold data in a window-free segment.
+    msysv::WorldOptions opts;
+    opts.protocol.default_window_us = 0;
+    msysv::World w(3, opts);
+    int hot_id = w.shm(0).Shmget(1, mmem::kPageSize, true).value();
+    int cold_id = w.shm(0).Shmget(2, kColdPages * mmem::kPageSize, true).value();
+    w.engine(0)->SetSegmentWindow(hot_id, kHotWindow);
+    Outcome o = RunScenario(w, hot_id, cold_id, /*cold_first_page=*/0, kColdPages);
+    t.AddRow({"two segments, per-segment Delta", mtrace::TextTable::Num(o.hot_ops_per_sec, 1),
+              mtrace::TextTable::Num(o.cold_reads_per_sec, 1)});
+  }
+  t.Print(std::cout);
+  std::printf("\nBoth refinements keep the hot word protected while freeing the cold pages\n");
+  std::printf("from pointless window waits — the choice between them is administrative\n");
+  std::printf("(per-page tuning vs. data placement), exactly as §8 frames it.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// A producer/consumer pipeline over distributed shared memory.
+//
+// Demonstrates the user-level layer of §5.1 (a ring buffer plus an event
+// flag built on ordinary shared words) and the §8 layout lesson: whether
+// the queue's indexes should share a page with its slots ("compact") or be
+// padded onto private pages depends on how much work each item carries —
+// the example maps the crossover.
+#include <cstdio>
+#include <iostream>
+
+#include "src/dsmlib/ring_buffer.h"
+#include "src/dsmlib/sync.h"
+#include "src/trace/table.h"
+#include "src/sysv/world.h"
+
+namespace {
+
+using mos::Priority;
+using mos::Process;
+using msim::Task;
+
+struct Outcome {
+  double items_per_sec = 0;
+  std::uint64_t page_transfers = 0;
+  bool all_items_intact = false;
+};
+
+Outcome RunPipeline(bool padded, msim::Duration item_cost_us, int items) {
+  msysv::World world(2);
+  constexpr std::uint32_t kCapacity = 16;
+  int id = world.shm(0)
+               .Shmget(0xBEEF, mdsm::RingBuffer::FootprintBytes(kCapacity, padded),
+                       /*create=*/true)
+               .value();
+  bool done = false;
+  bool intact = true;
+  msim::Time t_end = 0;
+
+  world.kernel(0).Spawn("producer", Priority::kUser, [&, padded, item_cost_us,
+                                                      items](Process* p) -> Task<> {
+    auto& shm = world.shm(0);
+    mmem::VAddr base = shm.Shmat(p, id).value();
+    mdsm::RingBuffer rb(&shm, &world.kernel(0), base, kCapacity, padded);
+    for (int i = 0; i < items; ++i) {
+      co_await world.kernel(0).Compute(p, item_cost_us);  // produce the item
+      co_await rb.Push(p, static_cast<std::uint32_t>(i * 31 + 7));
+    }
+  });
+  world.kernel(1).Spawn("consumer", Priority::kUser, [&, padded, item_cost_us,
+                                                      items](Process* p) -> Task<> {
+    auto& shm = world.shm(1);
+    mmem::VAddr base = shm.Shmat(p, id).value();
+    mdsm::RingBuffer rb(&shm, &world.kernel(1), base, kCapacity, padded);
+    for (int i = 0; i < items; ++i) {
+      std::uint32_t v = co_await rb.Pop(p);
+      if (v != static_cast<std::uint32_t>(i * 31 + 7)) {
+        intact = false;
+      }
+      co_await world.kernel(1).Compute(p, item_cost_us);  // consume the item
+    }
+    t_end = world.sim().Now();
+    done = true;
+  });
+  world.RunUntil([&] { return done; }, 900 * msim::kSecond);
+  Outcome o;
+  o.items_per_sec = done ? items / msim::ToSeconds(t_end) : 0;
+  o.page_transfers = world.network().stats().large_packets;
+  o.all_items_intact = done && intact;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Producer/consumer over Mirage DSM (ring buffer from src/dsmlib)\n");
+  std::printf("================================================================\n\n");
+  constexpr int kItems = 60;
+  mtrace::TextTable t({"item cost (ms)", "layout", "items/s", "page transfers", "FIFO intact"});
+  for (int cost_ms : {0, 2, 5, 10}) {
+    for (bool padded : {false, true}) {
+      Outcome o = RunPipeline(padded, static_cast<msim::Duration>(cost_ms) * msim::kMillisecond,
+                              kItems);
+      t.AddRow({mtrace::TextTable::Int(cost_ms), padded ? "padded" : "compact",
+                mtrace::TextTable::Num(o.items_per_sec, 1),
+                mtrace::TextTable::Int(static_cast<long long>(o.page_transfers)),
+                o.all_items_intact ? "yes" : "NO"});
+    }
+  }
+  t.Print(std::cout);
+  std::printf(
+      "\nReading the table: with free items the two sides run in lock-step batches and\n"
+      "the compact layout's single page is cheapest. Once items carry real work the\n"
+      "sides overlap, the consumer's head updates start stealing the page the producer\n"
+      "is filling, and padding the indexes onto their own pages (the paper's hot-spot\n"
+      "separation, §8) wins decisively.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: a two-site Mirage network sharing one System V segment.
+//
+// Demonstrates the public API end to end: build a World, create a segment
+// with Shmget at one site (that site becomes the library site), attach it at
+// both sites, and let a writer and a reader communicate through coherent
+// distributed shared memory. Prints the component costs actually incurred.
+#include <cstdio>
+
+#include "src/sysv/world.h"
+
+int main() {
+  // Two VAX-class sites on an Ethernet, paper-calibrated cost model.
+  msysv::World world(2);
+
+  // Site 0 creates a 4 KB segment named by key 0x4242; it becomes the
+  // segment's library site.
+  int shmid = world.shm(0).Shmget(0x4242, 4096, /*create=*/true).value();
+  std::printf("created segment shmid=%d (library at site 0)\n", shmid);
+
+  bool writer_done = false;
+  bool reader_done = false;
+  std::uint32_t seen = 0;
+  msim::Time read_latency = 0;
+
+  // A writer process at site 0 stores a value.
+  world.kernel(0).Spawn("writer", mos::Priority::kUser,
+                        [&](mos::Process* p) -> msim::Task<> {
+                          auto& shm = world.shm(0);
+                          mmem::VAddr base = shm.Shmat(p, shmid).value();
+                          co_await shm.WriteWord(p, base + 128, 2026);
+                          std::printf("[%6.1f ms] site 0: wrote 2026\n",
+                                      msim::ToMilliseconds(world.sim().Now()));
+                          writer_done = true;
+                        });
+
+  // A reader process at site 1 polls until the value is visible. Its first
+  // access page-faults; Mirage fetches the page across the network.
+  world.kernel(1).Spawn("reader", mos::Priority::kUser,
+                        [&](mos::Process* p) -> msim::Task<> {
+                          auto& shm = world.shm(1);
+                          mmem::VAddr base = shm.Shmat(p, shmid).value();
+                          msim::Time t0 = world.sim().Now();
+                          for (;;) {
+                            seen = co_await shm.ReadWord(p, base + 128);
+                            if (seen == 2026) {
+                              break;
+                            }
+                            co_await world.kernel(1).Yield(p);
+                          }
+                          read_latency = world.sim().Now() - t0;
+                          std::printf("[%6.1f ms] site 1: read %u\n",
+                                      msim::ToMilliseconds(world.sim().Now()), seen);
+                          reader_done = true;
+                        });
+
+  bool ok = world.RunUntil([&] { return writer_done && reader_done; }, 5 * msim::kSecond);
+  const auto& net = world.network().stats();
+  std::printf("\nsimulation %s at t=%.1f ms\n", ok ? "completed" : "TIMED OUT",
+              msim::ToMilliseconds(world.sim().Now()));
+  std::printf("value read at site 1: %u (coherent: %s)\n", seen,
+              seen == 2026 ? "yes" : "NO");
+  std::printf("network traffic: %llu packets (%llu short, %llu page-carrying)\n",
+              static_cast<unsigned long long>(net.packets),
+              static_cast<unsigned long long>(net.short_packets),
+              static_cast<unsigned long long>(net.large_packets));
+  std::printf("time from reader start until value visible: %.1f ms\n",
+              msim::ToMilliseconds(read_latency));
+  std::printf("(bench_component_timings reproduces the paper's clean 27.5 ms fetch)\n");
+  return ok && seen == 2026 ? 0 : 1;
+}

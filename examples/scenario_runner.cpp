@@ -1,0 +1,192 @@
+// A command-line scenario driver: pick a workload, a site count, and a
+// window Delta; get throughput, a per-site activity report, and optionally
+// a full protocol trace. The Swiss-army knife for exploring the system.
+//
+// Usage:
+//   scenario_runner [workload] [sites] [delta_ms] [options]
+//     workload:  pingpong | readwriters | spinlock | matrix | dot | tsp
+//     sites:     2..12            (default 2)
+//     delta_ms:  window in ms     (default 0)
+//   options:
+//     --no-yield      busy-wait instead of yield() in spin loops
+//     --trace         print the protocol event trace
+//     --parallel-lib  enable concurrent library service of distinct pages
+//     --baseline      run over the Li/Hudak protocol instead of Mirage
+//     --loss=P        drop each frame with probability P (virtual circuits
+//                     retransmit; 0 < P < 1)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/baseline/li_engine.h"
+#include "src/mirage/invariants.h"
+#include "src/workload/dotproduct.h"
+#include "src/workload/matrix.h"
+#include "src/workload/pingpong.h"
+#include "src/workload/readwriters.h"
+#include "src/workload/spinlock.h"
+#include "src/workload/tsp.h"
+
+namespace {
+
+struct Args {
+  std::string workload = "pingpong";
+  int sites = 2;
+  int delta_ms = 0;
+  bool yield = true;
+  bool trace = false;
+  bool parallel_lib = false;
+  bool baseline = false;
+  double loss = 0.0;
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s == "--no-yield") {
+      a.yield = false;
+    } else if (s == "--trace") {
+      a.trace = true;
+    } else if (s == "--parallel-lib") {
+      a.parallel_lib = true;
+    } else if (s == "--baseline") {
+      a.baseline = true;
+    } else if (s.rfind("--loss=", 0) == 0) {
+      a.loss = std::atof(s.c_str() + 7);
+    } else if (pos == 0) {
+      a.workload = s;
+      ++pos;
+    } else if (pos == 1) {
+      a.sites = std::atoi(s.c_str());
+      ++pos;
+    } else if (pos == 2) {
+      a.delta_ms = std::atoi(s.c_str());
+      ++pos;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  if (args.sites < 1 || args.sites > 12) {
+    std::fprintf(stderr, "sites must be in 1..12\n");
+    return 2;
+  }
+  msysv::WorldOptions opts;
+  opts.enable_trace = args.trace;
+  opts.protocol.default_window_us =
+      static_cast<msim::Duration>(args.delta_ms) * msim::kMillisecond;
+  opts.protocol.parallel_page_ops = args.parallel_lib;
+  if (args.loss > 0.0) {
+    opts.circuit = mnet::CircuitOptions{};
+    opts.circuit->loss_probability = args.loss;
+  }
+  if (args.baseline) {
+    opts.backend_factory = [](mos::Kernel* k, mirage::SegmentRegistry* reg,
+                              mtrace::Tracer* tr) -> std::unique_ptr<mmem::DsmBackend> {
+      return std::make_unique<mbase::LiEngine>(k, reg, tr);
+    };
+  }
+  msysv::World world(args.sites, opts);
+
+  std::printf("scenario: %s, %d sites, Delta=%d ms%s%s%s", args.workload.c_str(),
+              args.sites, args.delta_ms, args.yield ? "" : ", no yield",
+              args.parallel_lib ? ", parallel library" : "",
+              args.baseline ? ", Li/Hudak baseline" : "");
+  if (args.loss > 0.0) {
+    std::printf(", %.0f%% frame loss", args.loss * 100.0);
+  }
+  std::printf("\n\n");
+
+  bool ok = false;
+  if (args.workload == "pingpong") {
+    mwork::PingPongParams prm;
+    prm.rounds = 40;
+    prm.use_yield = args.yield;
+    prm.site_b = args.sites >= 2 ? 1 : 0;
+    auto r = mwork::LaunchPingPong(world, prm);
+    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    std::printf("throughput: %.2f cycles/s over %d cycles\n\n", r->CyclesPerSecond(),
+                r->cycles);
+  } else if (args.workload == "readwriters") {
+    mwork::ReadWritersParams prm;
+    prm.iterations = 50000;
+    auto r = mwork::LaunchReadWriters(world, prm);
+    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    std::printf("throughput: %.0f read-write ops/s\n\n", r->OpsPerSecond());
+  } else if (args.workload == "spinlock") {
+    mwork::SpinlockParams prm;
+    prm.use_yield = args.yield;
+    auto r = mwork::LaunchSpinlock(world, prm);
+    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    std::printf("throughput: %.2f critical sections/s (mutex %s)\n\n",
+                r->SectionsPerSecond(),
+                r->final_counter == static_cast<std::uint64_t>(2 * 30 * 4) ? "held" : "BROKEN");
+  } else if (args.workload == "matrix") {
+    mwork::MatrixParams prm;
+    prm.n = 24;
+    prm.workers = args.sites;
+    auto r = mwork::LaunchMatrixMultiply(world, prm);
+    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    std::printf("elapsed: %.3f s (%s)\n\n", r->ElapsedSeconds(),
+                r->verified ? "verified" : "WRONG RESULT");
+  } else if (args.workload == "dot") {
+    mwork::DotProductParams prm;
+    prm.length = 2048;
+    prm.workers = args.sites;
+    auto r = mwork::LaunchDotProduct(world, prm);
+    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    std::printf("elapsed: %.3f s (%s)\n\n", r->ElapsedSeconds(),
+                r->verified ? "verified" : "WRONG RESULT");
+  } else if (args.workload == "tsp") {
+    mwork::TspParams prm;
+    prm.cities = 8;
+    prm.workers = args.sites;
+    auto r = mwork::LaunchTsp(world, prm);
+    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    std::printf("elapsed: %.3f s, best tour %u (%s), %llu nodes\n\n", r->ElapsedSeconds(),
+                r->best_cost, r->verified ? "optimal" : "SUBOPTIMAL",
+                static_cast<unsigned long long>(r->nodes_expanded));
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());
+    return 2;
+  }
+
+  world.PrintReport(std::cout);
+  if (!args.baseline) {
+    // dsm doctor: validate the global protocol invariants post-run.
+    std::vector<mirage::Engine*> engines;
+    for (int s = 0; s < world.site_count(); ++s) {
+      engines.push_back(world.engine(s));
+    }
+    world.RunFor(2 * msim::kSecond);  // quiesce
+    mirage::InvariantChecker checker(engines);
+    mirage::InvariantReport report = checker.CheckFull(world.registry());
+    std::printf("\ninvariants: %s (%d pages checked)\n",
+                report.ok() ? "OK" : "VIOLATED", report.pages_checked);
+    for (const std::string& v : report.violations) {
+      std::printf("  !! %s\n", v.c_str());
+    }
+  }
+  if (const mnet::CircuitStats* cs = world.network().circuit_stats()) {
+    std::printf("\ncircuits: %llu data frames, %llu dropped, %llu retransmits, "
+                "%llu duplicates suppressed\n",
+                static_cast<unsigned long long>(cs->data_frames_sent),
+                static_cast<unsigned long long>(cs->frames_dropped),
+                static_cast<unsigned long long>(cs->retransmits),
+                static_cast<unsigned long long>(cs->duplicates_suppressed));
+  }
+  if (args.trace) {
+    std::printf("\nprotocol trace:\n");
+    world.tracer().Print(std::cout);
+  }
+  return ok ? 0 : 1;
+}

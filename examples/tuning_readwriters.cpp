@@ -1,0 +1,80 @@
+// Tuning the time window Delta (paper §8).
+//
+// Walks the three regimes of Figure 8 with the conflicting read-writers
+// application, demonstrates the paper's tuning guidance (err on the
+// retention side for system throughput, the contention side for application
+// throughput), and finishes with the dynamic-window policy the paper
+// sketched but left disabled — showing it converging on its own.
+#include <cstdio>
+#include <iostream>
+
+#include "src/mirage/adaptive_window.h"
+#include "src/trace/table.h"
+#include "src/workload/background.h"
+#include "src/workload/readwriters.h"
+
+namespace {
+
+struct Sample {
+  double app_ops = 0;
+  double bg_units = 0;
+};
+
+Sample Run(msim::Duration window_us, bool adaptive = false,
+           mirage::AdaptiveWindowPolicy* policy = nullptr) {
+  msysv::WorldOptions opts;
+  opts.protocol.default_window_us = window_us;
+  msysv::World world(2, opts);
+  if (adaptive && policy != nullptr) {
+    world.engine(0)->options().dynamic_window = policy->Hook(&world.sim());
+  }
+  mwork::ReadWritersParams prm;
+  prm.iterations = 50000;
+  auto app = mwork::LaunchReadWriters(world, prm);
+  mwork::BackgroundParams bg;
+  bg.site = 0;
+  auto background = mwork::LaunchBackground(world, bg);
+  world.RunUntil([&] { return app->completed; }, 600 * msim::kSecond);
+  return Sample{app->OpsPerSecond(), background->UnitsPerSecond()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Tuning the time window Delta (paper §8)\n");
+  std::printf("=======================================\n\n");
+  std::printf("Two processes at different sites decrement counters that share one page,\n");
+  std::printf("while a background process computes at site 0.\n\n");
+
+  mtrace::TextTable t({"Delta (ms)", "regime", "app ops/s", "background units/s"});
+  struct Point {
+    int ms;
+    const char* regime;
+  };
+  for (Point pt : {Point{0, "contention: page ping-pongs"},
+                   Point{30, "contention: conflicts dominate"},
+                   Point{120, "plateau begins"},
+                   Point{300, "plateau"},
+                   Point{600, "plateau (paper's peak)"},
+                   Point{1500, "retention: holder outlives demand"},
+                   Point{3000, "retention: waits dominate"}}) {
+    Sample s = Run(static_cast<msim::Duration>(pt.ms) * msim::kMillisecond);
+    t.AddRow({mtrace::TextTable::Int(pt.ms), pt.regime, mtrace::TextTable::Num(s.app_ops, 0),
+              mtrace::TextTable::Num(s.bg_units, 1)});
+  }
+  t.Print(std::cout);
+
+  std::printf("\nThe paper's guidance, §8: to protect overall system throughput, err on the\n");
+  std::printf("retention side (the falloff is gradual and other processes gain cycles);\n");
+  std::printf("to protect this application's throughput, err on the contention side.\n\n");
+
+  std::printf("Dynamic tuning (the §8 mechanism the paper left disabled):\n\n");
+  mirage::AdaptiveWindowPolicy policy;
+  Sample adaptive = Run(0, /*adaptive=*/true, &policy);
+  std::printf("  starting from Delta=0, the policy converged to %.0f ms for the hot page\n",
+              msim::ToMilliseconds(policy.CurrentWindow(1, 0)));
+  std::printf("  (%d grows, %d shrinks) and achieved %.0f app ops/s — within the plateau\n",
+              policy.Grows(1, 0), policy.Shrinks(1, 0), adaptive.app_ops);
+  std::printf("  without any manual tuning.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// The paper's worst-case application (Figure 4) in all three configurations
+// from §7.2/§7.3: single-site with and without yield(), and two-site with a
+// sweep over the time window Delta.
+#include <cstdio>
+#include <iostream>
+
+#include "src/trace/table.h"
+#include "src/workload/pingpong.h"
+
+namespace {
+
+double RunPingPong(int sites, bool use_yield, msim::Duration window_us, int rounds) {
+  msysv::WorldOptions opts;
+  opts.protocol.default_window_us = window_us;
+  msysv::World world(sites >= 2 ? sites : 1, opts);
+  mwork::PingPongParams prm;
+  prm.rounds = rounds;
+  prm.use_yield = use_yield;
+  prm.site_a = 0;
+  prm.site_b = sites >= 2 ? 1 : 0;
+  auto result = mwork::LaunchPingPong(world, prm);
+  world.RunUntil([&] { return result->completed; }, 600 * msim::kSecond);
+  return result->CyclesPerSecond();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Worst-case ping-pong application (paper Figure 4)\n\n");
+
+  std::printf("Single site (paper: 5 cycles/s busy-waiting, 166 cycles/s with yield):\n");
+  std::printf("  without yield(): %7.1f cycles/s\n", RunPingPong(1, false, 0, 40));
+  std::printf("  with    yield(): %7.1f cycles/s\n\n", RunPingPong(1, true, 0, 2000));
+
+  std::printf("Two sites, throughput vs Delta (paper Figure 7):\n");
+  mtrace::TextTable table({"Delta (ticks)", "yield (cycles/s)", "no yield (cycles/s)"});
+  const msim::Duration tick = mos::SchedulerConfig{}.tick_us;
+  for (int dticks : {0, 1, 2, 4, 6, 8, 10}) {
+    double with_yield = RunPingPong(2, true, dticks * tick, 40);
+    double without = RunPingPong(2, false, dticks * tick, 40);
+    table.AddRow({mtrace::TextTable::Int(dticks), mtrace::TextTable::Num(with_yield, 2),
+                  mtrace::TextTable::Num(without, 2)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

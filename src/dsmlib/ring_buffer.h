@@ -1,0 +1,119 @@
+// A single-producer/single-consumer ring buffer over Mirage shared memory.
+//
+// Two DSM-aware techniques from the paper's §8 hot-spot discussion are
+// built in and measurable:
+//  * layout — head (consumer-written) and tail (producer-written) can share
+//    a page with the slots ("compact") or live on pages of their own
+//    ("padded"), trading footprint against page ping-pong;
+//  * index caching — each side keeps a private estimate of the *other*
+//    side's index and re-reads the shared word only when the buffer looks
+//    full/empty, so the opposing index page is fetched once per batch
+//    instead of once per element.
+//
+// Each RingBuffer object belongs to one process; producer and consumer each
+// construct their own over the same segment base.
+#ifndef SRC_DSMLIB_RING_BUFFER_H_
+#define SRC_DSMLIB_RING_BUFFER_H_
+
+#include <cstdint>
+
+#include "src/mem/page.h"
+#include "src/os/kernel.h"
+#include "src/sim/task.h"
+#include "src/sysv/shm.h"
+
+namespace mdsm {
+
+class RingBuffer {
+ public:
+  // `capacity` is the number of 32-bit slots.
+  RingBuffer(msysv::ShmSystem* shm, mos::Kernel* kernel, mmem::VAddr base,
+             std::uint32_t capacity, bool padded_layout)
+      : shm_(shm), kernel_(kernel), base_(base), capacity_(capacity), padded_(padded_layout) {}
+
+  // Bytes of shared memory a buffer of `capacity` slots needs.
+  static std::uint32_t FootprintBytes(std::uint32_t capacity, bool padded_layout) {
+    if (padded_layout) {
+      return 2 * mmem::kPageSize + capacity * 4;
+    }
+    return 8 + capacity * 4;
+  }
+
+  // Producer side. Blocks (yielding) while the buffer is full.
+  msim::Task<> Push(mos::Process* p, std::uint32_t value) {
+    if (!tail_known_) {
+      my_tail_ = co_await shm_->ReadWord(p, TailAddr());
+      tail_known_ = true;
+    }
+    for (;;) {
+      if (my_tail_ - cached_head_ < capacity_) {
+        break;
+      }
+      // Looks full: refresh the consumer's index, then wait if truly full.
+      cached_head_ = co_await shm_->ReadWord(p, HeadAddr());
+      if (my_tail_ - cached_head_ < capacity_) {
+        break;
+      }
+      co_await kernel_->Compute(p, kSpinIterationCost);
+      co_await kernel_->Yield(p);
+    }
+    co_await shm_->WriteWord(p, SlotAddr(my_tail_ % capacity_), value);
+    // Publish after the slot write: the consumer reads tail, then the slot.
+    ++my_tail_;
+    co_await shm_->WriteWord(p, TailAddr(), my_tail_);
+  }
+
+  // Consumer side. Blocks (yielding) while the buffer is empty.
+  msim::Task<std::uint32_t> Pop(mos::Process* p) {
+    if (!head_known_) {
+      my_head_ = co_await shm_->ReadWord(p, HeadAddr());
+      head_known_ = true;
+    }
+    for (;;) {
+      if (cached_tail_ != my_head_) {
+        break;
+      }
+      cached_tail_ = co_await shm_->ReadWord(p, TailAddr());
+      if (cached_tail_ != my_head_) {
+        break;
+      }
+      co_await kernel_->Compute(p, kSpinIterationCost);
+      co_await kernel_->Yield(p);
+    }
+    std::uint32_t value = co_await shm_->ReadWord(p, SlotAddr(my_head_ % capacity_));
+    ++my_head_;
+    co_await shm_->WriteWord(p, HeadAddr(), my_head_);
+    co_return value;
+  }
+
+  std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr msim::Duration kSpinIterationCost = 25;
+
+  mmem::VAddr TailAddr() const { return base_; }
+  mmem::VAddr HeadAddr() const { return padded_ ? base_ + mmem::kPageSize : base_ + 4; }
+  mmem::VAddr SlotAddr(std::uint32_t i) const {
+    mmem::VAddr slots = padded_ ? base_ + 2 * mmem::kPageSize : base_ + 8;
+    return slots + static_cast<mmem::VAddr>(i) * 4;
+  }
+
+  msysv::ShmSystem* shm_;
+  mos::Kernel* kernel_;
+  mmem::VAddr base_;
+  std::uint32_t capacity_;
+  bool padded_;
+
+  // Producer-private state.
+  bool tail_known_ = false;
+  std::uint32_t my_tail_ = 0;
+  std::uint32_t cached_head_ = 0;
+  // Consumer-private state.
+  bool head_known_ = false;
+  std::uint32_t my_head_ = 0;
+  std::uint32_t cached_tail_ = 0;
+};
+
+}  // namespace mdsm
+
+#endif  // SRC_DSMLIB_RING_BUFFER_H_

@@ -1,0 +1,91 @@
+// A reader-writer lock over Mirage shared memory.
+//
+// State is two words guarded by an embedded test&set lock:
+//   [tas][reader_count | kWriterBit]
+// Readers increment the count; a writer sets the exclusive bit when the
+// count is zero. Contenders spin with yield(), per the paper's rule for
+// loops that inspect shared variables.
+//
+// DSM behaviour worth knowing: many concurrent readers all *write* the
+// count word, so even read-mostly critical sections move the lock page —
+// which is exactly why Mirage-style coherence favors pairing this lock
+// with data layouts where the read path itself stays read-only.
+#ifndef SRC_DSMLIB_RWLOCK_H_
+#define SRC_DSMLIB_RWLOCK_H_
+
+#include <cstdint>
+
+#include "src/dsmlib/sync.h"
+#include "src/os/kernel.h"
+#include "src/sim/task.h"
+#include "src/sysv/shm.h"
+
+namespace mdsm {
+
+class RwLock {
+ public:
+  RwLock(msysv::ShmSystem* shm, mos::Kernel* kernel, mmem::VAddr base)
+      : shm_(shm), kernel_(kernel), base_(base), tas_(shm, kernel, base) {}
+
+  static constexpr std::uint32_t kFootprintBytes = 8;
+
+  msim::Task<> AcquireRead(mos::Process* p) {
+    for (;;) {
+      co_await tas_.Acquire(p);
+      std::uint32_t s = co_await shm_->ReadWord(p, StateAddr());
+      if ((s & kWriterBit) == 0) {
+        co_await shm_->WriteWord(p, StateAddr(), s + 1);
+        co_await tas_.Release(p);
+        co_return;
+      }
+      co_await tas_.Release(p);
+      co_await Backoff(p);
+    }
+  }
+
+  msim::Task<> ReleaseRead(mos::Process* p) {
+    co_await tas_.Acquire(p);
+    std::uint32_t s = co_await shm_->ReadWord(p, StateAddr());
+    co_await shm_->WriteWord(p, StateAddr(), s - 1);
+    co_await tas_.Release(p);
+  }
+
+  msim::Task<> AcquireWrite(mos::Process* p) {
+    for (;;) {
+      co_await tas_.Acquire(p);
+      std::uint32_t s = co_await shm_->ReadWord(p, StateAddr());
+      if (s == 0) {
+        co_await shm_->WriteWord(p, StateAddr(), kWriterBit);
+        co_await tas_.Release(p);
+        co_return;
+      }
+      co_await tas_.Release(p);
+      co_await Backoff(p);
+    }
+  }
+
+  msim::Task<> ReleaseWrite(mos::Process* p) {
+    co_await tas_.Acquire(p);
+    co_await shm_->WriteWord(p, StateAddr(), 0);
+    co_await tas_.Release(p);
+  }
+
+ private:
+  static constexpr std::uint32_t kWriterBit = 0x80000000u;
+
+  mmem::VAddr StateAddr() const { return base_ + 4; }
+
+  msim::Task<> Backoff(mos::Process* p) {
+    co_await kernel_->Compute(p, 25);
+    co_await kernel_->Yield(p);
+  }
+
+  msysv::ShmSystem* shm_;
+  mos::Kernel* kernel_;
+  mmem::VAddr base_;
+  SpinLock tas_;
+};
+
+}  // namespace mdsm
+
+#endif  // SRC_DSMLIB_RWLOCK_H_

@@ -1,0 +1,150 @@
+// User-level synchronization over Mirage shared memory.
+//
+// §5.1 of the paper: "User programs may employ higher level synchronization
+// primitives as a layer on top of the low level mechanism. Applications that
+// do not require synchronization need not be burdened with their overhead."
+// This library is that layer: locks, barriers, and flags built from ordinary
+// System V shared memory words, usable across sites.
+//
+// Layout advice from §8 applies directly: placing a hot lock word on its own
+// page (away from the data it guards) avoids the test&set pathology of §7.2.
+// Each primitive therefore takes explicit addresses, and the example
+// programs demonstrate both colocated and separated layouts.
+#ifndef SRC_DSMLIB_SYNC_H_
+#define SRC_DSMLIB_SYNC_H_
+
+#include <cstdint>
+
+#include "src/os/kernel.h"
+#include "src/sim/task.h"
+#include "src/sysv/shm.h"
+
+namespace mdsm {
+
+// A test&set spin lock with yield() backoff — the §7.2 lock, packaged with
+// the paper's own advice (always yield while spinning).
+class SpinLock {
+ public:
+  SpinLock(msysv::ShmSystem* shm, mos::Kernel* kernel, mmem::VAddr lock_addr)
+      : shm_(shm), kernel_(kernel), addr_(lock_addr) {}
+
+  msim::Task<> Acquire(mos::Process* p) {
+    for (;;) {
+      std::uint32_t loop_v = co_await shm_->TestAndSet(p, addr_);
+      if (loop_v == 0) {
+        break;
+      }
+      co_await kernel_->Compute(p, kSpinIterationCost);
+      co_await kernel_->Yield(p);
+    }
+  }
+
+  msim::Task<> Release(mos::Process* p) { co_await shm_->WriteWord(p, addr_, 0); }
+
+  mmem::VAddr address() const { return addr_; }
+
+ private:
+  static constexpr msim::Duration kSpinIterationCost = 25;
+  msysv::ShmSystem* shm_;
+  mos::Kernel* kernel_;
+  mmem::VAddr addr_;
+};
+
+// A sense-reversing barrier for a fixed number of parties. The count word is
+// guarded by an embedded spin lock; the generation word flips once per
+// epoch, so waiters spin read-only (shared read copies, no write traffic)
+// until the release.
+//
+// Layout: [lock][count][generation] — three consecutive words at `base` —
+// or, with `padded_gen`, the generation word on its own page at
+// base + kPageSize. Padding matters under DSM: with everything on one page,
+// every arrival's test&set invalidates the read copies the waiting parties
+// are spinning on, and the barrier page ping-pongs for the entire entry
+// phase (the paper's Figure 1 pathology). With the generation padded,
+// waiters' copies are invalidated exactly once, by the release.
+class Barrier {
+ public:
+  Barrier(msysv::ShmSystem* shm, mos::Kernel* kernel, mmem::VAddr base, int parties,
+          bool padded_gen = false)
+      : shm_(shm),
+        kernel_(kernel),
+        base_(base),
+        parties_(parties),
+        padded_gen_(padded_gen),
+        lock_(shm, kernel, base) {}
+
+  // Blocks until all parties arrive. Reusable across epochs.
+  msim::Task<> Wait(mos::Process* p) {
+    std::uint32_t my_gen = co_await shm_->ReadWord(p, GenAddr());
+    co_await lock_.Acquire(p);
+    std::uint32_t count = co_await shm_->ReadWord(p, CountAddr());
+    ++count;
+    if (count == static_cast<std::uint32_t>(parties_)) {
+      // Last arrival: reset the count and release the epoch.
+      co_await shm_->WriteWord(p, CountAddr(), 0);
+      co_await shm_->WriteWord(p, GenAddr(), my_gen + 1);
+      co_await lock_.Release(p);
+      co_return;
+    }
+    co_await shm_->WriteWord(p, CountAddr(), count);
+    co_await lock_.Release(p);
+    for (;;) {
+      std::uint32_t loop_v = co_await shm_->ReadWord(p, GenAddr());
+      if (loop_v != my_gen) {
+        break;
+      }
+      co_await kernel_->Compute(p, 25);
+      co_await kernel_->Yield(p);
+    }
+  }
+
+  // Bytes of shared memory a barrier occupies from its base.
+  static std::uint32_t FootprintBytes(bool padded_gen) {
+    return padded_gen ? 2 * mmem::kPageSize : 12;
+  }
+  // Words of shared memory the compact layout occupies (legacy constant).
+  static constexpr std::uint32_t kFootprintBytes = 12;
+
+ private:
+  mmem::VAddr CountAddr() const { return base_ + 4; }
+  mmem::VAddr GenAddr() const { return padded_gen_ ? base_ + mmem::kPageSize : base_ + 8; }
+
+  msysv::ShmSystem* shm_;
+  mos::Kernel* kernel_;
+  mmem::VAddr base_;
+  int parties_;
+  bool padded_gen_;
+  SpinLock lock_;
+};
+
+// A one-shot publication flag: the producer writes data, then Raise()s the
+// flag; consumers Await() it and are guaranteed (by page coherence) to see
+// every write the producer made before raising, provided data and flag obey
+// the usual write-then-publish order.
+class EventFlag {
+ public:
+  EventFlag(msysv::ShmSystem* shm, mos::Kernel* kernel, mmem::VAddr addr)
+      : shm_(shm), kernel_(kernel), addr_(addr) {}
+
+  msim::Task<> Raise(mos::Process* p) { co_await shm_->WriteWord(p, addr_, 1); }
+
+  msim::Task<> Await(mos::Process* p) {
+    for (;;) {
+      std::uint32_t loop_v = co_await shm_->ReadWord(p, addr_);
+      if (loop_v != 0) {
+        break;
+      }
+      co_await kernel_->Compute(p, 25);
+      co_await kernel_->Yield(p);
+    }
+  }
+
+ private:
+  msysv::ShmSystem* shm_;
+  mos::Kernel* kernel_;
+  mmem::VAddr addr_;
+};
+
+}  // namespace mdsm
+
+#endif  // SRC_DSMLIB_SYNC_H_

@@ -1,0 +1,38 @@
+// Abstract DSM protocol backend.
+//
+// The System V layer talks to shared memory through this interface, so the
+// same applications and tests can run over the Mirage protocol or over the
+// Li/Hudak baseline (src/baseline) without change.
+#ifndef SRC_MEM_BACKEND_H_
+#define SRC_MEM_BACKEND_H_
+
+#include "src/mem/page.h"
+#include "src/mem/segment.h"
+#include "src/mem/segment_image.h"
+#include "src/os/process.h"
+#include "src/sim/task.h"
+
+namespace mmem {
+
+class DsmBackend {
+ public:
+  virtual ~DsmBackend() = default;
+
+  // Spawns the backend's kernel processes and installs its packet handler.
+  // Called once per site before the kernel starts.
+  virtual void Start() = 0;
+
+  // Materializes (idempotently) the local image of a segment.
+  virtual SegmentImage* EnsureImage(const SegmentMeta& meta) = 0;
+
+  // Drops all local state for a destroyed segment.
+  virtual void DropSegment(SegmentId seg) = 0;
+
+  // Blocks process `p` until this site holds `page` with the requested
+  // access, driving whatever protocol traffic that needs.
+  virtual msim::Task<> Fault(mos::Process* p, SegmentId seg, PageNum page, bool write) = 0;
+};
+
+}  // namespace mmem
+
+#endif  // SRC_MEM_BACKEND_H_

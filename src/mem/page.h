@@ -1,0 +1,55 @@
+// Page-level types shared by the memory substrate and the DSM protocols.
+#ifndef SRC_MEM_PAGE_H_
+#define SRC_MEM_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace mmem {
+
+// The paper's Mirage uses 512-byte pages (the VAX hardware page size).
+inline constexpr int kPageSize = 512;
+
+using SegmentId = int;
+using PageNum = int;
+using VAddr = std::uint64_t;
+
+// A set of sites encoded as a bitmask (site id == bit index). Mirrors the
+// "reader mask" field of the paper's auxpte (Table 2); supports 64 sites,
+// far beyond the paper's three-VAX network.
+using SiteMask = std::uint64_t;
+
+inline SiteMask MaskOf(mnet::SiteId s) { return SiteMask{1} << s; }
+inline bool MaskHas(SiteMask m, mnet::SiteId s) { return (m & MaskOf(s)) != 0; }
+inline int MaskCount(SiteMask m) { return __builtin_popcountll(m); }
+
+// Raw contents of one page.
+using PageBytes = std::vector<std::uint8_t>;
+
+// Hardware-style page table entry. `aux` is the paper's "unused bit in the
+// standard page table entry which indicates that an auxiliary parallel page
+// table should be consulted when a page fault occurs".
+struct Pte {
+  bool valid = false;
+  bool writable = false;
+  bool aux = false;
+};
+
+// Auxiliary parallel page table entry (paper Table 2). One table per segment
+// per site; entry N describes page N.
+//
+// The paper stores the window in clock ticks; we keep microseconds
+// internally for sweep resolution and expose tick conversions at the API.
+struct AuxPte {
+  SiteMask reader_mask = 0;            // sites using this page (clock site's view)
+  mnet::SiteId writer = mnet::kNoSite; // current writer site, if any
+  msim::Duration window_us = 0;        // Delta: guaranteed possession window
+  msim::Time install_time = 0;         // when this page was installed here
+};
+
+}  // namespace mmem
+
+#endif  // SRC_MEM_PAGE_H_

@@ -1,0 +1,35 @@
+// Shared-memory segment metadata (System V model, §2.2 of the paper).
+#ifndef SRC_MEM_SEGMENT_H_
+#define SRC_MEM_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/mem/page.h"
+#include "src/net/packet.h"
+
+namespace mmem {
+
+// Access permission bits, System V style but limited to read/write (§2.2).
+struct SegmentPerms {
+  bool read = true;
+  bool write = true;
+};
+
+struct SegmentMeta {
+  SegmentId id = -1;
+  // The System V key: the name by which processes locate the segment.
+  std::uint64_t key = 0;
+  std::uint32_t size_bytes = 0;
+  SegmentPerms perms;
+  // The site that created the segment is configured as its library site.
+  mnet::SiteId library_site = mnet::kNoSite;
+
+  int PageCount() const {
+    return static_cast<int>((size_bytes + kPageSize - 1) / kPageSize);
+  }
+};
+
+}  // namespace mmem
+
+#endif  // SRC_MEM_SEGMENT_H_

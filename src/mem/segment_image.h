@@ -1,0 +1,151 @@
+// Per-site materialization of a segment: master PTEs, the auxiliary parallel
+// page table, and the page frames themselves.
+//
+// This is the "master shared segment's page table" of §6.2: processes that
+// attach the segment get copies of these PTEs conjoined into their own page
+// tables (see AddressSpace), refreshed lazily at every schedule-in.
+//
+// Page data is real: frames hold actual bytes, page transfers ship those
+// bytes, and the coherence tests assert on values, not on flags.
+#ifndef SRC_MEM_SEGMENT_IMAGE_H_
+#define SRC_MEM_SEGMENT_IMAGE_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/mem/page.h"
+#include "src/mem/segment.h"
+#include "src/sim/time.h"
+
+namespace mmem {
+
+class SegmentImage {
+ public:
+  SegmentImage(SegmentMeta meta, mnet::SiteId site)
+      : meta_(std::move(meta)),
+        site_(site),
+        ptes_(meta_.PageCount()),
+        aux_(meta_.PageCount()),
+        frames_(meta_.PageCount()) {
+    for (auto& pte : ptes_) {
+      pte.aux = true;  // every DSM page consults the auxiliary table on fault
+    }
+  }
+
+  const SegmentMeta& meta() const { return meta_; }
+  mnet::SiteId site() const { return site_; }
+  int page_count() const { return meta_.PageCount(); }
+
+  bool Present(PageNum n) const { return ptes_.at(n).valid; }
+  bool Writable(PageNum n) const { return ptes_.at(n).valid && ptes_.at(n).writable; }
+  const Pte& pte(PageNum n) const { return ptes_.at(n); }
+  AuxPte& aux(PageNum n) { return aux_.at(n); }
+  const AuxPte& aux(PageNum n) const { return aux_.at(n); }
+
+  // Installs page contents arriving from the network (or zero-fill at the
+  // library site) and opens its possession window.
+  void InstallPage(PageNum n, const PageBytes& data, bool writable, msim::Time now,
+                   msim::Duration window_us) {
+    Pte& pte = ptes_.at(n);
+    PageBytes& frame = frames_.at(n);
+    if (data.empty()) {
+      frame.assign(kPageSize, 0);
+    } else {
+      Check(data.size() == kPageSize, n, "install with short page data");
+      frame = data;
+    }
+    pte.valid = true;
+    pte.writable = writable;
+    aux_.at(n).install_time = now;
+    aux_.at(n).window_us = window_us;
+  }
+
+  // Drops the local copy ("unmaps and discards the page", §6.1).
+  void InvalidatePage(PageNum n) {
+    Pte& pte = ptes_.at(n);
+    pte.valid = false;
+    pte.writable = false;
+    aux_.at(n).reader_mask = 0;
+    aux_.at(n).writer = mnet::kNoSite;
+  }
+
+  // Protocol optimization 2: write access removed, read access retained.
+  void DowngradePage(PageNum n) {
+    Check(Writable(n), n, "downgrade of a non-writable page");
+    ptes_.at(n).writable = false;
+  }
+
+  // Protocol optimization 1: a reader becomes the writer with no transfer.
+  void UpgradePage(PageNum n, msim::Time now, msim::Duration window_us) {
+    Check(Present(n), n, "upgrade of a non-present page");
+    ptes_.at(n).writable = true;
+    aux_.at(n).install_time = now;
+    aux_.at(n).window_us = window_us;
+  }
+
+  // Copies the page for a network transfer.
+  PageBytes CopyPage(PageNum n) const {
+    Check(Present(n), n, "copy of a non-present page");
+    return frames_.at(n);
+  }
+
+  // Word (32-bit) access into a present page. Alignment enforced.
+  std::uint32_t ReadWord(PageNum n, int offset) const {
+    CheckAccess(n, offset, /*write=*/false);
+    const PageBytes& f = frames_.at(n);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(f[offset + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  void WriteWord(PageNum n, int offset, std::uint32_t v) {
+    CheckAccess(n, offset, /*write=*/true);
+    PageBytes& f = frames_.at(n);
+    for (int i = 0; i < 4; ++i) {
+      f[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+  std::uint8_t ReadByte(PageNum n, int offset) const {
+    Check(Present(n), n, "read of a non-present page");
+    Check(offset >= 0 && offset < kPageSize, n, "byte offset out of range");
+    return frames_.at(n)[offset];
+  }
+
+  void WriteByte(PageNum n, int offset, std::uint8_t v) {
+    Check(Writable(n), n, "write to a non-writable page");
+    Check(offset >= 0 && offset < kPageSize, n, "byte offset out of range");
+    frames_.at(n)[offset] = v;
+  }
+
+ private:
+  void Check(bool ok, PageNum n, const char* what) const {
+    if (!ok) {
+      throw std::logic_error("mem: segment " + std::to_string(meta_.id) + " page " +
+                             std::to_string(n) + " at site " + std::to_string(site_) + ": " +
+                             what);
+    }
+  }
+  void CheckAccess(PageNum n, int offset, bool write) const {
+    Check(Present(n), n, "access to a non-present page");
+    if (write) {
+      Check(Writable(n), n, "write to a read-only page");
+    }
+    Check(offset >= 0 && offset + 4 <= kPageSize && offset % 4 == 0, n,
+          "misaligned or out-of-range word offset");
+  }
+
+  SegmentMeta meta_;
+  mnet::SiteId site_;
+  std::vector<Pte> ptes_;
+  std::vector<AuxPte> aux_;
+  std::vector<PageBytes> frames_;
+};
+
+}  // namespace mmem
+
+#endif  // SRC_MEM_SEGMENT_IMAGE_H_

@@ -1,0 +1,119 @@
+// Dynamic per-page window tuning — the mechanism §8 sketches and leaves
+// disabled: "the system itself could assist by increasing or decreasing
+// page Delta-s dynamically. When the library sends an invalidation to the
+// clock site, the page's Delta value can be changed before it is forwarded
+// to the target site and installed."
+//
+// The policy implemented here watches the spacing of invalidation forwards
+// (the only signal available at the hook point) per page:
+//  * forwards arriving faster than the contention threshold mean the page
+//    is ping-ponging — grow the window multiplicatively so each holder gets
+//    a useful possession (move toward the Figure 8 plateau from the left);
+//  * forwards slower than the retention threshold mean the window is longer
+//    than demand — shrink it (approach from the right);
+//  * in between, hold.
+//
+// Install with:
+//   options.dynamic_window = policy.Hook(&simulator);
+#ifndef SRC_MIRAGE_ADAPTIVE_WINDOW_H_
+#define SRC_MIRAGE_ADAPTIVE_WINDOW_H_
+
+#include <functional>
+#include <map>
+
+#include "src/mem/page.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace mirage {
+
+class AdaptiveWindowPolicy {
+ public:
+  struct Params {
+    msim::Duration min_window_us = 0;
+    msim::Duration max_window_us = msim::kSecond;
+    msim::Duration initial_window_us = 33 * msim::kMillisecond;
+    // A forward gap below grow_below means the page bounced within its own
+    // window's reach: contention. Grow.
+    msim::Duration grow_below_us = 100 * msim::kMillisecond;
+    // A gap above shrink_above means nobody wanted the page for a long
+    // time: the window only risks retention. Shrink.
+    msim::Duration shrink_above_us = 600 * msim::kMillisecond;
+    double grow_factor = 1.5;
+    double shrink_factor = 0.67;
+  };
+
+  AdaptiveWindowPolicy() : params_(Params{}) {}
+  explicit AdaptiveWindowPolicy(Params params) : params_(params) {}
+
+  // The hook for ProtocolOptions::dynamic_window. The returned callable
+  // references this policy; keep the policy alive as long as the engine.
+  std::function<msim::Duration(mmem::SegmentId, mmem::PageNum, msim::Duration)> Hook(
+      const msim::Simulator* sim) {
+    return [this, sim](mmem::SegmentId seg, mmem::PageNum page, msim::Duration) {
+      return Advise(seg, page, sim->Now());
+    };
+  }
+
+  // Pure decision function (separately testable).
+  msim::Duration Advise(mmem::SegmentId seg, mmem::PageNum page, msim::Time now) {
+    State& st = state_[Key(seg, page)];
+    if (st.window_us < 0) {
+      st.window_us = params_.initial_window_us;
+    }
+    if (st.last_forward >= 0) {
+      msim::Duration gap = now - st.last_forward;
+      if (gap < params_.grow_below_us) {
+        st.window_us =
+            static_cast<msim::Duration>(static_cast<double>(st.window_us) *
+                                        params_.grow_factor);
+        if (st.window_us < 1000) {
+          st.window_us = 1000;  // escape from zero
+        }
+        ++st.grows;
+      } else if (gap > params_.shrink_above_us) {
+        st.window_us =
+            static_cast<msim::Duration>(static_cast<double>(st.window_us) *
+                                        params_.shrink_factor);
+        ++st.shrinks;
+      }
+    }
+    st.window_us = std::max(st.window_us, params_.min_window_us);
+    st.window_us = std::min(st.window_us, params_.max_window_us);
+    st.last_forward = now;
+    return st.window_us;
+  }
+
+  // Introspection for tests and benches.
+  msim::Duration CurrentWindow(mmem::SegmentId seg, mmem::PageNum page) const {
+    auto it = state_.find(Key(seg, page));
+    return it == state_.end() ? -1 : it->second.window_us;
+  }
+  int Grows(mmem::SegmentId seg, mmem::PageNum page) const {
+    auto it = state_.find(Key(seg, page));
+    return it == state_.end() ? 0 : it->second.grows;
+  }
+  int Shrinks(mmem::SegmentId seg, mmem::PageNum page) const {
+    auto it = state_.find(Key(seg, page));
+    return it == state_.end() ? 0 : it->second.shrinks;
+  }
+
+ private:
+  struct State {
+    msim::Duration window_us = -1;
+    msim::Time last_forward = -1;
+    int grows = 0;
+    int shrinks = 0;
+  };
+  static std::uint64_t Key(mmem::SegmentId seg, mmem::PageNum page) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(seg)) << 32) |
+           static_cast<std::uint32_t>(page);
+  }
+
+  Params params_;
+  std::map<std::uint64_t, State> state_;
+};
+
+}  // namespace mirage
+
+#endif  // SRC_MIRAGE_ADAPTIVE_WINDOW_H_

@@ -1,0 +1,939 @@
+#include "src/mirage/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mirage {
+
+namespace {
+
+// Iteration helper over a site mask, lowest site first (the sequential
+// point-to-point order of §7.1).
+template <typename Fn>
+void ForEachSite(mmem::SiteMask mask, Fn&& fn) {
+  while (mask != 0) {
+    int s = __builtin_ctzll(mask);
+    mask &= mask - 1;
+    fn(static_cast<mnet::SiteId>(s));
+  }
+}
+
+mnet::SiteId FirstSite(mmem::SiteMask mask) {
+  return mask == 0 ? mnet::kNoSite : static_cast<mnet::SiteId>(__builtin_ctzll(mask));
+}
+
+}  // namespace
+
+const char* MsgKindName(MsgKind k) {
+  switch (k) {
+    case MsgKind::kPageRequest:
+      return "PAGE_REQUEST";
+    case MsgKind::kClockOp:
+      return "CLOCK_OP";
+    case MsgKind::kWaitReply:
+      return "WAIT_REPLY";
+    case MsgKind::kInvalidatePage:
+      return "INVALIDATE";
+    case MsgKind::kInvalidateAck:
+      return "INVALIDATE_ACK";
+    case MsgKind::kPageInstall:
+      return "PAGE_INSTALL";
+    case MsgKind::kUpgradeGrant:
+      return "UPGRADE_GRANT";
+    case MsgKind::kInstallAck:
+      return "INSTALL_ACK";
+  }
+  return "UNKNOWN";
+}
+
+const char* ClockActionName(ClockAction a) {
+  switch (a) {
+    case ClockAction::kSendCopy:
+      return "SEND_COPY";
+    case ClockAction::kInvalidateForWriter:
+      return "INVALIDATE_FOR_WRITER";
+    case ClockAction::kUpgradeWriter:
+      return "UPGRADE_WRITER";
+    case ClockAction::kDowngradeForReaders:
+      return "DOWNGRADE_FOR_READERS";
+    case ClockAction::kInvalidateForReaders:
+      return "INVALIDATE_FOR_READERS";
+  }
+  return "UNKNOWN";
+}
+
+const char* PageModeName(PageMode m) {
+  switch (m) {
+    case PageMode::kEmpty:
+      return "empty";
+    case PageMode::kReaders:
+      return "readers";
+    case PageMode::kWriter:
+      return "writer";
+  }
+  return "?";
+}
+
+Engine::Engine(mos::Kernel* kernel, SegmentRegistry* registry, ProtocolOptions opts,
+               mtrace::Tracer* tracer)
+    : kernel_(kernel), registry_(registry), opts_(std::move(opts)), tracer_(tracer) {}
+
+void Engine::Start() {
+  kernel_->SetPacketHandler(
+      [this](mos::Process* self, mnet::Packet pkt) { return HandlePacket(self, std::move(pkt)); });
+  int lib_count = opts_.parallel_page_ops ? std::max(1, opts_.library_concurrency) : 1;
+  for (int i = 0; i < lib_count; ++i) {
+    lib_procs_.push_back(kernel_->Spawn("dsm-library-" + std::to_string(i),
+                                        mos::Priority::kKernel,
+                                        [this](mos::Process* self) { return LibraryMain(self); }));
+  }
+  worker_proc_ = kernel_->Spawn("dsm-worker", mos::Priority::kKernel,
+                                [this](mos::Process* self) { return WorkerMain(self); });
+}
+
+mmem::SegmentImage* Engine::EnsureImage(const mmem::SegmentMeta& meta) {
+  auto it = images_.find(meta.id);
+  if (it != images_.end()) {
+    return it->second.get();
+  }
+  auto image = std::make_unique<mmem::SegmentImage>(meta, site());
+  mmem::SegmentImage* raw = image.get();
+  images_[meta.id] = std::move(image);
+  if (meta.library_site == site()) {
+    SegDir dir;
+    dir.pages.resize(meta.PageCount());
+    for (PageDir& pd : dir.pages) {
+      pd.window_us = opts_.default_window_us;
+    }
+    dirs_[meta.id] = std::move(dir);
+  }
+  return raw;
+}
+
+void Engine::DropSegment(mmem::SegmentId seg) {
+  if (!SegmentQuiescent(seg)) {
+    // Library or worker operations are still in flight (e.g. the final
+    // install acknowledgement): defer the reap until they drain, so no
+    // coroutine's reference into this segment's state dangles.
+    dying_segments_.insert(seg);
+    return;
+  }
+  ReallyDrop(seg);
+}
+
+bool Engine::SegmentQuiescent(mmem::SegmentId seg) const {
+  auto it = active_ops_.find(seg);
+  if (it != active_ops_.end() && it->second > 0) {
+    return false;
+  }
+  for (const Request& r : lib_queue_) {
+    if (r.body.seg == seg) {
+      return false;
+    }
+  }
+  for (const ClockOpBody& op : worker_queue_) {
+    if (op.seg == seg) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::MaybeReap(mmem::SegmentId seg) {
+  if (dying_segments_.count(seg) != 0 && SegmentQuiescent(seg)) {
+    ReallyDrop(seg);
+  }
+}
+
+void Engine::ReallyDrop(mmem::SegmentId seg) {
+  dying_segments_.erase(seg);
+  active_ops_.erase(seg);
+  images_.erase(seg);
+  dirs_.erase(seg);
+  for (auto it = waits_.begin(); it != waits_.end();) {
+    if (static_cast<mmem::SegmentId>(it->first >> 32) == seg) {
+      it = waits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ------------------------------------------------------------- fault path --
+
+msim::Task<> Engine::Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum page,
+                           bool write) {
+  if (write) {
+    ++stats_.write_faults;
+  } else {
+    ++stats_.read_faults;
+  }
+  Trace("fault", (write ? "write fault seg " : "read fault seg ") + std::to_string(seg) +
+                     " page " + std::to_string(page) + " pid " + std::to_string(p->pid));
+  auto meta = registry_->FindById(seg);
+  if (!meta.has_value()) {
+    throw std::logic_error("mirage: fault on unknown segment " + std::to_string(seg));
+  }
+  mmem::SegmentImage& img = ImageRef(seg);
+  PageWait& w = WaitFor(seg, page);
+  const msim::Time fault_start = kernel_->Now();
+  for (;;) {
+    if (img.Present(page) && (!write || img.Writable(page))) {
+      msim::Duration latency = kernel_->Now() - fault_start;
+      if (write) {
+        write_fault_latency_.Record(latency);
+      } else {
+        read_fault_latency_.Record(latency);
+      }
+      co_return;
+    }
+    bool& pending = write ? w.pending_write : w.pending_read;
+    if (!pending) {
+      pending = true;
+      PageRequestBody body;
+      body.seg = seg;
+      body.page = page;
+      body.write = write;
+      body.requester = site();
+      body.pid = p->pid;
+      if (meta->library_site == site()) {
+        // Colocated library: no network message, just the local service cost
+        // (the paper's 1.5 ms local fault service).
+        ++stats_.local_requests;
+        co_await kernel_->Compute(p, kernel_->costs().local_fault_cpu_us);
+        EnqueueLibraryRequest(body);
+      } else {
+        ++stats_.remote_requests_sent;
+        co_await kernel_->Compute(p, kernel_->costs().fault_request_cpu_us);
+        co_await kernel_->Send(
+            p, mnet::MakePacket(site(), meta->library_site,
+                                static_cast<std::uint32_t>(MsgKind::kPageRequest),
+                                kShortMsgBytes, body));
+      }
+    }
+    co_await kernel_->SleepOn(p, w.chan);
+  }
+}
+
+// --------------------------------------------------------------- receive  --
+
+msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
+  switch (static_cast<MsgKind>(pkt.type)) {
+    case MsgKind::kPageRequest: {
+      EnqueueLibraryRequest(mnet::PacketBody<PageRequestBody>(pkt));
+      break;
+    }
+    case MsgKind::kClockOp: {
+      ClockOpBody b = mnet::PacketBody<ClockOpBody>(pkt);
+      if (b.clock_check) {
+        msim::Duration remaining = LocalWindowRemaining(b.seg, b.page);
+        bool honor = remaining <= 0 ||
+                     (opts_.honor_small_remaining &&
+                      remaining <= kernel_->costs().invalidation_retry_threshold_us);
+        if (!honor) {
+          if (opts_.queued_invalidation) {
+            // Hold the invalidation and execute it at window expiry — the
+            // optimization the paper names but did not implement.
+            ++stats_.queued_invalidations;
+            Trace("clock", "queued invalidation, " + std::to_string(remaining) + " us left");
+            kernel_->sim()->Schedule(remaining, [this, b] {
+              worker_queue_.push_back(b);
+              kernel_->Wakeup(worker_chan_);
+            });
+          } else {
+            ++stats_.wait_replies_sent;
+            Trace("clock", "refuse invalidation, " + std::to_string(remaining) + " us left");
+            WaitReplyBody r{b.seg, b.page, b.req_id, remaining};
+            co_await kernel_->Send(
+                self, mnet::MakePacket(site(), pkt.src,
+                                       static_cast<std::uint32_t>(MsgKind::kWaitReply),
+                                       kShortMsgBytes, r));
+          }
+          break;
+        }
+      }
+      worker_queue_.push_back(b);
+      kernel_->Wakeup(worker_chan_);
+      break;
+    }
+    case MsgKind::kWaitReply: {
+      const auto& b = mnet::PacketBody<WaitReplyBody>(pkt);
+      auto it = lib_pending_map_.find(b.req_id);
+      if (it != lib_pending_map_.end()) {
+        it->second->wait_reply = true;
+        it->second->wait_remaining_us = b.remaining_us;
+        kernel_->Wakeup(it->second->chan);
+      }
+      break;
+    }
+    case MsgKind::kInvalidatePage: {
+      const auto& b = mnet::PacketBody<InvalidatePageBody>(pkt);
+      ApplyInvalidate(b);
+      InvalidateAckBody a{b.seg, b.page, b.req_id, site()};
+      co_await kernel_->Send(
+          self, mnet::MakePacket(site(), pkt.src,
+                                 static_cast<std::uint32_t>(MsgKind::kInvalidateAck),
+                                 kShortMsgBytes, a));
+      break;
+    }
+    case MsgKind::kInvalidateAck: {
+      const auto& b = mnet::PacketBody<InvalidateAckBody>(pkt);
+      auto it = inv_collectors_.find(b.req_id);
+      if (it != inv_collectors_.end()) {
+        ++it->second->got;
+        kernel_->Wakeup(it->second->chan);
+      }
+      break;
+    }
+    case MsgKind::kPageInstall: {
+      const auto& b = mnet::PacketBody<PageInstallBody>(pkt);
+      ApplyInstall(b);
+      if (b.library_site == site()) {
+        CreditInstallAck(b.req_id);
+      } else {
+        InstallAckBody a{b.seg, b.page, b.req_id, site()};
+        co_await kernel_->Send(
+            self, mnet::MakePacket(site(), b.library_site,
+                                   static_cast<std::uint32_t>(MsgKind::kInstallAck),
+                                   kShortMsgBytes, a));
+      }
+      break;
+    }
+    case MsgKind::kUpgradeGrant: {
+      const auto& b = mnet::PacketBody<UpgradeGrantBody>(pkt);
+      ApplyUpgrade(b);
+      if (b.library_site == site()) {
+        CreditInstallAck(b.req_id);
+      } else {
+        InstallAckBody a{b.seg, b.page, b.req_id, site()};
+        co_await kernel_->Send(
+            self, mnet::MakePacket(site(), b.library_site,
+                                   static_cast<std::uint32_t>(MsgKind::kInstallAck),
+                                   kShortMsgBytes, a));
+      }
+      break;
+    }
+    case MsgKind::kInstallAck: {
+      const auto& b = mnet::PacketBody<InstallAckBody>(pkt);
+      CreditInstallAck(b.req_id);
+      break;
+    }
+  }
+}
+
+void Engine::EnqueueLibraryRequest(const PageRequestBody& body) {
+  if (dirs_.count(body.seg) == 0) {
+    return;  // segment destroyed while the request was in flight
+  }
+  if (opts_.enable_request_log) {
+    log_.Add(RequestLogEntry{kernel_->Now(), body.seg, body.page, body.write, body.requester,
+                             body.pid});
+  }
+  Trace("request", std::string(body.write ? "write" : "read") + " request from site " +
+                       std::to_string(body.requester) + " seg " + std::to_string(body.seg) +
+                       " page " + std::to_string(body.page));
+  lib_queue_.push_back(Request{body, kernel_->Now()});
+  kernel_->Wakeup(lib_chan_);
+}
+
+void Engine::ApplyInstall(const PageInstallBody& body) {
+  auto it = images_.find(body.seg);
+  if (it == images_.end()) {
+    return;  // destroyed under us
+  }
+  mmem::SegmentImage& img = *it->second;
+  img.InstallPage(body.page, body.data, body.writable, kernel_->Now(), body.window_us);
+  mmem::AuxPte& aux = img.aux(body.page);
+  aux.reader_mask = body.resulting_readers;
+  aux.writer = body.writer_site;
+  ++stats_.pages_installed;
+  Trace("install", std::string(body.writable ? "writable" : "read-only") + " install seg " +
+                       std::to_string(body.seg) + " page " + std::to_string(body.page));
+  PageWait& w = WaitFor(body.seg, body.page);
+  w.pending_read = false;
+  if (body.writable) {
+    w.pending_write = false;
+  }
+  kernel_->Wakeup(w.chan);
+}
+
+void Engine::ApplyUpgrade(const UpgradeGrantBody& body) {
+  auto it = images_.find(body.seg);
+  if (it == images_.end()) {
+    return;
+  }
+  mmem::SegmentImage& img = *it->second;
+  img.UpgradePage(body.page, kernel_->Now(), body.window_us);
+  img.aux(body.page).writer = site();
+  img.aux(body.page).reader_mask = 0;
+  ++stats_.upgrades_received;
+  Trace("upgrade", "upgrade seg " + std::to_string(body.seg) + " page " +
+                       std::to_string(body.page));
+  PageWait& w = WaitFor(body.seg, body.page);
+  w.pending_read = false;
+  w.pending_write = false;
+  kernel_->Wakeup(w.chan);
+}
+
+void Engine::ApplyInvalidate(const InvalidatePageBody& body) {
+  auto it = images_.find(body.seg);
+  if (it == images_.end()) {
+    return;
+  }
+  it->second->InvalidatePage(body.page);
+  ++stats_.local_invalidations;
+  Trace("invalidate", "invalidate seg " + std::to_string(body.seg) + " page " +
+                          std::to_string(body.page));
+}
+
+void Engine::CreditInstallAck(std::uint64_t req_id) {
+  auto it = lib_pending_map_.find(req_id);
+  if (it != lib_pending_map_.end()) {
+    ++it->second->got_acks;
+    kernel_->Wakeup(it->second->chan);
+  }
+}
+
+// --------------------------------------------------------------- library  --
+
+msim::Task<> Engine::LibraryMain(mos::Process* self) {
+  for (;;) {
+    // Dispatch the first queued request whose page has no operation in
+    // flight. With one library process (the paper's configuration) this is
+    // plain FIFO; with parallel_page_ops, independent pages overlap while
+    // each page stays strictly ordered.
+    auto it = lib_queue_.begin();
+    while (it != lib_queue_.end() &&
+           busy_pages_.count(WaitKey(it->body.seg, it->body.page)) != 0) {
+      ++it;
+    }
+    if (it == lib_queue_.end()) {
+      co_await kernel_->SleepOn(self, lib_chan_);
+      continue;
+    }
+    Request req = std::move(*it);
+    lib_queue_.erase(it);
+    const mmem::SegmentId seg = req.body.seg;
+    std::uint64_t key = WaitKey(seg, req.body.page);
+    busy_pages_.insert(key);
+    ++active_ops_[seg];
+    LibPending slot;
+    co_await ProcessRequest(self, std::move(req), slot);
+    --active_ops_[seg];
+    busy_pages_.erase(key);
+    MaybeReap(seg);
+    // Deferred same-page requests (and idle peers) get another look.
+    kernel_->Wakeup(lib_chan_);
+  }
+}
+
+msim::Task<> Engine::WorkerMain(mos::Process* self) {
+  for (;;) {
+    while (worker_queue_.empty()) {
+      co_await kernel_->SleepOn(self, worker_chan_);
+    }
+    ClockOpBody op = std::move(worker_queue_.front());
+    worker_queue_.pop_front();
+    ++active_ops_[op.seg];
+    co_await ExecuteClockOp(self, op);
+    --active_ops_[op.seg];
+    MaybeReap(op.seg);
+  }
+}
+
+msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending& slot) {
+  ++stats_.requests_processed;
+  co_await kernel_->Compute(self, kernel_->costs().library_processing_cpu_us);
+  auto dit = dirs_.find(req.body.seg);
+  if (dit == dirs_.end()) {
+    ++stats_.requests_dropped;
+    co_return;
+  }
+  const mmem::SegmentId seg = req.body.seg;
+  const mmem::PageNum page = req.body.page;
+  const mnet::SiteId requester = req.body.requester;
+  PageDir& pd = dit->second.pages.at(page);
+
+  // Drop requests already satisfied by an earlier grant (the requesting
+  // site's wait state was cleared by the install that satisfied it).
+  bool satisfied =
+      req.body.write
+          ? (pd.mode == PageMode::kWriter && pd.writer == requester)
+          : (pd.mode == PageMode::kWriter ? pd.writer == requester
+                                          : mmem::MaskHas(pd.readers, requester));
+  if (satisfied) {
+    ++stats_.requests_dropped;
+    co_return;
+  }
+
+  std::uint64_t req_id = next_req_id_++;
+  msim::Duration window = pd.window_us;
+  if (opts_.dynamic_window) {
+    window = opts_.dynamic_window(seg, page, window);
+  }
+
+  // Read batching: collect every queued read request for this page (§6.1).
+  mmem::SiteMask batch = 0;
+  if (!req.body.write) {
+    batch = mmem::MaskOf(requester);
+    for (auto it = lib_queue_.begin(); it != lib_queue_.end();) {
+      if (it->body.seg == seg && it->body.page == page && !it->body.write) {
+        mnet::SiteId s = it->body.requester;
+        bool s_satisfied = pd.mode == PageMode::kWriter ? pd.writer == s
+                                                        : mmem::MaskHas(pd.readers, s);
+        if (!s_satisfied && !mmem::MaskHas(batch, s)) {
+          batch |= mmem::MaskOf(s);
+          ++stats_.batched_extra_reads;
+        }
+        it = lib_queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (mmem::MaskCount(batch) > 1) {
+      ++stats_.read_batches;
+    }
+  }
+
+  Trace("library", std::string("process ") + (req.body.write ? "write" : "read") +
+                       " request site " + std::to_string(requester) + " page " +
+                       std::to_string(page) + " mode " + PageModeName(pd.mode));
+
+  switch (pd.mode) {
+    case PageMode::kEmpty: {
+      co_await GrantFromEmpty(self, pd, req, batch, req_id, window, slot);
+      break;
+    }
+    case PageMode::kReaders: {
+      if (!req.body.write) {
+        // Table 1 row 1: Readers <- Readers. No clock check, no invalidation;
+        // the clock site is informed of the additional readers.
+        ClockOpBody op;
+        op.seg = seg;
+        op.page = page;
+        op.req_id = req_id;
+        op.action = ClockAction::kSendCopy;
+        op.targets = batch & ~pd.readers;
+        op.invalidate_set = 0;
+        op.resulting_readers = pd.readers | batch;
+        op.new_window_us = window;
+        op.clock_check = false;
+        op.library_site = site();
+        co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(op.targets), slot);
+        pd.readers |= batch;
+      } else {
+        // Table 1 row 2: Readers <- Writer. Clock check; invalidate; possible
+        // upgrade if the new writer is in the old read set (optimization 1).
+        bool upgrade = opts_.upgrade_optimization && mmem::MaskHas(pd.readers, requester);
+        ClockOpBody op;
+        op.seg = seg;
+        op.page = page;
+        op.req_id = req_id;
+        op.action = upgrade ? ClockAction::kUpgradeWriter : ClockAction::kInvalidateForWriter;
+        op.targets = mmem::MaskOf(requester);
+        op.invalidate_set =
+            pd.readers & ~mmem::MaskOf(requester) & ~mmem::MaskOf(pd.clock_site);
+        op.resulting_readers = 0;
+        op.new_window_us = window;
+        op.clock_check = true;
+        op.library_site = site();
+        co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
+        pd.mode = PageMode::kWriter;
+        pd.writer = requester;
+        pd.clock_site = requester;
+        pd.readers = 0;
+      }
+      break;
+    }
+    case PageMode::kWriter: {
+      if (req.body.write) {
+        // Table 1 row 4: Writer <- Writer. Clock check; invalidate.
+        ClockOpBody op;
+        op.seg = seg;
+        op.page = page;
+        op.req_id = req_id;
+        op.action = ClockAction::kInvalidateForWriter;
+        op.targets = mmem::MaskOf(requester);
+        op.invalidate_set = 0;  // the clock site is the writer; local action
+        op.resulting_readers = 0;
+        op.new_window_us = window;
+        op.clock_check = true;
+        op.library_site = site();
+        co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
+        pd.writer = requester;
+        pd.clock_site = requester;
+      } else {
+        // Table 1 row 3: Writer <- Readers. Clock check; downgrade the writer
+        // to reader (optimization 2), or invalidate it when disabled.
+        ClockOpBody op;
+        op.seg = seg;
+        op.page = page;
+        op.req_id = req_id;
+        op.new_window_us = window;
+        op.clock_check = true;
+        op.library_site = site();
+        if (opts_.downgrade_optimization) {
+          op.action = ClockAction::kDowngradeForReaders;
+          op.targets = batch & ~mmem::MaskOf(pd.writer);
+          op.invalidate_set = 0;
+          op.resulting_readers = batch | mmem::MaskOf(pd.writer);
+          co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(op.targets), slot);
+          pd.mode = PageMode::kReaders;
+          pd.readers = op.resulting_readers;
+          pd.writer = mnet::kNoSite;
+          // The downgraded writer remains the clock site.
+        } else {
+          op.action = ClockAction::kInvalidateForReaders;
+          op.targets = batch;
+          op.invalidate_set = 0;
+          op.resulting_readers = batch;
+          co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(batch), slot);
+          pd.mode = PageMode::kReaders;
+          pd.readers = batch;
+          pd.writer = mnet::kNoSite;
+          pd.clock_site = FirstSite(batch);
+        }
+      }
+      break;
+    }
+  }
+}
+
+msim::Task<> Engine::GrantFromEmpty(mos::Process* self, PageDir& pd, const Request& req,
+                                    mmem::SiteMask batch, std::uint64_t req_id,
+                                    msim::Duration window_us, LibPending& slot) {
+  const bool write = req.body.write;
+  const mnet::SiteId requester = req.body.requester;
+  mmem::SiteMask targets = write ? mmem::MaskOf(requester) : batch;
+
+  slot.req_id = req_id;
+  slot.expected_acks = mmem::MaskCount(targets);
+  slot.got_acks = 0;
+  slot.wait_reply = false;
+  lib_pending_map_[req_id] = &slot;
+
+  // First checkout: the page has never left the library; it is zero-filled.
+  std::vector<mnet::SiteId> remote;
+  ForEachSite(targets, [&](mnet::SiteId s) {
+    if (s != site()) {
+      remote.push_back(s);
+    }
+  });
+  if (mmem::MaskHas(targets, site())) {
+    PageInstallBody local;
+    local.seg = req.body.seg;
+    local.page = req.body.page;
+    local.req_id = req_id;
+    local.writable = write;
+    local.window_us = window_us;
+    local.library_site = site();
+    local.resulting_readers = write ? 0 : batch;
+    local.writer_site = write ? requester : mnet::kNoSite;
+    local.data.assign(mmem::kPageSize, 0);
+    ApplyInstall(local);
+    CreditInstallAck(req_id);
+  }
+  for (mnet::SiteId s : remote) {
+    PageInstallBody b;
+    b.seg = req.body.seg;
+    b.page = req.body.page;
+    b.req_id = req_id;
+    b.writable = write;
+    b.window_us = window_us;
+    b.library_site = site();
+    b.resulting_readers = write ? 0 : batch;
+    b.writer_site = write ? requester : mnet::kNoSite;
+    b.data.assign(mmem::kPageSize, 0);
+    co_await kernel_->Send(
+        self, mnet::MakePacket(site(), s, static_cast<std::uint32_t>(MsgKind::kPageInstall),
+                               kPageMsgBytes, std::move(b)));
+  }
+  while (!slot.Complete()) {
+    co_await kernel_->SleepOn(self, slot.chan);
+  }
+  lib_pending_map_.erase(req_id);
+  if (write) {
+    pd.mode = PageMode::kWriter;
+    pd.writer = requester;
+    pd.clock_site = requester;
+    pd.readers = 0;
+  } else {
+    pd.mode = PageMode::kReaders;
+    pd.readers = batch;
+    pd.clock_site = requester;
+    pd.writer = mnet::kNoSite;
+  }
+}
+
+msim::Task<> Engine::IssueClockOp(mos::Process* self, mnet::SiteId clock_site, ClockOpBody op,
+                                  int expected_acks, LibPending& slot) {
+  slot.req_id = op.req_id;
+  slot.expected_acks = expected_acks;
+  slot.got_acks = 0;
+  slot.wait_reply = false;
+  lib_pending_map_[op.req_id] = &slot;
+
+  for (;;) {
+    if (clock_site == site()) {
+      // Colocated clock site: the check and the operation run in the library
+      // process itself — no network messages for the clock exchange.
+      if (op.clock_check) {
+        msim::Duration remaining = LocalWindowRemaining(op.seg, op.page);
+        bool honor = remaining <= 0 ||
+                     (opts_.honor_small_remaining &&
+                      remaining <= kernel_->costs().invalidation_retry_threshold_us);
+        if (!honor) {
+          ++stats_.invalidation_retries;
+          co_await kernel_->SleepFor(self, remaining);
+          continue;
+        }
+      }
+      co_await ExecuteClockOp(self, op);
+      break;
+    }
+    co_await kernel_->Send(
+        self, mnet::MakePacket(site(), clock_site, static_cast<std::uint32_t>(MsgKind::kClockOp),
+                               kShortMsgBytes, op));
+    while (!slot.Complete() && !slot.wait_reply) {
+      co_await kernel_->SleepOn(self, slot.chan);
+    }
+    if (slot.wait_reply) {
+      // Refused: wait out the window and re-request the invalidation (§6.1).
+      slot.wait_reply = false;
+      ++stats_.invalidation_retries;
+      co_await kernel_->SleepFor(self, slot.wait_remaining_us);
+      continue;
+    }
+    break;
+  }
+  while (!slot.Complete()) {
+    co_await kernel_->SleepOn(self, slot.chan);
+  }
+  lib_pending_map_.erase(op.req_id);
+}
+
+// -------------------------------------------------------------- clock site --
+
+msim::Task<> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
+  ++stats_.clock_ops_executed;
+  mmem::SegmentImage& img = ImageRef(op.seg);
+  const mnet::SiteId me = site();
+  Trace("clock", std::string("execute ") + ClockActionName(op.action) + " page " +
+                     std::to_string(op.page));
+
+  // 1. Invalidate other readers, sequential point-to-point, and wait for the
+  //    acknowledgements: no stale copy may survive a write grant (§6.1).
+  mmem::SiteMask inv = op.invalidate_set & ~mmem::MaskOf(me);
+  if (inv != 0) {
+    InvAckCollector col;
+    col.expected = mmem::MaskCount(inv);
+    inv_collectors_[op.req_id] = &col;
+    std::vector<mnet::SiteId> sites;
+    ForEachSite(inv, [&](mnet::SiteId s) { sites.push_back(s); });
+    for (mnet::SiteId s : sites) {
+      InvalidatePageBody b{op.seg, op.page, op.req_id, me};
+      co_await kernel_->Send(
+          s == me ? self : self,  // always from this site's context
+          mnet::MakePacket(me, s, static_cast<std::uint32_t>(MsgKind::kInvalidatePage),
+                           kShortMsgBytes, b));
+    }
+    while (col.got < col.expected) {
+      co_await kernel_->SleepOn(self, col.chan);
+    }
+    inv_collectors_.erase(op.req_id);
+  }
+
+  // 2. Local transform and data capture (copy before any local invalidation).
+  mmem::PageBytes data;
+  bool send_data = true;
+  bool writable_grant = false;
+  switch (op.action) {
+    case ClockAction::kSendCopy:
+      data = img.CopyPage(op.page);
+      img.aux(op.page).reader_mask = op.resulting_readers;
+      break;
+    case ClockAction::kInvalidateForWriter:
+      data = img.CopyPage(op.page);
+      img.InvalidatePage(op.page);
+      ++stats_.local_invalidations;
+      writable_grant = true;
+      break;
+    case ClockAction::kUpgradeWriter:
+      send_data = false;
+      writable_grant = true;
+      if (!mmem::MaskHas(op.targets, me)) {
+        img.InvalidatePage(op.page);
+        ++stats_.local_invalidations;
+      }
+      break;
+    case ClockAction::kDowngradeForReaders:
+      img.DowngradePage(op.page);
+      ++stats_.downgrades_performed;
+      data = img.CopyPage(op.page);
+      img.aux(op.page).reader_mask = op.resulting_readers;
+      img.aux(op.page).writer = mnet::kNoSite;
+      // A fresh window for the resulting read set, clocked here.
+      img.aux(op.page).install_time = kernel_->Now();
+      img.aux(op.page).window_us = op.new_window_us;
+      Trace("downgrade", "downgrade to reader, page " + std::to_string(op.page));
+      break;
+    case ClockAction::kInvalidateForReaders:
+      data = img.CopyPage(op.page);
+      img.InvalidatePage(op.page);
+      ++stats_.local_invalidations;
+      break;
+  }
+
+  // 3. Distribute the page (or the upgrade notification) to the new holders.
+  std::vector<mnet::SiteId> targets;
+  ForEachSite(op.targets, [&](mnet::SiteId s) { targets.push_back(s); });
+  for (mnet::SiteId s : targets) {
+    if (s == me) {
+      // The clock site itself is the new holder: this is the in-place
+      // upgrade of optimization 1.
+      if (op.action == ClockAction::kUpgradeWriter) {
+        UpgradeGrantBody b{op.seg, op.page, op.req_id, op.new_window_us, op.library_site};
+        ApplyUpgrade(b);
+      } else {
+        PageInstallBody b;
+        b.seg = op.seg;
+        b.page = op.page;
+        b.req_id = op.req_id;
+        b.writable = writable_grant;
+        b.window_us = op.new_window_us;
+        b.library_site = op.library_site;
+        b.resulting_readers = op.resulting_readers;
+        b.writer_site = writable_grant ? s : mnet::kNoSite;
+        b.data = data;
+        ApplyInstall(b);
+      }
+      if (op.library_site == me) {
+        CreditInstallAck(op.req_id);
+      } else {
+        InstallAckBody a{op.seg, op.page, op.req_id, me};
+        co_await kernel_->Send(
+            self, mnet::MakePacket(me, op.library_site,
+                                   static_cast<std::uint32_t>(MsgKind::kInstallAck),
+                                   kShortMsgBytes, a));
+      }
+    } else if (send_data) {
+      PageInstallBody b;
+      b.seg = op.seg;
+      b.page = op.page;
+      b.req_id = op.req_id;
+      b.writable = writable_grant;
+      b.window_us = op.new_window_us;
+      b.library_site = op.library_site;
+      b.resulting_readers = op.resulting_readers;
+      b.writer_site = writable_grant ? s : mnet::kNoSite;
+      b.data = data;
+      co_await kernel_->Send(
+          self, mnet::MakePacket(me, s, static_cast<std::uint32_t>(MsgKind::kPageInstall),
+                                 kPageMsgBytes, std::move(b)));
+    } else {
+      UpgradeGrantBody b{op.seg, op.page, op.req_id, op.new_window_us, op.library_site};
+      co_await kernel_->Send(
+          self, mnet::MakePacket(me, s, static_cast<std::uint32_t>(MsgKind::kUpgradeGrant),
+                                 kShortMsgBytes, b));
+    }
+  }
+}
+
+// ---------------------------------------------------------------- helpers --
+
+msim::Duration Engine::LocalWindowRemaining(mmem::SegmentId seg, mmem::PageNum page) const {
+  auto it = images_.find(seg);
+  if (it == images_.end()) {
+    return 0;
+  }
+  const mmem::AuxPte& aux = it->second->aux(page);
+  return aux.install_time + aux.window_us - kernel_->Now();
+}
+
+mmem::SegmentImage& Engine::ImageRef(mmem::SegmentId seg) {
+  auto it = images_.find(seg);
+  if (it == images_.end()) {
+    throw std::logic_error("mirage: no local image for segment " + std::to_string(seg));
+  }
+  return *it->second;
+}
+
+Engine::PageWait& Engine::WaitFor(mmem::SegmentId seg, mmem::PageNum page) {
+  std::uint64_t key = WaitKey(seg, page);
+  auto it = waits_.find(key);
+  if (it == waits_.end()) {
+    it = waits_.emplace(key, std::make_unique<PageWait>()).first;
+  }
+  return *it->second;
+}
+
+void Engine::WakeWaiters(mmem::SegmentId seg, mmem::PageNum page) {
+  kernel_->Wakeup(WaitFor(seg, page).chan);
+}
+
+void Engine::Trace(const char* category, std::string detail) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Record(kernel_->Now(), site(), category, std::move(detail));
+  }
+}
+
+mnet::Packet Engine::ShortPacket(mnet::SiteId dst, MsgKind kind) const {
+  mnet::Packet p;
+  p.src = site();
+  p.dst = dst;
+  p.type = static_cast<std::uint32_t>(kind);
+  p.size_bytes = kShortMsgBytes;
+  return p;
+}
+
+// ------------------------------------------------------------------ tuning --
+
+void Engine::SetSegmentWindow(mmem::SegmentId seg, msim::Duration window_us) {
+  auto it = dirs_.find(seg);
+  if (it == dirs_.end()) {
+    throw std::logic_error("mirage: SetSegmentWindow at a non-library site");
+  }
+  for (PageDir& pd : it->second.pages) {
+    pd.window_us = window_us;
+  }
+}
+
+void Engine::SetPageWindow(mmem::SegmentId seg, mmem::PageNum page, msim::Duration window_us) {
+  auto it = dirs_.find(seg);
+  if (it == dirs_.end()) {
+    throw std::logic_error("mirage: SetPageWindow at a non-library site");
+  }
+  it->second.pages.at(page).window_us = window_us;
+}
+
+msim::Duration Engine::PageWindow(mmem::SegmentId seg, mmem::PageNum page) const {
+  auto it = dirs_.find(seg);
+  if (it == dirs_.end()) {
+    throw std::logic_error("mirage: PageWindow at a non-library site");
+  }
+  return it->second.pages.at(page).window_us;
+}
+
+mmem::SegmentImage* Engine::ImageOrNull(mmem::SegmentId seg) {
+  auto it = images_.find(seg);
+  return it == images_.end() ? nullptr : it->second.get();
+}
+
+std::optional<DirectoryView> Engine::Directory(mmem::SegmentId seg, mmem::PageNum page) const {
+  auto it = dirs_.find(seg);
+  if (it == dirs_.end()) {
+    return std::nullopt;
+  }
+  const PageDir& pd = it->second.pages.at(page);
+  DirectoryView v;
+  v.mode = pd.mode;
+  v.readers = pd.readers;
+  v.writer = pd.writer;
+  v.clock_site = pd.clock_site;
+  v.window_us = pd.window_us;
+  return v;
+}
+
+}  // namespace mirage

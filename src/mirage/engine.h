@@ -1,0 +1,231 @@
+// The per-site Mirage DSM engine.
+//
+// Each site runs one Engine on top of its Kernel. The engine plays three
+// protocol roles at once:
+//  * using site  — Fault() suspends a faulting process, issues the page
+//    request (local enqueue when the library is colocated, a network message
+//    otherwise) and wakes the process when access is available;
+//  * library site — for segments created here, a kernel lightweight process
+//    services the single request queue strictly sequentially, batching read
+//    requests per page (§6.1), driving clock checks, retrying refused
+//    invalidations after the reported wait, and applying Table 1;
+//  * clock site  — the interrupt path performs the Delta clock check and
+//    either refuses with the remaining time or hands the operation to the
+//    site's worker process, which invalidates other readers point-to-point
+//    (collecting acks so no stale copy survives a write grant) and then
+//    distributes the page or the upgrade notification.
+#ifndef SRC_MIRAGE_ENGINE_H_
+#define SRC_MIRAGE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "src/mem/address_space.h"
+#include "src/mem/backend.h"
+#include "src/mem/page.h"
+#include "src/mem/segment.h"
+#include "src/mem/segment_image.h"
+#include "src/mirage/protocol.h"
+#include "src/mirage/registry.h"
+#include "src/mirage/request_log.h"
+#include "src/os/kernel.h"
+#include "src/trace/histogram.h"
+#include "src/trace/trace.h"
+
+namespace mirage {
+
+struct EngineStats {
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t remote_requests_sent = 0;
+  std::uint64_t local_requests = 0;
+  std::uint64_t requests_processed = 0;
+  std::uint64_t requests_dropped = 0;
+  std::uint64_t read_batches = 0;
+  std::uint64_t batched_extra_reads = 0;
+  std::uint64_t pages_installed = 0;
+  std::uint64_t upgrades_received = 0;
+  std::uint64_t downgrades_performed = 0;
+  std::uint64_t local_invalidations = 0;
+  std::uint64_t wait_replies_sent = 0;
+  std::uint64_t invalidation_retries = 0;
+  std::uint64_t queued_invalidations = 0;
+  std::uint64_t clock_ops_executed = 0;
+};
+
+// Library-side page directory state (Table 1 "Current" column).
+enum class PageMode { kEmpty, kReaders, kWriter };
+
+const char* PageModeName(PageMode m);
+
+// Snapshot of one page's directory entry, for tests and benches.
+struct DirectoryView {
+  PageMode mode = PageMode::kEmpty;
+  mmem::SiteMask readers = 0;
+  mnet::SiteId writer = mnet::kNoSite;
+  mnet::SiteId clock_site = mnet::kNoSite;
+  msim::Duration window_us = 0;
+};
+
+class Engine : public mmem::DsmBackend {
+ public:
+  Engine(mos::Kernel* kernel, SegmentRegistry* registry, ProtocolOptions opts,
+         mtrace::Tracer* tracer = nullptr);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Spawns the library and worker processes and installs the packet handler.
+  // Call before Kernel::Start().
+  void Start() override;
+
+  // Materializes the local image of a segment (and, at the library site, its
+  // directory). Idempotent.
+  mmem::SegmentImage* EnsureImage(const mmem::SegmentMeta& meta) override;
+
+  // Drops all local state for a destroyed segment. The caller (the System V
+  // layer) guarantees no process still has it attached anywhere.
+  void DropSegment(mmem::SegmentId seg) override;
+
+  // Suspends process `p` until this site holds the page with the requested
+  // access. This is the interrupt-handler path of §6.1: it charges the fault
+  // service cost, issues the (deduplicated) request, and sleeps.
+  msim::Task<> Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum page,
+                     bool write) override;
+
+  // ---- Delta tuning (library site only) ----
+  void SetSegmentWindow(mmem::SegmentId seg, msim::Duration window_us);
+  void SetPageWindow(mmem::SegmentId seg, mmem::PageNum page, msim::Duration window_us);
+  msim::Duration PageWindow(mmem::SegmentId seg, mmem::PageNum page) const;
+
+  // ---- Introspection ----
+  mmem::SegmentImage* ImageOrNull(mmem::SegmentId seg);
+  std::optional<DirectoryView> Directory(mmem::SegmentId seg, mmem::PageNum page) const;
+  bool IsLibraryFor(mmem::SegmentId seg) const { return dirs_.count(seg) != 0; }
+  std::size_t LibraryQueueLength() const { return lib_queue_.size(); }
+  const EngineStats& stats() const { return stats_; }
+  // Fault-to-resume latency distributions at this (using) site.
+  const mtrace::LatencyHistogram& read_fault_latency() const { return read_fault_latency_; }
+  const mtrace::LatencyHistogram& write_fault_latency() const { return write_fault_latency_; }
+  RequestLog& request_log() { return log_; }
+  ProtocolOptions& options() { return opts_; }
+  mos::Kernel* kernel() const { return kernel_; }
+  mnet::SiteId site() const { return kernel_->site(); }
+
+ private:
+  struct PageDir {
+    PageMode mode = PageMode::kEmpty;
+    mmem::SiteMask readers = 0;
+    mnet::SiteId writer = mnet::kNoSite;
+    mnet::SiteId clock_site = mnet::kNoSite;
+    msim::Duration window_us = 0;
+  };
+  struct SegDir {
+    std::vector<PageDir> pages;
+  };
+  // Per-page local wait state for faulting processes.
+  struct PageWait {
+    bool pending_read = false;
+    bool pending_write = false;
+    mos::Channel chan;
+  };
+  // One in-flight library operation. The paper's library is strictly
+  // serial (one slot ever live); with parallel_page_ops several live at
+  // once, at most one per page.
+  struct LibPending {
+    std::uint64_t req_id = 0;
+    int expected_acks = 0;
+    int got_acks = 0;
+    bool wait_reply = false;
+    msim::Duration wait_remaining_us = 0;
+    mos::Channel chan;
+    bool Complete() const { return got_acks >= expected_acks; }
+  };
+  // Collects invalidation acks for one clock-site operation.
+  struct InvAckCollector {
+    int expected = 0;
+    int got = 0;
+    mos::Channel chan;
+  };
+  struct Request {
+    PageRequestBody body;
+    msim::Time queued_at = 0;
+  };
+
+  static std::uint64_t WaitKey(mmem::SegmentId seg, mmem::PageNum page) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(seg)) << 32) |
+           static_cast<std::uint32_t>(page);
+  }
+
+  // Protocol processes.
+  msim::Task<> LibraryMain(mos::Process* self);
+  msim::Task<> WorkerMain(mos::Process* self);
+  msim::Task<> HandlePacket(mos::Process* self, mnet::Packet pkt);
+
+  // Library-side request processing.
+  msim::Task<> ProcessRequest(mos::Process* self, Request req, LibPending& slot);
+  msim::Task<> GrantFromEmpty(mos::Process* self, PageDir& pd, const Request& req,
+                              mmem::SiteMask batch, std::uint64_t req_id,
+                              msim::Duration window_us, LibPending& slot);
+  msim::Task<> IssueClockOp(mos::Process* self, mnet::SiteId clock_site, ClockOpBody op,
+                            int expected_acks, LibPending& slot);
+  // Executes an accepted clock-site operation (runs in the worker, or inline
+  // in the library process when the clock site is colocated).
+  msim::Task<> ExecuteClockOp(mos::Process* self, ClockOpBody op);
+
+  // Receive-side helpers.
+  void EnqueueLibraryRequest(const PageRequestBody& body);
+  void ApplyInstall(const PageInstallBody& body);
+  void ApplyUpgrade(const UpgradeGrantBody& body);
+  void ApplyInvalidate(const InvalidatePageBody& body);
+  void CreditInstallAck(std::uint64_t req_id);
+
+  bool SegmentQuiescent(mmem::SegmentId seg) const;
+  void MaybeReap(mmem::SegmentId seg);
+  void ReallyDrop(mmem::SegmentId seg);
+  msim::Duration LocalWindowRemaining(mmem::SegmentId seg, mmem::PageNum page) const;
+  mmem::SegmentImage& ImageRef(mmem::SegmentId seg);
+  PageWait& WaitFor(mmem::SegmentId seg, mmem::PageNum page);
+  void WakeWaiters(mmem::SegmentId seg, mmem::PageNum page);
+  void Trace(const char* category, std::string detail);
+
+  mnet::Packet ShortPacket(mnet::SiteId dst, MsgKind kind) const;
+
+  mos::Kernel* kernel_;
+  SegmentRegistry* registry_;
+  ProtocolOptions opts_;
+  mtrace::Tracer* tracer_;
+
+  std::map<mmem::SegmentId, std::unique_ptr<mmem::SegmentImage>> images_;
+  std::map<mmem::SegmentId, SegDir> dirs_;
+  std::map<std::uint64_t, std::unique_ptr<PageWait>> waits_;
+
+  std::deque<Request> lib_queue_;
+  mos::Channel lib_chan_;
+  std::vector<mos::Process*> lib_procs_;
+  // In-flight operations keyed by request id, and the pages they own.
+  std::map<std::uint64_t, LibPending*> lib_pending_map_;
+  std::set<std::uint64_t> busy_pages_;
+  // Destroy-while-busy protection: segments with in-flight library/worker
+  // operations are reaped only once those operations drain.
+  std::set<mmem::SegmentId> dying_segments_;
+  std::map<mmem::SegmentId, int> active_ops_;
+  std::uint64_t next_req_id_ = 1;
+
+  std::deque<ClockOpBody> worker_queue_;
+  mos::Channel worker_chan_;
+  mos::Process* worker_proc_ = nullptr;
+  std::map<std::uint64_t, InvAckCollector*> inv_collectors_;
+
+  RequestLog log_;
+  EngineStats stats_;
+  mtrace::LatencyHistogram read_fault_latency_;
+  mtrace::LatencyHistogram write_fault_latency_;
+};
+
+}  // namespace mirage
+
+#endif  // SRC_MIRAGE_ENGINE_H_

@@ -1,0 +1,119 @@
+#include "src/mirage/invariants.h"
+
+namespace mirage {
+
+namespace {
+
+std::string Where(const mmem::SegmentMeta& meta, mmem::PageNum page) {
+  return "seg " + std::to_string(meta.id) + " page " + std::to_string(page);
+}
+
+}  // namespace
+
+InvariantReport InvariantChecker::CheckPhysical(const SegmentRegistry& registry) const {
+  InvariantReport report;
+  for (const mmem::SegmentMeta& meta : registry.All()) {
+    CheckSegmentPhysical(meta, &report);
+  }
+  return report;
+}
+
+InvariantReport InvariantChecker::CheckFull(const SegmentRegistry& registry) const {
+  InvariantReport report;
+  for (const mmem::SegmentMeta& meta : registry.All()) {
+    CheckSegmentPhysical(meta, &report);
+    CheckSegmentDirectory(meta, &report);
+  }
+  return report;
+}
+
+void InvariantChecker::CheckSegmentPhysical(const mmem::SegmentMeta& meta,
+                                            InvariantReport* report) const {
+  for (mmem::PageNum page = 0; page < meta.PageCount(); ++page) {
+    ++report->pages_checked;
+    int writable = 0;
+    int copies = 0;
+    for (Engine* e : engines_) {
+      mmem::SegmentImage* img = e->ImageOrNull(meta.id);
+      if (img == nullptr || !img->Present(page)) {
+        continue;
+      }
+      ++copies;
+      writable += img->Writable(page) ? 1 : 0;
+    }
+    if (writable > 1) {
+      report->violations.push_back(Where(meta, page) + ": " + std::to_string(writable) +
+                                   " writable copies");
+    } else if (writable == 1 && copies > 1) {
+      report->violations.push_back(Where(meta, page) + ": writable copy coexists with " +
+                                   std::to_string(copies - 1) + " other copies");
+    }
+  }
+}
+
+void InvariantChecker::CheckSegmentDirectory(const mmem::SegmentMeta& meta,
+                                             InvariantReport* report) const {
+  Engine* library = nullptr;
+  for (Engine* e : engines_) {
+    if (e->site() == meta.library_site) {
+      library = e;
+      break;
+    }
+  }
+  if (library == nullptr || !library->IsLibraryFor(meta.id)) {
+    report->violations.push_back("seg " + std::to_string(meta.id) +
+                                 ": library site has no directory");
+    return;
+  }
+  for (mmem::PageNum page = 0; page < meta.PageCount(); ++page) {
+    auto dv = library->Directory(meta.id, page);
+    if (!dv.has_value()) {
+      report->violations.push_back(Where(meta, page) + ": missing directory entry");
+      continue;
+    }
+    mmem::SiteMask present = 0;
+    mmem::SiteMask writable = 0;
+    for (Engine* e : engines_) {
+      mmem::SegmentImage* img = e->ImageOrNull(meta.id);
+      if (img != nullptr && img->Present(page)) {
+        present |= mmem::MaskOf(e->site());
+        if (img->Writable(page)) {
+          writable |= mmem::MaskOf(e->site());
+        }
+      }
+    }
+    switch (dv->mode) {
+      case PageMode::kEmpty:
+        if (present != 0) {
+          report->violations.push_back(Where(meta, page) +
+                                       ": directory empty but copies exist");
+        }
+        break;
+      case PageMode::kWriter:
+        if (writable != mmem::MaskOf(dv->writer) || present != mmem::MaskOf(dv->writer)) {
+          report->violations.push_back(Where(meta, page) +
+                                       ": writer-mode directory/image mismatch");
+        }
+        if (dv->clock_site != dv->writer) {
+          report->violations.push_back(Where(meta, page) + ": writer is not clock site");
+        }
+        break;
+      case PageMode::kReaders:
+        if (writable != 0) {
+          report->violations.push_back(Where(meta, page) +
+                                       ": readers mode but a writable copy exists");
+        }
+        if (present != dv->readers) {
+          report->violations.push_back(Where(meta, page) +
+                                       ": reader set does not match present copies");
+        }
+        if (!mmem::MaskHas(dv->readers, dv->clock_site)) {
+          report->violations.push_back(Where(meta, page) +
+                                       ": clock site is not in the reader set");
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace mirage

@@ -1,0 +1,50 @@
+// Global protocol invariant checking across all sites.
+//
+// Two classes of invariant:
+//  * physical (always true, even mid-operation): for every page, a writable
+//    copy never coexists with any other copy (§5.0's coherence condition at
+//    the copy level);
+//  * directory (true whenever the protocol is quiescent): the library's
+//    view — mode, reader set, writer, clock site — agrees with the images
+//    actually present at the sites, and the clock site's auxpte mirrors the
+//    reader set (Table 2).
+//
+// Used by the stress tests as a continuously-sampled oracle, and available
+// to embedders as a debugging aid (dsm doctor).
+#ifndef SRC_MIRAGE_INVARIANTS_H_
+#define SRC_MIRAGE_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mirage/engine.h"
+
+namespace mirage {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+  int pages_checked = 0;
+  bool ok() const { return violations.empty(); }
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(std::vector<Engine*> engines) : engines_(std::move(engines)) {}
+
+  // Physical invariants only — safe to call at any instant.
+  InvariantReport CheckPhysical(const SegmentRegistry& registry) const;
+
+  // Physical + directory invariants — call when the protocol is quiescent
+  // (no faults outstanding, queues drained).
+  InvariantReport CheckFull(const SegmentRegistry& registry) const;
+
+ private:
+  void CheckSegmentPhysical(const mmem::SegmentMeta& meta, InvariantReport* report) const;
+  void CheckSegmentDirectory(const mmem::SegmentMeta& meta, InvariantReport* report) const;
+
+  std::vector<Engine*> engines_;
+};
+
+}  // namespace mirage
+
+#endif  // SRC_MIRAGE_INVARIANTS_H_

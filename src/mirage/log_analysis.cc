@@ -1,0 +1,90 @@
+#include "src/mirage/log_analysis.h"
+
+#include <algorithm>
+
+namespace mirage {
+
+SegmentReport LogAnalyzer::Analyze(mmem::SegmentId seg) const {
+  SegmentReport report;
+  report.seg = seg;
+
+  struct Acc {
+    PageHeat heat;
+    mnet::SiteId last_site = mnet::kNoSite;
+    msim::Time last_time = -1;
+    std::vector<msim::Duration> gaps;
+  };
+  std::map<mmem::PageNum, Acc> acc;
+
+  for (const RequestLogEntry& e : log_->entries()) {
+    if (e.seg != seg) {
+      continue;
+    }
+    ++report.total_requests;
+    ++report.requests_by_site[e.site];
+    Acc& a = acc[e.page];
+    a.heat.page = e.page;
+    ++a.heat.requests;
+    a.heat.write_requests += e.write ? 1 : 0;
+    a.heat.sites |= mmem::MaskOf(e.site);
+    if (a.last_site != mnet::kNoSite && a.last_site != e.site) {
+      ++a.heat.alternations;
+    }
+    if (a.last_time >= 0) {
+      a.gaps.push_back(e.time - a.last_time);
+    }
+    a.last_site = e.site;
+    a.last_time = e.time;
+  }
+
+  for (auto& [page, a] : acc) {
+    a.heat.distinct_sites = mmem::MaskCount(a.heat.sites);
+    if (!a.gaps.empty()) {
+      std::nth_element(a.gaps.begin(), a.gaps.begin() + a.gaps.size() / 2, a.gaps.end());
+      a.heat.median_interarrival_us = a.gaps[a.gaps.size() / 2];
+    }
+    report.pages.push_back(a.heat);
+  }
+  std::sort(report.pages.begin(), report.pages.end(),
+            [](const PageHeat& x, const PageHeat& y) {
+              return x.requests != y.requests ? x.requests > y.requests : x.page < y.page;
+            });
+  return report;
+}
+
+std::map<mmem::PageNum, msim::Duration> LogAnalyzer::SuggestWindows(
+    mmem::SegmentId seg, const WindowAdvicePolicy& policy) const {
+  std::map<mmem::PageNum, msim::Duration> out;
+  SegmentReport report = Analyze(seg);
+  for (const PageHeat& h : report.pages) {
+    if (h.requests < policy.min_requests ||
+        h.AlternationFraction() < policy.min_alternation) {
+      continue;
+    }
+    double window = static_cast<double>(h.median_interarrival_us) *
+                    policy.interarrival_multiple;
+    msim::Duration w = static_cast<msim::Duration>(window);
+    w = std::max(w, policy.min_window_us);
+    w = std::min(w, policy.max_window_us);
+    out[h.page] = w;
+  }
+  return out;
+}
+
+std::optional<mnet::SiteId> LogAnalyzer::SuggestLibraryMigration(mmem::SegmentId seg,
+                                                                 mnet::SiteId current_library,
+                                                                 double dominance) const {
+  SegmentReport report = Analyze(seg);
+  if (report.total_requests == 0) {
+    return std::nullopt;
+  }
+  for (const auto& [site, count] : report.requests_by_site) {
+    if (site != current_library &&
+        static_cast<double>(count) >= dominance * report.total_requests) {
+      return site;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mirage

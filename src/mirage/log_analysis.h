@@ -1,0 +1,86 @@
+// Reference-string analysis over the library's request log (§9).
+//
+// "We envision that a user-level process could analyze these reference
+// strings as the basis for an automatic process migration facility or for
+// later reference string analysis." This module is that user-level process:
+// per-page heat, sharing and alternation structure, per-page window (Delta)
+// suggestions for hot pages (§8), and library-migration hints.
+//
+// Remember the log's blind spot, inherited from the design: accesses
+// satisfied by a valid local copy never reach the library and are absent.
+#ifndef SRC_MIRAGE_LOG_ANALYSIS_H_
+#define SRC_MIRAGE_LOG_ANALYSIS_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/mem/page.h"
+#include "src/mirage/request_log.h"
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace mirage {
+
+struct PageHeat {
+  mmem::PageNum page = 0;
+  int requests = 0;
+  int write_requests = 0;
+  int distinct_sites = 0;
+  mmem::SiteMask sites = 0;
+  // Consecutive requests from different sites: the ping-pong signature.
+  int alternations = 0;
+  msim::Duration median_interarrival_us = 0;
+
+  double AlternationFraction() const {
+    return requests > 1 ? static_cast<double>(alternations) / (requests - 1) : 0.0;
+  }
+};
+
+struct SegmentReport {
+  mmem::SegmentId seg = -1;
+  std::vector<PageHeat> pages;  // hottest first
+  std::map<mnet::SiteId, int> requests_by_site;
+  int total_requests = 0;
+
+  const PageHeat* Hottest() const { return pages.empty() ? nullptr : &pages.front(); }
+};
+
+struct WindowAdvicePolicy {
+  // A page is "hot" when it collects at least this many requests...
+  int min_requests = 8;
+  // ...and at least this fraction of them alternate between sites.
+  double min_alternation = 0.5;
+  // Hot pages get a window of this multiple of their median interarrival
+  // time (enough to amortize a handoff); cold pages get the segment default.
+  double interarrival_multiple = 2.0;
+  msim::Duration min_window_us = 0;
+  msim::Duration max_window_us = 2 * msim::kSecond;
+};
+
+class LogAnalyzer {
+ public:
+  explicit LogAnalyzer(const RequestLog* log) : log_(log) {}
+
+  // Aggregates the reference string of one segment (whole log horizon).
+  SegmentReport Analyze(mmem::SegmentId seg) const;
+
+  // Per-page window suggestions for the hot-spot pages (§8: "per-page
+  // Delta-s may be useful" when hot spots share a segment with cold data).
+  std::map<mmem::PageNum, msim::Duration> SuggestWindows(
+      mmem::SegmentId seg, const WindowAdvicePolicy& policy = WindowAdvicePolicy{}) const;
+
+  // Suggests moving the library (or the processes) toward the site that
+  // dominates the segment's remote requests; nullopt when no site clearly
+  // dominates or the dominant site is already `current_library`.
+  std::optional<mnet::SiteId> SuggestLibraryMigration(mmem::SegmentId seg,
+                                                      mnet::SiteId current_library,
+                                                      double dominance = 0.6) const;
+
+ private:
+  const RequestLog* log_;
+};
+
+}  // namespace mirage
+
+#endif  // SRC_MIRAGE_LOG_ANALYSIS_H_

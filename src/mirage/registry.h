@@ -1,0 +1,118 @@
+// Global segment name service.
+//
+// In Locus, segment naming rides on the distributed file/IPC name service;
+// looking a key up costs no DSM protocol traffic. We model that as a shared
+// registry object: name resolution is free, all page traffic is simulated.
+// (Documented substitution, DESIGN.md §2.)
+#ifndef SRC_MIRAGE_REGISTRY_H_
+#define SRC_MIRAGE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/mem/segment.h"
+
+namespace mirage {
+
+class SegmentRegistry {
+ public:
+  // Creates a segment; the creating site becomes its library site (§6.0).
+  // Returns nullopt if the key already exists.
+  std::optional<mmem::SegmentMeta> Create(std::uint64_t key, std::uint32_t size_bytes,
+                                          mmem::SegmentPerms perms, mnet::SiteId creator) {
+    if (key != 0 && by_key_.count(key) != 0) {
+      return std::nullopt;
+    }
+    mmem::SegmentMeta meta;
+    meta.id = next_id_++;
+    meta.key = key;
+    meta.size_bytes = size_bytes;
+    meta.perms = perms;
+    meta.library_site = creator;
+    by_id_[meta.id] = meta;
+    if (key != 0) {
+      by_key_[key] = meta.id;
+    }
+    return meta;
+  }
+
+  std::optional<mmem::SegmentMeta> FindByKey(std::uint64_t key) const {
+    auto it = by_key_.find(key);
+    if (it == by_key_.end()) {
+      return std::nullopt;
+    }
+    return by_id_.at(it->second);
+  }
+
+  std::optional<mmem::SegmentMeta> FindById(mmem::SegmentId id) const {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  // Removes the segment from the namespace and notifies observers (each
+  // site's backend drops its local state). The last detach destroys the
+  // segment, as in the paper's System V model (§2.2).
+  bool Destroy(mmem::SegmentId id) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) {
+      return false;
+    }
+    if (it->second.key != 0) {
+      by_key_.erase(it->second.key);
+    }
+    by_id_.erase(it);
+    attach_counts_.erase(id);
+    for (const auto& obs : destroy_observers_) {
+      obs(id);
+    }
+    return true;
+  }
+
+  // Global attach accounting, one count per segment across all sites.
+  int NoteAttach(mmem::SegmentId id) { return ++attach_counts_[id]; }
+  int NoteDetach(mmem::SegmentId id) {
+    auto it = attach_counts_.find(id);
+    if (it == attach_counts_.end() || it->second == 0) {
+      return 0;
+    }
+    return --it->second;
+  }
+  int AttachCount(mmem::SegmentId id) const {
+    auto it = attach_counts_.find(id);
+    return it == attach_counts_.end() ? 0 : it->second;
+  }
+
+  void AddDestroyObserver(std::function<void(mmem::SegmentId)> obs) {
+    destroy_observers_.push_back(std::move(obs));
+  }
+
+  std::size_t Count() const { return by_id_.size(); }
+
+  // All live segments (for global invariant checks and admin tooling).
+  std::vector<mmem::SegmentMeta> All() const {
+    std::vector<mmem::SegmentMeta> out;
+    out.reserve(by_id_.size());
+    for (const auto& [id, meta] : by_id_) {
+      out.push_back(meta);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::uint64_t, mmem::SegmentId> by_key_;
+  std::map<mmem::SegmentId, mmem::SegmentMeta> by_id_;
+  std::map<mmem::SegmentId, int> attach_counts_;
+  std::vector<std::function<void(mmem::SegmentId)>> destroy_observers_;
+  mmem::SegmentId next_id_ = 1;
+};
+
+}  // namespace mirage
+
+#endif  // SRC_MIRAGE_REGISTRY_H_

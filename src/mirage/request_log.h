@@ -1,0 +1,65 @@
+// The library site's page-request log (paper §9).
+//
+// "Each log entry contains the memory location, a timestamp, and the process
+// identifier of the requester. We envision that a user-level process could
+// analyze these reference strings as the basis for an automatic process
+// migration facility or for later reference string analysis."
+//
+// Note, as in the paper, that accesses satisfied by a valid local copy never
+// reach the library and are therefore not recorded.
+#ifndef SRC_MIRAGE_REQUEST_LOG_H_
+#define SRC_MIRAGE_REQUEST_LOG_H_
+
+#include <map>
+#include <vector>
+
+#include "src/mem/page.h"
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace mirage {
+
+struct RequestLogEntry {
+  msim::Time time = 0;
+  mmem::SegmentId seg = -1;
+  mmem::PageNum page = 0;
+  bool write = false;
+  mnet::SiteId site = mnet::kNoSite;
+  int pid = -1;
+};
+
+class RequestLog {
+ public:
+  void Add(RequestLogEntry e) { entries_.push_back(e); }
+
+  const std::vector<RequestLogEntry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+  std::vector<RequestLogEntry> ForSegment(mmem::SegmentId seg) const {
+    std::vector<RequestLogEntry> out;
+    for (const RequestLogEntry& e : entries_) {
+      if (e.seg == seg) {
+        out.push_back(e);
+      }
+    }
+    return out;
+  }
+
+  // Per-page request counts: the raw material for hot-spot analysis (§8).
+  std::map<mmem::PageNum, int> PageHistogram(mmem::SegmentId seg) const {
+    std::map<mmem::PageNum, int> h;
+    for (const RequestLogEntry& e : entries_) {
+      if (e.seg == seg) {
+        ++h[e.page];
+      }
+    }
+    return h;
+  }
+
+ private:
+  std::vector<RequestLogEntry> entries_;
+};
+
+}  // namespace mirage
+
+#endif  // SRC_MIRAGE_REQUEST_LOG_H_

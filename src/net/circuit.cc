@@ -1,0 +1,112 @@
+#include "src/net/circuit.h"
+
+namespace mnet {
+
+void CircuitLayer::Transmit(Packet pkt) {
+  if (!Active()) {
+    // Lossless medium: pure propagation, no sequencing state.
+    sim_->Schedule(opts_.propagation_us, [this, pkt = std::move(pkt)] { release_(pkt); });
+    return;
+  }
+  Key key{pkt.src, pkt.dst};
+  SendCircuit& sc = send_[key];
+  std::uint64_t seq = sc.next_seq++;
+  sc.unacked.emplace(seq, std::make_pair(pkt, 0));
+  ++stats_.data_frames_sent;
+  SendFrame(key, seq, pkt, /*is_retransmit=*/false);
+  ArmTimer(key);
+}
+
+void CircuitLayer::SendFrame(const Key& key, std::uint64_t seq, const Packet& pkt,
+                             bool is_retransmit) {
+  if (is_retransmit) {
+    ++stats_.retransmits;
+  }
+  if (Lost()) {
+    ++stats_.frames_dropped;
+    return;  // the retransmit timer recovers
+  }
+  Packet copy = pkt;
+  sim_->Schedule(opts_.propagation_us,
+                 [this, key, seq, copy = std::move(copy)]() mutable {
+                   OnFrameArrival(key, seq, std::move(copy));
+                 });
+}
+
+void CircuitLayer::OnFrameArrival(const Key& key, std::uint64_t seq, Packet pkt) {
+  RecvCircuit& rc = recv_[key];
+  if (seq < rc.next_expected || rc.out_of_order.count(seq) != 0) {
+    ++stats_.duplicates_suppressed;
+    SendAck(key, rc.next_expected - 1);  // re-ack so the sender can advance
+    return;
+  }
+  if (seq != rc.next_expected) {
+    ++stats_.out_of_order_buffered;
+    rc.out_of_order.emplace(seq, std::move(pkt));
+    SendAck(key, rc.next_expected - 1);
+    return;
+  }
+  // In sequence: release it and any buffered successors.
+  release_(pkt);
+  ++rc.next_expected;
+  auto it = rc.out_of_order.begin();
+  while (it != rc.out_of_order.end() && it->first == rc.next_expected) {
+    release_(it->second);
+    ++rc.next_expected;
+    it = rc.out_of_order.erase(it);
+  }
+  SendAck(key, rc.next_expected - 1);
+}
+
+void CircuitLayer::SendAck(const Key& data_key, std::uint64_t cumulative) {
+  ++stats_.acks_sent;
+  if (Lost()) {
+    ++stats_.acks_dropped;
+    return;
+  }
+  sim_->Schedule(opts_.propagation_us,
+                 [this, data_key, cumulative] { OnAck(data_key, cumulative); });
+}
+
+void CircuitLayer::OnAck(const Key& data_key, std::uint64_t cumulative) {
+  auto it = send_.find(data_key);
+  if (it == send_.end()) {
+    return;
+  }
+  SendCircuit& sc = it->second;
+  while (!sc.unacked.empty() && sc.unacked.begin()->first <= cumulative) {
+    sc.unacked.erase(sc.unacked.begin());
+  }
+  if (sc.unacked.empty() && sc.timer != 0) {
+    sim_->Cancel(sc.timer);
+    sc.timer = 0;
+  }
+}
+
+void CircuitLayer::ArmTimer(const Key& key) {
+  SendCircuit& sc = send_[key];
+  if (sc.timer != 0 || sc.unacked.empty()) {
+    return;
+  }
+  sc.timer = sim_->Schedule(opts_.retransmit_timeout_us, [this, key] { OnTimer(key); });
+}
+
+void CircuitLayer::OnTimer(const Key& key) {
+  SendCircuit& sc = send_[key];
+  sc.timer = 0;
+  if (sc.unacked.empty()) {
+    return;
+  }
+  // Go-back-style: retransmit every unacked frame (the window is small in
+  // practice — the DSM protocol is request/response).
+  for (auto& [seq, entry] : sc.unacked) {
+    ++entry.second;
+    if (opts_.max_retransmits > 0 && entry.second > opts_.max_retransmits) {
+      throw std::runtime_error("net: circuit retransmit limit exceeded");
+    }
+    SendFrame(key, seq, entry.first, /*is_retransmit=*/true);
+  }
+  ArmTimer(key);
+}
+
+}  // namespace mnet

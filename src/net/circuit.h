@@ -1,0 +1,119 @@
+// Locus-style virtual circuits: reliable, exactly-once, in-order delivery
+// over a lossy datagram medium.
+//
+// The paper's substrate: "the Locus system at the lowest of levels,
+// maintains a form of virtual circuit between sites to sequence network
+// messages and maintain topology" (§7.1). The DSM protocol above assumes
+// per-pair FIFO, exactly-once delivery; this layer provides it even when
+// the simulated Ethernet drops frames:
+//
+//  * every data frame on a (src,dst) circuit carries a sequence number;
+//  * the receiver delivers strictly in sequence, buffers out-of-order
+//    arrivals, suppresses duplicates, and returns cumulative acks;
+//  * the sender holds unacked frames and retransmits on timeout (acks
+//    themselves may be lost; retransmission and deduplication cover it).
+//
+// Loss injection is deterministic (seeded), so every failure test is
+// exactly reproducible. With loss disabled the layer is inert: no acks, no
+// timers, no extra state — the fast path of the lossless configuration.
+#ifndef SRC_NET_CIRCUIT_H_
+#define SRC_NET_CIRCUIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "src/net/packet.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace mnet {
+
+struct CircuitOptions {
+  // Probability that any single frame (data or ack) is dropped in flight.
+  double loss_probability = 0.0;
+  std::uint64_t loss_seed = 0x10C05;
+  // Wire propagation per frame (the calibrated tx/rx elapsed costs live in
+  // the kernels; this is pure medium latency).
+  msim::Duration propagation_us = 100;
+  // Retransmit an unacked frame after this long.
+  msim::Duration retransmit_timeout_us = 60 * msim::kMillisecond;
+  // Give up after this many retransmissions of one frame (0 = never).
+  // Mirage assumes a live network; the default keeps trying.
+  int max_retransmits = 0;
+};
+
+struct CircuitStats {
+  std::uint64_t data_frames_sent = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t out_of_order_buffered = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_dropped = 0;
+};
+
+// The transport under Network. Network::Deliver hands frames here; the
+// circuit layer calls back into Network's sink dispatch for each frame it
+// releases, exactly once and in order.
+class CircuitLayer {
+ public:
+  using Release = std::function<void(const Packet&)>;
+
+  CircuitLayer(msim::Simulator* sim, CircuitOptions opts, Release release)
+      : sim_(sim), opts_(opts), rng_(opts.loss_seed), release_(std::move(release)) {}
+  CircuitLayer(const CircuitLayer&) = delete;
+  CircuitLayer& operator=(const CircuitLayer&) = delete;
+
+  // True when the layer does sequencing/acks (lossy medium configured).
+  bool Active() const { return opts_.loss_probability > 0.0; }
+
+  // Entry point from Network::Deliver. May drop, sequence, and retransmit;
+  // eventually releases the packet (exactly once, in order) at the
+  // destination.
+  void Transmit(Packet pkt);
+
+  const CircuitStats& stats() const { return stats_; }
+
+ private:
+  struct Key {
+    SiteId src;
+    SiteId dst;
+    bool operator<(const Key& o) const {
+      return src != o.src ? src < o.src : dst < o.dst;
+    }
+  };
+  struct SendCircuit {
+    std::uint64_t next_seq = 1;
+    // seq -> (frame, retransmit count); ordered so the front is the oldest.
+    std::map<std::uint64_t, std::pair<Packet, int>> unacked;
+    msim::EventId timer = 0;
+  };
+  struct RecvCircuit {
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, Packet> out_of_order;
+  };
+
+  void SendFrame(const Key& key, std::uint64_t seq, const Packet& pkt, bool is_retransmit);
+  void OnFrameArrival(const Key& key, std::uint64_t seq, Packet pkt);
+  void SendAck(const Key& data_key, std::uint64_t cumulative);
+  void OnAck(const Key& data_key, std::uint64_t cumulative);
+  void ArmTimer(const Key& key);
+  void OnTimer(const Key& key);
+  bool Lost() { return rng_.Chance(opts_.loss_probability); }
+
+  msim::Simulator* sim_;
+  CircuitOptions opts_;
+  msim::Rng rng_;
+  Release release_;
+  std::map<Key, SendCircuit> send_;
+  std::map<Key, RecvCircuit> recv_;
+  CircuitStats stats_;
+};
+
+}  // namespace mnet
+
+#endif  // SRC_NET_CIRCUIT_H_

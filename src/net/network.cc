@@ -1,0 +1,53 @@
+#include "src/net/network.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace mnet {
+
+void Network::RegisterSite(SiteId site, Sink sink) {
+  if (sinks_.count(site) != 0) {
+    throw std::logic_error("net: site " + std::to_string(site) + " registered twice");
+  }
+  sinks_[site] = std::move(sink);
+}
+
+void Network::SetCircuitOptions(CircuitOptions opts) {
+  circuits_ = std::make_unique<CircuitLayer>(sim_, opts,
+                                             [this](const Packet& pkt) { Release(pkt); });
+}
+
+void Network::Deliver(Packet pkt) {
+  if (sinks_.count(pkt.dst) == 0) {
+    throw std::logic_error("net: delivery to unregistered site " + std::to_string(pkt.dst));
+  }
+  if (circuits_) {
+    circuits_->Transmit(std::move(pkt));
+  } else {
+    Release(pkt);
+  }
+}
+
+// Exactly-once, in-order hand-off to the destination sink. Statistics and
+// observers count released packets, so protocol message accounting is
+// unaffected by drops and retransmissions underneath.
+void Network::Release(const Packet& pkt) {
+  auto it = sinks_.find(pkt.dst);
+  if (it == sinks_.end()) {
+    return;  // site vanished mid-flight (teardown)
+  }
+  ++stats_.packets;
+  if (pkt.size_bytes >= costs_->large_threshold_bytes) {
+    ++stats_.large_packets;
+  } else {
+    ++stats_.short_packets;
+  }
+  stats_.payload_bytes += pkt.size_bytes;
+  ++stats_.packets_by_type[pkt.type];
+  for (const Observer& obs : observers_) {
+    obs(pkt, sim_->Now());
+  }
+  it->second(pkt);
+}
+
+}  // namespace mnet

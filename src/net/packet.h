@@ -1,0 +1,52 @@
+// Network packet representation.
+//
+// The network layer is payload-agnostic: upper layers (the Mirage protocol,
+// the baseline protocol) define their own payload structs and a type
+// discriminator. Payloads are held by shared_ptr because read-batching fans
+// one payload out to several receivers.
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace mnet {
+
+// Identifies a site (machine) in the simulated network.
+using SiteId = int;
+
+inline constexpr SiteId kNoSite = -1;
+
+struct Packet {
+  SiteId src = kNoSite;
+  SiteId dst = kNoSite;
+  // Discriminator owned by the protocol layer (e.g. mirage::MessageKind).
+  std::uint32_t type = 0;
+  // Payload bytes on the wire; drives the short/large cost split.
+  std::uint32_t size_bytes = 0;
+  std::shared_ptr<const void> payload;
+};
+
+// Builds a packet around a typed payload.
+template <typename T>
+Packet MakePacket(SiteId src, SiteId dst, std::uint32_t type, std::uint32_t size_bytes, T body) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.type = type;
+  p.size_bytes = size_bytes;
+  p.payload = std::make_shared<const T>(std::move(body));
+  return p;
+}
+
+// Recovers the typed payload. The caller must know the type from pkt.type;
+// protocols keep a 1:1 mapping between discriminator and payload struct.
+template <typename T>
+const T& PacketBody(const Packet& pkt) {
+  return *static_cast<const T*>(pkt.payload.get());
+}
+
+}  // namespace mnet
+
+#endif  // SRC_NET_PACKET_H_

@@ -1,0 +1,389 @@
+#include "src/os/kernel.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mos {
+
+Kernel::Kernel(msim::Simulator* sim, mnet::Network* net, mnet::SiteId site, SchedulerConfig cfg)
+    : sim_(sim), net_(net), site_(site), cfg_(cfg) {}
+
+Kernel::~Kernel() = default;
+
+void Kernel::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  if (net_ != nullptr) {
+    net_->RegisterSite(site_, [this](mnet::Packet pkt) { OnPacket(std::move(pkt)); });
+    // The network server is a kernel lightweight process (as in Locus), not
+    // a pure interrupt handler: a busy-waiting user process can delay it
+    // until the next clock tick — the §7.2 motivation for yield().
+    isr_ = Spawn("netserver", Priority::kKernel,
+                 [this](Process* self) { return IsrMain(self); });
+  }
+  msim::Time first_tick = (sim_->Now() / cfg_.tick_us + 1) * cfg_.tick_us;
+  sim_->ScheduleAt(first_tick, [this] { OnTick(); });
+}
+
+Process* Kernel::Spawn(std::string name, Priority prio, ProcessBody body) {
+  auto proc = std::make_unique<Process>();
+  Process* p = proc.get();
+  p->kernel = this;
+  p->pid = next_pid_++;
+  p->name = std::move(name);
+  p->prio = prio;
+  p->body_factory = std::move(body);
+  p->body = p->body_factory(p);
+  procs_.push_back(std::move(proc));
+  MakeReady(p);
+  return p;
+}
+
+Process* Kernel::FindProcess(int pid) const {
+  for (const auto& p : procs_) {
+    if (p->pid == pid) {
+      return p.get();
+    }
+  }
+  return nullptr;
+}
+
+bool Kernel::Busy() const { return running_ != nullptr || AnyReady(); }
+
+// ---------------------------------------------------------------- network --
+
+void Kernel::OnPacket(mnet::Packet pkt) {
+  ++stats_.packets_received;
+  nic_queue_.push_back(std::move(pkt));
+  Wakeup(nic_chan_);
+}
+
+msim::Task<> Kernel::IsrMain(Process* self) {
+  for (;;) {
+    while (nic_queue_.empty()) {
+      co_await SleepOn(self, nic_chan_);
+    }
+    mnet::Packet pkt = std::move(nic_queue_.front());
+    nic_queue_.pop_front();
+    // Receive elapsed time plus the per-input handling CPU ("9 ms for the 6
+    // input interrupts to install, invalidate, or upgrade the page").
+    co_await Compute(self, costs().RxCost(pkt.size_bytes));
+    co_await Compute(self, costs().input_handle_cpu_us);
+    if (packet_handler_) {
+      co_await packet_handler_(self, std::move(pkt));
+    }
+  }
+}
+
+msim::Task<> Kernel::Send(Process* p, mnet::Packet pkt) {
+  co_await Compute(p, costs().TxCost(pkt.size_bytes));
+  net_->Deliver(std::move(pkt));
+}
+
+msim::Task<> Kernel::Join(Process* p, Process* target) {
+  while (!target->Exited()) {
+    co_await SleepOn(p, target->exit_chan);
+  }
+}
+
+// -------------------------------------------------------------- scheduler --
+
+void Kernel::Wakeup(Channel& ch) {
+  while (!ch.waiters_.empty()) {
+    Process* p = ch.waiters_.front();
+    ch.waiters_.pop_front();
+    MakeReady(p);
+  }
+}
+
+void Kernel::WakeupOne(Channel& ch) {
+  if (!ch.waiters_.empty()) {
+    Process* p = ch.waiters_.front();
+    ch.waiters_.pop_front();
+    MakeReady(p);
+  }
+}
+
+void Kernel::MakeReady(Process* p) {
+  p->state = ProcState::kReady;
+  ready_[static_cast<int>(p->prio)].push_back(p);
+  RequestResched();
+}
+
+void Kernel::RequestResched() {
+  if (resched_pending_) {
+    return;
+  }
+  resched_pending_ = true;
+  sim_->Schedule(0, [this] {
+    resched_pending_ = false;
+    Resched();
+  });
+}
+
+void Kernel::Resched() {
+  // Interrupt-class work preempts immediately; everything else waits for a
+  // tick or a voluntary CPU release. The interrupted process resumes when
+  // interrupt service completes (interrupt-return semantics).
+  if (running_ != nullptr && running_->prio != Priority::kInterrupt &&
+      !ready_[static_cast<int>(Priority::kInterrupt)].empty()) {
+    interrupt_resume_ = running_;
+    Preempt(/*to_tail=*/false);
+  }
+  if (running_ == nullptr) {
+    Dispatch();
+  }
+}
+
+bool Kernel::AnyReady() const {
+  for (const auto& q : ready_) {
+    if (!q.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Kernel::ReadyAtOrBetter(Priority prio) const {
+  for (int c = 0; c <= static_cast<int>(prio); ++c) {
+    if (!ready_[c].empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Process* Kernel::PopBestReady() {
+  for (auto& q : ready_) {
+    if (!q.empty()) {
+      Process* p = q.front();
+      q.pop_front();
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+void Kernel::Dispatch() {
+  Process* p = nullptr;
+  // Return from interrupt: resume the interrupted process unless more
+  // interrupt-class work is pending. Priority re-evaluation waits for the
+  // next tick or a voluntary release.
+  if (interrupt_resume_ != nullptr) {
+    if (interrupt_resume_->state == ProcState::kReady &&
+        ready_[static_cast<int>(Priority::kInterrupt)].empty()) {
+      auto& q = ready_[static_cast<int>(interrupt_resume_->prio)];
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (*it == interrupt_resume_) {
+          p = interrupt_resume_;
+          q.erase(it);
+          break;
+        }
+      }
+    }
+    if (p != nullptr || ready_[static_cast<int>(Priority::kInterrupt)].empty()) {
+      interrupt_resume_ = nullptr;
+    }
+  }
+  if (p == nullptr) {
+    p = PopBestReady();
+  }
+  if (p == nullptr) {
+    if (idle_since_ < 0) {
+      idle_since_ = sim_->Now();
+    }
+    return;
+  }
+  if (idle_since_ >= 0) {
+    stats_.idle_time += sim_->Now() - idle_since_;
+    idle_since_ = -1;
+  }
+  running_ = p;
+  p->state = ProcState::kRunning;
+  ++p->dispatches;
+  ++stats_.dispatches;
+  if (p->fresh_quantum) {
+    p->quantum_left = cfg_.QuantumUs();
+    p->fresh_quantum = false;
+  }
+  msim::Duration overhead = 0;
+  if (last_on_cpu_ != p) {
+    if (p->prio == Priority::kInterrupt) {
+      overhead = cfg_.interrupt_entry_us;
+    } else {
+      msim::Duration remap =
+          static_cast<msim::Duration>(p->shared_page_count) * cfg_.remap_per_page_us;
+      msim::Duration base_switch =
+          p->prio == Priority::kKernel ? cfg_.kernel_switch_us : cfg_.context_switch_us;
+      overhead = base_switch + remap;
+      stats_.remap_time += remap;
+      ++stats_.context_switches;
+    }
+  }
+  last_on_cpu_ = p;
+  if (p->on_schedule_in) {
+    // Lazy remap: sync this process's PTEs from the site master image.
+    p->on_schedule_in();
+  }
+  p->cpu_needed += overhead;
+  if (p->cpu_needed > 0) {
+    BeginSlice();
+  } else {
+    ResumeCoroutine(p);
+  }
+}
+
+void Kernel::BeginSlice() {
+  slice_start_ = sim_->Now();
+  slice_event_ = sim_->Schedule(running_->cpu_needed, [this] { OnComputeDone(); });
+}
+
+void Kernel::OnComputeDone() {
+  slice_event_ = 0;
+  Process* p = running_;
+  msim::Duration consumed = sim_->Now() - slice_start_;
+  p->cpu_time += consumed;
+  p->quantum_left -= consumed;
+  stats_.busy_time += consumed;
+  p->cpu_needed = 0;
+  ResumeCoroutine(p);
+}
+
+void Kernel::Preempt(bool to_tail) {
+  Process* p = running_;
+  if (slice_event_ != 0) {
+    sim_->Cancel(slice_event_);
+    slice_event_ = 0;
+  }
+  msim::Duration consumed = sim_->Now() - slice_start_;
+  p->cpu_time += consumed;
+  p->quantum_left -= consumed;
+  stats_.busy_time += consumed;
+  p->cpu_needed -= consumed;
+  if (p->cpu_needed < 0) {
+    p->cpu_needed = 0;
+  }
+  p->state = ProcState::kReady;
+  auto& q = ready_[static_cast<int>(p->prio)];
+  if (to_tail) {
+    p->fresh_quantum = true;
+    q.push_back(p);
+  } else {
+    q.push_front(p);
+  }
+  running_ = nullptr;
+}
+
+void Kernel::ResumeCoroutine(Process* p) {
+  p->pending = PendingOp::kNone;
+  if (!p->started) {
+    p->started = true;
+    p->body.Start([p] { p->finished = true; });
+  } else {
+    p->resume_point.resume();
+  }
+  if (p->finished) {
+    HandleExit(p);
+    return;
+  }
+  switch (p->pending) {
+    case PendingOp::kCompute:
+      BeginSlice();
+      break;
+    case PendingOp::kBlock:
+      p->state = ProcState::kBlocked;
+      ReleaseCpu();
+      break;
+    case PendingOp::kYield:
+      HandleYield(p);
+      break;
+    case PendingOp::kNone:
+      throw std::logic_error("os: process '" + p->name +
+                             "' suspended outside a kernel awaitable");
+  }
+}
+
+void Kernel::HandleYield(Process* p) {
+  ++p->yields;
+  if (AnyReady()) {
+    // Immediate handoff: requeue at the tail with a fresh quantum.
+    p->state = ProcState::kReady;
+    p->fresh_quantum = true;
+    ready_[static_cast<int>(p->prio)].push_back(p);
+    running_ = nullptr;
+    Dispatch();
+    return;
+  }
+  // Nothing else to run: nap to the yield_idle_ticks'th tick boundary, so
+  // chained yields sleep ~2 ticks (the paper's measured 33 ms sleeps).
+  ++p->naps;
+  p->state = ProcState::kBlocked;
+  ++p->block_gen;
+  msim::Time wake = (sim_->Now() / cfg_.tick_us + 1) * cfg_.tick_us +
+                    static_cast<msim::Duration>(cfg_.yield_idle_ticks - 1) * cfg_.tick_us;
+  p->nap_time += wake - sim_->Now();
+  std::uint64_t gen = p->block_gen;
+  sim_->ScheduleAt(wake, [this, p, gen] {
+    if (p->state == ProcState::kBlocked && p->block_gen == gen) {
+      MakeReady(p);
+    }
+  });
+  running_ = nullptr;
+  Dispatch();
+}
+
+void Kernel::HandleExit(Process* p) {
+  p->state = ProcState::kExited;
+  running_ = nullptr;
+  Wakeup(p->exit_chan);
+  p->body.CheckResult();  // propagate stored exceptions to the driver
+  Dispatch();
+}
+
+void Kernel::ReleaseCpu() {
+  running_ = nullptr;
+  Dispatch();
+}
+
+void Kernel::OnTick() {
+  ++stats_.ticks;
+  sim_->Schedule(cfg_.tick_us, [this] { OnTick(); });
+  interrupt_resume_ = nullptr;  // the tick is a full rescheduling point
+  if (running_ != nullptr) {
+    Process* p = running_;
+    msim::Duration used_in_slice = sim_->Now() - slice_start_;
+    bool kernel_work_waiting = !ready_[static_cast<int>(Priority::kInterrupt)].empty() ||
+                               !ready_[static_cast<int>(Priority::kKernel)].empty();
+    if (p->prio == Priority::kUser && kernel_work_waiting) {
+      Preempt(/*to_tail=*/false);
+    } else if (p->prio != Priority::kInterrupt && p->quantum_left - used_in_slice <= 0) {
+      if (ReadyAtOrBetter(p->prio)) {
+        ++p->quantum_expiries;
+        Preempt(/*to_tail=*/true);
+      } else {
+        p->quantum_left += cfg_.QuantumUs();
+      }
+    }
+  }
+  if (running_ == nullptr) {
+    Dispatch();
+  }
+}
+
+void Kernel::TimedBlockAwaiter::await_suspend(std::coroutine_handle<> h) {
+  p->resume_point = h;
+  p->pending = PendingOp::kBlock;
+  ++p->block_gen;
+  std::uint64_t gen = p->block_gen;
+  Kernel* kern = k;
+  Process* proc = p;
+  kern->sim_->Schedule(delay, [kern, proc, gen] {
+    if (proc->state == ProcState::kBlocked && proc->block_gen == gen) {
+      kern->MakeReady(proc);
+    }
+  });
+}
+
+}  // namespace mos

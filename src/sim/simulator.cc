@@ -1,0 +1,51 @@
+#include "src/sim/simulator.h"
+
+namespace msim {
+
+bool Simulator::Cancel(EventId id) {
+  // Linear in queue size only in the worst case of many same-time events;
+  // cancellation is rare (timer races) so a scan keyed by id suffices.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->first.id == id) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Simulator::PopAndFire() {
+  auto it = queue_.begin();
+  now_ = it->first.time;
+  std::function<void()> fn = std::move(it->second);
+  queue_.erase(it);
+  ++processed_;
+  fn();
+  return true;
+}
+
+std::uint64_t Simulator::Run(std::uint64_t max_events) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stop_requested_ && n < max_events) {
+    PopAndFire();
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t Simulator::RunUntil(Time deadline, std::uint64_t max_events) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stop_requested_ && n < max_events &&
+         queue_.begin()->first.time <= deadline) {
+    PopAndFire();
+    ++n;
+  }
+  if (!stop_requested_ && now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+}  // namespace msim

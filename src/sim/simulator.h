@@ -1,0 +1,93 @@
+// Deterministic discrete-event simulator core.
+//
+// The simulator owns a virtual clock and an event queue. Events scheduled for
+// the same instant fire in the order they were scheduled (FIFO), which makes
+// every run bit-for-bit reproducible.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "src/sim/time.h"
+
+namespace msim {
+
+// Identifies a scheduled event so it can be cancelled. Id 0 is never used.
+using EventId = std::uint64_t;
+
+// The event-driven heart of the simulation. Single-threaded by design: the
+// simulated world has concurrency, the simulator does not.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  Time Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` microseconds from now. A negative delay is
+  // treated as zero. Returns an id usable with Cancel().
+  EventId Schedule(Duration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  // Schedules `fn` at absolute time `t` (clamped to now).
+  EventId ScheduleAt(Time t, std::function<void()> fn) {
+    if (t < now_) {
+      t = now_;
+    }
+    EventId id = next_id_++;
+    queue_.emplace(Key{t, id}, std::move(fn));
+    return id;
+  }
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  // Cancelling an already-fired (or unknown) id is a harmless no-op.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue drains, Stop() is called, or `max_events`
+  // events have fired (a guard against accidental infinite simulations).
+  // Returns the number of events processed.
+  std::uint64_t Run(std::uint64_t max_events = UINT64_MAX);
+
+  // Runs events with timestamps <= `deadline`. The clock is advanced to
+  // `deadline` even if the queue drains early. Returns events processed.
+  std::uint64_t RunUntil(Time deadline, std::uint64_t max_events = UINT64_MAX);
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stop_requested_ = true; }
+
+  // True if no events are pending.
+  bool Empty() const { return queue_.empty(); }
+
+  // Number of pending events.
+  std::size_t PendingEvents() const { return queue_.size(); }
+
+  // Total events processed since construction.
+  std::uint64_t ProcessedEvents() const { return processed_; }
+
+ private:
+  struct Key {
+    Time time;
+    EventId id;
+    bool operator<(const Key& o) const {
+      return time != o.time ? time < o.time : id < o.id;
+    }
+  };
+
+  bool PopAndFire();
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  bool stop_requested_ = false;
+  std::map<Key, std::function<void()>> queue_;
+};
+
+}  // namespace msim
+
+#endif  // SRC_SIM_SIMULATOR_H_

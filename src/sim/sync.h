@@ -1,0 +1,114 @@
+// Awaitable synchronization primitives bound to a Simulator.
+//
+// All wakeups are routed through the simulator's event queue rather than
+// resuming coroutines inline. This keeps the call stack flat (no nested
+// resumes) and preserves deterministic FIFO ordering among same-time wakeups.
+#ifndef SRC_SIM_SYNC_H_
+#define SRC_SIM_SYNC_H_
+
+#include <coroutine>
+#include <deque>
+#include <utility>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace msim {
+
+// co_await SleepFor(sim, d): resume after d microseconds of simulated time.
+struct SleepAwaiter {
+  Simulator* sim;
+  Duration delay;
+  bool await_ready() const noexcept { return delay <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim->Schedule(delay, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+inline SleepAwaiter SleepFor(Simulator& sim, Duration delay) { return {&sim, delay}; }
+
+// co_await SleepUntil(sim, t): resume at absolute time t (or now, if past).
+inline SleepAwaiter SleepUntil(Simulator& sim, Time t) { return {&sim, t - sim.Now()}; }
+
+// A UNIX sleep/wakeup channel. Coroutines block with Wait(); NotifyOne() and
+// NotifyAll() make them runnable at the current instant (FIFO order).
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulator* sim) : sim_(sim) {}
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  struct Awaiter {
+    WaitQueue* q;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { q->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  // Suspends the calling coroutine until a notify reaches it.
+  Awaiter Wait() { return Awaiter{this}; }
+
+  // Wakes the longest-waiting coroutine, if any. Returns true if one woke.
+  bool NotifyOne() {
+    if (waiters_.empty()) {
+      return false;
+    }
+    std::coroutine_handle<> h = waiters_.front();
+    waiters_.pop_front();
+    sim_->Schedule(0, [h] { h.resume(); });
+    ++wakeups_;
+    return true;
+  }
+
+  // Wakes every waiting coroutine (in wait order). Returns how many woke.
+  int NotifyAll() {
+    int n = 0;
+    while (NotifyOne()) {
+      ++n;
+    }
+    return n;
+  }
+
+  bool HasWaiters() const { return !waiters_.empty(); }
+  std::size_t WaiterCount() const { return waiters_.size(); }
+  std::uint64_t TotalWakeups() const { return wakeups_; }
+
+ private:
+  Simulator* sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  std::uint64_t wakeups_ = 0;
+};
+
+// A one-shot latch: waiters block until Open() is called; waits after Open()
+// complete immediately. Useful for "page has arrived"-style conditions.
+class Gate {
+ public:
+  explicit Gate(Simulator* sim) : sim_(sim), q_(sim) {}
+
+  struct Awaiter {
+    Gate* g;
+    bool await_ready() const noexcept { return g->open_; }
+    void await_suspend(std::coroutine_handle<> h) { g->q_.Wait().await_suspend(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter Wait() { return Awaiter{this}; }
+
+  void Open() {
+    open_ = true;
+    q_.NotifyAll();
+  }
+
+  bool IsOpen() const { return open_; }
+  Simulator* sim() const { return sim_; }
+
+ private:
+  Simulator* sim_;
+  WaitQueue q_;
+  bool open_ = false;
+};
+
+}  // namespace msim
+
+#endif  // SRC_SIM_SYNC_H_

@@ -1,0 +1,190 @@
+// A minimal lazy coroutine task for simulated processes.
+//
+// Task<T> is the return type of every coroutine that runs inside the
+// simulation. Tasks are lazy: nothing runs until the task is either
+// co_awaited by another task or started as a root task with Start().
+// Completion of a child resumes its parent by symmetric transfer, so deep
+// call chains cost no stack.
+//
+// Ownership: the Task object owns the coroutine frame. A root task's frame
+// must outlive its execution, so the holder (e.g. an os::Process) keeps the
+// Task alive until the completion callback has run. The completion callback
+// MUST NOT destroy the Task synchronously (it is invoked from inside the
+// coroutine's final suspend); defer destruction through the simulator.
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace msim {
+
+template <typename T>
+class Task;
+
+namespace task_detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+  std::function<void()> on_done;  // set only on root tasks
+  bool finished = false;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+      PromiseBase& p = h.promise();
+      p.finished = true;
+      if (p.continuation) {
+        return p.continuation;
+      }
+      if (p.on_done) {
+        // Root task completion. Runs user code; must not destroy the frame.
+        p.on_done();
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace task_detail
+
+// A coroutine task producing a value of type T (or void).
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : task_detail::PromiseBase {
+    T value{};
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool Valid() const { return handle_ != nullptr; }
+  bool Done() const { return handle_ && handle_.promise().finished; }
+
+  // Starts this task as a root coroutine. `on_done` (optional) fires when the
+  // task completes; see the header comment for destruction rules.
+  void Start(std::function<void()> on_done = nullptr) {
+    handle_.promise().on_done = std::move(on_done);
+    handle_.resume();
+  }
+
+  // Result access after completion (root tasks). Rethrows stored exceptions.
+  T& Result() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    return handle_.promise().value;
+  }
+
+  // Awaiting a Task starts it and resumes the awaiter when it completes.
+  bool await_ready() const noexcept { return !handle_ || handle_.promise().finished; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  T await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    return std::move(handle_.promise().value);
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// void specialization.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : task_detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool Valid() const { return handle_ != nullptr; }
+  bool Done() const { return handle_ && handle_.promise().finished; }
+
+  void Start(std::function<void()> on_done = nullptr) {
+    handle_.promise().on_done = std::move(on_done);
+    handle_.resume();
+  }
+
+  // Rethrows any exception stored by a completed root task.
+  void CheckResult() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  bool await_ready() const noexcept { return !handle_ || handle_.promise().finished; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace msim
+
+#endif  // SRC_SIM_TASK_H_

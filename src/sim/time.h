@@ -1,0 +1,31 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated time is kept as integer microseconds. Integer (not floating)
+// time keeps the simulation exactly deterministic and makes event ordering a
+// total order together with the per-event sequence number.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace msim {
+
+// A point in simulated time, in microseconds since simulation start.
+using Time = std::int64_t;
+
+// A span of simulated time, in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * 1000;
+
+// Converts microseconds to (floating) milliseconds for reporting.
+inline double ToMilliseconds(Duration d) { return static_cast<double>(d) / 1000.0; }
+
+// Converts microseconds to (floating) seconds for reporting.
+inline double ToSeconds(Duration d) { return static_cast<double>(d) / 1e6; }
+
+}  // namespace msim
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,76 @@
+// errno-style results for the System V IPC calls.
+#ifndef SRC_SYSV_RESULT_H_
+#define SRC_SYSV_RESULT_H_
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace msysv {
+
+// The System V error surface for shared memory operations.
+enum class ShmErr {
+  kOk,
+  kExist,    // EEXIST: key exists and IPC_EXCL was given
+  kNoEnt,    // ENOENT: key does not exist and IPC_CREAT absent
+  kInval,    // EINVAL: bad id / size / address
+  kAccess,   // EACCES: permission denied
+  kIdRemoved,  // EIDRM: segment was removed
+};
+
+const char* ShmErrName(ShmErr e);
+
+template <typename T>
+class Result {
+ public:
+  Result(T v) : value_(std::move(v)), err_(ShmErr::kOk) {}  // NOLINT(runtime/explicit)
+  Result(ShmErr e) : err_(e) {}                             // NOLINT(runtime/explicit)
+
+  bool ok() const { return err_ == ShmErr::kOk; }
+  ShmErr error() const { return err_; }
+  T& value() {
+    if (!ok()) {
+      throw std::runtime_error(std::string("msysv: Result error: ") + ShmErrName(err_));
+    }
+    return *value_;
+  }
+  const T& value() const { return const_cast<Result*>(this)->value(); }
+
+ private:
+  std::optional<T> value_;
+  ShmErr err_;
+};
+
+template <>
+class Result<void> {
+ public:
+  Result() : err_(ShmErr::kOk) {}
+  Result(ShmErr e) : err_(e) {}  // NOLINT(runtime/explicit)
+  bool ok() const { return err_ == ShmErr::kOk; }
+  ShmErr error() const { return err_; }
+
+ private:
+  ShmErr err_;
+};
+
+inline const char* ShmErrName(ShmErr e) {
+  switch (e) {
+    case ShmErr::kOk:
+      return "OK";
+    case ShmErr::kExist:
+      return "EEXIST";
+    case ShmErr::kNoEnt:
+      return "ENOENT";
+    case ShmErr::kInval:
+      return "EINVAL";
+    case ShmErr::kAccess:
+      return "EACCES";
+    case ShmErr::kIdRemoved:
+      return "EIDRM";
+  }
+  return "?";
+}
+
+}  // namespace msysv
+
+#endif  // SRC_SYSV_RESULT_H_

@@ -1,0 +1,211 @@
+#include "src/sysv/shm.h"
+
+#include <utility>
+
+#include "src/mirage/engine.h"
+
+namespace msysv {
+
+Result<int> ShmSystem::Shmget(std::uint64_t key, std::uint32_t size_bytes, bool create,
+                              bool exclusive) {
+  if (size_bytes == 0) {
+    return ShmErr::kInval;
+  }
+  if (key != kIpcPrivate) {
+    auto existing = registry_->FindByKey(key);
+    if (existing.has_value()) {
+      if (create && exclusive) {
+        return ShmErr::kExist;
+      }
+      if (size_bytes > existing->size_bytes) {
+        return ShmErr::kInval;
+      }
+      return existing->id;
+    }
+    if (!create) {
+      return ShmErr::kNoEnt;
+    }
+  }
+  auto meta = registry_->Create(key, size_bytes, mmem::SegmentPerms{}, kernel_->site());
+  if (!meta.has_value()) {
+    return ShmErr::kExist;
+  }
+  // The creating site is the segment's library site; materialize its image
+  // and directory now.
+  backend_->EnsureImage(*meta);
+  return meta->id;
+}
+
+Result<mmem::VAddr> ShmSystem::Shmat(mos::Process* p, int shmid,
+                                     std::optional<mmem::VAddr> addr, bool read_only) {
+  auto meta = registry_->FindById(shmid);
+  if (!meta.has_value()) {
+    return ShmErr::kInval;
+  }
+  if (read_only && !meta->perms.read) {
+    return ShmErr::kAccess;
+  }
+  if (!read_only && !meta->perms.write) {
+    return ShmErr::kAccess;
+  }
+  mmem::SegmentImage* image = backend_->EnsureImage(*meta);
+  mmem::AddressSpace& as = SpaceFor(p);
+  auto base = as.Attach(image, addr, !read_only);
+  if (!base.has_value()) {
+    return ShmErr::kInval;
+  }
+  registry_->NoteAttach(shmid);
+  UpdateProcessMemoryHooks(p);
+  return *base;
+}
+
+Result<void> ShmSystem::Shmdt(mos::Process* p, mmem::VAddr addr) {
+  mmem::AddressSpace& as = SpaceFor(p);
+  auto r = as.Resolve(addr);
+  if (!r.has_value() || r->attach->base != addr) {
+    return ShmErr::kInval;
+  }
+  mmem::SegmentId seg = r->attach->seg;
+  as.Detach(seg);
+  UpdateProcessMemoryHooks(p);
+  int remaining = registry_->NoteDetach(seg);
+  if (remaining == 0) {
+    // "The last detach of a segment destroys it" (§2.2).
+    registry_->Destroy(seg);
+  }
+  return {};
+}
+
+Result<ShmidDs> ShmSystem::ShmStat(int shmid) const {
+  auto meta = registry_->FindById(shmid);
+  if (!meta.has_value()) {
+    return ShmErr::kInval;
+  }
+  ShmidDs ds;
+  ds.meta = *meta;
+  ds.nattch = registry_->AttachCount(shmid);
+  return ds;
+}
+
+Result<void> ShmSystem::ShmRemove(int shmid) {
+  auto meta = registry_->FindById(shmid);
+  if (!meta.has_value()) {
+    return ShmErr::kInval;
+  }
+  if (registry_->AttachCount(shmid) != 0) {
+    return ShmErr::kInval;
+  }
+  registry_->Destroy(shmid);
+  return {};
+}
+
+Result<void> ShmSystem::ShmSetWindow(int shmid, msim::Duration window_us,
+                                     std::optional<mmem::PageNum> page) {
+  auto meta = registry_->FindById(shmid);
+  if (!meta.has_value() || window_us < 0) {
+    return ShmErr::kInval;
+  }
+  auto* engine = dynamic_cast<mirage::Engine*>(backend_);
+  if (engine == nullptr || !engine->IsLibraryFor(shmid)) {
+    // Not the library site (or not the Mirage protocol): EACCES, as the
+    // prototype's tuning interface is a library-site facility.
+    return ShmErr::kAccess;
+  }
+  if (page.has_value()) {
+    if (*page < 0 || *page >= meta->PageCount()) {
+      return ShmErr::kInval;
+    }
+    engine->SetPageWindow(shmid, *page, window_us);
+  } else {
+    engine->SetSegmentWindow(shmid, window_us);
+  }
+  return {};
+}
+
+msim::Task<> ShmSystem::WriteBlock(mos::Process* p, mmem::VAddr addr,
+                                   const std::vector<std::uint8_t>& data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    co_await WriteByte(p, addr + i, data[i]);
+  }
+}
+
+msim::Task<std::vector<std::uint8_t>> ShmSystem::ReadBlock(mos::Process* p, mmem::VAddr addr,
+                                                           std::uint32_t length) {
+  std::vector<std::uint8_t> out(length);
+  for (std::uint32_t i = 0; i < length; ++i) {
+    out[i] = co_await ReadByte(p, addr + i);
+  }
+  co_return out;
+}
+
+mmem::AddressSpace& ShmSystem::SpaceFor(mos::Process* p) {
+  auto it = spaces_.find(p->pid);
+  if (it == spaces_.end()) {
+    it = spaces_.emplace(p->pid, std::make_unique<mmem::AddressSpace>()).first;
+  }
+  return *it->second;
+}
+
+void ShmSystem::UpdateProcessMemoryHooks(mos::Process* p) {
+  mmem::AddressSpace* as = &SpaceFor(p);
+  p->shared_page_count = as->TotalSharedPages();
+  if (p->shared_page_count > 0) {
+    p->on_schedule_in = [as] { as->SyncFromMaster(); };
+  } else {
+    p->on_schedule_in = nullptr;
+  }
+}
+
+msim::Task<ShmSystem::ResolvedAccess> ShmSystem::Prepare(mos::Process* p, mmem::VAddr addr,
+                                                         bool write) {
+  mmem::AddressSpace& as = SpaceFor(p);
+  for (;;) {
+    auto r = as.Resolve(addr);
+    if (!r.has_value()) {
+      throw SegmentationFault(addr);
+    }
+    switch (as.Check(*r, write)) {
+      case mmem::Access::kOk:
+        co_return ResolvedAccess{&as, *r};
+      case mmem::Access::kNoWritePermission:
+        throw ProtectionFault(addr);
+      case mmem::Access::kReadFault:
+      case mmem::Access::kWriteFault:
+        co_await backend_->Fault(p, r->attach->seg, r->page, write);
+        // The kernel remaps lazily at schedule-in; the process slept in
+        // Fault, so its PTEs were refreshed before it got back here. Sync
+        // explicitly as well so a same-instant wake never sees stale PTEs.
+        as.SyncFromMaster();
+        break;
+    }
+  }
+}
+
+msim::Task<std::uint32_t> ShmSystem::ReadWord(mos::Process* p, mmem::VAddr addr) {
+  ResolvedAccess a = co_await Prepare(p, addr, /*write=*/false);
+  co_return a.r.attach->image->ReadWord(a.r.page, a.r.offset);
+}
+
+msim::Task<> ShmSystem::WriteWord(mos::Process* p, mmem::VAddr addr, std::uint32_t value) {
+  ResolvedAccess a = co_await Prepare(p, addr, /*write=*/true);
+  a.r.attach->image->WriteWord(a.r.page, a.r.offset, value);
+}
+
+msim::Task<std::uint8_t> ShmSystem::ReadByte(mos::Process* p, mmem::VAddr addr) {
+  ResolvedAccess a = co_await Prepare(p, addr, /*write=*/false);
+  co_return a.r.attach->image->ReadByte(a.r.page, a.r.offset);
+}
+
+msim::Task<> ShmSystem::WriteByte(mos::Process* p, mmem::VAddr addr, std::uint8_t value) {
+  ResolvedAccess a = co_await Prepare(p, addr, /*write=*/true);
+  a.r.attach->image->WriteByte(a.r.page, a.r.offset, value);
+}
+
+msim::Task<std::uint32_t> ShmSystem::TestAndSet(mos::Process* p, mmem::VAddr addr) {
+  ResolvedAccess a = co_await Prepare(p, addr, /*write=*/true);
+  std::uint32_t old = a.r.attach->image->ReadWord(a.r.page, a.r.offset);
+  a.r.attach->image->WriteWord(a.r.page, a.r.offset, 1);
+  co_return old;
+}
+
+}  // namespace msysv

@@ -1,0 +1,140 @@
+// System V shared memory interface (upward compatible with the paper's
+// programming model, §2.2 / §3.0):
+//
+//  * Shmget  — create or look up a segment by key; the creating site becomes
+//    the segment's library site;
+//  * Shmat   — attach into a process's address space, at a chosen address or
+//    first-fit, read-write or read-only;
+//  * Shmdt   — detach; the last detach anywhere destroys the segment;
+//  * ShmStat / ShmRemove — the shmctl subset the paper's applications use.
+//
+// Data access goes through typed accessors (ReadWord/WriteWord/...): each
+// checks the process page table the way the VAX MMU would, raises a typed
+// read or write fault on a miss, and retries once the protocol installs the
+// page. This is the documented substitution for hardware traps (DESIGN.md).
+#ifndef SRC_SYSV_SHM_H_
+#define SRC_SYSV_SHM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "src/mem/address_space.h"
+#include "src/mem/backend.h"
+#include "src/mem/page.h"
+#include "src/mirage/registry.h"
+#include "src/os/kernel.h"
+#include "src/sysv/result.h"
+
+namespace msysv {
+
+// Thrown when an access does not translate (no attached segment covers the
+// address) — the moral equivalent of SIGSEGV.
+class SegmentationFault : public std::runtime_error {
+ public:
+  explicit SegmentationFault(mmem::VAddr addr)
+      : std::runtime_error("segmentation fault at 0x" + ToHex(addr)) {}
+
+ private:
+  static std::string ToHex(mmem::VAddr a) {
+    char buf[20];
+    snprintf(buf, sizeof(buf), "%llx", static_cast<unsigned long long>(a));
+    return buf;
+  }
+};
+
+// Thrown on a write through a read-only attach — a protection violation the
+// kernel would turn into a signal, not a page fault.
+class ProtectionFault : public std::runtime_error {
+ public:
+  explicit ProtectionFault(mmem::VAddr addr)
+      : std::runtime_error("write to read-only attach at address " + std::to_string(addr)) {}
+};
+
+// IPC_PRIVATE: always creates a fresh segment.
+inline constexpr std::uint64_t kIpcPrivate = 0;
+
+struct ShmidDs {
+  mmem::SegmentMeta meta;
+  int nattch = 0;
+};
+
+// One ShmSystem per site. Control-plane calls (shmget/shmat/...) are
+// zero-simulated-time: Locus resolves names through its distributed name
+// service outside the DSM page protocol. The data plane is fully simulated.
+class ShmSystem {
+ public:
+  ShmSystem(mos::Kernel* kernel, mmem::DsmBackend* backend, mirage::SegmentRegistry* registry)
+      : kernel_(kernel), backend_(backend), registry_(registry) {}
+  ShmSystem(const ShmSystem&) = delete;
+  ShmSystem& operator=(const ShmSystem&) = delete;
+
+  // ---- Control plane ----
+
+  Result<int> Shmget(std::uint64_t key, std::uint32_t size_bytes, bool create,
+                     bool exclusive = false);
+  Result<mmem::VAddr> Shmat(mos::Process* p, int shmid,
+                            std::optional<mmem::VAddr> addr = std::nullopt,
+                            bool read_only = false);
+  Result<void> Shmdt(mos::Process* p, mmem::VAddr addr);
+  Result<ShmidDs> ShmStat(int shmid) const;
+  // IPC_RMID: removes the segment immediately if nothing is attached,
+  // otherwise fails with EINVAL (the simulated apps detach first).
+  Result<void> ShmRemove(int shmid);
+
+  // The Mirage tuning extension to shmctl (§8): sets the window Delta for
+  // the whole segment, or for one page when `page` is given. Valid only at
+  // the segment's library site (as in the prototype, where the auxpte table
+  // of Delta values lives with the library).
+  Result<void> ShmSetWindow(int shmid, msim::Duration window_us,
+                            std::optional<mmem::PageNum> page = std::nullopt);
+
+  // ---- Data plane (call only from the owning process's coroutine) ----
+
+  msim::Task<std::uint32_t> ReadWord(mos::Process* p, mmem::VAddr addr);
+  msim::Task<> WriteWord(mos::Process* p, mmem::VAddr addr, std::uint32_t value);
+  msim::Task<std::uint8_t> ReadByte(mos::Process* p, mmem::VAddr addr);
+  msim::Task<> WriteByte(mos::Process* p, mmem::VAddr addr, std::uint8_t value);
+
+  // The VAX interlocked test-and-set (§7.2): atomically sets the word to 1
+  // and returns the previous value. Needs a writable copy of the page, so a
+  // remote tester write-faults — exactly the interaction the paper warns
+  // about. Atomicity comes free from single-writer page exclusivity.
+  msim::Task<std::uint32_t> TestAndSet(mos::Process* p, mmem::VAddr addr);
+
+  // Bulk transfers. Blocks fault page by page like any other access; the
+  // block may span pages but must stay within one attached segment.
+  msim::Task<> WriteBlock(mos::Process* p, mmem::VAddr addr,
+                          const std::vector<std::uint8_t>& data);
+  msim::Task<std::vector<std::uint8_t>> ReadBlock(mos::Process* p, mmem::VAddr addr,
+                                                  std::uint32_t length);
+
+  // ---- Introspection ----
+
+  mmem::AddressSpace& SpaceFor(mos::Process* p);
+  mos::Kernel* kernel() const { return kernel_; }
+  mmem::DsmBackend* backend() const { return backend_; }
+
+ private:
+  struct ResolvedAccess {
+    mmem::AddressSpace* as;
+    mmem::AddressSpace::Resolved r;
+  };
+  // Resolves + fault-retries until the access is possible; the heart of all
+  // four typed accessors.
+  msim::Task<ResolvedAccess> Prepare(mos::Process* p, mmem::VAddr addr, bool write);
+
+  void UpdateProcessMemoryHooks(mos::Process* p);
+
+  mos::Kernel* kernel_;
+  mmem::DsmBackend* backend_;
+  mirage::SegmentRegistry* registry_;
+  std::map<int, std::unique_ptr<mmem::AddressSpace>> spaces_;  // by pid
+};
+
+}  // namespace msysv
+
+#endif  // SRC_SYSV_SHM_H_

@@ -1,0 +1,113 @@
+#include "src/sysv/world.h"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+#include "src/trace/table.h"
+
+namespace msysv {
+
+World::World(int num_sites, WorldOptions opts)
+    : costs_(opts.costs), tick_us_(opts.sched.tick_us) {
+  tracer_.SetEnabled(opts.enable_trace);
+  net_ = std::make_unique<mnet::Network>(&sim_, &costs_);
+  if (opts.circuit.has_value()) {
+    net_->SetCircuitOptions(*opts.circuit);
+  }
+  if (opts.enable_trace) {
+    net_->AddObserver([this](const mnet::Packet& pkt, msim::Time t) {
+      tracer_.Record(t, pkt.dst, "msg",
+                     std::string(mirage::MsgKindName(static_cast<mirage::MsgKind>(pkt.type))) +
+                         " site " + std::to_string(pkt.src) + " -> site " +
+                         std::to_string(pkt.dst) + " (" + std::to_string(pkt.size_bytes) +
+                         " bytes)");
+    });
+  }
+  for (int s = 0; s < num_sites; ++s) {
+    kernels_.push_back(std::make_unique<mos::Kernel>(&sim_, net_.get(), s, opts.sched));
+    std::unique_ptr<mmem::DsmBackend> backend;
+    if (opts.backend_factory) {
+      backend = opts.backend_factory(kernels_.back().get(), &registry_, &tracer_);
+    } else {
+      backend = std::make_unique<mirage::Engine>(kernels_.back().get(), &registry_,
+                                                 opts.protocol, &tracer_);
+    }
+    mmem::DsmBackend* raw = backend.get();
+    registry_.AddDestroyObserver([raw](mmem::SegmentId seg) { raw->DropSegment(seg); });
+    backends_.push_back(std::move(backend));
+    shms_.push_back(std::make_unique<ShmSystem>(kernels_.back().get(), raw, &registry_));
+  }
+  // Start backends first (they install packet handlers), then the kernels
+  // (which register with the network and spawn interrupt service).
+  for (int s = 0; s < num_sites; ++s) {
+    backends_[s]->Start();
+  }
+  for (int s = 0; s < num_sites; ++s) {
+    kernels_[s]->Start();
+  }
+}
+
+World::~World() = default;
+
+mirage::Engine* World::engine(int site) {
+  return dynamic_cast<mirage::Engine*>(backends_.at(site).get());
+}
+
+void World::RunFor(msim::Duration d) { sim_.RunUntil(sim_.Now() + d); }
+
+void World::PrintReport(std::ostream& os) {
+  os << "simulated time: " << msim::ToMilliseconds(sim_.Now()) << " ms\n";
+  const auto& ns = net_->stats();
+  os << "network: " << ns.packets << " packets (" << ns.short_packets << " short, "
+     << ns.large_packets << " page-carrying), " << ns.payload_bytes << " payload bytes\n\n";
+  mtrace::TextTable t({"site", "cpu busy (ms)", "idle (ms)", "remap (ms)", "ctx switches",
+                       "faults r/w", "installs", "upgrades", "downgrades", "invalidations",
+                       "refusals"});
+  for (int s = 0; s < site_count(); ++s) {
+    const mos::KernelStats& ks = kernels_[s]->stats();
+    const mirage::Engine* e = engine(s);
+    std::string faults = "-";
+    std::string installs = "-";
+    std::string upgrades = "-";
+    std::string downgrades = "-";
+    std::string invals = "-";
+    std::string refusals = "-";
+    if (e != nullptr) {
+      const mirage::EngineStats& es = e->stats();
+      faults = std::to_string(es.read_faults) + "/" + std::to_string(es.write_faults);
+      installs = std::to_string(es.pages_installed);
+      upgrades = std::to_string(es.upgrades_received);
+      downgrades = std::to_string(es.downgrades_performed);
+      invals = std::to_string(es.local_invalidations);
+      refusals = std::to_string(es.wait_replies_sent + es.invalidation_retries);
+    }
+    t.AddRow({mtrace::TextTable::Int(s), mtrace::TextTable::Num(msim::ToMilliseconds(ks.busy_time), 0),
+              mtrace::TextTable::Num(msim::ToMilliseconds(ks.idle_time), 0),
+              mtrace::TextTable::Num(msim::ToMilliseconds(ks.remap_time), 0),
+              mtrace::TextTable::Int(static_cast<long long>(ks.context_switches)), faults,
+              installs, upgrades, downgrades, invals, refusals});
+  }
+  t.Print(os);
+  for (int s = 0; s < site_count(); ++s) {
+    const mirage::Engine* e = engine(s);
+    if (e != nullptr && (e->read_fault_latency().count() > 0 ||
+                         e->write_fault_latency().count() > 0)) {
+      e->read_fault_latency().Print(os, "site " + std::to_string(s) + " read-fault latency");
+      e->write_fault_latency().Print(os, "site " + std::to_string(s) + " write-fault latency");
+    }
+  }
+}
+
+bool World::RunUntil(const std::function<bool()>& done, msim::Duration max_time) {
+  msim::Time deadline = sim_.Now() + max_time;
+  while (sim_.Now() < deadline) {
+    if (done()) {
+      return true;
+    }
+    sim_.RunUntil(std::min<msim::Time>(sim_.Now() + tick_us_, deadline));
+  }
+  return done();
+}
+
+}  // namespace msysv

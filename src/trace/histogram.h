@@ -1,0 +1,97 @@
+// A small log-bucketed latency histogram for protocol observability:
+// fault-to-resume times, invalidation waits, etc. Fixed memory, O(1)
+// insert, approximate percentiles (bucket-resolution).
+#ifndef SRC_TRACE_HISTOGRAM_H_
+#define SRC_TRACE_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace mtrace {
+
+class LatencyHistogram {
+ public:
+  // Buckets: [0,1ms) [1,2) [2,4) ... doubling up to ~68 s, plus overflow.
+  static constexpr int kBuckets = 18;
+
+  void Record(msim::Duration us) {
+    ++count_;
+    sum_us_ += us;
+    if (us > max_us_) {
+      max_us_ = us;
+    }
+    ++buckets_[BucketFor(us)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  double MeanMs() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_us_) / 1000.0 / count_;
+  }
+  double MaxMs() const { return static_cast<double>(max_us_) / 1000.0; }
+
+  // Approximate percentile (upper edge of the bucket containing it).
+  double PercentileMs(double p) const {
+    if (count_ == 0) {
+      return 0.0;
+    }
+    std::uint64_t target = static_cast<std::uint64_t>(p * count_);
+    if (target >= count_) {
+      target = count_ - 1;
+    }
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen > target) {
+        return msim::ToMilliseconds(UpperEdge(b));
+      }
+    }
+    return MaxMs();
+  }
+
+  void Print(std::ostream& os, const std::string& label) const {
+    os << label << ": n=" << count_ << " mean=" << MeanMs() << "ms p50="
+       << PercentileMs(0.50) << "ms p90=" << PercentileMs(0.90) << "ms p99="
+       << PercentileMs(0.99) << "ms max=" << MaxMs() << "ms\n";
+  }
+
+  void Reset() {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_us_ = 0;
+    max_us_ = 0;
+  }
+
+ private:
+  static int BucketFor(msim::Duration us) {
+    if (us < 1000) {
+      return 0;
+    }
+    int b = 1;
+    msim::Duration edge = 2000;
+    while (b < kBuckets - 1 && us >= edge) {
+      edge *= 2;
+      ++b;
+    }
+    return b;
+  }
+  static msim::Duration UpperEdge(int bucket) {
+    msim::Duration edge = 1000;
+    for (int b = 0; b < bucket; ++b) {
+      edge *= 2;
+    }
+    return edge;
+  }
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_us_ = 0;
+  msim::Duration max_us_ = 0;
+};
+
+}  // namespace mtrace
+
+#endif  // SRC_TRACE_HISTOGRAM_H_

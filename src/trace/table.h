@@ -1,0 +1,65 @@
+// A small fixed-width text table writer used by the benchmark harnesses to
+// print paper-style tables and figure series.
+#ifndef SRC_TRACE_TABLE_H_
+#define SRC_TRACE_TABLE_H_
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mtrace {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Convenience: formats arithmetic cells with fixed precision.
+  static std::string Num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+  static std::string Int(long long v) { return std::to_string(v); }
+
+  void Print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    PrintRow(os, headers_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c] + 2, '-');
+    }
+    os << rule << "\n";
+    for (const auto& row : rows_) {
+      PrintRow(os, row, widths);
+    }
+  }
+
+ private:
+  static void PrintRow(std::ostream& os, const std::vector<std::string>& row,
+                       const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mtrace
+
+#endif  // SRC_TRACE_TABLE_H_

@@ -1,0 +1,88 @@
+// Protocol event tracing.
+//
+// Captures a timeline of protocol events (faults, messages, invalidations,
+// installs) so benches can print the paper's Figure 6 message sequence and
+// tests can assert on protocol behaviour rather than only on end state.
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace mtrace {
+
+struct TraceEvent {
+  msim::Time time = 0;
+  mnet::SiteId site = mnet::kNoSite;
+  std::string category;  // e.g. "fault", "msg", "invalidate", "install"
+  std::string detail;
+};
+
+class Tracer {
+ public:
+  void SetEnabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void Record(msim::Time t, mnet::SiteId site, std::string category, std::string detail) {
+    if (!enabled_) {
+      return;
+    }
+    events_.push_back(TraceEvent{t, site, std::move(category), std::move(detail)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  // Events matching a category, in time order.
+  std::vector<TraceEvent> Filter(const std::string& category) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events_) {
+      if (e.category == category) {
+        out.push_back(e);
+      }
+    }
+    return out;
+  }
+
+  int Count(const std::string& category) const {
+    int n = 0;
+    for (const TraceEvent& e : events_) {
+      n += e.category == category ? 1 : 0;
+    }
+    return n;
+  }
+
+  void Print(std::ostream& os) const {
+    for (const TraceEvent& e : events_) {
+      PrintEvent(os, e);
+    }
+  }
+
+  void PrintWindow(std::ostream& os, msim::Time from, msim::Time to) const {
+    for (const TraceEvent& e : events_) {
+      if (e.time >= from && e.time <= to) {
+        PrintEvent(os, e);
+      }
+    }
+  }
+
+ private:
+  static void PrintEvent(std::ostream& os, const TraceEvent& e) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%10.3f ms  site %d  %-12s ", msim::ToMilliseconds(e.time),
+             e.site, e.category.c_str());
+    os << buf << e.detail << "\n";
+  }
+
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mtrace
+
+#endif  // SRC_TRACE_TRACE_H_

@@ -1,0 +1,21 @@
+#include "src/workload/background.h"
+
+namespace mwork {
+
+std::shared_ptr<BackgroundResult> LaunchBackground(msysv::World& world,
+                                                   BackgroundParams params) {
+  auto result = std::make_shared<BackgroundResult>();
+  world.kernel(params.site)
+      .Spawn("background", mos::Priority::kUser,
+             [&world, params, result](mos::Process* p) -> msim::Task<> {
+               result->start_time = world.sim().Now();
+               for (;;) {
+                 co_await world.kernel(params.site).Compute(p, params.unit_cost_us);
+                 ++result->units_done;
+                 result->last_time = world.sim().Now();
+               }
+             });
+  return result;
+}
+
+}  // namespace mwork

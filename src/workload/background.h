@@ -1,0 +1,40 @@
+// A pure-compute background process, used to measure *system* throughput
+// while a DSM application thrashes (§7.3: "by increasing Delta, although
+// application throughput is reduced, system performance is improved for
+// other processes").
+#ifndef SRC_WORKLOAD_BACKGROUND_H_
+#define SRC_WORKLOAD_BACKGROUND_H_
+
+#include <memory>
+
+#include "src/sim/time.h"
+#include "src/sysv/world.h"
+
+namespace mwork {
+
+struct BackgroundParams {
+  int site = 0;
+  // CPU per work unit.
+  msim::Duration unit_cost_us = 1000;
+};
+
+struct BackgroundResult {
+  std::uint64_t units_done = 0;
+  msim::Time start_time = 0;
+  msim::Time last_time = 0;
+
+  double UnitsPerSecond() const {
+    if (last_time <= start_time) {
+      return 0.0;
+    }
+    return static_cast<double>(units_done) / msim::ToSeconds(last_time - start_time);
+  }
+};
+
+// Runs forever (until the simulation stops); sample units_done over time.
+std::shared_ptr<BackgroundResult> LaunchBackground(msysv::World& world,
+                                                   BackgroundParams params);
+
+}  // namespace mwork
+
+#endif  // SRC_WORKLOAD_BACKGROUND_H_

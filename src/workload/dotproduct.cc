@@ -1,0 +1,135 @@
+#include "src/workload/dotproduct.h"
+
+#include "src/dsmlib/sync.h"
+#include "src/mem/page.h"
+
+namespace mwork {
+
+namespace {
+
+std::uint32_t XVal(std::uint64_t seed, int i) {
+  return static_cast<std::uint32_t>((seed * 13 + static_cast<std::uint64_t>(i) * 11) % 101);
+}
+std::uint32_t YVal(std::uint64_t seed, int i) {
+  return static_cast<std::uint32_t>((seed * 23 + static_cast<std::uint64_t>(i) * 29) % 103);
+}
+
+struct Layout {
+  std::uint32_t vec_bytes;       // one vector, page aligned
+  std::uint32_t partial_stride;  // bytes between partial-sum words
+  std::uint32_t total;
+
+  std::uint32_t control_off;  // page-aligned start of the control area
+
+  Layout(int length, int workers, bool padded) {
+    vec_bytes = (static_cast<std::uint32_t>(length) * 4 + mmem::kPageSize - 1) /
+                mmem::kPageSize * mmem::kPageSize;
+    partial_stride = padded ? mmem::kPageSize : 4;
+    std::uint32_t partial_bytes = static_cast<std::uint32_t>(workers) * partial_stride;
+    partial_bytes =
+        (partial_bytes + mmem::kPageSize - 1) / mmem::kPageSize * mmem::kPageSize;
+    control_off = 2 * vec_bytes + partial_bytes;
+    // Control area: the ready flag on its own page, then a padded barrier
+    // (lock/count page + generation page) — hot control words never share.
+    total = control_off + 3 * mmem::kPageSize;
+  }
+  mmem::VAddr X(mmem::VAddr base, int i) const {
+    return base + static_cast<mmem::VAddr>(i) * 4;
+  }
+  mmem::VAddr Y(mmem::VAddr base, int i) const {
+    return base + vec_bytes + static_cast<mmem::VAddr>(i) * 4;
+  }
+  mmem::VAddr Partial(mmem::VAddr base, int worker) const {
+    return base + 2 * vec_bytes + static_cast<mmem::VAddr>(worker) * partial_stride;
+  }
+  mmem::VAddr Flag(mmem::VAddr base) const { return base + control_off; }
+  mmem::VAddr BarrierBase(mmem::VAddr base) const {
+    return base + control_off + mmem::kPageSize;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<DotProductResult> LaunchDotProduct(msysv::World& world,
+                                                   DotProductParams params) {
+  auto result = std::make_shared<DotProductResult>();
+  auto finished = std::make_shared<int>(0);
+  const Layout lay(params.length, params.workers, params.pad_partials);
+  int id = world.shm(0).Shmget(params.key, lay.total, /*create=*/true).value();
+  const int workers = params.workers;
+
+  for (int s = 0; s < workers; ++s) {
+    world.kernel(s).Spawn(
+        "dot-" + std::to_string(s), mos::Priority::kUser,
+        [&world, s, id, params, result, finished, lay, workers](mos::Process* p)
+            -> msim::Task<> {
+          auto& shm = world.shm(s);
+          auto& kern = world.kernel(s);
+          const int n = params.length;
+          mmem::VAddr base = shm.Shmat(p, id).value();
+          mdsm::EventFlag ready(&shm, &kern, lay.Flag(base));
+          // Crossing the barrier guarantees the workers truly overlap in
+          // time; its generation word is padded so waiters spin undisturbed.
+          mdsm::Barrier start(&shm, &kern, lay.BarrierBase(base), workers,
+                              /*padded_gen=*/true);
+
+          if (s == 0) {
+            for (int i = 0; i < n; ++i) {
+              co_await shm.WriteWord(p, lay.X(base, i), XVal(params.seed, i));
+              co_await shm.WriteWord(p, lay.Y(base, i), YVal(params.seed, i));
+            }
+            co_await ready.Raise(p);
+          } else {
+            co_await ready.Await(p);
+          }
+          co_await start.Wait(p);
+          if (s == 0) {
+            // Timing covers the parallel reduction only (initialization and
+            // the start barrier excluded).
+            result->start_time = world.sim().Now();
+          }
+
+          int lo = s * n / workers;
+          int hi = (s + 1) * n / workers;
+          std::uint32_t local = 0;
+          int since_flush = 0;
+          co_await shm.WriteWord(p, lay.Partial(base, s), 0);
+          for (int i = lo; i < hi; ++i) {
+            std::uint32_t x = co_await shm.ReadWord(p, lay.X(base, i));
+            std::uint32_t y = co_await shm.ReadWord(p, lay.Y(base, i));
+            co_await kern.Compute(p, params.madd_cost_us);
+            local += x * y;
+            if (++since_flush >= params.flush_every || i + 1 == hi) {
+              co_await shm.WriteWord(p, lay.Partial(base, s), local);
+              since_flush = 0;
+            }
+          }
+
+          ++*finished;
+          if (s == 0) {
+            for (;;) {
+              if (*finished == workers) {
+                break;
+              }
+              co_await kern.Yield(p);
+            }
+            std::uint32_t total = 0;
+            for (int wk = 0; wk < workers; ++wk) {
+              total += co_await shm.ReadWord(p, lay.Partial(base, wk));
+            }
+            std::uint32_t expect = 0;
+            for (int i = 0; i < n; ++i) {
+              expect += XVal(params.seed, i) * YVal(params.seed, i);
+            }
+            result->value = total;
+            result->expected = expect;
+            result->verified = total == expect;
+            result->end_time = world.sim().Now();
+            result->completed = true;
+          }
+        });
+  }
+  return result;
+}
+
+}  // namespace mwork

@@ -1,0 +1,50 @@
+// Parallel dot product over DSM — the second of Li's synthetic suite
+// (paper §7.0). Two read-shared vectors; each worker reduces a slice into a
+// per-worker partial-sum word, and worker 0 combines the partials.
+//
+// The interesting knob is where the partial sums live: on one shared page
+// ("compact", every worker's accumulator write invalidates the others' page
+// copy) or on one page per worker ("padded"). The same false-sharing lesson
+// as Figure 1 of the paper, measurable here.
+#ifndef SRC_WORKLOAD_DOTPRODUCT_H_
+#define SRC_WORKLOAD_DOTPRODUCT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/time.h"
+#include "src/sysv/world.h"
+
+namespace mwork {
+
+struct DotProductParams {
+  int length = 512;  // vector elements
+  msim::Duration madd_cost_us = 10;
+  std::uint64_t key = 0xD0;
+  std::uint64_t seed = 2;
+  int workers = 2;
+  // Accumulate into per-worker words on one shared page (false sharing) or
+  // on separate pages.
+  bool pad_partials = true;
+  // Workers write their running partial back to shared memory every
+  // `flush_every` elements (1 == worst case, every add goes to the page).
+  int flush_every = 8;
+};
+
+struct DotProductResult {
+  bool completed = false;
+  bool verified = false;
+  std::uint32_t value = 0;
+  std::uint32_t expected = 0;
+  msim::Time start_time = 0;
+  msim::Time end_time = 0;
+
+  double ElapsedSeconds() const { return msim::ToSeconds(end_time - start_time); }
+};
+
+std::shared_ptr<DotProductResult> LaunchDotProduct(msysv::World& world,
+                                                   DotProductParams params);
+
+}  // namespace mwork
+
+#endif  // SRC_WORKLOAD_DOTPRODUCT_H_

@@ -1,0 +1,119 @@
+#include "src/workload/matrix.h"
+
+#include "src/dsmlib/sync.h"
+#include "src/mem/page.h"
+
+namespace mwork {
+
+namespace {
+
+std::uint32_t AVal(std::uint64_t seed, int i, int j) {
+  return static_cast<std::uint32_t>((seed * 31 + static_cast<std::uint64_t>(i) * 7 + j) % 97);
+}
+std::uint32_t BVal(std::uint64_t seed, int i, int j) {
+  return static_cast<std::uint32_t>((seed * 17 + static_cast<std::uint64_t>(i) * 3 + j * 5) %
+                                    89);
+}
+
+struct Layout {
+  std::uint32_t section;  // bytes per matrix, page aligned
+  std::uint32_t total;
+
+  explicit Layout(int n) {
+    std::uint32_t raw = static_cast<std::uint32_t>(n) * static_cast<std::uint32_t>(n) * 4;
+    section = (raw + mmem::kPageSize - 1) / mmem::kPageSize * mmem::kPageSize;
+    total = 3 * section + mmem::kPageSize;  // + control page (ready flag)
+  }
+  mmem::VAddr A(mmem::VAddr base, int n, int i, int j) const {
+    return base + static_cast<mmem::VAddr>(i * n + j) * 4;
+  }
+  mmem::VAddr B(mmem::VAddr base, int n, int i, int j) const {
+    return base + section + static_cast<mmem::VAddr>(i * n + j) * 4;
+  }
+  mmem::VAddr C(mmem::VAddr base, int n, int i, int j) const {
+    return base + 2 * section + static_cast<mmem::VAddr>(i * n + j) * 4;
+  }
+  mmem::VAddr Flag(mmem::VAddr base) const { return base + 3 * section; }
+};
+
+}  // namespace
+
+std::shared_ptr<MatrixResult> LaunchMatrixMultiply(msysv::World& world, MatrixParams params) {
+  auto result = std::make_shared<MatrixResult>();
+  auto finished = std::make_shared<int>(0);
+  const Layout lay(params.n);
+  int id = world.shm(0).Shmget(params.key, lay.total, /*create=*/true).value();
+  const int workers = params.workers;
+
+  for (int s = 0; s < workers; ++s) {
+    world.kernel(s).Spawn(
+        "matmul-" + std::to_string(s), mos::Priority::kUser,
+        [&world, s, id, params, result, finished, lay, workers](mos::Process* p)
+            -> msim::Task<> {
+          auto& shm = world.shm(s);
+          auto& kern = world.kernel(s);
+          const int n = params.n;
+          mmem::VAddr base = shm.Shmat(p, id).value();
+          mdsm::EventFlag ready(&shm, &kern, lay.Flag(base));
+
+          if (s == 0) {
+            result->start_time = world.sim().Now();
+            for (int i = 0; i < n; ++i) {
+              for (int j = 0; j < n; ++j) {
+                co_await shm.WriteWord(p, lay.A(base, n, i, j), AVal(params.seed, i, j));
+                co_await shm.WriteWord(p, lay.B(base, n, i, j), BVal(params.seed, i, j));
+              }
+            }
+            co_await ready.Raise(p);
+          } else {
+            co_await ready.Await(p);
+          }
+
+          // Row block [lo, hi) belongs to this worker.
+          int lo = s * n / workers;
+          int hi = (s + 1) * n / workers;
+          for (int i = lo; i < hi; ++i) {
+            for (int j = 0; j < n; ++j) {
+              std::uint32_t sum = 0;
+              for (int k = 0; k < n; ++k) {
+                std::uint32_t a = co_await shm.ReadWord(p, lay.A(base, n, i, k));
+                std::uint32_t b = co_await shm.ReadWord(p, lay.B(base, n, k, j));
+                co_await kern.Compute(p, params.madd_cost_us);
+                sum += a * b;
+              }
+              co_await shm.WriteWord(p, lay.C(base, n, i, j), sum);
+            }
+          }
+
+          ++*finished;
+          if (s == 0) {
+            // Wait for everyone, then verify all of C against a host-side
+            // multiply (real data, real coherence check).
+            for (;;) {
+              if (*finished == workers) {
+                break;
+              }
+              co_await kern.Yield(p);
+            }
+            int wrong = 0;
+            for (int i = 0; i < n; ++i) {
+              for (int j = 0; j < n; ++j) {
+                std::uint32_t expect = 0;
+                for (int k = 0; k < n; ++k) {
+                  expect += AVal(params.seed, i, k) * BVal(params.seed, k, j);
+                }
+                std::uint32_t got = co_await shm.ReadWord(p, lay.C(base, n, i, j));
+                wrong += got == expect ? 0 : 1;
+              }
+            }
+            result->wrong_cells = wrong;
+            result->verified = wrong == 0;
+            result->end_time = world.sim().Now();
+            result->completed = true;
+          }
+        });
+  }
+  return result;
+}
+
+}  // namespace mwork

@@ -1,0 +1,49 @@
+// Parallel matrix multiply over DSM — the first of the synthetic suite Li
+// used and the paper discusses in §7.0 ("matrix multiply, dot product,
+// traveling salesman ... The size of the matrix in matrix multiplication
+// could significantly affect the page fault rate").
+//
+// Layout in one segment, each section page-aligned:
+//   A (n x n), read-shared by all workers;
+//   B (n x n), read-shared by all workers;
+//   C (n x n), row blocks written by their owning worker only.
+// Reads of A and B exercise read batching and multi-reader pages; C's
+// partitioning exercises per-site write locality. The result is verified
+// element-by-element against a host-side multiply.
+#ifndef SRC_WORKLOAD_MATRIX_H_
+#define SRC_WORKLOAD_MATRIX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/sysv/world.h"
+
+namespace mwork {
+
+struct MatrixParams {
+  int n = 16;  // matrix dimension
+  // CPU per multiply-add (a VAX 11/750 integer multiply + add).
+  msim::Duration madd_cost_us = 10;
+  std::uint64_t key = 0xAB;
+  std::uint64_t seed = 1;
+  // Workers run at sites [0, workers); 0 also initializes A and B.
+  int workers = 2;
+};
+
+struct MatrixResult {
+  bool completed = false;
+  bool verified = false;
+  int wrong_cells = 0;
+  msim::Time start_time = 0;
+  msim::Time end_time = 0;
+
+  double ElapsedSeconds() const { return msim::ToSeconds(end_time - start_time); }
+};
+
+std::shared_ptr<MatrixResult> LaunchMatrixMultiply(msysv::World& world, MatrixParams params);
+
+}  // namespace mwork
+
+#endif  // SRC_WORKLOAD_MATRIX_H_

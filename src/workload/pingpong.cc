@@ -1,0 +1,124 @@
+#include "src/workload/pingpong.h"
+
+namespace mwork {
+
+namespace {
+
+// One spin loop of Figure 4: poll a shared word until it holds `expect`,
+// burning spin CPU per iteration and optionally yielding the processor.
+msim::Task<> SpinUntil(msysv::World& w, int site, mos::Process* p, mmem::VAddr addr,
+                       std::uint32_t expect, const PingPongParams& prm) {
+  auto& shm = w.shm(site);
+  for (;;) {
+    std::uint32_t v = co_await shm.ReadWord(p, addr);
+    if (v == expect) {
+      co_return;
+    }
+    co_await w.kernel(site).Compute(p, prm.spin_iter_cost_us);
+    if (prm.use_yield) {
+      co_await w.kernel(site).Yield(p);
+    }
+  }
+}
+
+mmem::VAddr PairAddr(mmem::VAddr base, std::uint32_t segment_bytes, int round) {
+  // Figure 4 advances pint pair by pair; wrap inside the segment so long
+  // runs stay on the same worst-case page. Values encode the round, so
+  // wrapped rounds can never be confused with stale data.
+  std::uint32_t pairs = segment_bytes / 8;
+  return base + static_cast<mmem::VAddr>((round % pairs) * 8);
+}
+
+}  // namespace
+
+std::shared_ptr<PingPongResult> LaunchPingPong(msysv::World& world, PingPongParams params) {
+  auto result = std::make_shared<PingPongResult>();
+  auto done = std::make_shared<int>(0);
+  int id = world.shm(params.site_a)
+               .Shmget(params.key, params.segment_bytes, /*create=*/true)
+               .value();
+
+  // Process 1 (site A): write CHECKVAL, await CHECKVAL+1.
+  world.kernel(params.site_a)
+      .Spawn("pingpong-p1", mos::Priority::kUser,
+             [&world, params, id, result, done](mos::Process* p) -> msim::Task<> {
+               auto& shm = world.shm(params.site_a);
+               mmem::VAddr base = shm.Shmat(p, id).value();
+               result->start_time = world.sim().Now();
+               for (int i = 0; i < params.rounds; ++i) {
+                 mmem::VAddr a = PairAddr(base, params.segment_bytes, i);
+                 co_await world.kernel(params.site_a).Compute(p, params.write_work_us);
+                 co_await shm.WriteWord(p, a, 0x10000u + i);
+                 co_await SpinUntil(world, params.site_a, p, a + 4, 0x20000u + i, params);
+                 result->cycles = i + 1;
+                 result->end_time = world.sim().Now();
+               }
+               shm.Shmdt(p, base);
+               if (++*done == 2) {
+                 result->completed = true;
+               }
+             });
+
+  // Process 2 (site B): await CHECKVAL, write CHECKVAL+1.
+  world.kernel(params.site_b)
+      .Spawn("pingpong-p2", mos::Priority::kUser,
+             [&world, params, id, result, done](mos::Process* p) -> msim::Task<> {
+               auto& shm = world.shm(params.site_b);
+               mmem::VAddr base = shm.Shmat(p, id).value();
+               for (int i = 0; i < params.rounds; ++i) {
+                 mmem::VAddr a = PairAddr(base, params.segment_bytes, i);
+                 co_await SpinUntil(world, params.site_b, p, a, 0x10000u + i, params);
+                 co_await world.kernel(params.site_b).Compute(p, params.write_work_us);
+                 co_await shm.WriteWord(p, a + 4, 0x20000u + i);
+               }
+               shm.Shmdt(p, base);
+               if (++*done == 2) {
+                 result->completed = true;
+               }
+             });
+  return result;
+}
+
+std::shared_ptr<PingPongResult> LaunchRingPingPong(msysv::World& world,
+                                                   RingPingPongParams params) {
+  auto result = std::make_shared<PingPongResult>();
+  auto done = std::make_shared<int>(0);
+  const int sites = world.site_count();
+  int id = world.shm(0).Shmget(params.key, 512, /*create=*/true).value();
+  for (int s = 0; s < sites; ++s) {
+    world.kernel(s).Spawn(
+        "ringpong-" + std::to_string(s), mos::Priority::kUser,
+        [&world, s, id, params, sites, result, done](mos::Process* p) -> msim::Task<> {
+          auto& shm = world.shm(s);
+          mmem::VAddr addr = shm.Shmat(p, id).value();
+          if (s == 0) {
+            result->start_time = world.sim().Now();
+          }
+          for (int round = 0; round < params.rounds; ++round) {
+            std::uint32_t my_turn = static_cast<std::uint32_t>(round * sites + s);
+            for (;;) {
+              std::uint32_t v = co_await shm.ReadWord(p, addr);
+              if (v == my_turn) {
+                break;
+              }
+              co_await world.kernel(s).Compute(p, params.spin_iter_cost_us);
+              if (params.use_yield) {
+                co_await world.kernel(s).Yield(p);
+              }
+            }
+            co_await shm.WriteWord(p, addr, my_turn + 1);
+            if (s == sites - 1) {
+              result->cycles = round + 1;
+              result->end_time = world.sim().Now();
+            }
+          }
+          shm.Shmdt(p, addr);
+          if (++*done == sites) {
+            result->completed = true;
+          }
+        });
+  }
+  return result;
+}
+
+}  // namespace mwork

@@ -1,0 +1,67 @@
+// The paper's worst-case application (Figure 4): two processes at different
+// sites alternately write adjacent memory locations on the same page,
+// spinning (with or without yield()) while waiting for the partner's write.
+//
+// "For each read or write to the specific locations, page faults occur which
+// transfer the entire page between sites. ... This program is an example of
+// a worst case for a network virtual memory system."
+#ifndef SRC_WORKLOAD_PINGPONG_H_
+#define SRC_WORKLOAD_PINGPONG_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/time.h"
+#include "src/sysv/world.h"
+
+namespace mwork {
+
+struct PingPongParams {
+  // Complete write/reply cycles to run (the paper's NUMTRIALS).
+  int rounds = 50;
+  // Insert yield() in the spin loops (the paper's 35x single-site fix).
+  bool use_yield = true;
+  // CPU cost of one spin-loop iteration (load + compare + branch on a
+  // VAX 11/750 class machine).
+  msim::Duration spin_iter_cost_us = 25;
+  // CPU cost of the useful work around each write.
+  msim::Duration write_work_us = 50;
+  int site_a = 0;
+  int site_b = 1;  // == site_a runs the paper's single-site experiment
+  std::uint64_t key = 77;
+  std::uint32_t segment_bytes = 512;
+};
+
+struct PingPongResult {
+  bool completed = false;
+  int cycles = 0;
+  msim::Time start_time = 0;
+  msim::Time end_time = 0;
+
+  double CyclesPerSecond() const {
+    if (end_time <= start_time || cycles == 0) {
+      return 0.0;
+    }
+    return cycles / msim::ToSeconds(end_time - start_time);
+  }
+};
+
+// Spawns both processes; completion and counters land in the result.
+std::shared_ptr<PingPongResult> LaunchPingPong(msysv::World& world, PingPongParams params);
+
+// The paper's "N-site version" of the worst case: one process per site, all
+// spinning on a single word; process i writes when the token's value is
+// congruent to i mod N. One cycle = one full rotation of the token.
+struct RingPingPongParams {
+  int rounds = 20;  // full rotations
+  bool use_yield = true;
+  msim::Duration spin_iter_cost_us = 25;
+  std::uint64_t key = 79;
+};
+
+std::shared_ptr<PingPongResult> LaunchRingPingPong(msysv::World& world,
+                                                   RingPingPongParams params);
+
+}  // namespace mwork
+
+#endif  // SRC_WORKLOAD_PINGPONG_H_

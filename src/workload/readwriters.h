@@ -1,0 +1,60 @@
+// The paper's "representative" application (§8): two processes at different
+// sites run for-loops that decrement separate values living on the same
+// shared page, testing a termination condition each iteration. The loops
+// exhibit both read faults and write faults; throughput as a function of the
+// window Delta maps the contention/retention tradeoff of Figure 8.
+#ifndef SRC_WORKLOAD_READWRITERS_H_
+#define SRC_WORKLOAD_READWRITERS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/time.h"
+#include "src/sysv/world.h"
+
+namespace mwork {
+
+struct ReadWritersParams {
+  // Decrements per burst (the value starts at this count each burst).
+  int iterations = 20000;
+  // CPU cost of one loop body (decrement + test on a VAX 11/750).
+  msim::Duration iter_cost_us = 16;
+  // Bursts per process. Between bursts the process computes locally for
+  // gap_cost_us without touching the page — the phase structure that makes
+  // "retaining the page longer than it needs" (the paper's retention side)
+  // observable. bursts=1, gap=0 is the pure continuous decrement loop.
+  int bursts = 1;
+  msim::Duration gap_cost_us = 0;
+  // Local compute performed by process B before it first touches the page;
+  // sweeping this dephases the two loops so fixed-point resonances average
+  // out across repeated runs.
+  msim::Duration start_offset_us = 0;
+  int site_a = 0;
+  int site_b = 1;
+  std::uint64_t key = 88;
+  // Both counters live on the same page: offsets 0 and 4.
+  std::uint32_t segment_bytes = 512;
+};
+
+struct ReadWritersResult {
+  bool completed = false;
+  msim::Time start_time = 0;
+  msim::Time end_time = 0;
+  // Each loop iteration performs one read and one write ("read-write
+  // instructions" in the paper's Figure 8 units).
+  std::uint64_t total_ops = 0;
+
+  double OpsPerSecond() const {
+    if (end_time <= start_time) {
+      return 0.0;
+    }
+    return static_cast<double>(total_ops) / msim::ToSeconds(end_time - start_time);
+  }
+};
+
+std::shared_ptr<ReadWritersResult> LaunchReadWriters(msysv::World& world,
+                                                     ReadWritersParams params);
+
+}  // namespace mwork
+
+#endif  // SRC_WORKLOAD_READWRITERS_H_

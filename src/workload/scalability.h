@@ -1,0 +1,47 @@
+// N-site invalidation scaling (paper §10: "in a network with a larger
+// number of sites sharing pages than ours, invalidations may become
+// expensive"). N-1 sites read a hot page; one site then writes it, forcing
+// the clock site to invalidate every reader sequentially point-to-point.
+#ifndef SRC_WORKLOAD_SCALABILITY_H_
+#define SRC_WORKLOAD_SCALABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/sysv/world.h"
+
+namespace mwork {
+
+struct ScalabilityParams {
+  int rounds = 10;
+  std::uint64_t key = 111;
+  // Site 0 writes; sites 1..N-1 read.
+  // (The writer site is also the library site.)
+};
+
+struct ScalabilityResult {
+  bool completed = false;
+  int rounds_done = 0;
+  // Per-round write-fault latency at the writer (invalidate all readers).
+  std::vector<msim::Duration> write_latencies_us;
+
+  double MeanWriteLatencyMs() const {
+    if (write_latencies_us.empty()) {
+      return 0.0;
+    }
+    double sum = 0;
+    for (msim::Duration d : write_latencies_us) {
+      sum += static_cast<double>(d);
+    }
+    return sum / 1000.0 / static_cast<double>(write_latencies_us.size());
+  }
+};
+
+std::shared_ptr<ScalabilityResult> LaunchScalability(msysv::World& world,
+                                                     ScalabilityParams params);
+
+}  // namespace mwork
+
+#endif  // SRC_WORKLOAD_SCALABILITY_H_

@@ -1,0 +1,69 @@
+#include "src/workload/spinlock.h"
+
+namespace mwork {
+
+namespace {
+
+// Lock word at offset 0; guarded counter at offset 4 — same page, as in the
+// paper's scenario.
+constexpr int kLockOff = 0;
+constexpr int kDataOff = 4;
+
+msim::Task<> LockLoop(msysv::World& world, int site, mos::Process* p, int shmid,
+                      const SpinlockParams& prm, std::shared_ptr<SpinlockResult> result,
+                      std::shared_ptr<int> done) {
+  auto& shm = world.shm(site);
+  auto& kern = world.kernel(site);
+  mmem::VAddr base = shm.Shmat(p, shmid).value();
+  if (result->start_time == 0) {
+    result->start_time = world.sim().Now();
+  }
+  for (int s = 0; s < prm.sections; ++s) {
+    // Acquire: interlocked test&set needs write access to the page.
+    for (;;) {
+      std::uint32_t loop_v = co_await shm.TestAndSet(p, base + kLockOff);
+      if (loop_v == 0) {
+        break;
+      }
+      co_await kern.Compute(p, prm.spin_iter_cost_us);
+      if (prm.use_yield) {
+        co_await kern.Yield(p);
+      }
+    }
+    // Critical section: the holder keeps writing the page the lock is on.
+    for (int i = 0; i < prm.writes_per_section; ++i) {
+      std::uint32_t v = co_await shm.ReadWord(p, base + kDataOff);
+      co_await kern.Compute(p, prm.hold_cost_us / prm.writes_per_section);
+      co_await shm.WriteWord(p, base + kDataOff, v + 1);
+    }
+    // Release: clearing the lock bit is another write fault if the page
+    // bounced away mid-section — the §7.2 pathology.
+    co_await shm.WriteWord(p, base + kLockOff, 0);
+    ++result->sections_done;
+    result->end_time = world.sim().Now();
+  }
+  result->final_counter = co_await shm.ReadWord(p, base + kDataOff);
+  shm.Shmdt(p, base);
+  if (++*done == 2) {
+    result->completed = true;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<SpinlockResult> LaunchSpinlock(msysv::World& world, SpinlockParams params) {
+  auto result = std::make_shared<SpinlockResult>();
+  auto done = std::make_shared<int>(0);
+  int id = world.shm(params.site_a).Shmget(params.key, 512, /*create=*/true).value();
+  for (int which = 0; which < 2; ++which) {
+    int site = which == 0 ? params.site_a : params.site_b;
+    world.kernel(site).Spawn(
+        which == 0 ? "spinlock-a" : "spinlock-b", mos::Priority::kUser,
+        [&world, site, id, params, result, done](mos::Process* p) -> msim::Task<> {
+          return LockLoop(world, site, p, id, params, result, done);
+        });
+  }
+  return result;
+}
+
+}  // namespace mwork

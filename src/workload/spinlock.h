@@ -1,0 +1,50 @@
+// The test&set experiment of §7.2: a lock word and the data it guards live
+// on the same page. The lock holder writes data while a remote tester spins
+// on test&set, so holder and tester thrash the page; a window Delta > 0
+// shelters the holder. The paper's conclusion: "we recommend that the
+// test&set instruction not be used because of its performance."
+#ifndef SRC_WORKLOAD_SPINLOCK_H_
+#define SRC_WORKLOAD_SPINLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/time.h"
+#include "src/sysv/world.h"
+
+namespace mwork {
+
+struct SpinlockParams {
+  // Critical sections each process completes.
+  int sections = 30;
+  // CPU spent inside the critical section, touching the guarded data.
+  msim::Duration hold_cost_us = 2000;
+  // Data writes performed inside each critical section.
+  int writes_per_section = 4;
+  msim::Duration spin_iter_cost_us = 25;
+  bool use_yield = true;
+  int site_a = 0;
+  int site_b = 1;
+  std::uint64_t key = 99;
+};
+
+struct SpinlockResult {
+  bool completed = false;
+  int sections_done = 0;
+  std::uint64_t final_counter = 0;  // must equal 2 * sections * writes_per_section
+  msim::Time start_time = 0;
+  msim::Time end_time = 0;
+
+  double SectionsPerSecond() const {
+    if (end_time <= start_time) {
+      return 0.0;
+    }
+    return sections_done / msim::ToSeconds(end_time - start_time);
+  }
+};
+
+std::shared_ptr<SpinlockResult> LaunchSpinlock(msysv::World& world, SpinlockParams params);
+
+}  // namespace mwork
+
+#endif  // SRC_WORKLOAD_SPINLOCK_H_

@@ -1,0 +1,176 @@
+#include "src/workload/tsp.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/dsmlib/sync.h"
+#include "src/mem/page.h"
+
+namespace mwork {
+
+namespace {
+
+// Deterministic symmetric distance matrix.
+std::uint32_t Dist(std::uint64_t seed, int i, int j) {
+  if (i == j) {
+    return 0;
+  }
+  int a = std::min(i, j);
+  int b = std::max(i, j);
+  return static_cast<std::uint32_t>(
+      (seed * 7919 + static_cast<std::uint64_t>(a) * 131 + static_cast<std::uint64_t>(b) * 37) %
+          90 +
+      10);
+}
+
+// Host-side brute force for verification.
+std::uint32_t BruteForce(std::uint64_t seed, int m) {
+  std::vector<int> perm;
+  for (int i = 1; i < m; ++i) {
+    perm.push_back(i);
+  }
+  std::uint32_t best = UINT32_MAX;
+  do {
+    std::uint32_t cost = Dist(seed, 0, perm[0]);
+    for (std::size_t i = 0; i + 1 < perm.size(); ++i) {
+      cost += Dist(seed, perm[i], perm[i + 1]);
+    }
+    cost += Dist(seed, perm.back(), 0);
+    best = std::min(best, cost);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+struct Layout {
+  int m;
+  // [best][lock][flag] then the m*m distance matrix, all on page 0+.
+  mmem::VAddr Best(mmem::VAddr base) const { return base; }
+  mmem::VAddr Lock(mmem::VAddr base) const { return base + 4; }
+  mmem::VAddr Flag(mmem::VAddr base) const { return base + 8; }
+  mmem::VAddr D(mmem::VAddr base, int i, int j) const {
+    return base + mmem::kPageSize + static_cast<mmem::VAddr>(i * m + j) * 4;
+  }
+  std::uint32_t Total() const {
+    return mmem::kPageSize +
+           ((static_cast<std::uint32_t>(m * m) * 4 + mmem::kPageSize - 1) / mmem::kPageSize) *
+               mmem::kPageSize;
+  }
+};
+
+struct SearchCtx {
+  msysv::ShmSystem* shm;
+  mos::Kernel* kern;
+  mos::Process* p;
+  mmem::VAddr base;
+  Layout lay;
+  TspParams prm;
+  std::shared_ptr<TspResult> result;
+  mdsm::SpinLock* lock;
+};
+
+// Recursive DFS with pruning against the shared incumbent.
+msim::Task<> Dfs(SearchCtx& ctx, std::vector<int>& tour, std::vector<bool>& used,
+                 std::uint32_t prefix_cost) {
+  ++ctx.result->nodes_expanded;
+  co_await ctx.kern->Compute(ctx.p, ctx.prm.node_cost_us);
+  // Prune against the shared best (a read of the hot word).
+  std::uint32_t best = co_await ctx.shm->ReadWord(ctx.p, ctx.lay.Best(ctx.base));
+  if (prefix_cost >= best) {
+    co_return;
+  }
+  const int m = ctx.prm.cities;
+  if (static_cast<int>(tour.size()) == m) {
+    std::uint32_t d_home = co_await ctx.shm->ReadWord(
+        ctx.p, ctx.lay.D(ctx.base, tour.back(), 0));
+    std::uint32_t cost = prefix_cost + d_home;
+    if (cost < best) {
+      co_await ctx.lock->Acquire(ctx.p);
+      std::uint32_t cur = co_await ctx.shm->ReadWord(ctx.p, ctx.lay.Best(ctx.base));
+      if (cost < cur) {
+        co_await ctx.shm->WriteWord(ctx.p, ctx.lay.Best(ctx.base), cost);
+        ++ctx.result->improvements;
+      }
+      co_await ctx.lock->Release(ctx.p);
+    }
+    co_return;
+  }
+  for (int next = 1; next < m; ++next) {
+    if (used[next]) {
+      continue;
+    }
+    std::uint32_t d = co_await ctx.shm->ReadWord(
+        ctx.p, ctx.lay.D(ctx.base, tour.back(), next));
+    used[next] = true;
+    tour.push_back(next);
+    co_await Dfs(ctx, tour, used, prefix_cost + d);
+    tour.pop_back();
+    used[next] = false;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<TspResult> LaunchTsp(msysv::World& world, TspParams params) {
+  auto result = std::make_shared<TspResult>();
+  auto finished = std::make_shared<int>(0);
+  Layout lay;
+  lay.m = params.cities;
+  int id = world.shm(0).Shmget(params.key, lay.Total(), /*create=*/true).value();
+  const int workers = params.workers;
+  result->expected_cost = BruteForce(params.seed, params.cities);
+
+  for (int s = 0; s < workers; ++s) {
+    world.kernel(s).Spawn(
+        "tsp-" + std::to_string(s), mos::Priority::kUser,
+        [&world, s, id, params, result, finished, lay, workers](mos::Process* p)
+            -> msim::Task<> {
+          auto& shm = world.shm(s);
+          auto& kern = world.kernel(s);
+          const int m = params.cities;
+          mmem::VAddr base = shm.Shmat(p, id).value();
+          mdsm::EventFlag ready(&shm, &kern, lay.Flag(base));
+          mdsm::SpinLock lock(&shm, &kern, lay.Lock(base));
+
+          if (s == 0) {
+            result->start_time = world.sim().Now();
+            co_await shm.WriteWord(p, lay.Best(base), UINT32_MAX);
+            for (int i = 0; i < m; ++i) {
+              for (int j = 0; j < m; ++j) {
+                co_await shm.WriteWord(p, lay.D(base, i, j), Dist(params.seed, i, j));
+              }
+            }
+            co_await ready.Raise(p);
+          } else {
+            co_await ready.Await(p);
+          }
+
+          // Partition the search by the tour's second city, round-robin.
+          SearchCtx ctx{&shm, &kern, p, base, lay, params, result, &lock};
+          for (int second = 1 + s; second < m; second += workers) {
+            std::uint32_t d0 = co_await shm.ReadWord(p, lay.D(base, 0, second));
+            std::vector<int> tour{0, second};
+            std::vector<bool> used(m, false);
+            used[0] = true;
+            used[second] = true;
+            co_await Dfs(ctx, tour, used, d0);
+          }
+
+          ++*finished;
+          if (s == 0) {
+            for (;;) {
+              if (*finished == workers) {
+                break;
+              }
+              co_await kern.Yield(p);
+            }
+            result->best_cost = co_await shm.ReadWord(p, lay.Best(base));
+            result->verified = result->best_cost == result->expected_cost;
+            result->end_time = world.sim().Now();
+            result->completed = true;
+          }
+        });
+  }
+  return result;
+}
+
+}  // namespace mwork

@@ -1,0 +1,45 @@
+// Parallel branch-and-bound traveling salesman over DSM — the third of
+// Li's synthetic suite (paper §7.0).
+//
+// The distance matrix is read-shared; the incumbent best tour cost is a
+// single hot word read at every search node for pruning and occasionally
+// written under a DSM spin lock — the classic read-mostly/rare-write
+// sharing pattern, where Mirage's read copies shine and each improvement
+// briefly invalidates every searcher.
+#ifndef SRC_WORKLOAD_TSP_H_
+#define SRC_WORKLOAD_TSP_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/time.h"
+#include "src/sysv/world.h"
+
+namespace mwork {
+
+struct TspParams {
+  int cities = 8;  // tour starts and ends at city 0
+  msim::Duration node_cost_us = 15;  // CPU per search-tree node
+  std::uint64_t key = 0x75;
+  std::uint64_t seed = 3;
+  int workers = 2;
+};
+
+struct TspResult {
+  bool completed = false;
+  bool verified = false;
+  std::uint32_t best_cost = 0;
+  std::uint32_t expected_cost = 0;
+  std::uint64_t nodes_expanded = 0;
+  std::uint64_t improvements = 0;
+  msim::Time start_time = 0;
+  msim::Time end_time = 0;
+
+  double ElapsedSeconds() const { return msim::ToSeconds(end_time - start_time); }
+};
+
+std::shared_ptr<TspResult> LaunchTsp(msysv::World& world, TspParams params);
+
+}  // namespace mwork
+
+#endif  // SRC_WORKLOAD_TSP_H_

@@ -1,0 +1,188 @@
+// Tests for the §9 reference-string analyzer and the §8 dynamic-window
+// policy — both on synthetic logs (pure-function behaviour) and live worlds
+// (end-to-end integration).
+#include <gtest/gtest.h>
+
+#include "src/mirage/adaptive_window.h"
+#include "src/mirage/log_analysis.h"
+#include "src/sysv/world.h"
+#include "src/workload/pingpong.h"
+
+namespace {
+
+using mirage::AdaptiveWindowPolicy;
+using mirage::LogAnalyzer;
+using mirage::RequestLog;
+using mirage::RequestLogEntry;
+using msim::kMillisecond;
+using msim::kSecond;
+
+RequestLogEntry E(msim::Time t, int page, bool write, int site) {
+  return RequestLogEntry{t, 1, page, write, site, 100 + site};
+}
+
+TEST(LogAnalyzer, AggregatesHeatAndAlternation) {
+  RequestLog log;
+  // Page 0 ping-pongs between sites 1 and 2; page 3 is touched once.
+  for (int i = 0; i < 10; ++i) {
+    log.Add(E(i * 10 * kMillisecond, 0, i % 2 == 0, 1 + (i % 2)));
+  }
+  log.Add(E(kSecond, 3, false, 1));
+  LogAnalyzer an(&log);
+  mirage::SegmentReport r = an.Analyze(1);
+  EXPECT_EQ(r.total_requests, 11);
+  ASSERT_EQ(r.pages.size(), 2u);
+  const mirage::PageHeat& hot = r.pages[0];
+  EXPECT_EQ(hot.page, 0);
+  EXPECT_EQ(hot.requests, 10);
+  EXPECT_EQ(hot.write_requests, 5);
+  EXPECT_EQ(hot.distinct_sites, 2);
+  EXPECT_EQ(hot.alternations, 9);
+  EXPECT_DOUBLE_EQ(hot.AlternationFraction(), 1.0);
+  EXPECT_EQ(hot.median_interarrival_us, 10 * kMillisecond);
+  EXPECT_EQ(r.requests_by_site.at(1), 6);
+  EXPECT_EQ(r.requests_by_site.at(2), 5);
+}
+
+TEST(LogAnalyzer, SuggestsWindowsOnlyForHotAlternatingPages) {
+  RequestLog log;
+  for (int i = 0; i < 20; ++i) {
+    log.Add(E(i * 30 * kMillisecond, 0, true, 1 + (i % 2)));  // ping-pong page
+    log.Add(E(i * 30 * kMillisecond + 1, 7, false, 1));       // single-site page
+  }
+  LogAnalyzer an(&log);
+  auto advice = an.SuggestWindows(1);
+  ASSERT_EQ(advice.size(), 1u);
+  // 2x the ~30 ms median interarrival.
+  EXPECT_NEAR(static_cast<double>(advice.at(0)), 60.0 * kMillisecond,
+              2.0 * kMillisecond);
+}
+
+TEST(LogAnalyzer, WindowAdviceRespectsBounds) {
+  RequestLog log;
+  for (int i = 0; i < 20; ++i) {
+    log.Add(E(static_cast<msim::Time>(i) * 10 * kSecond, 0, true, 1 + (i % 2)));
+  }
+  LogAnalyzer an(&log);
+  mirage::WindowAdvicePolicy policy;
+  policy.max_window_us = 500 * kMillisecond;
+  auto advice = an.SuggestWindows(1, policy);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice.at(0), 500 * kMillisecond);
+}
+
+TEST(LogAnalyzer, MigrationHintWhenOneSiteDominates) {
+  RequestLog log;
+  for (int i = 0; i < 9; ++i) {
+    log.Add(E(i * kMillisecond, 0, false, 2));
+  }
+  log.Add(E(20 * kMillisecond, 0, false, 1));
+  LogAnalyzer an(&log);
+  EXPECT_EQ(an.SuggestLibraryMigration(1, /*current_library=*/0).value_or(-7), 2);
+  // Already at the dominant site: no hint.
+  EXPECT_FALSE(an.SuggestLibraryMigration(1, /*current_library=*/2).has_value());
+  // No domination: no hint.
+  RequestLog even;
+  for (int i = 0; i < 10; ++i) {
+    even.Add(E(i * kMillisecond, 0, false, 1 + (i % 2)));
+  }
+  LogAnalyzer an2(&even);
+  EXPECT_FALSE(an2.SuggestLibraryMigration(1, 0).has_value());
+}
+
+TEST(LogAnalyzer, LiveWorldPingPongIsDiagnosedAsHotSpot) {
+  msysv::WorldOptions opts;
+  opts.protocol.enable_request_log = true;
+  msysv::World w(2, opts);
+  mwork::PingPongParams prm;
+  prm.rounds = 12;
+  auto r = mwork::LaunchPingPong(w, prm);
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 300 * kSecond));
+  LogAnalyzer an(&w.engine(0)->request_log());
+  // The segment id is 1 (first created).
+  mirage::SegmentReport report = an.Analyze(1);
+  ASSERT_FALSE(report.pages.empty());
+  const mirage::PageHeat* hot = report.Hottest();
+  EXPECT_EQ(hot->page, 0);
+  EXPECT_GT(hot->requests, 10);
+  // The colocated process (site 0) never reaches the log when its copy is
+  // valid; remote site 1 dominates the reference string.
+  EXPECT_GT(report.requests_by_site[1], 0);
+  auto advice = an.SuggestWindows(1);
+  EXPECT_EQ(advice.count(0), 1u);
+}
+
+// ---- adaptive window policy ----
+
+TEST(AdaptiveWindow, GrowsUnderContention) {
+  AdaptiveWindowPolicy policy;
+  msim::Duration w0 = policy.Advise(1, 0, 0);
+  // Forwards arriving every 20 ms (well under grow_below): grow each time.
+  msim::Duration w1 = policy.Advise(1, 0, 20 * kMillisecond);
+  msim::Duration w2 = policy.Advise(1, 0, 40 * kMillisecond);
+  EXPECT_GT(w1, w0);
+  EXPECT_GT(w2, w1);
+  EXPECT_EQ(policy.Grows(1, 0), 2);
+}
+
+TEST(AdaptiveWindow, ShrinksWhenIdle) {
+  AdaptiveWindowPolicy policy;
+  policy.Advise(1, 0, 0);
+  msim::Duration w1 = policy.Advise(1, 0, 2 * kSecond);
+  msim::Duration w2 = policy.Advise(1, 0, 5 * kSecond);
+  EXPECT_LT(w2, w1);
+  EXPECT_GE(policy.Shrinks(1, 0), 1);
+}
+
+TEST(AdaptiveWindow, HoldsInTheComfortBand) {
+  AdaptiveWindowPolicy policy;
+  policy.Advise(1, 0, 0);
+  msim::Duration w1 = policy.Advise(1, 0, 300 * kMillisecond);
+  msim::Duration w2 = policy.Advise(1, 0, 600 * kMillisecond);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(AdaptiveWindow, RespectsBoundsAndEscapesZero) {
+  AdaptiveWindowPolicy::Params prm;
+  prm.initial_window_us = 0;
+  prm.max_window_us = 50 * kMillisecond;
+  AdaptiveWindowPolicy policy(prm);
+  policy.Advise(1, 0, 0);
+  msim::Duration w = 0;
+  for (int i = 1; i <= 30; ++i) {
+    w = policy.Advise(1, 0, static_cast<msim::Time>(i) * kMillisecond);
+  }
+  EXPECT_GT(w, 0);                        // escaped zero under contention
+  EXPECT_LE(w, 50 * kMillisecond);        // clamped at max
+}
+
+TEST(AdaptiveWindow, PagesTrackedIndependently) {
+  AdaptiveWindowPolicy policy;
+  policy.Advise(1, 0, 0);
+  policy.Advise(1, 1, 0);
+  policy.Advise(1, 0, 10 * kMillisecond);  // page 0 contended
+  policy.Advise(1, 1, 5 * kSecond);        // page 1 idle
+  EXPECT_GT(policy.CurrentWindow(1, 0), policy.CurrentWindow(1, 1));
+}
+
+TEST(AdaptiveWindow, LiveIntegrationGrowsWindowOfThrashingPage) {
+  AdaptiveWindowPolicy policy;
+  msysv::WorldOptions opts;
+  opts.protocol.default_window_us = 0;
+  msysv::World w(2, opts);
+  w.engine(0)->options().dynamic_window = policy.Hook(&w.sim());
+  int id = w.shm(0).Shmget(77, 512, true).value();
+  (void)id;
+  mwork::PingPongParams prm;
+  prm.rounds = 15;
+  prm.key = 78;  // fresh segment (the engine options were already set)
+  auto r = mwork::LaunchPingPong(w, prm);
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 300 * kSecond));
+  // The ping-ponged page's window grew from the initial value.
+  mmem::SegmentId seg = 2;  // second segment created
+  EXPECT_GT(policy.Grows(seg, 0), 0);
+  EXPECT_GT(policy.CurrentWindow(seg, 0),
+            AdaptiveWindowPolicy::Params{}.initial_window_us);
+}
+
+}  // namespace

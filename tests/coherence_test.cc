@@ -1,0 +1,221 @@
+// Integration tests of the coherence guarantee (§5.0): "a write to an
+// address in a given segment is always visible by all subsequent read
+// operations to the same address, independent of the machine location on
+// which the read takes place", plus the single-writer/multi-reader page
+// invariant, across multi-site scenarios.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sysv/world.h"
+
+namespace {
+
+using mos::Priority;
+using mos::Process;
+using msim::kMillisecond;
+using msim::kSecond;
+using msim::Task;
+using msysv::World;
+using msysv::WorldOptions;
+
+struct CoherenceTest : public ::testing::Test {
+  void Boot(int sites, msim::Duration window = 0) {
+    WorldOptions opts;
+    opts.protocol.default_window_us = window;
+    w = std::make_unique<World>(sites, opts);
+    shmid = w->shm(0).Shmget(1, 2048, true).value();
+  }
+  std::unique_ptr<World> w;
+  int shmid = -1;
+};
+
+// A token is passed around a ring of sites; each site increments it. Every
+// increment must observe the previous one — a strict read-your-writes chain.
+TEST_F(CoherenceTest, TokenRingIncrementAcrossSites) {
+  constexpr int kSites = 4;
+  constexpr int kLaps = 3;
+  Boot(kSites);
+  int finished = 0;
+  for (int s = 0; s < kSites; ++s) {
+    w->kernel(s).Spawn("ring", Priority::kUser, [this, s, &finished](Process* p) -> Task<> {
+      auto& shm = w->shm(s);
+      mmem::VAddr base = shm.Shmat(p, shmid).value();
+      for (int lap = 0; lap < kLaps; ++lap) {
+        std::uint32_t my_turn = static_cast<std::uint32_t>(lap * kSites + s);
+        for (;;) {
+          std::uint32_t loop_v = co_await shm.ReadWord(p, base);
+          if (loop_v == my_turn) {
+            break;
+          }
+          co_await w->kernel(s).Yield(p);
+        }
+        co_await shm.WriteWord(p, base, my_turn + 1);
+      }
+      ++finished;
+    });
+  }
+  ASSERT_TRUE(w->RunUntil([&] { return finished == kSites; }, 120 * kSecond));
+  // Final token value equals total increments.
+  bool checked = false;
+  w->kernel(0).Spawn("check", Priority::kUser, [this, &checked](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, base), kSites * kLaps);
+    checked = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return checked; }, 10 * kSecond));
+}
+
+// Concurrent writers to different addresses on the SAME page (the paper's
+// Figure 1 scenario): page-level coherence must preserve both writes even
+// though the processes never synchronize with each other.
+TEST_F(CoherenceTest, InterleavedCriticalSectionsOnOnePage) {
+  Boot(2);
+  int finished = 0;
+  for (int s = 0; s < 2; ++s) {
+    w->kernel(s).Spawn("cs", Priority::kUser, [this, s, &finished](Process* p) -> Task<> {
+      auto& shm = w->shm(s);
+      mmem::VAddr base = shm.Shmat(p, shmid).value();
+      mmem::VAddr mine = base + static_cast<mmem::VAddr>(s * 4);
+      for (std::uint32_t i = 1; i <= 20; ++i) {
+        co_await shm.WriteWord(p, mine, i);
+        // Re-read own region: the system must never lose our last write,
+        // no matter what the other site does to the same page.
+        EXPECT_EQ(co_await shm.ReadWord(p, mine), i);
+        co_await w->kernel(s).Compute(p, 500);
+      }
+      ++finished;
+    });
+  }
+  ASSERT_TRUE(w->RunUntil([&] { return finished == 2; }, 120 * kSecond));
+}
+
+// At no point may a writable copy coexist with any other copy of the same
+// page. Sampled continuously while traffic flows.
+TEST_F(CoherenceTest, SingleWriterInvariantSampledUnderTraffic) {
+  Boot(3, /*window=*/17 * kMillisecond);
+  int finished = 0;
+  for (int s = 0; s < 3; ++s) {
+    w->kernel(s).Spawn("mut", Priority::kUser, [this, s, &finished](Process* p) -> Task<> {
+      auto& shm = w->shm(s);
+      mmem::VAddr base = shm.Shmat(p, shmid).value();
+      for (std::uint32_t i = 0; i < 10; ++i) {
+        co_await shm.WriteWord(p, base + 4 * s, i);
+        (void)co_await shm.ReadWord(p, base + ((4 * s + 4) % 12));
+        co_await w->kernel(s).Compute(p, 2000);
+      }
+      ++finished;
+    });
+  }
+  // Sample the invariant every simulated millisecond.
+  bool violated = false;
+  std::function<void()> sample = [&] {
+    int writable = 0;
+    int copies = 0;
+    for (int s = 0; s < 3; ++s) {
+      auto* img = w->engine(s)->ImageOrNull(shmid);
+      if (img != nullptr && img->Present(0)) {
+        ++copies;
+        writable += img->Writable(0) ? 1 : 0;
+      }
+    }
+    if (writable > 1 || (writable == 1 && copies > 1)) {
+      violated = true;
+    }
+    if (finished < 3 && !violated) {
+      w->sim().Schedule(1 * kMillisecond, sample);
+    }
+  };
+  w->sim().Schedule(0, sample);
+  ASSERT_TRUE(w->RunUntil([&] { return finished == 3; }, 300 * kSecond));
+  EXPECT_FALSE(violated) << "a writable copy coexisted with another copy";
+}
+
+// Pages are independent coherence units: traffic on page 0 never perturbs
+// values on page 1 and vice versa.
+TEST_F(CoherenceTest, PagesAreIndependentUnits) {
+  Boot(2);
+  int finished = 0;
+  for (int s = 0; s < 2; ++s) {
+    w->kernel(s).Spawn("pg", Priority::kUser, [this, s, &finished](Process* p) -> Task<> {
+      auto& shm = w->shm(s);
+      mmem::VAddr base = shm.Shmat(p, shmid).value();
+      mmem::VAddr mine = base + static_cast<mmem::VAddr>(s) * mmem::kPageSize;
+      for (std::uint32_t i = 1; i <= 30; ++i) {
+        co_await shm.WriteWord(p, mine + 8, i * 10 + s);
+        EXPECT_EQ(co_await shm.ReadWord(p, mine + 8), i * 10 + s);
+      }
+      ++finished;
+    });
+  }
+  ASSERT_TRUE(w->RunUntil([&] { return finished == 2; }, 60 * kSecond));
+}
+
+// The full data path preserves every byte: a block written at one site is
+// read back bit-exact at another.
+TEST_F(CoherenceTest, BlockSurvivesTransferBitExact) {
+  Boot(2);
+  bool wrote = false;
+  bool read = false;
+  w->kernel(0).Spawn("writer", Priority::kUser, [this, &wrote](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    for (int i = 0; i < 128; ++i) {
+      co_await shm.WriteByte(p, base + i, static_cast<std::uint8_t>(i * 7 + 3));
+    }
+    co_await shm.WriteWord(p, base + 256, 1);  // publish flag (same page)
+    wrote = true;
+  });
+  w->kernel(1).Spawn("reader", Priority::kUser, [this, &read](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    for (;;) {
+      std::uint32_t loop_v = co_await shm.ReadWord(p, base + 256);
+      if (loop_v == 1) {
+        break;
+      }
+      co_await w->kernel(1).Yield(p);
+    }
+    for (int i = 0; i < 128; ++i) {
+      EXPECT_EQ(co_await shm.ReadByte(p, base + i), static_cast<std::uint8_t>(i * 7 + 3));
+    }
+    read = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return wrote && read; }, 60 * kSecond));
+}
+
+// Readers always converge on the latest written value even with a window
+// delaying invalidations.
+TEST_F(CoherenceTest, ReadersConvergeUnderWindow) {
+  Boot(3, /*window=*/50 * kMillisecond);
+  bool writer_done = false;
+  int readers_done = 0;
+  w->kernel(0).Spawn("writer", Priority::kUser, [this, &writer_done](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    for (std::uint32_t v = 1; v <= 5; ++v) {
+      co_await shm.WriteWord(p, base, v);
+      co_await w->kernel(0).SleepFor(p, 100 * kMillisecond);
+    }
+    writer_done = true;
+  });
+  for (int s = 1; s < 3; ++s) {
+    w->kernel(s).Spawn("reader", Priority::kUser, [this, s, &readers_done](
+                                                      Process* p) -> Task<> {
+      auto& shm = w->shm(s);
+      mmem::VAddr base = shm.Shmat(p, shmid).value();
+      std::uint32_t last = 0;
+      while (last != 5) {
+        std::uint32_t v = co_await shm.ReadWord(p, base);
+        EXPECT_GE(v, last) << "value went backwards at site " << s;
+        last = v;
+        co_await w->kernel(s).Yield(p);
+      }
+      ++readers_done;
+    });
+  }
+  ASSERT_TRUE(w->RunUntil([&] { return writer_done && readers_done == 2; }, 120 * kSecond));
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+// Edge-case and robustness tests for the Mirage engine: multiple segments
+// with different library sites, large segments, wide site sets, request
+// dedup/drop accounting, read-only attaches across the network, and
+// segment-lifetime interactions with in-flight traffic.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sysv/world.h"
+
+namespace {
+
+using mirage::PageMode;
+using mos::Priority;
+using mos::Process;
+using msim::kMillisecond;
+using msim::kSecond;
+using msim::Task;
+using msysv::World;
+using msysv::WorldOptions;
+
+void RunAs(World& w, int site, std::function<Task<>(msysv::ShmSystem&, Process*)> fn,
+           msim::Duration timeout = 60 * kSecond) {
+  bool done = false;
+  w.kernel(site).Spawn("t", Priority::kUser,
+                       [&w, site, fn = std::move(fn), &done](Process* p) -> Task<> {
+                         co_await fn(w.shm(site), p);
+                         done = true;
+                       });
+  ASSERT_TRUE(w.RunUntil([&] { return done; }, timeout));
+}
+
+TEST(EngineEdge, TwoSegmentsTwoLibrariesIndependentTraffic) {
+  World w(2);
+  int seg_a = w.shm(0).Shmget(1, 512, true).value();  // library at site 0
+  int seg_b = w.shm(1).Shmget(2, 512, true).value();  // library at site 1
+  EXPECT_TRUE(w.engine(0)->IsLibraryFor(seg_a));
+  EXPECT_TRUE(w.engine(1)->IsLibraryFor(seg_b));
+  EXPECT_FALSE(w.engine(0)->IsLibraryFor(seg_b));
+
+  // Cross traffic: each site writes the other's segment.
+  RunAs(w, 0, [seg_b](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr b = shm.Shmat(p, seg_b).value();
+    co_await shm.WriteWord(p, b, 100);
+  });
+  RunAs(w, 1, [seg_a](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr a = shm.Shmat(p, seg_a).value();
+    co_await shm.WriteWord(p, a, 200);
+  });
+  RunAs(w, 0, [seg_a](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr a = shm.Shmat(p, seg_a).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, a), 200u);
+  });
+  RunAs(w, 1, [seg_b](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr b = shm.Shmat(p, seg_b).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, b), 100u);
+  });
+}
+
+TEST(EngineEdge, LargestPaperSegment128K) {
+  // The paper's maximum segment: 128 KB = 256 pages. Touch every page from
+  // both sites; spot-check contents.
+  World w(2);
+  int id = w.shm(0).Shmget(1, 128 * 1024, true).value();
+  RunAs(
+      w, 0,
+      [id](msysv::ShmSystem& shm, Process* p) -> Task<> {
+        mmem::VAddr base = shm.Shmat(p, id).value();
+        for (int pg = 0; pg < 256; ++pg) {
+          co_await shm.WriteWord(p, base + static_cast<mmem::VAddr>(pg) * mmem::kPageSize,
+                                 1000u + pg);
+        }
+      },
+      300 * kSecond);
+  RunAs(
+      w, 1,
+      [id](msysv::ShmSystem& shm, Process* p) -> Task<> {
+        mmem::VAddr base = shm.Shmat(p, id).value();
+        for (int pg = 0; pg < 256; pg += 17) {
+          EXPECT_EQ(co_await shm.ReadWord(
+                        p, base + static_cast<mmem::VAddr>(pg) * mmem::kPageSize),
+                    1000u + pg);
+        }
+      },
+      300 * kSecond);
+}
+
+TEST(EngineEdge, TwelveSiteReaderMaskAndBatch) {
+  // All 11 non-library sites read the same fresh page concurrently: the
+  // library must batch and the final reader mask must contain all of them.
+  World w(12);
+  int id = w.shm(0).Shmget(1, 512, true).value();
+  int done = 0;
+  for (int s = 1; s < 12; ++s) {
+    w.kernel(s).Spawn("rd", Priority::kUser, [&w, s, id, &done](Process* p) -> Task<> {
+      auto& shm = w.shm(s);
+      mmem::VAddr base = shm.Shmat(p, id).value();
+      EXPECT_EQ(co_await shm.ReadWord(p, base), 0u);
+      ++done;
+    });
+  }
+  ASSERT_TRUE(w.RunUntil([&] { return done == 11; }, 120 * kSecond));
+  w.RunFor(200 * kMillisecond);
+  auto dir = w.engine(0)->Directory(id, 0);
+  ASSERT_TRUE(dir.has_value());
+  EXPECT_EQ(dir->mode, PageMode::kReaders);
+  EXPECT_EQ(mmem::MaskCount(dir->readers), 11);
+  EXPECT_GE(w.engine(0)->stats().read_batches, 1u);
+}
+
+TEST(EngineEdge, DuplicateFaultsFromColocatedProcessesSendOneRequest) {
+  World w(2);
+  int id = w.shm(0).Shmget(1, 512, true).value();
+  // Pin the page remotely first.
+  RunAs(w, 1, [id](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr base = shm.Shmat(p, id).value();
+    co_await shm.WriteWord(p, base, 5);
+  });
+  // Three colocated processes at site 0 fault on the same page while the
+  // library's window... just concurrently; only one request may be sent.
+  std::uint64_t before = w.engine(0)->stats().local_requests;
+  int done = 0;
+  for (int i = 0; i < 3; ++i) {
+    w.kernel(0).Spawn("f" + std::to_string(i), Priority::kUser,
+                      [&w, id, &done](Process* p) -> Task<> {
+                        auto& shm = w.shm(0);
+                        mmem::VAddr base = shm.Shmat(p, id).value();
+                        EXPECT_EQ(co_await shm.ReadWord(p, base), 5u);
+                        ++done;
+                      });
+  }
+  ASSERT_TRUE(w.RunUntil([&] { return done == 3; }, 60 * kSecond));
+  EXPECT_EQ(w.engine(0)->stats().local_requests, before + 1);
+}
+
+TEST(EngineEdge, StaleQueuedRequestIsDroppedNotRegranted) {
+  // A read request that is already satisfied by the time the library
+  // processes it (because a batched grant covered the site) is dropped.
+  WorldOptions opts;
+  opts.protocol.default_window_us = 300 * kMillisecond;
+  World w(3, opts);
+  int id = w.shm(0).Shmget(1, 512, true).value();
+  // Writer holds the page under a long window.
+  RunAs(w, 1, [id](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr base = shm.Shmat(p, id).value();
+    co_await shm.WriteWord(p, base, 9);
+  });
+  // Two processes at site 2 fault read+read-then... trigger one request via
+  // first process; the second faults while the first request is queued.
+  int done = 0;
+  for (int i = 0; i < 2; ++i) {
+    w.kernel(2).Spawn("r", Priority::kUser, [&w, id, &done](Process* p) -> Task<> {
+      auto& shm = w.shm(2);
+      mmem::VAddr base = shm.Shmat(p, id).value();
+      EXPECT_EQ(co_await shm.ReadWord(p, base), 9u);
+      ++done;
+    });
+  }
+  ASSERT_TRUE(w.RunUntil([&] { return done == 2; }, 60 * kSecond));
+  w.RunFor(200 * kMillisecond);
+  // One remote request sufficed for both processes.
+  EXPECT_EQ(w.engine(2)->stats().remote_requests_sent, 1u);
+}
+
+TEST(EngineEdge, ReadOnlyAttachReadsRemoteDataButCannotFault) {
+  World w(2);
+  int id = w.shm(0).Shmget(1, 512, true).value();
+  RunAs(w, 0, [id](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr base = shm.Shmat(p, id).value();
+    co_await shm.WriteWord(p, base + 12, 777);
+  });
+  RunAs(w, 1, [id](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr base = shm.Shmat(p, id, std::nullopt, /*read_only=*/true).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, base + 12), 777u);
+    bool threw = false;
+    try {
+      co_await shm.WriteWord(p, base + 12, 1);
+    } catch (const msysv::ProtectionFault&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  });
+}
+
+TEST(EngineEdge, SegmentDestroyDropsAllSiteState) {
+  World w(3);
+  int id = w.shm(0).Shmget(1, 1024, true).value();
+  // Every site attaches and writes; nobody detaches until all have written,
+  // so the segment survives the traffic and dies on the true last detach.
+  int written = 0;
+  int finished = 0;
+  for (int s : {1, 2, 0}) {
+    w.kernel(s).Spawn("life", Priority::kUser,
+                      [&w, s, id, &written, &finished](Process* p) -> Task<> {
+                        auto& shm = w.shm(s);
+                        mmem::VAddr base = shm.Shmat(p, id).value();
+                        co_await shm.WriteWord(p, base + 4 * s, 10 + s);
+                        ++written;
+                        for (;;) {
+                          if (written == 3) {
+                            break;
+                          }
+                          co_await w.kernel(s).Yield(p);
+                        }
+                        EXPECT_TRUE(shm.Shmdt(p, base).ok());
+                        ++finished;
+                      });
+  }
+  ASSERT_TRUE(w.RunUntil([&] { return finished == 3; }, 60 * kSecond));
+  w.RunFor(200 * kMillisecond);
+  // The last detach destroyed it everywhere.
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(w.engine(s)->ImageOrNull(id), nullptr);
+    EXPECT_FALSE(w.engine(s)->IsLibraryFor(id));
+  }
+  EXPECT_EQ(w.registry().Count(), 0u);
+}
+
+TEST(EngineEdge, SegmentRecreatedAfterDestroyStartsFresh) {
+  World w(2);
+  int id1 = w.shm(0).Shmget(1, 512, true).value();
+  RunAs(w, 1, [id1](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr base = shm.Shmat(p, id1).value();
+    co_await shm.WriteWord(p, base, 42);
+    shm.Shmdt(p, base);  // last detach destroys
+  });
+  w.RunFor(200 * kMillisecond);
+  int id2 = w.shm(1).Shmget(1, 512, true).value();  // new library at site 1
+  EXPECT_NE(id1, id2);
+  RunAs(w, 0, [id2](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr base = shm.Shmat(p, id2).value();
+    // Fresh zero-filled pages, not the old contents.
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 0u);
+  });
+}
+
+TEST(EngineEdge, EnsureImageIsIdempotent) {
+  World w(1);
+  int id = w.shm(0).Shmget(1, 512, true).value();
+  auto meta = w.registry().FindById(id);
+  ASSERT_TRUE(meta.has_value());
+  auto* img1 = w.backend(0).EnsureImage(*meta);
+  auto* img2 = w.backend(0).EnsureImage(*meta);
+  EXPECT_EQ(img1, img2);
+}
+
+TEST(EngineEdge, UpgradeChainWindowSemantics) {
+  // write -> remote read (downgrade, fresh window) -> original writer
+  // upgrades again: the upgrade must respect the read set's window.
+  WorldOptions opts;
+  opts.protocol.default_window_us = 200 * kMillisecond;
+  World w(2, opts);
+  int id = w.shm(0).Shmget(1, 512, true).value();
+  RunAs(w, 1, [id](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr base = shm.Shmat(p, id).value();
+    co_await shm.WriteWord(p, base, 1);
+  });
+  w.RunFor(300 * kMillisecond);  // writer window expires
+  // Site 0 reads (downgrade — fresh window at clock site 1)...
+  RunAs(w, 0, [id](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr base = shm.Shmat(p, id).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 1u);
+  });
+  // ...then site 0 immediately writes: the upgrade's invalidation of the
+  // read set must wait out the fresh window at the clock site.
+  msim::Time t0 = w.sim().Now();
+  RunAs(w, 0, [id](msysv::ShmSystem& shm, Process* p) -> Task<> {
+    mmem::VAddr base = shm.Shmat(p, id).value();
+    co_await shm.WriteWord(p, base, 2);
+  });
+  EXPECT_GT(w.sim().Now() - t0, 120 * kMillisecond);
+}
+
+}  // namespace

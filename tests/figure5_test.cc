@@ -1,0 +1,114 @@
+// Figure 5 — "Two Site Worst Case Application": the page-mode sequence
+// during a ping-pong exchange, asserted step by step against the library
+// directory. This is the paper's state diagram as an executable test.
+#include <gtest/gtest.h>
+
+#include "src/sysv/world.h"
+
+namespace {
+
+using mirage::PageMode;
+using mos::Priority;
+using mos::Process;
+using msim::kMillisecond;
+using msim::kSecond;
+using msim::Task;
+using msysv::World;
+
+struct Fig5Test : public ::testing::Test {
+  World w{2};
+  int shmid = -1;
+
+  void SetUp() override { shmid = w.shm(0).Shmget(1, 512, true).value(); }
+
+  void Step(int site, const std::function<Task<>(msysv::ShmSystem&, Process*, mmem::VAddr)>& fn) {
+    bool done = false;
+    w.kernel(site).Spawn("step", Priority::kUser,
+                         [this, site, &fn, &done](Process* p) -> Task<> {
+                           auto& shm = w.shm(site);
+                           mmem::VAddr base = shm.Shmat(p, shmid).value();
+                           co_await fn(shm, p, base);
+                           done = true;
+                         });
+    ASSERT_TRUE(w.RunUntil([&] { return done; }, 30 * kSecond));
+    w.RunFor(100 * kMillisecond);  // let directory updates settle
+  }
+
+  mirage::DirectoryView Dir() {
+    auto v = w.engine(0)->Directory(shmid, 0);
+    EXPECT_TRUE(v.has_value());
+    return *v;
+  }
+};
+
+TEST_F(Fig5Test, PageModeSequenceMatchesFigure5) {
+  // Step 1: Site A (here site 0) writes CHECKVAL — A becomes the writer.
+  Step(0, [](msysv::ShmSystem& shm, Process* p, mmem::VAddr a) -> Task<> {
+    co_await shm.WriteWord(p, a, 0x1111);
+  });
+  {
+    mirage::DirectoryView d = Dir();
+    EXPECT_EQ(d.mode, PageMode::kWriter);
+    EXPECT_EQ(d.writer, 0);
+    EXPECT_EQ(d.clock_site, 0);
+  }
+
+  // Step 2: Site B's spin read — A is downgraded; both sites are readers;
+  // A (the old writer) remains the clock site.
+  Step(1, [](msysv::ShmSystem& shm, Process* p, mmem::VAddr a) -> Task<> {
+    EXPECT_EQ(co_await shm.ReadWord(p, a), 0x1111u);
+  });
+  {
+    mirage::DirectoryView d = Dir();
+    EXPECT_EQ(d.mode, PageMode::kReaders);
+    EXPECT_EQ(d.readers, mmem::MaskOf(0) | mmem::MaskOf(1));
+    EXPECT_EQ(d.clock_site, 0);
+    // A's copy survives, read-only (optimization 2).
+    EXPECT_TRUE(w.engine(0)->ImageOrNull(shmid)->Present(0));
+    EXPECT_FALSE(w.engine(0)->ImageOrNull(shmid)->Writable(0));
+  }
+
+  // Step 3: Site B writes its reply — B is in the read set, so this is the
+  // upgrade: no page moves, A's copy is invalidated, B becomes writer and
+  // clock site.
+  std::uint64_t large_before = w.network().stats().large_packets;
+  Step(1, [](msysv::ShmSystem& shm, Process* p, mmem::VAddr a) -> Task<> {
+    co_await shm.WriteWord(p, a + 4, 0x2222);
+  });
+  {
+    mirage::DirectoryView d = Dir();
+    EXPECT_EQ(d.mode, PageMode::kWriter);
+    EXPECT_EQ(d.writer, 1);
+    EXPECT_EQ(d.clock_site, 1);
+    EXPECT_EQ(w.network().stats().large_packets, large_before);  // upgrade, no page
+    EXPECT_FALSE(w.engine(0)->ImageOrNull(shmid)->Present(0));
+  }
+
+  // Step 4: Site A's spin read sees the reply — B downgraded, both readers
+  // again, B (old writer) is the clock site. Back to step 1's mirror image.
+  Step(0, [](msysv::ShmSystem& shm, Process* p, mmem::VAddr a) -> Task<> {
+    EXPECT_EQ(co_await shm.ReadWord(p, a + 4), 0x2222u);
+    // The earlier write is still there too — page data is one unit.
+    EXPECT_EQ(co_await shm.ReadWord(p, a), 0x1111u);
+  });
+  {
+    mirage::DirectoryView d = Dir();
+    EXPECT_EQ(d.mode, PageMode::kReaders);
+    EXPECT_EQ(d.readers, mmem::MaskOf(0) | mmem::MaskOf(1));
+    EXPECT_EQ(d.clock_site, 1);
+  }
+
+  // Step 5: Site A writes the next CHECKVAL — upgrade at A, symmetric to
+  // step 3; the cycle closes exactly as Figure 5's "Back to Step 1".
+  Step(0, [](msysv::ShmSystem& shm, Process* p, mmem::VAddr a) -> Task<> {
+    co_await shm.WriteWord(p, a + 8, 0x3333);
+  });
+  {
+    mirage::DirectoryView d = Dir();
+    EXPECT_EQ(d.mode, PageMode::kWriter);
+    EXPECT_EQ(d.writer, 0);
+    EXPECT_EQ(d.clock_site, 0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Unit tests for the network substrate: cost model arithmetic, delivery,
+// ordering, statistics, and observers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/cost_model.h"
+#include "src/net/network.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using mnet::CostModel;
+using mnet::Network;
+using mnet::Packet;
+
+TEST(CostModel, PaperRoundTripArithmetic) {
+  CostModel c;
+  // Short round trip: tx + rx each way = 12.9 ms (§7.1).
+  EXPECT_EQ(2 * c.TxCost(64) + 2 * c.RxCost(64), 12900);
+  // 1 KB message out, short reply back = 21.45 ms (paper: 21.5).
+  EXPECT_EQ(c.TxCost(1024) + c.RxCost(1024) + c.TxCost(64) + c.RxCost(64), 21450);
+}
+
+TEST(CostModel, ThresholdSplitsShortAndLarge) {
+  CostModel c;
+  EXPECT_EQ(c.TxCost(0), c.tx_short_us);
+  EXPECT_EQ(c.TxCost(255), c.tx_short_us);
+  EXPECT_EQ(c.TxCost(256), c.tx_large_us);
+  EXPECT_EQ(c.RxCost(576), c.rx_large_us);
+}
+
+struct NetFixture : public ::testing::Test {
+  msim::Simulator sim;
+  CostModel costs;
+  Network net{&sim, &costs};
+};
+
+TEST_F(NetFixture, DeliversToRegisteredSink) {
+  std::vector<std::uint32_t> got;
+  net.RegisterSite(1, [&](Packet p) { got.push_back(p.type); });
+  Packet p;
+  p.src = 0;
+  p.dst = 1;
+  p.type = 42;
+  p.size_bytes = 64;
+  net.Deliver(p);
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{42}));
+}
+
+TEST_F(NetFixture, UnregisteredDestinationThrows) {
+  Packet p;
+  p.dst = 9;
+  EXPECT_THROW(net.Deliver(p), std::logic_error);
+}
+
+TEST_F(NetFixture, DoubleRegistrationThrows) {
+  net.RegisterSite(1, [](Packet) {});
+  EXPECT_THROW(net.RegisterSite(1, [](Packet) {}), std::logic_error);
+}
+
+TEST_F(NetFixture, StatsCountShortAndLarge) {
+  net.RegisterSite(1, [](Packet) {});
+  Packet s;
+  s.dst = 1;
+  s.type = 1;
+  s.size_bytes = 64;
+  Packet l;
+  l.dst = 1;
+  l.type = 2;
+  l.size_bytes = 576;
+  net.Deliver(s);
+  net.Deliver(s);
+  net.Deliver(l);
+  EXPECT_EQ(net.stats().packets, 3u);
+  EXPECT_EQ(net.stats().short_packets, 2u);
+  EXPECT_EQ(net.stats().large_packets, 1u);
+  EXPECT_EQ(net.stats().payload_bytes, 64u + 64u + 576u);
+  EXPECT_EQ(net.stats().packets_by_type.at(1), 2u);
+  EXPECT_EQ(net.stats().packets_by_type.at(2), 1u);
+  net.ResetStats();
+  EXPECT_EQ(net.stats().packets, 0u);
+}
+
+TEST_F(NetFixture, ObserversSeeEveryPacketWithTimestamp) {
+  net.RegisterSite(1, [](Packet) {});
+  std::vector<msim::Time> times;
+  net.AddObserver([&](const Packet&, msim::Time t) { times.push_back(t); });
+  sim.Schedule(500, [&] {
+    Packet p;
+    p.dst = 1;
+    p.size_bytes = 64;
+    net.Deliver(p);
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 500);
+}
+
+TEST(PacketBody, TypedRoundTrip) {
+  struct Body {
+    int a;
+    double b;
+  };
+  Packet p = mnet::MakePacket(0, 1, 7, 64, Body{42, 2.5});
+  const Body& body = mnet::PacketBody<Body>(p);
+  EXPECT_EQ(body.a, 42);
+  EXPECT_EQ(body.b, 2.5);
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Scheduler edge cases: interrupt-return semantics, priority interactions,
+// timer/wakeup races, send ordering under contention, idle accounting, and
+// dispatch determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/os/kernel.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using mos::Channel;
+using mos::Kernel;
+using mos::Priority;
+using mos::Process;
+using mos::SchedulerConfig;
+using msim::Duration;
+using msim::Simulator;
+using msim::Task;
+using msim::Time;
+
+struct NetFixture : public ::testing::Test {
+  Simulator sim;
+  mnet::CostModel costs;
+  std::unique_ptr<mnet::Network> net;
+  std::unique_ptr<Kernel> k0;
+  std::unique_ptr<Kernel> k1;
+
+  void Boot() {
+    net = std::make_unique<mnet::Network>(&sim, &costs);
+    k0 = std::make_unique<Kernel>(&sim, net.get(), 0);
+    k1 = std::make_unique<Kernel>(&sim, net.get(), 1);
+  }
+};
+
+TEST_F(NetFixture, KernelProcWokenByPacketWaitsForTickUnderBusyUser) {
+  // A user is computing when a packet arrives. The network server (kernel
+  // class) must not run until the next tick boundary — and the interrupted
+  // user must resume in between (interrupt-return semantics).
+  Boot();
+  std::vector<std::pair<const char*, Time>> events;
+  k1->SetPacketHandler([&](Process*, mnet::Packet) -> Task<> {
+    events.emplace_back("handler", sim.Now());
+    co_return;
+  });
+  k0->Start();
+  k1->Start();
+  k1->Spawn("busy", Priority::kUser, [&](Process* p) -> Task<> {
+    for (int i = 0; i < 200; ++i) {
+      co_await k1->Compute(p, 500);
+      events.emplace_back("user-slice", sim.Now());
+    }
+  });
+  k0->Spawn("sender", Priority::kUser, [&](Process* p) -> Task<> {
+    mnet::Packet pkt;
+    pkt.src = 0;
+    pkt.dst = 1;
+    pkt.type = 1;
+    pkt.size_bytes = 64;
+    co_await k0->Send(p, pkt);
+  });
+  sim.RunUntil(msim::kSecond);
+  // Find the handler event; it must land on a tick boundary (+ rx/handle
+  // costs + kernel switch), and user slices must appear both before and
+  // after it.
+  SchedulerConfig cfg;
+  Time handler_at = -1;
+  bool user_before = false;
+  bool user_after = false;
+  for (const auto& [what, t] : events) {
+    if (std::string(what) == "handler") {
+      handler_at = t;
+    } else if (handler_at < 0) {
+      user_before = true;
+    } else {
+      user_after = true;
+    }
+  }
+  ASSERT_GE(handler_at, 0);
+  EXPECT_TRUE(user_before);
+  EXPECT_TRUE(user_after);
+  // Packet arrives ~ctx+tx after 0; the server's work (rx+handle) starts at
+  // the first tick at/after arrival, so the handler time is tick-aligned
+  // modulo the rx+handle+switch costs.
+  Time service_start =
+      handler_at - costs.rx_short_us - costs.input_handle_cpu_us - cfg.kernel_switch_us;
+  EXPECT_EQ(service_start % cfg.tick_us, 0) << "server did not start at a tick";
+}
+
+TEST_F(NetFixture, BackToBackSendsArriveInOrderWithUniformSpacing) {
+  Boot();
+  std::vector<std::uint32_t> got;
+  k1->SetPacketHandler([&](Process*, mnet::Packet pkt) -> Task<> {
+    got.push_back(pkt.type);
+    co_return;
+  });
+  k0->Start();
+  k1->Start();
+  k0->Spawn("sender", Priority::kUser, [&](Process* p) -> Task<> {
+    for (std::uint32_t i = 1; i <= 8; ++i) {
+      mnet::Packet pkt;
+      pkt.src = 0;
+      pkt.dst = 1;
+      pkt.type = i;
+      pkt.size_bytes = i % 2 == 0 ? 576u : 64u;  // alternate short/large
+      co_await k0->Send(p, pkt);
+    }
+  });
+  sim.RunUntil(msim::kSecond);
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+struct SoloFixture : public ::testing::Test {
+  Simulator sim;
+  SchedulerConfig cfg;
+  std::unique_ptr<Kernel> kernel;
+  void Boot() {
+    kernel = std::make_unique<Kernel>(&sim, nullptr, 0, cfg);
+    kernel->Start();
+  }
+};
+
+TEST_F(SoloFixture, IdleTimeAccountsGaps) {
+  Boot();
+  kernel->Spawn("p", Priority::kUser, [&](Process* p) -> Task<> {
+    co_await kernel->Compute(p, 10000);
+    co_await kernel->SleepFor(p, 50000);  // CPU idle
+    co_await kernel->Compute(p, 10000);
+  });
+  sim.RunUntil(200000);
+  EXPECT_GE(kernel->stats().idle_time, 50000);
+  // Only the first dispatch pays a switch: nothing else ran while this
+  // process slept, so its redispatch is free (last_on_cpu unchanged).
+  EXPECT_EQ(kernel->stats().busy_time, 20000 + cfg.context_switch_us);
+}
+
+TEST_F(SoloFixture, TimerWakeupIgnoredAfterIntermediateWake) {
+  // A process sleeps on a channel with... here: SleepFor, is woken via the
+  // timer, then immediately blocks on a channel. The stale generation guard
+  // must not wake it from the channel.
+  Boot();
+  Channel chan;
+  int wakes = 0;
+  kernel->Spawn("p", Priority::kUser, [&](Process* p) -> Task<> {
+    co_await kernel->SleepFor(p, 1000);
+    ++wakes;
+    co_await kernel->SleepOn(p, chan);  // nothing ever notifies
+    ++wakes;
+  });
+  sim.RunUntil(msim::kSecond);
+  EXPECT_EQ(wakes, 1);
+  EXPECT_EQ(chan.WaiterCount(), 1u);
+}
+
+TEST_F(SoloFixture, ThreeWayRoundRobinIsFair) {
+  Boot();
+  std::vector<Duration> cpu(3, 0);
+  int done = 0;
+  for (int i = 0; i < 3; ++i) {
+    kernel->Spawn("cpu" + std::to_string(i), Priority::kUser,
+                  [&, i](Process* p) -> Task<> {
+                    for (int k = 0; k < 40; ++k) {
+                      co_await kernel->Compute(p, 10000);
+                    }
+                    cpu[i] = p->cpu_time;
+                    ++done;
+                  });
+  }
+  sim.RunUntil(10 * msim::kSecond);
+  ASSERT_EQ(done, 3);
+  // Everyone got the same total CPU demand; round-robin means completion
+  // times interleave rather than serialize — check via quantum expiries.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(kernel->FindProcess(i + 1)->quantum_expiries, 2u);
+  }
+}
+
+TEST_F(SoloFixture, KernelClassRoundRobinsAmongItself) {
+  Boot();
+  // Two kernel-class CPU hogs must share via quantum expiry as well.
+  int done = 0;
+  for (int i = 0; i < 2; ++i) {
+    kernel->Spawn("k" + std::to_string(i), Priority::kKernel,
+                  [&](Process* p) -> Task<> {
+                    for (int k = 0; k < 30; ++k) {
+                      co_await kernel->Compute(p, 10000);
+                    }
+                    ++done;
+                  });
+  }
+  sim.RunUntil(5 * msim::kSecond);
+  EXPECT_EQ(done, 2);
+  EXPECT_GE(kernel->FindProcess(1)->quantum_expiries +
+                kernel->FindProcess(2)->quantum_expiries,
+            2u);
+}
+
+TEST_F(SoloFixture, UserNeverStarvesUnderPeriodicKernelWork) {
+  Boot();
+  // A kernel-class process wakes every 5 ms and computes 1 ms; the user
+  // still accumulates the lion's share of CPU.
+  kernel->Spawn("kproc", Priority::kKernel, [&](Process* p) -> Task<> {
+    for (int i = 0; i < 100; ++i) {
+      co_await kernel->SleepFor(p, 5000);
+      co_await kernel->Compute(p, 1000);
+    }
+  });
+  Process* user = kernel->Spawn("user", Priority::kUser, [&](Process* p) -> Task<> {
+    for (int i = 0; i < 1000; ++i) {
+      co_await kernel->Compute(p, 1000);
+    }
+  });
+  sim.RunUntil(3 * msim::kSecond);
+  EXPECT_TRUE(user->Exited());
+  EXPECT_GE(user->cpu_time, 1000 * 1000);
+}
+
+TEST_F(SoloFixture, DispatchOrderDeterministicAcrossRuns) {
+  auto run = [] {
+    Simulator sim;
+    Kernel kernel(&sim, nullptr, 0);
+    kernel.Start();
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+      kernel.Spawn("p" + std::to_string(i), Priority::kUser,
+                   [&kernel, &order, i](Process* p) -> Task<> {
+                     for (int k = 0; k < 5; ++k) {
+                       co_await kernel.Compute(p, 1000 * (i + 1));
+                       order.push_back(i);
+                       co_await kernel.Yield(p);
+                     }
+                   });
+    }
+    sim.RunUntil(msim::kSecond);
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace

@@ -1,0 +1,255 @@
+// Unit tests for the discrete-event simulator core: event ordering,
+// cancellation, coroutine tasks, and synchronization primitives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace {
+
+using msim::Duration;
+using msim::Gate;
+using msim::Rng;
+using msim::Simulator;
+using msim::SleepFor;
+using msim::Task;
+using msim::Time;
+using msim::WaitQueue;
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(Simulator, SameTimeEventsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(100, [&] {
+    sim.Schedule(-50, [&] { EXPECT_EQ(sim.Now(), 100); });
+  });
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(Simulator, EventsScheduledDuringEventRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] {
+    sim.Schedule(5, [&] {
+      fired = 1;
+      EXPECT_EQ(sim.Now(), 15);
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelPreventsEvent) {
+  Simulator sim;
+  bool fired = false;
+  msim::EventId id = sim.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  std::vector<Time> fired;
+  sim.Schedule(10, [&] { fired.push_back(sim.Now()); });
+  sim.Schedule(50, [&] { fired.push_back(sim.Now()); });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired.size(), 1u);
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunUntil(100);
+  EXPECT_EQ(fired.size(), 2u);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(i, [&] {
+      ++count;
+      if (count == 3) {
+        sim.Stop();
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.PendingEvents(), 7u);
+}
+
+TEST(Simulator, MaxEventsGuard) {
+  Simulator sim;
+  // A self-perpetuating event chain must be stopped by the guard.
+  std::function<void()> again = [&] { sim.Schedule(1, again); };
+  sim.Schedule(1, again);
+  std::uint64_t n = sim.Run(1000);
+  EXPECT_EQ(n, 1000u);
+}
+
+// ---- coroutine tasks ----
+
+Task<int> ReturnForty() { co_return 40; }
+
+Task<int> AddTwo() {
+  int v = co_await ReturnForty();
+  co_return v + 2;
+}
+
+TEST(Task, NestedTasksPropagateValues) {
+  Task<int> t = AddTwo();
+  bool done = false;
+  t.Start([&] { done = true; });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(t.Result(), 42);
+}
+
+Task<> Thrower() {
+  throw std::runtime_error("boom");
+  co_return;  // unreachable; makes this a coroutine
+}
+
+Task<> CatchesChild() {
+  EXPECT_THROW(co_await Thrower(), std::runtime_error);
+}
+
+TEST(Task, ExceptionsPropagateToAwaiter) {
+  Task<> t = CatchesChild();
+  t.Start();
+  EXPECT_TRUE(t.Done());
+}
+
+TEST(Task, RootExceptionStored) {
+  Task<> t = Thrower();
+  t.Start();
+  EXPECT_TRUE(t.Done());
+  EXPECT_THROW(t.CheckResult(), std::runtime_error);
+}
+
+Task<> SleepTwice(Simulator& sim, std::vector<Time>* out) {
+  co_await SleepFor(sim, 100);
+  out->push_back(sim.Now());
+  co_await SleepFor(sim, 50);
+  out->push_back(sim.Now());
+}
+
+TEST(Task, SleepAdvancesVirtualTime) {
+  Simulator sim;
+  std::vector<Time> times;
+  Task<> t = SleepTwice(sim, &times);
+  t.Start();
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<Time>{100, 150}));
+  EXPECT_TRUE(t.Done());
+}
+
+Task<> Waiter(WaitQueue& q, int id, std::vector<int>* out) {
+  co_await q.Wait();
+  out->push_back(id);
+}
+
+TEST(WaitQueue, NotifyOneWakesInFifoOrder) {
+  Simulator sim;
+  WaitQueue q(&sim);
+  std::vector<int> out;
+  Task<> a = Waiter(q, 1, &out);
+  Task<> b = Waiter(q, 2, &out);
+  a.Start();
+  b.Start();
+  EXPECT_EQ(q.WaiterCount(), 2u);
+  q.NotifyOne();
+  sim.Run();
+  EXPECT_EQ(out, (std::vector<int>{1}));
+  q.NotifyAll();
+  sim.Run();
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(WaitQueue, NotifyOnEmptyQueueReturnsFalse) {
+  Simulator sim;
+  WaitQueue q(&sim);
+  EXPECT_FALSE(q.NotifyOne());
+  EXPECT_EQ(q.NotifyAll(), 0);
+}
+
+Task<> GateWaiter(Gate& g, bool* done) {
+  co_await g.Wait();
+  *done = true;
+}
+
+TEST(Gate, WaitAfterOpenCompletesImmediately) {
+  Simulator sim;
+  Gate g(&sim);
+  g.Open();
+  bool done = false;
+  Task<> t = GateWaiter(g, &done);
+  t.Start();
+  EXPECT_TRUE(done);  // never suspended
+}
+
+TEST(Gate, OpenReleasesAllWaiters) {
+  Simulator sim;
+  Gate g(&sim);
+  bool d1 = false;
+  bool d2 = false;
+  Task<> t1 = GateWaiter(g, &d1);
+  Task<> t2 = GateWaiter(g, &d2);
+  t1.Start();
+  t2.Start();
+  EXPECT_FALSE(d1);
+  g.Open();
+  sim.Run();
+  EXPECT_TRUE(d1);
+  EXPECT_TRUE(d2);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, BetweenStaysInRange) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = r.Between(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Heavy randomized stress: multiple sites, multiple segments with different
+// library sites, multiple processes per site, random read/write/test&set
+// traffic with occasional attach/detach churn, all continuously checked
+// against the global invariant oracle and a per-slice value oracle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/mirage/invariants.h"
+#include "src/sim/random.h"
+#include "src/sysv/world.h"
+
+namespace {
+
+using mirage::InvariantChecker;
+using mirage::InvariantReport;
+using mos::Priority;
+using mos::Process;
+using msim::kMillisecond;
+using msim::kSecond;
+using msim::Rng;
+using msim::Task;
+using msysv::World;
+using msysv::WorldOptions;
+
+struct StressCase {
+  int sites;
+  int segments;
+  int procs_per_site;
+  int steps;
+  msim::Duration window_us;
+  std::uint64_t seed;
+  double loss;
+  bool parallel_lib = false;
+};
+
+class StressSuite : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(StressSuite, RandomTrafficHoldsAllInvariants) {
+  const StressCase sc = GetParam();
+  WorldOptions opts;
+  opts.protocol.default_window_us = sc.window_us;
+  opts.protocol.parallel_page_ops = sc.parallel_lib;
+  if (sc.loss > 0) {
+    opts.circuit = mnet::CircuitOptions{};
+    opts.circuit->loss_probability = sc.loss;
+    opts.circuit->loss_seed = sc.seed;
+  }
+  World w(sc.sites, opts);
+
+  // Segments created round-robin across sites (different library sites).
+  std::vector<int> shmids;
+  for (int g = 0; g < sc.segments; ++g) {
+    shmids.push_back(
+        w.shm(g % sc.sites).Shmget(100 + g, 2 * mmem::kPageSize, true).value());
+  }
+
+  std::vector<mirage::Engine*> engines;
+  for (int s = 0; s < sc.sites; ++s) {
+    engines.push_back(w.engine(s));
+  }
+  InvariantChecker checker(engines);
+
+  // Continuous physical-invariant sampling.
+  int physical_violations = 0;
+  bool stop_sampling = false;
+  std::function<void()> sample = [&] {
+    if (stop_sampling) {
+      return;
+    }
+    InvariantReport r = checker.CheckPhysical(w.registry());
+    physical_violations += static_cast<int>(r.violations.size());
+    w.sim().Schedule(5 * kMillisecond, sample);
+  };
+  w.sim().Schedule(0, sample);
+
+  // Every (site, proc) owns one word per segment: slice oracle.
+  int finished = 0;
+  const int total_procs = sc.sites * sc.procs_per_site;
+  int oracle_failures = 0;
+  for (int s = 0; s < sc.sites; ++s) {
+    for (int pr = 0; pr < sc.procs_per_site; ++pr) {
+      int slot = s * sc.procs_per_site + pr;
+      w.kernel(s).Spawn(
+          "stress-" + std::to_string(slot), Priority::kUser,
+          [&w, &shmids, sc, s, slot, &finished, &oracle_failures](Process* p) -> Task<> {
+            auto& shm = w.shm(s);
+            Rng rng(sc.seed * 7919 + static_cast<std::uint64_t>(slot));
+            std::vector<mmem::VAddr> bases(shmids.size(), 0);
+            std::vector<std::vector<std::uint32_t>> own(
+                shmids.size(), std::vector<std::uint32_t>(2, 0));
+            for (int step = 0; step < sc.steps; ++step) {
+              int g = static_cast<int>(rng.Below(shmids.size()));
+              if (bases[g] == 0) {
+                bases[g] = shm.Shmat(p, shmids[g]).value();
+                own[g] = {0, 0};
+              }
+              int page = static_cast<int>(rng.Below(2));
+              mmem::VAddr addr = bases[g] + static_cast<mmem::VAddr>(page) * mmem::kPageSize +
+                                 static_cast<mmem::VAddr>(slot) * 4;
+              double roll = rng.NextDouble();
+              if (roll < 0.45) {
+                std::uint32_t v = co_await shm.ReadWord(p, addr);
+                if (v != own[g][page]) {
+                  ++oracle_failures;
+                }
+              } else if (roll < 0.9) {
+                own[g][page] += 1 + static_cast<std::uint32_t>(rng.Below(3));
+                co_await shm.WriteWord(p, addr, own[g][page]);
+              } else {
+                // Read someone else's slice (value unchecked, traffic only).
+                mmem::VAddr other = bases[g] +
+                                    static_cast<mmem::VAddr>(page) * mmem::kPageSize +
+                                    rng.Below(static_cast<std::uint64_t>(
+                                        sc.sites * sc.procs_per_site)) *
+                                        4;
+                (void)co_await shm.ReadWord(p, other);
+              }
+              co_await w.kernel(s).Compute(p, 100 + rng.Below(4000));
+              if (rng.Chance(0.15)) {
+                co_await w.kernel(s).Yield(p);
+              }
+            }
+            ++finished;
+          });
+    }
+  }
+  ASSERT_TRUE(w.RunUntil([&] { return finished == total_procs; }, 3600 * kSecond));
+  stop_sampling = true;
+  EXPECT_EQ(oracle_failures, 0);
+  EXPECT_EQ(physical_violations, 0);
+
+  // Quiesce, then the full directory invariants must hold too.
+  w.RunFor(2 * kSecond);
+  InvariantReport full = checker.CheckFull(w.registry());
+  EXPECT_TRUE(full.ok()) << full.violations.size() << " violations, first: "
+                         << (full.violations.empty() ? "" : full.violations.front());
+  EXPECT_GT(full.pages_checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StressSuite,
+    ::testing::Values(StressCase{2, 1, 2, 40, 0, 11, 0.0},
+                      StressCase{3, 2, 2, 40, 20 * kMillisecond, 12, 0.0},
+                      StressCase{4, 3, 1, 50, 0, 13, 0.0},
+                      StressCase{4, 2, 2, 30, 50 * kMillisecond, 14, 0.0},
+                      StressCase{5, 4, 2, 30, 10 * kMillisecond, 15, 0.0},
+                      StressCase{3, 2, 1, 30, 20 * kMillisecond, 16, 0.1},
+                      StressCase{6, 3, 1, 25, 33 * kMillisecond, 17, 0.0},
+                      StressCase{2, 1, 3, 60, 100 * kMillisecond, 18, 0.0},
+                      StressCase{4, 3, 2, 40, 20 * kMillisecond, 19, 0.0, true},
+                      StressCase{3, 4, 1, 50, 0, 20, 0.0, true},
+                      StressCase{4, 2, 2, 30, 33 * kMillisecond, 21, 0.15, true},
+                      StressCase{8, 4, 1, 30, 17 * kMillisecond, 22, 0.0, false}),
+    [](const ::testing::TestParamInfo<StressCase>& info) {
+      const StressCase& c = info.param;
+      return "s" + std::to_string(c.sites) + "g" + std::to_string(c.segments) + "p" +
+             std::to_string(c.procs_per_site) + "w" +
+             std::to_string(c.window_us / kMillisecond) + "seed" + std::to_string(c.seed) +
+             (c.loss > 0 ? "_lossy" : "") + (c.parallel_lib ? "_parlib" : "");
+    });
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for the tracing utilities and the request log.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/mirage/request_log.h"
+#include "src/trace/histogram.h"
+#include "src/trace/table.h"
+#include "src/trace/trace.h"
+
+namespace {
+
+TEST(Tracer, DisabledByDefaultRecordsNothing) {
+  mtrace::Tracer t;
+  t.Record(1, 0, "x", "y");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Tracer, RecordsAndFiltersByCategory) {
+  mtrace::Tracer t;
+  t.SetEnabled(true);
+  t.Record(10, 0, "msg", "a");
+  t.Record(20, 1, "fault", "b");
+  t.Record(30, 0, "msg", "c");
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.Count("msg"), 2);
+  EXPECT_EQ(t.Count("fault"), 1);
+  auto msgs = t.Filter("msg");
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].detail, "a");
+  EXPECT_EQ(msgs[1].detail, "c");
+  t.Clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Tracer, PrintWindowBoundsInclusive) {
+  mtrace::Tracer t;
+  t.SetEnabled(true);
+  t.Record(1000, 0, "a", "one");
+  t.Record(2000, 0, "b", "two");
+  t.Record(3000, 0, "c", "three");
+  std::ostringstream os;
+  t.PrintWindow(os, 2000, 3000);
+  std::string s = os.str();
+  EXPECT_EQ(s.find("one"), std::string::npos);
+  EXPECT_NE(s.find("two"), std::string::npos);
+  EXPECT_NE(s.find("three"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumnsAndFormatsNumbers) {
+  mtrace::TextTable t({"name", "value"});
+  t.AddRow({"alpha", mtrace::TextTable::Num(1.2345, 2)});
+  t.AddRow({"b", mtrace::TextTable::Int(42)});
+  std::ostringstream os;
+  t.Print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(RequestLog, HistogramAndSegmentFilter) {
+  mirage::RequestLog log;
+  log.Add({100, 1, 0, true, 2, 10});
+  log.Add({200, 1, 0, false, 3, 11});
+  log.Add({300, 1, 5, false, 3, 11});
+  log.Add({400, 2, 0, true, 2, 10});
+  EXPECT_EQ(log.entries().size(), 4u);
+  EXPECT_EQ(log.ForSegment(1).size(), 3u);
+  auto hist = log.PageHistogram(1);
+  EXPECT_EQ(hist[0], 2);
+  EXPECT_EQ(hist[5], 1);
+  EXPECT_EQ(hist.count(7), 0u);
+  log.Clear();
+  EXPECT_TRUE(log.entries().empty());
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  mtrace::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanMs(), 0.0);
+  EXPECT_EQ(h.PercentileMs(0.99), 0.0);
+}
+
+TEST(LatencyHistogram, MeanAndMaxExact) {
+  mtrace::LatencyHistogram h;
+  h.Record(10 * msim::kMillisecond);
+  h.Record(30 * msim::kMillisecond);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.MeanMs(), 20.0);
+  EXPECT_DOUBLE_EQ(h.MaxMs(), 30.0);
+}
+
+TEST(LatencyHistogram, PercentilesBucketResolution) {
+  mtrace::LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Record(3 * msim::kMillisecond);  // bucket [2,4)
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Record(100 * msim::kMillisecond);  // bucket [64,128)
+  }
+  EXPECT_DOUBLE_EQ(h.PercentileMs(0.50), 4.0);    // upper edge of [2,4)
+  EXPECT_DOUBLE_EQ(h.PercentileMs(0.99), 128.0);  // upper edge of [64,128)
+}
+
+TEST(LatencyHistogram, SubMillisecondAndOverflowBuckets) {
+  mtrace::LatencyHistogram h;
+  h.Record(10);                      // 10 us -> bucket 0
+  h.Record(200 * msim::kSecond);     // far beyond the last edge -> overflow
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(0.0), 1.0);
+  EXPECT_GT(h.MaxMs(), 100000.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Tests for the workload generators: completion, counter consistency, and
+// the correctness properties each workload carries (mutual exclusion for
+// the spinlock, exact op counts for the read-writers, etc.).
+#include <gtest/gtest.h>
+
+#include "src/workload/background.h"
+#include "src/workload/pingpong.h"
+#include "src/workload/readwriters.h"
+#include "src/workload/scalability.h"
+#include "src/workload/spinlock.h"
+
+namespace {
+
+using msim::kMillisecond;
+using msim::kSecond;
+using msysv::World;
+using msysv::WorldOptions;
+
+TEST(PingPong, CompletesAllRoundsTwoSites) {
+  World w(2);
+  mwork::PingPongParams prm;
+  prm.rounds = 10;
+  auto r = mwork::LaunchPingPong(w, prm);
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 120 * kSecond));
+  EXPECT_EQ(r->cycles, 10);
+  EXPECT_GT(r->CyclesPerSecond(), 0.0);
+}
+
+TEST(PingPong, SingleSiteIsMuchFasterWithYield) {
+  auto run = [](bool use_yield, int rounds) {
+    World w(1);
+    mwork::PingPongParams prm;
+    prm.rounds = rounds;
+    prm.use_yield = use_yield;
+    prm.site_b = 0;
+    auto r = mwork::LaunchPingPong(w, prm);
+    w.RunUntil([&] { return r->completed; }, 600 * kSecond);
+    return r->CyclesPerSecond();
+  };
+  double with_yield = run(true, 200);
+  double without = run(false, 20);
+  // The paper's headline single-site result: a ~35x speedup from yield().
+  EXPECT_GT(with_yield / without, 20.0);
+  EXPECT_NEAR(without, 5.0, 1.0);
+}
+
+TEST(PingPong, WrapsAroundSegmentSafely) {
+  World w(2);
+  mwork::PingPongParams prm;
+  prm.rounds = 70;  // > 64 pairs in a 512-byte page: wraps
+  auto r = mwork::LaunchPingPong(w, prm);
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 600 * kSecond));
+  EXPECT_EQ(r->cycles, 70);
+}
+
+TEST(ReadWriters, OpsCountIsExact) {
+  World w(2);
+  mwork::ReadWritersParams prm;
+  prm.iterations = 500;
+  auto r = mwork::LaunchReadWriters(w, prm);
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 120 * kSecond));
+  // Each process: (iterations+1) reads and iterations writes.
+  EXPECT_EQ(r->total_ops, 2u * (2u * 500u + 1u));
+  EXPECT_GT(r->OpsPerSecond(), 0.0);
+}
+
+TEST(ReadWriters, BurstsAndGapsComplete) {
+  World w(2);
+  mwork::ReadWritersParams prm;
+  prm.iterations = 200;
+  prm.bursts = 3;
+  prm.gap_cost_us = 50 * kMillisecond;
+  auto r = mwork::LaunchReadWriters(w, prm);
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 120 * kSecond));
+  EXPECT_EQ(r->total_ops, 2u * 3u * (2u * 200u + 1u));
+}
+
+TEST(Spinlock, MutualExclusionHolds) {
+  World w(2);
+  mwork::SpinlockParams prm;
+  prm.sections = 8;
+  auto r = mwork::LaunchSpinlock(w, prm);
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 300 * kSecond));
+  // Every increment survived: no lost updates inside the critical sections.
+  EXPECT_EQ(r->final_counter,
+            static_cast<std::uint64_t>(2 * prm.sections * prm.writes_per_section));
+}
+
+TEST(Spinlock, WindowSheltersLockHolder) {
+  auto transfers = [](msim::Duration window) {
+    WorldOptions opts;
+    opts.protocol.default_window_us = window;
+    World w(2, opts);
+    mwork::SpinlockParams prm;
+    prm.sections = 40;
+    auto r = mwork::LaunchSpinlock(w, prm);
+    w.RunUntil([&] { return r->completed; }, 300 * kSecond);
+    return w.network().stats().large_packets;
+  };
+  // Delta > 0 sharply reduces page movement (§7.2's test&set discussion).
+  EXPECT_LT(transfers(33 * kMillisecond), transfers(0) / 2);
+}
+
+TEST(Scalability, WriteLatencyGrowsWithReaderCount) {
+  auto latency = [](int sites) {
+    WorldOptions opts;
+    opts.protocol.default_window_us = 50 * kMillisecond;
+    World w(sites, opts);
+    mwork::ScalabilityParams prm;
+    prm.rounds = 4;
+    auto r = mwork::LaunchScalability(w, prm);
+    EXPECT_TRUE(w.RunUntil([&] { return r->completed; }, 300 * kSecond));
+    return r->MeanWriteLatencyMs();
+  };
+  double l3 = latency(3);
+  double l6 = latency(6);
+  EXPECT_GT(l6, l3 * 1.5);
+}
+
+TEST(RingPingPong, FullRotationsCompleteAcrossFourSites) {
+  World w(4);
+  mwork::RingPingPongParams prm;
+  prm.rounds = 5;
+  auto r = mwork::LaunchRingPingPong(w, prm);
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 300 * kSecond));
+  EXPECT_EQ(r->cycles, 5);
+  EXPECT_GT(r->CyclesPerSecond(), 0.0);
+}
+
+TEST(Background, AccumulatesComputeUnits) {
+  World w(1);
+  mwork::BackgroundParams prm;
+  prm.unit_cost_us = 1000;
+  auto r = mwork::LaunchBackground(w, prm);
+  w.RunFor(2 * kSecond);
+  EXPECT_GT(r->units_done, 1500u);
+  EXPECT_NEAR(r->UnitsPerSecond(), 1000.0, 50.0);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the composition layer: World lifecycle/report/run helpers, the
+// segment registry (naming, attach counting, destroy observers), and the
+// global invariant checker's own detection ability.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/mirage/invariants.h"
+#include "src/sysv/world.h"
+
+namespace {
+
+using mos::Priority;
+using mos::Process;
+using msim::kMillisecond;
+using msim::kSecond;
+using msim::Task;
+using msysv::World;
+
+TEST(Registry, CreateFindDestroyRoundTrip) {
+  mirage::SegmentRegistry reg;
+  auto meta = reg.Create(0x55, 2048, mmem::SegmentPerms{}, 1);
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->library_site, 1);
+  EXPECT_EQ(meta->PageCount(), 4);
+  EXPECT_EQ(reg.FindByKey(0x55)->id, meta->id);
+  EXPECT_EQ(reg.FindById(meta->id)->key, 0x55u);
+  EXPECT_FALSE(reg.Create(0x55, 512, mmem::SegmentPerms{}, 0).has_value());  // key taken
+  EXPECT_TRUE(reg.Destroy(meta->id));
+  EXPECT_FALSE(reg.FindByKey(0x55).has_value());
+  EXPECT_FALSE(reg.Destroy(meta->id));  // second destroy is a no-op
+}
+
+TEST(Registry, PrivateKeysNeverCollide) {
+  mirage::SegmentRegistry reg;
+  auto a = reg.Create(0, 512, mmem::SegmentPerms{}, 0);
+  auto b = reg.Create(0, 512, mmem::SegmentPerms{}, 0);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(a->id, b->id);
+  EXPECT_EQ(reg.Count(), 2u);
+}
+
+TEST(Registry, AttachCountingAndObservers) {
+  mirage::SegmentRegistry reg;
+  int dropped = -1;
+  reg.AddDestroyObserver([&](mmem::SegmentId id) { dropped = id; });
+  auto meta = reg.Create(7, 512, mmem::SegmentPerms{}, 0);
+  EXPECT_EQ(reg.NoteAttach(meta->id), 1);
+  EXPECT_EQ(reg.NoteAttach(meta->id), 2);
+  EXPECT_EQ(reg.AttachCount(meta->id), 2);
+  EXPECT_EQ(reg.NoteDetach(meta->id), 1);
+  EXPECT_EQ(reg.NoteDetach(meta->id), 0);
+  EXPECT_EQ(reg.NoteDetach(meta->id), 0);  // underflow-safe
+  reg.Destroy(meta->id);
+  EXPECT_EQ(dropped, meta->id);
+}
+
+TEST(Registry, AllEnumeratesLiveSegments) {
+  mirage::SegmentRegistry reg;
+  reg.Create(1, 512, mmem::SegmentPerms{}, 0);
+  auto b = reg.Create(2, 512, mmem::SegmentPerms{}, 1);
+  reg.Create(3, 512, mmem::SegmentPerms{}, 0);
+  reg.Destroy(b->id);
+  auto all = reg.All();
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(WorldTest, RunUntilHonorsDeadline) {
+  World w(1);
+  msim::Time t0 = w.sim().Now();
+  EXPECT_FALSE(w.RunUntil([] { return false; }, 100 * kMillisecond));
+  EXPECT_GE(w.sim().Now() - t0, 100 * kMillisecond);
+}
+
+TEST(WorldTest, ReportContainsSitesAndNetworkLine) {
+  World w(2);
+  int id = w.shm(0).Shmget(1, 512, true).value();
+  bool done = false;
+  w.kernel(1).Spawn("p", Priority::kUser, [&](Process* p) -> Task<> {
+    auto& shm = w.shm(1);
+    mmem::VAddr base = shm.Shmat(p, id).value();
+    co_await shm.WriteWord(p, base, 1);
+    done = true;
+  });
+  ASSERT_TRUE(w.RunUntil([&] { return done; }, 10 * kSecond));
+  std::ostringstream os;
+  w.PrintReport(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("network:"), std::string::npos);
+  EXPECT_NE(s.find("write-fault latency"), std::string::npos);
+}
+
+TEST(InvariantChecker, DetectsViolationsOnCorruptedState) {
+  // Corrupt the image state on purpose: the checker must notice.
+  World w(2);
+  int id = w.shm(0).Shmget(1, 512, true).value();
+  bool done = false;
+  w.kernel(1).Spawn("p", Priority::kUser, [&](Process* p) -> Task<> {
+    auto& shm = w.shm(1);
+    mmem::VAddr base = shm.Shmat(p, id).value();
+    co_await shm.WriteWord(p, base, 1);
+    done = true;
+  });
+  ASSERT_TRUE(w.RunUntil([&] { return done; }, 10 * kSecond));
+  w.RunFor(500 * kMillisecond);
+  std::vector<mirage::Engine*> engines{w.engine(0), w.engine(1)};
+  mirage::InvariantChecker checker(engines);
+  EXPECT_TRUE(checker.CheckFull(w.registry()).ok());
+
+  // Forge a second writable copy at site 0 behind the protocol's back.
+  auto meta = w.registry().FindById(id);
+  w.engine(0)->EnsureImage(*meta)->InstallPage(0, mmem::PageBytes{}, /*writable=*/true, 0, 0);
+  mirage::InvariantReport bad = checker.CheckPhysical(w.registry());
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(checker.CheckFull(w.registry()).ok());
+}
+
+}  // namespace
