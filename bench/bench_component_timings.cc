@@ -29,8 +29,9 @@ class EchoBackend : public mmem::DsmBackend {
   }
   mmem::SegmentImage* EnsureImage(const mmem::SegmentMeta&) override { return nullptr; }
   void DropSegment(mmem::SegmentId) override {}
-  msim::Task<> Fault(mos::Process*, mmem::SegmentId, mmem::PageNum, bool) override {
-    co_return;
+  msim::Task<mmem::FaultStatus> Fault(mos::Process*, mmem::SegmentId, mmem::PageNum,
+                                      bool) override {
+    co_return mmem::FaultStatus::kOk;
   }
 
   mos::Channel reply_chan;

@@ -14,6 +14,15 @@
 //     --baseline      run over the Li/Hudak protocol instead of Mirage
 //     --loss=P        drop each frame with probability P (virtual circuits
 //                     retransmit; 0 < P < 1)
+//     --crash=S@T     crash site S at T ms (permanent)
+//     --pause=S@T1:T2 pause site S's inbound delivery from T1 to T2 ms
+//     --cut=A-B@T1:T2 partition the A<->B link from T1 to T2 ms
+//
+// Any fault flag enables the protocol recovery timeouts (request backoff,
+// ack timeouts, op deadline) and, when circuits are active, forced
+// sequencing so healed partitions recover by retransmission. Post-run
+// invariant checking is skipped under faults: a crashed site's directory
+// is legitimately stale.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +50,8 @@ struct Args {
   bool parallel_lib = false;
   bool baseline = false;
   double loss = 0.0;
+  mfault::FaultPlan faults;
+  bool faulted = false;
 };
 
 Args Parse(int argc, char** argv) {
@@ -58,6 +69,35 @@ Args Parse(int argc, char** argv) {
       a.baseline = true;
     } else if (s.rfind("--loss=", 0) == 0) {
       a.loss = std::atof(s.c_str() + 7);
+    } else if (s.rfind("--crash=", 0) == 0) {
+      int site = 0;
+      long t = 0;
+      if (std::sscanf(s.c_str() + 8, "%d@%ld", &site, &t) != 2) {
+        std::fprintf(stderr, "bad --crash, want S@Tms: %s\n", s.c_str());
+        std::exit(2);
+      }
+      a.faults.CrashAt(t * msim::kMillisecond, site);
+      a.faulted = true;
+    } else if (s.rfind("--pause=", 0) == 0) {
+      int site = 0;
+      long t1 = 0, t2 = 0;
+      if (std::sscanf(s.c_str() + 8, "%d@%ld:%ld", &site, &t1, &t2) != 3 || t2 < t1) {
+        std::fprintf(stderr, "bad --pause, want S@T1:T2 ms: %s\n", s.c_str());
+        std::exit(2);
+      }
+      a.faults.PauseAt(t1 * msim::kMillisecond, site)
+          .ResumeAt(t2 * msim::kMillisecond, site);
+      a.faulted = true;
+    } else if (s.rfind("--cut=", 0) == 0) {
+      int sa = 0, sb = 0;
+      long t1 = 0, t2 = 0;
+      if (std::sscanf(s.c_str() + 6, "%d-%d@%ld:%ld", &sa, &sb, &t1, &t2) != 4 || t2 < t1) {
+        std::fprintf(stderr, "bad --cut, want A-B@T1:T2 ms: %s\n", s.c_str());
+        std::exit(2);
+      }
+      a.faults.PartitionAt(t1 * msim::kMillisecond, sa, sb)
+          .HealAt(t2 * msim::kMillisecond, sa, sb);
+      a.faulted = true;
     } else if (pos == 0) {
       a.workload = s;
       ++pos;
@@ -89,6 +129,18 @@ int main(int argc, char** argv) {
     opts.circuit = mnet::CircuitOptions{};
     opts.circuit->loss_probability = args.loss;
   }
+  if (args.faulted) {
+    opts.faults = args.faults;
+    // Recovery timeouts: without these the paper's wait-forever defaults
+    // would hang any client of a crashed library site.
+    opts.protocol.request_timeout_us = 250 * msim::kMillisecond;
+    opts.protocol.max_request_attempts = 5;
+    opts.protocol.ack_timeout_us = 250 * msim::kMillisecond;
+    opts.protocol.op_timeout_us = 2 * msim::kSecond;
+    if (opts.circuit.has_value()) {
+      opts.circuit->force_sequencing = true;  // heal recovers by retransmit
+    }
+  }
   if (args.baseline) {
     opts.backend_factory = [](mos::Kernel* k, mirage::SegmentRegistry* reg,
                               mtrace::Tracer* tr) -> std::unique_ptr<mmem::DsmBackend> {
@@ -104,7 +156,21 @@ int main(int argc, char** argv) {
   if (args.loss > 0.0) {
     std::printf(", %.0f%% frame loss", args.loss * 100.0);
   }
+  if (args.faulted) {
+    std::printf(", %zu fault events", args.faults.events().size());
+  }
   std::printf("\n\n");
+
+  // Under faults a workload client may get EIDRM (library/clock site gone);
+  // report it as a failed run instead of crashing the driver.
+  auto run_workload = [&world](const std::function<bool()>& done) {
+    try {
+      return world.RunUntil(done, 900 * msim::kSecond);
+    } catch (const msysv::PageFaultError& e) {
+      std::printf("workload aborted: %s (%s)\n", e.what(), msysv::ShmErrName(e.err()));
+      return false;
+    }
+  };
 
   bool ok = false;
   if (args.workload == "pingpong") {
@@ -113,20 +179,20 @@ int main(int argc, char** argv) {
     prm.use_yield = args.yield;
     prm.site_b = args.sites >= 2 ? 1 : 0;
     auto r = mwork::LaunchPingPong(world, prm);
-    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    ok = run_workload([&] { return r->completed; });
     std::printf("throughput: %.2f cycles/s over %d cycles\n\n", r->CyclesPerSecond(),
                 r->cycles);
   } else if (args.workload == "readwriters") {
     mwork::ReadWritersParams prm;
     prm.iterations = 50000;
     auto r = mwork::LaunchReadWriters(world, prm);
-    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    ok = run_workload([&] { return r->completed; });
     std::printf("throughput: %.0f read-write ops/s\n\n", r->OpsPerSecond());
   } else if (args.workload == "spinlock") {
     mwork::SpinlockParams prm;
     prm.use_yield = args.yield;
     auto r = mwork::LaunchSpinlock(world, prm);
-    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    ok = run_workload([&] { return r->completed; });
     std::printf("throughput: %.2f critical sections/s (mutex %s)\n\n",
                 r->SectionsPerSecond(),
                 r->final_counter == static_cast<std::uint64_t>(2 * 30 * 4) ? "held" : "BROKEN");
@@ -135,7 +201,7 @@ int main(int argc, char** argv) {
     prm.n = 24;
     prm.workers = args.sites;
     auto r = mwork::LaunchMatrixMultiply(world, prm);
-    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    ok = run_workload([&] { return r->completed; });
     std::printf("elapsed: %.3f s (%s)\n\n", r->ElapsedSeconds(),
                 r->verified ? "verified" : "WRONG RESULT");
   } else if (args.workload == "dot") {
@@ -143,7 +209,7 @@ int main(int argc, char** argv) {
     prm.length = 2048;
     prm.workers = args.sites;
     auto r = mwork::LaunchDotProduct(world, prm);
-    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    ok = run_workload([&] { return r->completed; });
     std::printf("elapsed: %.3f s (%s)\n\n", r->ElapsedSeconds(),
                 r->verified ? "verified" : "WRONG RESULT");
   } else if (args.workload == "tsp") {
@@ -151,7 +217,7 @@ int main(int argc, char** argv) {
     prm.cities = 8;
     prm.workers = args.sites;
     auto r = mwork::LaunchTsp(world, prm);
-    ok = world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    ok = run_workload([&] { return r->completed; });
     std::printf("elapsed: %.3f s, best tour %u (%s), %llu nodes\n\n", r->ElapsedSeconds(),
                 r->best_cost, r->verified ? "optimal" : "SUBOPTIMAL",
                 static_cast<unsigned long long>(r->nodes_expanded));
@@ -161,7 +227,9 @@ int main(int argc, char** argv) {
   }
 
   world.PrintReport(std::cout);
-  if (!args.baseline) {
+  if (!args.baseline && !args.faulted) {
+    // Skipped under faults: a crashed site's directory is legitimately
+    // stale, and a lost page legitimately has no usable copy.
     // dsm doctor: validate the global protocol invariants post-run.
     std::vector<mirage::Engine*> engines;
     for (int s = 0; s < world.site_count(); ++s) {

@@ -59,8 +59,8 @@ void LiEngine::DropSegment(mmem::SegmentId seg) {
   }
 }
 
-msim::Task<> LiEngine::Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum page,
-                             bool write) {
+msim::Task<mmem::FaultStatus> LiEngine::Fault(mos::Process* p, mmem::SegmentId seg,
+                                              mmem::PageNum page, bool write) {
   if (write) {
     ++stats_.write_faults;
   } else {
@@ -74,7 +74,7 @@ msim::Task<> LiEngine::Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum
   PageWait& w = WaitFor(seg, page);
   for (;;) {
     if (img.Present(page) && (!write || img.Writable(page))) {
-      co_return;
+      co_return mmem::FaultStatus::kOk;  // the baseline has no recovery paths
     }
     bool& pending = write ? w.pending_write : w.pending_read;
     if (!pending) {

@@ -93,8 +93,8 @@ class LiEngine : public mmem::DsmBackend {
   void Start() override;
   mmem::SegmentImage* EnsureImage(const mmem::SegmentMeta& meta) override;
   void DropSegment(mmem::SegmentId seg) override;
-  msim::Task<> Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum page,
-                     bool write) override;
+  msim::Task<mmem::FaultStatus> Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum page,
+                                      bool write) override;
 
   const LiStats& stats() const { return stats_; }
   mnet::SiteId site() const { return kernel_->site(); }

@@ -1,0 +1,94 @@
+#include "src/fault/fault.h"
+
+#include <string>
+#include <utility>
+
+namespace mfault {
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrashSite:
+      return "CRASH";
+    case FaultKind::kPauseSite:
+      return "PAUSE";
+    case FaultKind::kResumeSite:
+      return "RESUME";
+    case FaultKind::kPartitionLink:
+      return "PARTITION";
+    case FaultKind::kHealLink:
+      return "HEAL";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(msim::Simulator* sim, mnet::Network* net,
+                             std::vector<mos::Kernel*> kernels, mtrace::Tracer* tracer)
+    : sim_(sim), net_(net), kernels_(std::move(kernels)), tracer_(tracer) {
+  net_->SetFaultHooks(
+      [this](mnet::SiteId s) { return SiteUp(s); },
+      [this](mnet::SiteId a, mnet::SiteId b) { return LinkUp(a, b); },
+      [this](mnet::SiteId s) { return Paused(s); });
+  net_->SetCircuitDownHandler([this](mnet::SiteId src, mnet::SiteId dst) {
+    ++stats_.circuits_down;
+    Trace(src, "circuit to site " + std::to_string(dst) + " declared down");
+  });
+}
+
+void FaultInjector::Schedule(const FaultPlan& plan) {
+  for (const FaultEvent& ev : plan.events()) {
+    sim_->ScheduleAt(ev.at_us, [this, ev] { Apply(ev); });
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kCrashSite: {
+      if (crashed_.insert(ev.site).second) {
+        ++stats_.crashes;
+        if (ev.site >= 0 && ev.site < static_cast<int>(kernels_.size())) {
+          kernels_[ev.site]->Halt();
+        }
+        paused_.erase(ev.site);  // a crash supersedes a pause
+        Trace(ev.site, "site crashed");
+      }
+      break;
+    }
+    case FaultKind::kPauseSite: {
+      if (crashed_.count(ev.site) == 0 && paused_.insert(ev.site).second) {
+        ++stats_.pauses;
+        Trace(ev.site, "site paused (inbound delivery stalled)");
+      }
+      break;
+    }
+    case FaultKind::kResumeSite: {
+      if (paused_.erase(ev.site) != 0) {
+        ++stats_.resumes;
+        Trace(ev.site, "site resumed");
+        net_->FlushHeld(ev.site);
+      }
+      break;
+    }
+    case FaultKind::kPartitionLink: {
+      if (cut_links_.insert(LinkKey(ev.site, ev.peer)).second) {
+        ++stats_.partitions;
+        Trace(ev.site, "link to site " + std::to_string(ev.peer) + " partitioned");
+      }
+      break;
+    }
+    case FaultKind::kHealLink: {
+      if (cut_links_.erase(LinkKey(ev.site, ev.peer)) != 0) {
+        ++stats_.heals;
+        Trace(ev.site, "link to site " + std::to_string(ev.peer) + " healed");
+      }
+      break;
+    }
+  }
+}
+
+void FaultInjector::Trace(mnet::SiteId site, const std::string& detail) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Record(sim_->Now(), site, "fault-inject", detail);
+  }
+}
+
+}  // namespace mfault

@@ -1,0 +1,140 @@
+// Deterministic site/link fault injection.
+//
+// Mirage leans on the Locus substrate for liveness: the paper's protocol
+// assumes every site answers eventually (§7.1). This subsystem makes site
+// failure a first-class, injectable, recoverable event so the protocol's
+// timeout/backoff/degraded-mode paths (DESIGN.md "Failure model") can be
+// exercised reproducibly:
+//
+//  * crash(site)        — the site halts permanently: its kernel stops
+//    executing and every packet to or from it is dropped (counted);
+//  * pause/resume(site) — a transient stall of the site's inbound packet
+//    delivery (a wedged network server / long GC-like stall): packets are
+//    held in order and released at resume;
+//  * partition/heal(a,b) — the link between two sites is cut in both
+//    directions; with the circuit layer active, retransmission recovers
+//    everything sent during a healed partition.
+//
+// All transitions are simulator events scheduled from a FaultPlan, so a run
+// with a fixed seed and a fixed plan is bit-for-bit reproducible.
+#ifndef SRC_FAULT_FAULT_H_
+#define SRC_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/os/kernel.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+#include "src/trace/trace.h"
+
+namespace mfault {
+
+enum class FaultKind {
+  kCrashSite,
+  kPauseSite,
+  kResumeSite,
+  kPartitionLink,
+  kHealLink,
+};
+
+const char* FaultKindName(FaultKind k);
+
+struct FaultEvent {
+  msim::Time at_us = 0;
+  FaultKind kind = FaultKind::kCrashSite;
+  mnet::SiteId site = mnet::kNoSite;  // crash/pause/resume target, or one end
+  mnet::SiteId peer = mnet::kNoSite;  // the other end of a partition/heal
+};
+
+// A declarative schedule of faults. Build one, hand it to the World (or a
+// FaultInjector directly); every event fires at its simulated time.
+class FaultPlan {
+ public:
+  FaultPlan& CrashAt(msim::Time t, mnet::SiteId site) {
+    events_.push_back({t, FaultKind::kCrashSite, site, mnet::kNoSite});
+    return *this;
+  }
+  FaultPlan& PauseAt(msim::Time t, mnet::SiteId site) {
+    events_.push_back({t, FaultKind::kPauseSite, site, mnet::kNoSite});
+    return *this;
+  }
+  FaultPlan& ResumeAt(msim::Time t, mnet::SiteId site) {
+    events_.push_back({t, FaultKind::kResumeSite, site, mnet::kNoSite});
+    return *this;
+  }
+  FaultPlan& PartitionAt(msim::Time t, mnet::SiteId a, mnet::SiteId b) {
+    events_.push_back({t, FaultKind::kPartitionLink, a, b});
+    return *this;
+  }
+  FaultPlan& HealAt(msim::Time t, mnet::SiteId a, mnet::SiteId b) {
+    events_.push_back({t, FaultKind::kHealLink, a, b});
+    return *this;
+  }
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+struct FaultInjectorStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t pauses = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t circuits_down = 0;  // circuit-layer give-ups reported to us
+};
+
+// Executes a FaultPlan against a simulated world: halts crashed kernels,
+// holds/releases paused traffic, cuts links, and answers the liveness
+// queries the network and protocol layers use for graceful degradation.
+class FaultInjector {
+ public:
+  // `kernels[s]` must be the kernel for site s. `tracer` may be null.
+  FaultInjector(msim::Simulator* sim, mnet::Network* net,
+                std::vector<mos::Kernel*> kernels, mtrace::Tracer* tracer = nullptr);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every event in the plan. Call before (or during) the run;
+  // events in the past fire immediately, in plan order.
+  void Schedule(const FaultPlan& plan);
+
+  // Applies a single fault right now (tests drive these directly).
+  void Apply(const FaultEvent& ev);
+
+  // ---- Liveness oracle ----
+  bool SiteUp(mnet::SiteId s) const { return crashed_.count(s) == 0; }
+  bool Paused(mnet::SiteId s) const { return paused_.count(s) != 0; }
+  bool LinkUp(mnet::SiteId a, mnet::SiteId b) const {
+    return cut_links_.count(LinkKey(a, b)) == 0;
+  }
+
+  const FaultInjectorStats& stats() const { return stats_; }
+
+ private:
+  static std::uint64_t LinkKey(mnet::SiteId a, mnet::SiteId b) {
+    std::uint32_t lo = static_cast<std::uint32_t>(a < b ? a : b);
+    std::uint32_t hi = static_cast<std::uint32_t>(a < b ? b : a);
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+  }
+  void Trace(mnet::SiteId site, const std::string& detail);
+
+  msim::Simulator* sim_;
+  mnet::Network* net_;
+  std::vector<mos::Kernel*> kernels_;
+  mtrace::Tracer* tracer_;
+  std::set<mnet::SiteId> crashed_;
+  std::set<mnet::SiteId> paused_;
+  std::set<std::uint64_t> cut_links_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace mfault
+
+#endif  // SRC_FAULT_FAULT_H_

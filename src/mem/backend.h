@@ -14,6 +14,22 @@
 
 namespace mmem {
 
+// How a page-fault service attempt ended. Anything but kOk means the fault
+// could NOT be satisfied — the protocol gave up after its recovery policy
+// (timeouts, bounded re-requests, degraded completion) was exhausted. The
+// System V layer surfaces these as an EIDRM-style error to the application.
+enum class FaultStatus {
+  kOk = 0,
+  // Every (re-)request timed out: the segment's library site is down or
+  // unreachable and the fault cannot make progress.
+  kTimedOut,
+  // The library reported the operation failed (e.g. the page's clock site —
+  // the only holder of the current data — crashed): the page is lost.
+  kPageLost,
+};
+
+const char* FaultStatusName(FaultStatus s);
+
 class DsmBackend {
  public:
   virtual ~DsmBackend() = default;
@@ -29,9 +45,24 @@ class DsmBackend {
   virtual void DropSegment(SegmentId seg) = 0;
 
   // Blocks process `p` until this site holds `page` with the requested
-  // access, driving whatever protocol traffic that needs.
-  virtual msim::Task<> Fault(mos::Process* p, SegmentId seg, PageNum page, bool write) = 0;
+  // access, driving whatever protocol traffic that needs. Returns kOk on
+  // success; any other status means the fault failed permanently (site
+  // faults in the world) and the page was NOT acquired.
+  virtual msim::Task<FaultStatus> Fault(mos::Process* p, SegmentId seg, PageNum page,
+                                        bool write) = 0;
 };
+
+inline const char* FaultStatusName(FaultStatus s) {
+  switch (s) {
+    case FaultStatus::kOk:
+      return "ok";
+    case FaultStatus::kTimedOut:
+      return "timed-out";
+    case FaultStatus::kPageLost:
+      return "page-lost";
+  }
+  return "?";
+}
 
 }  // namespace mmem
 

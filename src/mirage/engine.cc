@@ -44,6 +44,8 @@ const char* MsgKindName(MsgKind k) {
       return "UPGRADE_GRANT";
     case MsgKind::kInstallAck:
       return "INSTALL_ACK";
+    case MsgKind::kRequestFailed:
+      return "REQUEST_FAILED";
   }
   return "UNKNOWN";
 }
@@ -163,8 +165,8 @@ void Engine::ReallyDrop(mmem::SegmentId seg) {
 
 // ------------------------------------------------------------- fault path --
 
-msim::Task<> Engine::Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum page,
-                           bool write) {
+msim::Task<mmem::FaultStatus> Engine::Fault(mos::Process* p, mmem::SegmentId seg,
+                                            mmem::PageNum page, bool write) {
   if (write) {
     ++stats_.write_faults;
   } else {
@@ -179,6 +181,14 @@ msim::Task<> Engine::Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum p
   mmem::SegmentImage& img = ImageRef(seg);
   PageWait& w = WaitFor(seg, page);
   const msim::Time fault_start = kernel_->Now();
+  // Recovery policy: re-send an unanswered request after request_timeout_us,
+  // doubling the wait each attempt. The library deduplicates re-sent
+  // requests (an already-satisfied request is dropped), so a response that
+  // was merely slow is harmless. wait == 0 preserves the paper's
+  // wait-forever behavior.
+  msim::Duration wait = opts_.request_timeout_us;
+  int attempts = 0;
+  msim::Time deadline = 0;
   for (;;) {
     if (img.Present(page) && (!write || img.Writable(page))) {
       msim::Duration latency = kernel_->Now() - fault_start;
@@ -187,11 +197,19 @@ msim::Task<> Engine::Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum p
       } else {
         read_fault_latency_.Record(latency);
       }
-      co_return;
+      co_return mmem::FaultStatus::kOk;
+    }
+    if (w.failed) {
+      // The library declared the page lost. Fail the fault; the flag stays
+      // set (only a successful install clears it) so later faults fail fast.
+      ++stats_.faults_failed;
+      Trace("failure", "fault failed: page " + std::to_string(page) + " lost");
+      co_return mmem::FaultStatus::kPageLost;
     }
     bool& pending = write ? w.pending_write : w.pending_read;
     if (!pending) {
       pending = true;
+      ++attempts;
       PageRequestBody body;
       body.seg = seg;
       body.page = page;
@@ -212,8 +230,29 @@ msim::Task<> Engine::Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum p
                                 static_cast<std::uint32_t>(MsgKind::kPageRequest),
                                 kShortMsgBytes, body));
       }
+      deadline = kernel_->Now() + wait;
     }
-    co_await kernel_->SleepOn(p, w.chan);
+    if (wait <= 0) {
+      co_await kernel_->SleepOn(p, w.chan);
+      continue;
+    }
+    msim::Duration remaining = deadline - kernel_->Now();
+    if (remaining <= 0) {
+      ++stats_.request_timeouts;
+      if (attempts >= std::max(1, opts_.max_request_attempts)) {
+        pending = false;
+        ++stats_.faults_failed;
+        Trace("failure", "fault timed out: page " + std::to_string(page) + " after " +
+                             std::to_string(attempts) + " attempts");
+        co_return mmem::FaultStatus::kTimedOut;
+      }
+      Trace("recovery", "request timeout, re-sending (attempt " +
+                            std::to_string(attempts + 1) + ") page " + std::to_string(page));
+      pending = false;  // force a re-send on the next loop iteration
+      wait *= 2;        // exponential backoff
+      continue;
+    }
+    co_await kernel_->SleepOnFor(p, w.chan, remaining);
   }
 }
 
@@ -283,6 +322,9 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
       auto it = inv_collectors_.find(b.req_id);
       if (it != inv_collectors_.end()) {
         ++it->second->got;
+        if (b.from != mnet::kNoSite) {
+          it->second->awaiting &= ~mmem::MaskOf(b.from);
+        }
         kernel_->Wakeup(it->second->chan);
       }
       break;
@@ -291,7 +333,7 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
       const auto& b = mnet::PacketBody<PageInstallBody>(pkt);
       ApplyInstall(b);
       if (b.library_site == site()) {
-        CreditInstallAck(b.req_id);
+        CreditInstallAck(b.req_id, site());
       } else {
         InstallAckBody a{b.seg, b.page, b.req_id, site()};
         co_await kernel_->Send(
@@ -305,7 +347,7 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
       const auto& b = mnet::PacketBody<UpgradeGrantBody>(pkt);
       ApplyUpgrade(b);
       if (b.library_site == site()) {
-        CreditInstallAck(b.req_id);
+        CreditInstallAck(b.req_id, site());
       } else {
         InstallAckBody a{b.seg, b.page, b.req_id, site()};
         co_await kernel_->Send(
@@ -317,7 +359,11 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
     }
     case MsgKind::kInstallAck: {
       const auto& b = mnet::PacketBody<InstallAckBody>(pkt);
-      CreditInstallAck(b.req_id);
+      CreditInstallAck(b.req_id, b.from);
+      break;
+    }
+    case MsgKind::kRequestFailed: {
+      ApplyRequestFailed(mnet::PacketBody<RequestFailedBody>(pkt));
       break;
     }
   }
@@ -356,6 +402,7 @@ void Engine::ApplyInstall(const PageInstallBody& body) {
   if (body.writable) {
     w.pending_write = false;
   }
+  w.failed = false;  // a successful install supersedes an earlier loss report
   kernel_->Wakeup(w.chan);
 }
 
@@ -374,6 +421,7 @@ void Engine::ApplyUpgrade(const UpgradeGrantBody& body) {
   PageWait& w = WaitFor(body.seg, body.page);
   w.pending_read = false;
   w.pending_write = false;
+  w.failed = false;
   kernel_->Wakeup(w.chan);
 }
 
@@ -388,12 +436,26 @@ void Engine::ApplyInvalidate(const InvalidatePageBody& body) {
                           std::to_string(body.page));
 }
 
-void Engine::CreditInstallAck(std::uint64_t req_id) {
+void Engine::CreditInstallAck(std::uint64_t req_id, mnet::SiteId from) {
   auto it = lib_pending_map_.find(req_id);
   if (it != lib_pending_map_.end()) {
     ++it->second->got_acks;
+    if (from != mnet::kNoSite) {
+      it->second->awaiting &= ~mmem::MaskOf(from);
+    }
     kernel_->Wakeup(it->second->chan);
   }
+}
+
+void Engine::ApplyRequestFailed(const RequestFailedBody& body) {
+  ++stats_.fail_notices_received;
+  Trace("failure", "library reports page " + std::to_string(body.page) + " of seg " +
+                       std::to_string(body.seg) + " lost");
+  PageWait& w = WaitFor(body.seg, body.page);
+  w.failed = true;
+  w.pending_read = false;
+  w.pending_write = false;
+  kernel_->Wakeup(w.chan);
 }
 
 // --------------------------------------------------------------- library  --
@@ -437,7 +499,9 @@ msim::Task<> Engine::WorkerMain(mos::Process* self) {
     ClockOpBody op = std::move(worker_queue_.front());
     worker_queue_.pop_front();
     ++active_ops_[op.seg];
-    co_await ExecuteClockOp(self, op);
+    // An abandoned op needs no action here: the library's op deadline fails
+    // the request and marks the page lost.
+    (void)co_await ExecuteClockOp(self, op);
     --active_ops_[op.seg];
     MaybeReap(op.seg);
   }
@@ -455,6 +519,21 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
   const mmem::PageNum page = req.body.page;
   const mnet::SiteId requester = req.body.requester;
   PageDir& pd = dit->second.pages.at(page);
+
+  if (pd.lost) {
+    // A previous operation on this page failed and its contents are
+    // unrecoverable. Refuse immediately — no request for a lost page ever
+    // waits or times out.
+    ++stats_.requests_dropped;
+    co_await NotifyRequestFailed(self, seg, page, 0, mmem::MaskOf(requester));
+    co_return;
+  }
+  if (!kernel_->net()->SiteUp(requester)) {
+    // The requester crashed while its request was queued; a grant would be
+    // dropped on the wire and the op would stall waiting for its ack.
+    ++stats_.requests_dropped;
+    co_return;
+  }
 
   // Drop requests already satisfied by an earlier grant (the requesting
   // site's wait state was cleared by the install that satisfied it).
@@ -501,9 +580,13 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
                        " request site " + std::to_string(requester) + " page " +
                        std::to_string(page) + " mode " + PageModeName(pd.mode));
 
+  slot.op_deadline = opts_.op_timeout_us > 0 ? kernel_->Now() + opts_.op_timeout_us : 0;
+  // Directory transitions are applied only when the operation succeeds; on
+  // failure the page is marked lost and the waiting requesters are told.
+  bool ok = true;
   switch (pd.mode) {
     case PageMode::kEmpty: {
-      co_await GrantFromEmpty(self, pd, req, batch, req_id, window, slot);
+      ok = co_await GrantFromEmpty(self, pd, req, batch, req_id, window, slot);
       break;
     }
     case PageMode::kReaders: {
@@ -521,8 +604,10 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
         op.new_window_us = window;
         op.clock_check = false;
         op.library_site = site();
-        co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(op.targets), slot);
-        pd.readers |= batch;
+        ok = co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(op.targets), slot);
+        if (ok) {
+          pd.readers |= batch;
+        }
       } else {
         // Table 1 row 2: Readers <- Writer. Clock check; invalidate; possible
         // upgrade if the new writer is in the old read set (optimization 1).
@@ -539,11 +624,13 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
         op.new_window_us = window;
         op.clock_check = true;
         op.library_site = site();
-        co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
-        pd.mode = PageMode::kWriter;
-        pd.writer = requester;
-        pd.clock_site = requester;
-        pd.readers = 0;
+        ok = co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
+        if (ok) {
+          pd.mode = PageMode::kWriter;
+          pd.writer = requester;
+          pd.clock_site = requester;
+          pd.readers = 0;
+        }
       }
       break;
     }
@@ -561,9 +648,11 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
         op.new_window_us = window;
         op.clock_check = true;
         op.library_site = site();
-        co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
-        pd.writer = requester;
-        pd.clock_site = requester;
+        ok = co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
+        if (ok) {
+          pd.writer = requester;
+          pd.clock_site = requester;
+        }
       } else {
         // Table 1 row 3: Writer <- Readers. Clock check; downgrade the writer
         // to reader (optimization 2), or invalidate it when disabled.
@@ -579,31 +668,43 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
           op.targets = batch & ~mmem::MaskOf(pd.writer);
           op.invalidate_set = 0;
           op.resulting_readers = batch | mmem::MaskOf(pd.writer);
-          co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(op.targets), slot);
-          pd.mode = PageMode::kReaders;
-          pd.readers = op.resulting_readers;
-          pd.writer = mnet::kNoSite;
-          // The downgraded writer remains the clock site.
+          ok = co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(op.targets), slot);
+          if (ok) {
+            pd.mode = PageMode::kReaders;
+            pd.readers = op.resulting_readers;
+            pd.writer = mnet::kNoSite;
+            // The downgraded writer remains the clock site.
+          }
         } else {
           op.action = ClockAction::kInvalidateForReaders;
           op.targets = batch;
           op.invalidate_set = 0;
           op.resulting_readers = batch;
-          co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(batch), slot);
-          pd.mode = PageMode::kReaders;
-          pd.readers = batch;
-          pd.writer = mnet::kNoSite;
-          pd.clock_site = FirstSite(batch);
+          ok = co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(batch), slot);
+          if (ok) {
+            pd.mode = PageMode::kReaders;
+            pd.readers = batch;
+            pd.writer = mnet::kNoSite;
+            pd.clock_site = FirstSite(batch);
+          }
         }
       }
       break;
     }
   }
+  if (!ok) {
+    ++stats_.ops_failed;
+    pd.lost = true;
+    Trace("failure", "operation failed; page " + std::to_string(page) + " of seg " +
+                         std::to_string(seg) + " marked lost");
+    mmem::SiteMask notif = req.body.write ? mmem::MaskOf(requester) : batch;
+    co_await NotifyRequestFailed(self, seg, page, req_id, notif);
+  }
 }
 
-msim::Task<> Engine::GrantFromEmpty(mos::Process* self, PageDir& pd, const Request& req,
-                                    mmem::SiteMask batch, std::uint64_t req_id,
-                                    msim::Duration window_us, LibPending& slot) {
+msim::Task<bool> Engine::GrantFromEmpty(mos::Process* self, PageDir& pd, const Request& req,
+                                        mmem::SiteMask batch, std::uint64_t req_id,
+                                        msim::Duration window_us, LibPending& slot) {
   const bool write = req.body.write;
   const mnet::SiteId requester = req.body.requester;
   mmem::SiteMask targets = write ? mmem::MaskOf(requester) : batch;
@@ -612,6 +713,8 @@ msim::Task<> Engine::GrantFromEmpty(mos::Process* self, PageDir& pd, const Reque
   slot.expected_acks = mmem::MaskCount(targets);
   slot.got_acks = 0;
   slot.wait_reply = false;
+  slot.awaiting = targets;
+  slot.clock_site = mnet::kNoSite;  // no clock site involved: library grant
   lib_pending_map_[req_id] = &slot;
 
   // First checkout: the page has never left the library; it is zero-filled.
@@ -633,7 +736,7 @@ msim::Task<> Engine::GrantFromEmpty(mos::Process* self, PageDir& pd, const Reque
     local.writer_site = write ? requester : mnet::kNoSite;
     local.data.assign(mmem::kPageSize, 0);
     ApplyInstall(local);
-    CreditInstallAck(req_id);
+    CreditInstallAck(req_id, site());
   }
   for (mnet::SiteId s : remote) {
     PageInstallBody b;
@@ -650,10 +753,11 @@ msim::Task<> Engine::GrantFromEmpty(mos::Process* self, PageDir& pd, const Reque
         self, mnet::MakePacket(site(), s, static_cast<std::uint32_t>(MsgKind::kPageInstall),
                                kPageMsgBytes, std::move(b)));
   }
-  while (!slot.Complete()) {
-    co_await kernel_->SleepOn(self, slot.chan);
-  }
+  SlotWait r = co_await AwaitSlot(self, slot, /*stop_on_wait_reply=*/false);
   lib_pending_map_.erase(req_id);
+  if (r != SlotWait::kComplete) {
+    co_return false;
+  }
   if (write) {
     pd.mode = PageMode::kWriter;
     pd.writer = requester;
@@ -665,17 +769,25 @@ msim::Task<> Engine::GrantFromEmpty(mos::Process* self, PageDir& pd, const Reque
     pd.clock_site = requester;
     pd.writer = mnet::kNoSite;
   }
+  co_return true;
 }
 
-msim::Task<> Engine::IssueClockOp(mos::Process* self, mnet::SiteId clock_site, ClockOpBody op,
-                                  int expected_acks, LibPending& slot) {
+msim::Task<bool> Engine::IssueClockOp(mos::Process* self, mnet::SiteId clock_site,
+                                      ClockOpBody op, int expected_acks, LibPending& slot) {
   slot.req_id = op.req_id;
   slot.expected_acks = expected_acks;
   slot.got_acks = 0;
   slot.wait_reply = false;
+  slot.awaiting = op.targets;
+  slot.clock_site = clock_site;
   lib_pending_map_[op.req_id] = &slot;
 
+  bool ok = true;
   for (;;) {
+    if (slot.op_deadline != 0 && kernel_->Now() >= slot.op_deadline) {
+      ok = false;
+      break;
+    }
     if (clock_site == site()) {
       // Colocated clock site: the check and the operation run in the library
       // process itself — no network messages for the clock exchange.
@@ -690,57 +802,164 @@ msim::Task<> Engine::IssueClockOp(mos::Process* self, mnet::SiteId clock_site, C
           continue;
         }
       }
-      co_await ExecuteClockOp(self, op);
+      ok = co_await ExecuteClockOp(self, op);
       break;
     }
     co_await kernel_->Send(
         self, mnet::MakePacket(site(), clock_site, static_cast<std::uint32_t>(MsgKind::kClockOp),
                                kShortMsgBytes, op));
-    while (!slot.Complete() && !slot.wait_reply) {
-      co_await kernel_->SleepOn(self, slot.chan);
-    }
-    if (slot.wait_reply) {
+    SlotWait r = co_await AwaitSlot(self, slot, /*stop_on_wait_reply=*/true);
+    if (r == SlotWait::kWaitReply) {
       // Refused: wait out the window and re-request the invalidation (§6.1).
       slot.wait_reply = false;
       ++stats_.invalidation_retries;
       co_await kernel_->SleepFor(self, slot.wait_remaining_us);
       continue;
     }
+    ok = r == SlotWait::kComplete;
     break;
   }
-  while (!slot.Complete()) {
-    co_await kernel_->SleepOn(self, slot.chan);
+  if (ok) {
+    ok = co_await AwaitSlot(self, slot, /*stop_on_wait_reply=*/false) == SlotWait::kComplete;
   }
   lib_pending_map_.erase(op.req_id);
+  co_return ok;
+}
+
+msim::Task<Engine::SlotWait> Engine::AwaitSlot(mos::Process* self, LibPending& slot,
+                                               bool stop_on_wait_reply) {
+  for (;;) {
+    if (stop_on_wait_reply && slot.wait_reply) {
+      co_return SlotWait::kWaitReply;
+    }
+    // Degraded completion: acks owed by crashed sites are forgiven — a
+    // crashed site's copy is, by definition, no longer a copy. (Partitioned
+    // sites are NOT forgiven: they may still hold a live copy, so the op
+    // can only complete or fail by deadline — consistency over availability.)
+    mmem::SiteMask down = 0;
+    ForEachSite(slot.awaiting, [&](mnet::SiteId s) {
+      if (!kernel_->net()->SiteUp(s)) {
+        down |= mmem::MaskOf(s);
+      }
+    });
+    if (down != 0) {
+      int n = mmem::MaskCount(down);
+      slot.awaiting &= ~down;
+      slot.got_acks += n;
+      stats_.degraded_acks += n;
+      Trace("degraded", "forgave " + std::to_string(n) + " install ack(s) from down site(s)");
+      continue;
+    }
+    if (slot.Complete()) {
+      co_return SlotWait::kComplete;
+    }
+    // A clock site that died before producing any ack will never execute the
+    // op; fail fast rather than burning the whole deadline. (After partial
+    // progress the in-flight installs may still complete it.)
+    bool timeouts_on = opts_.ack_timeout_us > 0 || slot.op_deadline != 0;
+    if (timeouts_on && slot.clock_site != mnet::kNoSite && slot.clock_site != site() &&
+        !kernel_->net()->SiteUp(slot.clock_site) && slot.got_acks == 0) {
+      co_return SlotWait::kFailed;
+    }
+    if (!timeouts_on) {
+      co_await kernel_->SleepOn(self, slot.chan);
+      continue;
+    }
+    msim::Duration wait = opts_.ack_timeout_us;
+    if (slot.op_deadline != 0) {
+      msim::Duration to_deadline = slot.op_deadline - kernel_->Now();
+      if (to_deadline <= 0) {
+        co_return SlotWait::kFailed;
+      }
+      if (wait <= 0 || wait > to_deadline) {
+        wait = to_deadline;
+      }
+    }
+    co_await kernel_->SleepOnFor(self, slot.chan, wait);
+  }
+}
+
+msim::Task<> Engine::NotifyRequestFailed(mos::Process* self, mmem::SegmentId seg,
+                                         mmem::PageNum page, std::uint64_t req_id,
+                                         mmem::SiteMask requesters) {
+  std::vector<mnet::SiteId> sites;
+  ForEachSite(requesters, [&](mnet::SiteId s) { sites.push_back(s); });
+  for (mnet::SiteId s : sites) {
+    if (s == site()) {
+      ++stats_.fail_notices_sent;
+      ApplyRequestFailed(RequestFailedBody{seg, page, req_id});
+    } else if (kernel_->net()->SiteUp(s)) {
+      ++stats_.fail_notices_sent;
+      co_await kernel_->Send(
+          self, mnet::MakePacket(site(), s, static_cast<std::uint32_t>(MsgKind::kRequestFailed),
+                                 kShortMsgBytes, RequestFailedBody{seg, page, req_id}));
+    }
+  }
 }
 
 // -------------------------------------------------------------- clock site --
 
-msim::Task<> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
+msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
   ++stats_.clock_ops_executed;
   mmem::SegmentImage& img = ImageRef(op.seg);
   const mnet::SiteId me = site();
   Trace("clock", std::string("execute ") + ClockActionName(op.action) + " page " +
                      std::to_string(op.page));
+  const msim::Time deadline =
+      opts_.op_timeout_us > 0 ? kernel_->Now() + opts_.op_timeout_us : 0;
 
   // 1. Invalidate other readers, sequential point-to-point, and wait for the
   //    acknowledgements: no stale copy may survive a write grant (§6.1).
+  //    Acks owed by crashed readers are forgiven (their copy died with
+  //    them); an ack missing past the op deadline abandons the operation —
+  //    the library's own deadline then fails the request.
   mmem::SiteMask inv = op.invalidate_set & ~mmem::MaskOf(me);
   if (inv != 0) {
     InvAckCollector col;
     col.expected = mmem::MaskCount(inv);
+    col.awaiting = inv;
     inv_collectors_[op.req_id] = &col;
     std::vector<mnet::SiteId> sites;
     ForEachSite(inv, [&](mnet::SiteId s) { sites.push_back(s); });
     for (mnet::SiteId s : sites) {
       InvalidatePageBody b{op.seg, op.page, op.req_id, me};
       co_await kernel_->Send(
-          s == me ? self : self,  // always from this site's context
-          mnet::MakePacket(me, s, static_cast<std::uint32_t>(MsgKind::kInvalidatePage),
-                           kShortMsgBytes, b));
+          self, mnet::MakePacket(me, s, static_cast<std::uint32_t>(MsgKind::kInvalidatePage),
+                                 kShortMsgBytes, b));
     }
     while (col.got < col.expected) {
-      co_await kernel_->SleepOn(self, col.chan);
+      mmem::SiteMask down = 0;
+      ForEachSite(col.awaiting, [&](mnet::SiteId s) {
+        if (!kernel_->net()->SiteUp(s)) {
+          down |= mmem::MaskOf(s);
+        }
+      });
+      if (down != 0) {
+        int n = mmem::MaskCount(down);
+        col.awaiting &= ~down;
+        col.got += n;
+        stats_.degraded_invalidations += n;
+        Trace("degraded",
+              "forgave " + std::to_string(n) + " invalidate ack(s) from down site(s)");
+        continue;
+      }
+      if (opts_.ack_timeout_us <= 0 && deadline == 0) {
+        co_await kernel_->SleepOn(self, col.chan);
+        continue;
+      }
+      msim::Duration wait = opts_.ack_timeout_us;
+      if (deadline != 0) {
+        msim::Duration to_deadline = deadline - kernel_->Now();
+        if (to_deadline <= 0) {
+          inv_collectors_.erase(op.req_id);
+          Trace("failure", "clock op abandoned: invalidate ack(s) missing past deadline");
+          co_return false;
+        }
+        if (wait <= 0 || wait > to_deadline) {
+          wait = to_deadline;
+        }
+      }
+      co_await kernel_->SleepOnFor(self, col.chan, wait);
     }
     inv_collectors_.erase(op.req_id);
   }
@@ -810,7 +1029,7 @@ msim::Task<> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
         ApplyInstall(b);
       }
       if (op.library_site == me) {
-        CreditInstallAck(op.req_id);
+        CreditInstallAck(op.req_id, me);
       } else {
         InstallAckBody a{op.seg, op.page, op.req_id, me};
         co_await kernel_->Send(
@@ -839,6 +1058,7 @@ msim::Task<> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
                                  kShortMsgBytes, b));
     }
   }
+  co_return true;
 }
 
 // ---------------------------------------------------------------- helpers --
@@ -933,6 +1153,7 @@ std::optional<DirectoryView> Engine::Directory(mmem::SegmentId seg, mmem::PageNu
   v.writer = pd.writer;
   v.clock_site = pd.clock_site;
   v.window_us = pd.window_us;
+  v.lost = pd.lost;
   return v;
 }
 

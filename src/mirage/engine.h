@@ -55,6 +55,14 @@ struct EngineStats {
   std::uint64_t invalidation_retries = 0;
   std::uint64_t queued_invalidations = 0;
   std::uint64_t clock_ops_executed = 0;
+  // ---- Failure model (DESIGN.md): all zero on a healthy run ----
+  std::uint64_t request_timeouts = 0;        // using site re-sent a page request
+  std::uint64_t faults_failed = 0;           // Fault() returned non-kOk
+  std::uint64_t degraded_acks = 0;           // install acks forgiven (holder down)
+  std::uint64_t degraded_invalidations = 0;  // invalidate acks forgiven (reader down)
+  std::uint64_t ops_failed = 0;              // library ops abandoned; page marked lost
+  std::uint64_t fail_notices_sent = 0;       // kRequestFailed sent/applied by library
+  std::uint64_t fail_notices_received = 0;   // kRequestFailed applied at using site
 };
 
 // Library-side page directory state (Table 1 "Current" column).
@@ -69,6 +77,7 @@ struct DirectoryView {
   mnet::SiteId writer = mnet::kNoSite;
   mnet::SiteId clock_site = mnet::kNoSite;
   msim::Duration window_us = 0;
+  bool lost = false;  // an operation on this page failed; no further grants
 };
 
 class Engine : public mmem::DsmBackend {
@@ -92,9 +101,13 @@ class Engine : public mmem::DsmBackend {
 
   // Suspends process `p` until this site holds the page with the requested
   // access. This is the interrupt-handler path of §6.1: it charges the fault
-  // service cost, issues the (deduplicated) request, and sleeps.
-  msim::Task<> Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum page,
-                     bool write) override;
+  // service cost, issues the (deduplicated) request, and sleeps. With
+  // request_timeout_us enabled, an unanswered request is re-sent with
+  // exponential backoff up to max_request_attempts; exhaustion returns
+  // kTimedOut, and a library-reported lost page returns kPageLost — in both
+  // cases WITHOUT the page.
+  msim::Task<mmem::FaultStatus> Fault(mos::Process* p, mmem::SegmentId seg, mmem::PageNum page,
+                                      bool write) override;
 
   // ---- Delta tuning (library site only) ----
   void SetSegmentWindow(mmem::SegmentId seg, msim::Duration window_us);
@@ -122,6 +135,11 @@ class Engine : public mmem::DsmBackend {
     mnet::SiteId writer = mnet::kNoSite;
     mnet::SiteId clock_site = mnet::kNoSite;
     msim::Duration window_us = 0;
+    // Set when an operation on this page fails permanently (its clock site
+    // — the only holder of the current contents — crashed, or the op
+    // deadline expired). A lost page is never granted again: the library
+    // answers every subsequent request with kRequestFailed.
+    bool lost = false;
   };
   struct SegDir {
     std::vector<PageDir> pages;
@@ -130,6 +148,10 @@ class Engine : public mmem::DsmBackend {
   struct PageWait {
     bool pending_read = false;
     bool pending_write = false;
+    // Sticky "the library says this page is lost" flag: set by
+    // kRequestFailed, cleared by a successful install/upgrade. While set,
+    // faults fail immediately with kPageLost.
+    bool failed = false;
     mos::Channel chan;
   };
   // One in-flight library operation. The paper's library is strictly
@@ -141,13 +163,24 @@ class Engine : public mmem::DsmBackend {
     int got_acks = 0;
     bool wait_reply = false;
     msim::Duration wait_remaining_us = 0;
+    // Sites whose install/upgrade ack is still owed. Acks from crashed
+    // sites are forgiven (degraded completion); see AwaitSlot.
+    mmem::SiteMask awaiting = 0;
+    // Clock site driving this op (kNoSite when the library grants directly
+    // from Empty); if it crashes before any ack arrives, the op fails fast.
+    mnet::SiteId clock_site = mnet::kNoSite;
+    // Absolute failure deadline (0 = none) from ProtocolOptions::op_timeout_us.
+    msim::Time op_deadline = 0;
     mos::Channel chan;
     bool Complete() const { return got_acks >= expected_acks; }
   };
+  // How a wait on a LibPending slot ended.
+  enum class SlotWait { kComplete, kWaitReply, kFailed };
   // Collects invalidation acks for one clock-site operation.
   struct InvAckCollector {
     int expected = 0;
     int got = 0;
+    mmem::SiteMask awaiting = 0;  // sites whose invalidate ack is still owed
     mos::Channel chan;
   };
   struct Request {
@@ -165,23 +198,35 @@ class Engine : public mmem::DsmBackend {
   msim::Task<> WorkerMain(mos::Process* self);
   msim::Task<> HandlePacket(mos::Process* self, mnet::Packet pkt);
 
-  // Library-side request processing.
+  // Library-side request processing. The bool-returning stages report
+  // success; on failure the caller marks the page lost and notifies the
+  // waiting requesters (the failure model's consistency-over-availability
+  // choice: never grant a page whose freshest copy may be unreachable).
   msim::Task<> ProcessRequest(mos::Process* self, Request req, LibPending& slot);
-  msim::Task<> GrantFromEmpty(mos::Process* self, PageDir& pd, const Request& req,
-                              mmem::SiteMask batch, std::uint64_t req_id,
-                              msim::Duration window_us, LibPending& slot);
-  msim::Task<> IssueClockOp(mos::Process* self, mnet::SiteId clock_site, ClockOpBody op,
-                            int expected_acks, LibPending& slot);
+  msim::Task<bool> GrantFromEmpty(mos::Process* self, PageDir& pd, const Request& req,
+                                  mmem::SiteMask batch, std::uint64_t req_id,
+                                  msim::Duration window_us, LibPending& slot);
+  msim::Task<bool> IssueClockOp(mos::Process* self, mnet::SiteId clock_site, ClockOpBody op,
+                                int expected_acks, LibPending& slot);
   // Executes an accepted clock-site operation (runs in the worker, or inline
-  // in the library process when the clock site is colocated).
-  msim::Task<> ExecuteClockOp(mos::Process* self, ClockOpBody op);
+  // in the library process when the clock site is colocated). Returns false
+  // when the op was abandoned (ack/op deadline expired).
+  msim::Task<bool> ExecuteClockOp(mos::Process* self, ClockOpBody op);
+  // Waits on a pending slot until it completes, a wait-reply arrives
+  // (when stop_on_wait_reply), or the recovery policy declares the op
+  // failed. Forgives acks owed by crashed sites along the way.
+  msim::Task<SlotWait> AwaitSlot(mos::Process* self, LibPending& slot, bool stop_on_wait_reply);
+  // Tells every waiting requester the operation failed (kRequestFailed).
+  msim::Task<> NotifyRequestFailed(mos::Process* self, mmem::SegmentId seg, mmem::PageNum page,
+                                   std::uint64_t req_id, mmem::SiteMask requesters);
 
   // Receive-side helpers.
   void EnqueueLibraryRequest(const PageRequestBody& body);
   void ApplyInstall(const PageInstallBody& body);
   void ApplyUpgrade(const UpgradeGrantBody& body);
   void ApplyInvalidate(const InvalidatePageBody& body);
-  void CreditInstallAck(std::uint64_t req_id);
+  void ApplyRequestFailed(const RequestFailedBody& body);
+  void CreditInstallAck(std::uint64_t req_id, mnet::SiteId from);
 
   bool SegmentQuiescent(mmem::SegmentId seg) const;
   void MaybeReap(mmem::SegmentId seg);

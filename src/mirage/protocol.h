@@ -34,6 +34,11 @@ enum class MsgKind : std::uint32_t {
   kPageInstall = 6,
   kUpgradeGrant = 7,
   kInstallAck = 8,
+  // Failure model: the library could not complete the operation for this
+  // page (clock site crashed with the only valid copy, or the clock op
+  // exceeded its operation deadline). Sent to every waiting requester; the
+  // requester fails the fault with FaultStatus::kPageLost.
+  kRequestFailed = 9,
 };
 
 const char* MsgKindName(MsgKind k);
@@ -140,6 +145,12 @@ struct InstallAckBody {
   mnet::SiteId from = mnet::kNoSite;
 };
 
+struct RequestFailedBody {
+  mmem::SegmentId seg = -1;
+  mmem::PageNum page = 0;
+  std::uint64_t req_id = 0;
+};
+
 // Tunables and the paper's optional mechanisms.
 struct ProtocolOptions {
   // The time window Delta, per segment by default; pages inherit it and can
@@ -175,6 +186,29 @@ struct ProtocolOptions {
   bool parallel_page_ops = false;
   // Library service processes when parallel_page_ops is on.
   int library_concurrency = 4;
+
+  // ---- Failure model (DESIGN.md): all default 0 = disabled, i.e. the
+  // paper's wait-forever behavior on a live network. Enable for runs with a
+  // FaultPlan. ----
+
+  // A using site that gets no response to a kPageRequest re-sends it after
+  // this long, doubling the wait each attempt (exponential backoff). The
+  // library deduplicates re-sent requests, so a slow response is harmless.
+  msim::Duration request_timeout_us = 0;
+  // Re-send budget (total attempts including the first). When exhausted the
+  // fault fails with FaultStatus::kTimedOut. Only meaningful when
+  // request_timeout_us > 0.
+  int max_request_attempts = 5;
+  // The library's patience for one missing ack (install or invalidate)
+  // while a clock op is in flight. On expiry, acks owed by crashed sites
+  // are forgiven — their copies are by definition gone — and the operation
+  // completes in degraded mode if anything was still accomplished.
+  msim::Duration ack_timeout_us = 0;
+  // Hard deadline for a whole clock operation. On expiry the operation
+  // fails: the page is marked lost and every waiting requester gets
+  // kRequestFailed. Guards against alive-but-partitioned holders (we choose
+  // consistency over availability: never fabricate page contents).
+  msim::Duration op_timeout_us = 0;
 
   // Dynamic window tuning hook ("currently ... disabled" in the paper).
   // Called when the library forwards an invalidation; the returned value is

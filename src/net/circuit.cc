@@ -4,12 +4,20 @@ namespace mnet {
 
 void CircuitLayer::Transmit(Packet pkt) {
   if (!Active()) {
-    // Lossless medium: pure propagation, no sequencing state.
+    // Lossless medium: pure propagation, no sequencing state. Reachability
+    // is evaluated at arrival time by Network::Release.
     sim_->Schedule(opts_.propagation_us, [this, pkt = std::move(pkt)] { release_(pkt); });
     return;
   }
   Key key{pkt.src, pkt.dst};
   SendCircuit& sc = send_[key];
+  if (sc.failed) {
+    // The circuit was declared down; the peer is gone as far as this site's
+    // topology is concerned. Refuse the frame (the upper layer's timeout and
+    // degraded-mode paths recover).
+    ++stats_.down_drops;
+    return;
+  }
   std::uint64_t seq = sc.next_seq++;
   sc.unacked.emplace(seq, std::make_pair(pkt, 0));
   ++stats_.data_frames_sent;
@@ -34,6 +42,13 @@ void CircuitLayer::SendFrame(const Key& key, std::uint64_t seq, const Packet& pk
 }
 
 void CircuitLayer::OnFrameArrival(const Key& key, std::uint64_t seq, Packet pkt) {
+  if (!Reachable(key.src, key.dst)) {
+    // The destination crashed or the link is partitioned: the frame vanishes
+    // on the wire. No ack — the sender's retransmit timer keeps trying until
+    // the fault heals or the retransmit budget declares the circuit down.
+    ++stats_.down_drops;
+    return;
+  }
   RecvCircuit& rc = recv_[key];
   if (seq < rc.next_expected || rc.out_of_order.count(seq) != 0) {
     ++stats_.duplicates_suppressed;
@@ -60,7 +75,7 @@ void CircuitLayer::OnFrameArrival(const Key& key, std::uint64_t seq, Packet pkt)
 
 void CircuitLayer::SendAck(const Key& data_key, std::uint64_t cumulative) {
   ++stats_.acks_sent;
-  if (Lost()) {
+  if (AckLost()) {
     ++stats_.acks_dropped;
     return;
   }
@@ -69,6 +84,11 @@ void CircuitLayer::SendAck(const Key& data_key, std::uint64_t cumulative) {
 }
 
 void CircuitLayer::OnAck(const Key& data_key, std::uint64_t cumulative) {
+  // The ack travels against the data direction: receiver -> sender.
+  if (!Reachable(data_key.dst, data_key.src)) {
+    ++stats_.acks_dropped;
+    return;
+  }
   auto it = send_.find(data_key);
   if (it == send_.end()) {
     return;
@@ -94,7 +114,7 @@ void CircuitLayer::ArmTimer(const Key& key) {
 void CircuitLayer::OnTimer(const Key& key) {
   SendCircuit& sc = send_[key];
   sc.timer = 0;
-  if (sc.unacked.empty()) {
+  if (sc.unacked.empty() || sc.failed) {
     return;
   }
   // Go-back-style: retransmit every unacked frame (the window is small in
@@ -102,11 +122,31 @@ void CircuitLayer::OnTimer(const Key& key) {
   for (auto& [seq, entry] : sc.unacked) {
     ++entry.second;
     if (opts_.max_retransmits > 0 && entry.second > opts_.max_retransmits) {
-      throw std::runtime_error("net: circuit retransmit limit exceeded");
+      FailCircuit(key);
+      return;
     }
     SendFrame(key, seq, entry.first, /*is_retransmit=*/true);
   }
   ArmTimer(key);
+}
+
+void CircuitLayer::FailCircuit(const Key& key) {
+  // Retransmit budget exhausted: the peer is unreachable for good as far as
+  // this circuit is concerned. Drop the window, count it, and report the
+  // topology change — never throw from a timer event.
+  SendCircuit& sc = send_[key];
+  sc.failed = true;
+  stats_.down_drops += sc.unacked.size();
+  sc.unacked.clear();
+  ++stats_.circuits_failed;
+  if (down_) {
+    down_(key.src, key.dst);
+  }
+}
+
+bool CircuitLayer::CircuitDown(SiteId src, SiteId dst) const {
+  auto it = send_.find(Key{src, dst});
+  return it != send_.end() && it->second.failed;
 }
 
 }  // namespace mnet

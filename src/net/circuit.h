@@ -16,13 +16,20 @@
 // Loss injection is deterministic (seeded), so every failure test is
 // exactly reproducible. With loss disabled the layer is inert: no acks, no
 // timers, no extra state — the fast path of the lossless configuration.
+//
+// Failure model: a frame that exhausts max_retransmits declares the whole
+// circuit DOWN — the Locus topology-change event. The layer reports it
+// through the down handler and drops the circuit's window; it never throws
+// out of a timer event, so one dead peer cannot abort the simulation.
+// Subsequent traffic on a failed circuit is refused (counted in
+// down_drops); recovery from a healed partition must happen before the
+// retransmit budget runs out (or with max_retransmits = 0, always).
 #ifndef SRC_NET_CIRCUIT_H_
 #define SRC_NET_CIRCUIT_H_
 
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <stdexcept>
 #include <utility>
 
 #include "src/net/packet.h"
@@ -35,14 +42,22 @@ namespace mnet {
 struct CircuitOptions {
   // Probability that any single frame (data or ack) is dropped in flight.
   double loss_probability = 0.0;
+  // Separate drop probability for acks; negative = use loss_probability.
+  // (Asymmetric loss — data arrives, acks die — is the hard duplicate-
+  // suppression case.)
+  double ack_loss_probability = -1.0;
   std::uint64_t loss_seed = 0x10C05;
+  // Run the sequencing/ack machinery even with zero random loss. Fault
+  // plans need this: a partition drops frames deterministically, and only
+  // retransmission recovers them after the heal.
+  bool force_sequencing = false;
   // Wire propagation per frame (the calibrated tx/rx elapsed costs live in
   // the kernels; this is pure medium latency).
   msim::Duration propagation_us = 100;
   // Retransmit an unacked frame after this long.
   msim::Duration retransmit_timeout_us = 60 * msim::kMillisecond;
-  // Give up after this many retransmissions of one frame (0 = never).
-  // Mirage assumes a live network; the default keeps trying.
+  // Declare the circuit down after this many retransmissions of one frame
+  // (0 = never). Mirage assumes a live network; the default keeps trying.
   int max_retransmits = 0;
 };
 
@@ -54,6 +69,11 @@ struct CircuitStats {
   std::uint64_t out_of_order_buffered = 0;
   std::uint64_t acks_sent = 0;
   std::uint64_t acks_dropped = 0;
+  // Frames and acks swallowed because the destination site or the link is
+  // down (fault injection), or because the circuit already failed.
+  std::uint64_t down_drops = 0;
+  // Circuits declared down after exhausting the retransmit budget.
+  std::uint64_t circuits_failed = 0;
 };
 
 // The transport under Network. Network::Deliver hands frames here; the
@@ -62,19 +82,35 @@ struct CircuitStats {
 class CircuitLayer {
  public:
   using Release = std::function<void(const Packet&)>;
+  // Directed reachability: can a frame leaving `from` arrive at `to` right
+  // now? Installed by the fault layer; absent = always reachable.
+  using Reachability = std::function<bool(SiteId from, SiteId to)>;
+  // Invoked (outside any throw path) when a circuit exhausts its
+  // retransmit budget and is declared down.
+  using DownHandler = std::function<void(SiteId src, SiteId dst)>;
 
   CircuitLayer(msim::Simulator* sim, CircuitOptions opts, Release release)
       : sim_(sim), opts_(opts), rng_(opts.loss_seed), release_(std::move(release)) {}
   CircuitLayer(const CircuitLayer&) = delete;
   CircuitLayer& operator=(const CircuitLayer&) = delete;
 
-  // True when the layer does sequencing/acks (lossy medium configured).
-  bool Active() const { return opts_.loss_probability > 0.0; }
+  // True when the layer does sequencing/acks (lossy medium configured or
+  // sequencing forced for fault injection).
+  bool Active() const {
+    return opts_.loss_probability > 0.0 || opts_.ack_loss_probability > 0.0 ||
+           opts_.force_sequencing;
+  }
 
   // Entry point from Network::Deliver. May drop, sequence, and retransmit;
   // eventually releases the packet (exactly once, in order) at the
   // destination.
   void Transmit(Packet pkt);
+
+  void SetReachability(Reachability r) { reachable_ = std::move(r); }
+  void SetDownHandler(DownHandler h) { down_ = std::move(h); }
+
+  // True once the (src,dst) circuit has been declared down.
+  bool CircuitDown(SiteId src, SiteId dst) const;
 
   const CircuitStats& stats() const { return stats_; }
 
@@ -91,6 +127,7 @@ class CircuitLayer {
     // seq -> (frame, retransmit count); ordered so the front is the oldest.
     std::map<std::uint64_t, std::pair<Packet, int>> unacked;
     msim::EventId timer = 0;
+    bool failed = false;
   };
   struct RecvCircuit {
     std::uint64_t next_expected = 1;
@@ -103,12 +140,23 @@ class CircuitLayer {
   void OnAck(const Key& data_key, std::uint64_t cumulative);
   void ArmTimer(const Key& key);
   void OnTimer(const Key& key);
+  void FailCircuit(const Key& key);
   bool Lost() { return rng_.Chance(opts_.loss_probability); }
+  bool AckLost() {
+    double p = opts_.ack_loss_probability >= 0.0 ? opts_.ack_loss_probability
+                                                 : opts_.loss_probability;
+    return rng_.Chance(p);
+  }
+  bool Reachable(SiteId from, SiteId to) const {
+    return !reachable_ || reachable_(from, to);
+  }
 
   msim::Simulator* sim_;
   CircuitOptions opts_;
   msim::Rng rng_;
   Release release_;
+  Reachability reachable_;
+  DownHandler down_;
   std::map<Key, SendCircuit> send_;
   std::map<Key, RecvCircuit> recv_;
   CircuitStats stats_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace mnet {
 
@@ -15,11 +16,44 @@ void Network::RegisterSite(SiteId site, Sink sink) {
 void Network::SetCircuitOptions(CircuitOptions opts) {
   circuits_ = std::make_unique<CircuitLayer>(sim_, opts,
                                              [this](const Packet& pkt) { Release(pkt); });
+  // Re-apply fault wiring if it was installed before the circuit layer.
+  if (site_up_ || link_up_) {
+    circuits_->SetReachability(
+        [this](SiteId from, SiteId to) { return Reachable(from, to); });
+  }
+  if (circuit_down_) {
+    circuits_->SetDownHandler(circuit_down_);
+  }
+}
+
+void Network::SetFaultHooks(SitePredicate site_up, LinkPredicate link_up,
+                            SitePredicate paused) {
+  site_up_ = std::move(site_up);
+  link_up_ = std::move(link_up);
+  paused_ = std::move(paused);
+  if (circuits_ && (site_up_ || link_up_)) {
+    circuits_->SetReachability(
+        [this](SiteId from, SiteId to) { return Reachable(from, to); });
+  }
+}
+
+void Network::SetCircuitDownHandler(CircuitDownHandler h) {
+  circuit_down_ = std::move(h);
+  if (circuits_) {
+    circuits_->SetDownHandler(circuit_down_);
+  }
 }
 
 void Network::Deliver(Packet pkt) {
   if (sinks_.count(pkt.dst) == 0) {
     throw std::logic_error("net: delivery to unregistered site " + std::to_string(pkt.dst));
+  }
+  if (!SiteUp(pkt.src)) {
+    // A crashed site transmits nothing; anything already queued from it at
+    // the moment of the crash vanishes with the site.
+    ++stats_.dropped_site_down;
+    Drop(pkt, "src-site-down");
+    return;
   }
   if (circuits_) {
     circuits_->Transmit(std::move(pkt));
@@ -30,11 +64,33 @@ void Network::Deliver(Packet pkt) {
 
 // Exactly-once, in-order hand-off to the destination sink. Statistics and
 // observers count released packets, so protocol message accounting is
-// unaffected by drops and retransmissions underneath.
+// unaffected by drops and retransmissions underneath. Fault state is
+// evaluated here — arrival time — not at transmit time: a packet in flight
+// when its destination crashes is lost, one in flight when the destination
+// pauses waits.
 void Network::Release(const Packet& pkt) {
   auto it = sinks_.find(pkt.dst);
   if (it == sinks_.end()) {
-    return;  // site vanished mid-flight (teardown)
+    // Site vanished mid-flight (teardown). Historically swallowed silently;
+    // now counted so lost traffic is always visible in reports.
+    ++stats_.dropped_no_sink;
+    Drop(pkt, "no-sink");
+    return;
+  }
+  if (!SiteUp(pkt.dst)) {
+    ++stats_.dropped_site_down;
+    Drop(pkt, "dst-site-down");
+    return;
+  }
+  if (!LinkUp(pkt.src, pkt.dst)) {
+    ++stats_.dropped_partitioned;
+    Drop(pkt, "partitioned");
+    return;
+  }
+  if (paused_ && paused_(pkt.dst)) {
+    ++stats_.packets_held;
+    held_[pkt.dst].push_back(pkt);
+    return;
   }
   ++stats_.packets;
   if (pkt.size_bytes >= costs_->large_threshold_bytes) {
@@ -48,6 +104,26 @@ void Network::Release(const Packet& pkt) {
     obs(pkt, sim_->Now());
   }
   it->second(pkt);
+}
+
+void Network::FlushHeld(SiteId site) {
+  auto it = held_.find(site);
+  if (it == held_.end()) {
+    return;
+  }
+  std::deque<Packet> pending = std::move(it->second);
+  held_.erase(it);
+  // Redeliver in arrival order. Each packet re-runs the full Release checks:
+  // the site may have crashed (or been re-paused) between resume events.
+  for (Packet& pkt : pending) {
+    Release(pkt);
+  }
+}
+
+void Network::Drop(const Packet& pkt, const char* reason) {
+  if (drop_hook_) {
+    drop_hook_(pkt, reason);
+  }
 }
 
 }  // namespace mnet

@@ -10,10 +10,18 @@
 // receiving site's interrupt service. The network itself adds no extra
 // latency: the paper's measured 12.9 ms short round trip is fully explained
 // by the four tx/rx elapsed components.
+//
+// Fault injection (src/fault) plugs in through three hooks: a site-up
+// predicate (crashed sites drop all traffic), a link-up predicate
+// (partitions cut a pair in both directions), and a paused predicate
+// (inbound delivery to a paused site is held, in order, and released by
+// FlushHeld at resume). Every dropped or held packet is counted — nothing
+// vanishes silently.
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -31,6 +39,13 @@ struct NetworkStats {
   std::uint64_t short_packets = 0;
   std::uint64_t large_packets = 0;
   std::uint64_t payload_bytes = 0;
+  // Packets that reached their destination but could not be handed to a
+  // sink: site torn down mid-flight, crashed, or partitioned away.
+  std::uint64_t dropped_no_sink = 0;
+  std::uint64_t dropped_site_down = 0;
+  std::uint64_t dropped_partitioned = 0;
+  // Packets held for a paused site (delivered later by FlushHeld).
+  std::uint64_t packets_held = 0;
   std::map<std::uint32_t, std::uint64_t> packets_by_type;
 };
 
@@ -40,6 +55,12 @@ class Network {
   using Sink = std::function<void(const Packet&)>;
   // Observers see every packet at delivery time (used by trace capture).
   using Observer = std::function<void(const Packet&, msim::Time)>;
+  // Fault-layer predicates; see SetFaultHooks.
+  using SitePredicate = std::function<bool(SiteId)>;
+  using LinkPredicate = std::function<bool(SiteId, SiteId)>;
+  // Notified when a packet is dropped; `reason` is a static string.
+  using DropHook = std::function<void(const Packet&, const char* reason)>;
+  using CircuitDownHandler = CircuitLayer::DownHandler;
 
   Network(msim::Simulator* sim, const CostModel* costs) : sim_(sim), costs_(costs) {}
   Network(const Network&) = delete;
@@ -62,6 +83,25 @@ class Network {
   const CircuitStats* circuit_stats() const {
     return circuits_ ? &circuits_->stats() : nullptr;
   }
+  CircuitLayer* circuits() { return circuits_.get(); }
+
+  // Installs the fault-injection predicates (src/fault). Any may be null.
+  // site_up(s): false once s has crashed. link_up(a,b): false while the
+  // a<->b link is partitioned. paused(s): true while inbound delivery to s
+  // is stalled (packets are held for FlushHeld).
+  void SetFaultHooks(SitePredicate site_up, LinkPredicate link_up, SitePredicate paused);
+  // Forwarded to the circuit layer (kept if the layer is configured later).
+  void SetCircuitDownHandler(CircuitDownHandler h);
+  // Reports every dropped packet (tracing); `reason` is a static string.
+  void SetDropHook(DropHook h) { drop_hook_ = std::move(h); }
+
+  // Delivers the packets held while `site` was paused, preserving order.
+  void FlushHeld(SiteId site);
+
+  // ---- Liveness queries (protocol-level graceful degradation) ----
+  bool SiteUp(SiteId s) const { return !site_up_ || site_up_(s); }
+  bool LinkUp(SiteId a, SiteId b) const { return !link_up_ || link_up_(a, b); }
+  bool Reachable(SiteId from, SiteId to) const { return SiteUp(to) && LinkUp(from, to); }
 
   // Adds a delivery observer (e.g. a message-sequence tracer).
   void AddObserver(Observer obs) { observers_.push_back(std::move(obs)); }
@@ -75,6 +115,7 @@ class Network {
 
  private:
   void Release(const Packet& pkt);
+  void Drop(const Packet& pkt, const char* reason);
 
   msim::Simulator* sim_;
   const CostModel* costs_;
@@ -82,6 +123,12 @@ class Network {
   std::vector<Observer> observers_;
   NetworkStats stats_;
   std::unique_ptr<CircuitLayer> circuits_;
+  SitePredicate site_up_;
+  LinkPredicate link_up_;
+  SitePredicate paused_;
+  DropHook drop_hook_;
+  CircuitDownHandler circuit_down_;
+  std::map<SiteId, std::deque<Packet>> held_;
 };
 
 }  // namespace mnet

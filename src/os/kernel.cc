@@ -55,6 +55,12 @@ bool Kernel::Busy() const { return running_ != nullptr || AnyReady(); }
 // ---------------------------------------------------------------- network --
 
 void Kernel::OnPacket(mnet::Packet pkt) {
+  if (halted_) {
+    // The NIC of a crashed site receives nothing. (Network-level fault hooks
+    // normally drop these earlier; this covers packets already past them.)
+    ++stats_.packets_dropped_down;
+    return;
+  }
   ++stats_.packets_received;
   nic_queue_.push_back(std::move(pkt));
   Wakeup(nic_chan_);
@@ -123,7 +129,29 @@ void Kernel::RequestResched() {
   });
 }
 
+void Kernel::Halt() {
+  if (halted_) {
+    return;
+  }
+  halted_ = true;
+  if (slice_event_ != 0) {
+    sim_->Cancel(slice_event_);
+    slice_event_ = 0;
+  }
+  if (running_ != nullptr) {
+    running_->state = ProcState::kBlocked;  // frozen mid-computation, forever
+    running_ = nullptr;
+  }
+  nic_queue_.clear();
+  // Ready queues and blocked processes are left as-is: their coroutine
+  // frames stay alive (destroying them mid-await is unnecessary — the
+  // simulator simply never runs them again because Dispatch is gated).
+}
+
 void Kernel::Resched() {
+  if (halted_) {
+    return;
+  }
   // Interrupt-class work preempts immediately; everything else waits for a
   // tick or a voluntary CPU release. The interrupted process resumes when
   // interrupt service completes (interrupt-return semantics).
@@ -167,6 +195,9 @@ Process* Kernel::PopBestReady() {
 }
 
 void Kernel::Dispatch() {
+  if (halted_) {
+    return;
+  }
   Process* p = nullptr;
   // Return from interrupt: resume the interrupted process unless more
   // interrupt-class work is pending. Priority re-evaluation waits for the
@@ -348,6 +379,9 @@ void Kernel::ReleaseCpu() {
 }
 
 void Kernel::OnTick() {
+  if (halted_) {
+    return;  // the clock of a crashed site stops: no further ticks
+  }
   ++stats_.ticks;
   sim_->Schedule(cfg_.tick_us, [this] { OnTick(); });
   interrupt_resume_ = nullptr;  // the tick is a full rescheduling point
@@ -370,6 +404,35 @@ void Kernel::OnTick() {
   if (running_ == nullptr) {
     Dispatch();
   }
+}
+
+void Kernel::TimedSleepOnAwaiter::await_suspend(std::coroutine_handle<> h) {
+  p->resume_point = h;
+  p->pending = PendingOp::kBlock;
+  ++p->block_gen;
+  ch->waiters_.push_back(p);
+  if (timeout <= 0) {
+    return;  // no deadline: behaves exactly like SleepOn
+  }
+  std::uint64_t gen = p->block_gen;
+  Kernel* kern = k;
+  Process* proc = p;
+  Channel* chan = ch;
+  kern->sim_->Schedule(timeout, [kern, proc, chan, gen] {
+    // The block_gen guard proves the process is still in THIS sleep: any
+    // wakeup-and-reblock bumps the generation, making a stale timer a no-op
+    // (and guaranteeing `chan` is still the channel it waits on).
+    if (proc->state != ProcState::kBlocked || proc->block_gen != gen) {
+      return;
+    }
+    for (auto it = chan->waiters_.begin(); it != chan->waiters_.end(); ++it) {
+      if (*it == proc) {
+        chan->waiters_.erase(it);
+        break;
+      }
+    }
+    kern->MakeReady(proc);
+  });
 }
 
 void Kernel::TimedBlockAwaiter::await_suspend(std::coroutine_handle<> h) {

@@ -40,6 +40,8 @@ struct KernelStats {
   std::uint64_t context_switches = 0;
   std::uint64_t dispatches = 0;
   std::uint64_t packets_received = 0;
+  // Packets that arrived after this site halted (crash fault injection).
+  std::uint64_t packets_dropped_down = 0;
   std::uint64_t ticks = 0;
 };
 
@@ -98,6 +100,24 @@ class Kernel {
   };
   BlockAwaiter SleepOn(Process* p, Channel& ch) { return {this, p, &ch}; }
 
+  // Blocks until Wakeup on the channel OR `timeout` elapses, whichever comes
+  // first (timeout <= 0 degenerates to SleepOn). The caller distinguishes the
+  // two by re-checking its wakeup predicate / the clock — exactly the classic
+  // UNIX sleep-with-timeout contract. This is the primitive under every
+  // protocol-level recovery timeout (DESIGN.md "Failure model").
+  struct TimedSleepOnAwaiter {
+    Kernel* k;
+    Process* p;
+    Channel* ch;
+    msim::Duration timeout;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+  TimedSleepOnAwaiter SleepOnFor(Process* p, Channel& ch, msim::Duration timeout) {
+    return {this, p, &ch, timeout};
+  }
+
   // Blocks for a fixed duration of simulated time.
   struct TimedBlockAwaiter {
     Kernel* k;
@@ -134,6 +154,14 @@ class Kernel {
   void Wakeup(Channel& ch);     // wake all waiters
   void WakeupOne(Channel& ch);  // wake the longest waiter
 
+  // Crash fault: stops this site permanently. The running slice is
+  // cancelled, nothing is ever dispatched again, the tick chain ends, and
+  // every subsequently arriving packet is dropped (counted). There is no
+  // un-halt — Mirage has no site-recovery protocol (§7.1); a crashed site
+  // stays down for the rest of the run.
+  void Halt();
+  bool halted() const { return halted_; }
+
   mnet::SiteId site() const { return site_; }
   msim::Simulator* sim() const { return sim_; }
   mnet::Network* net() const { return net_; }
@@ -149,6 +177,7 @@ class Kernel {
 
  private:
   friend struct TimedBlockAwaiter;
+  friend struct TimedSleepOnAwaiter;
 
   void OnPacket(mnet::Packet pkt);
   msim::Task<> IsrMain(Process* self);
@@ -197,6 +226,7 @@ class Kernel {
 
   KernelStats stats_;
   bool started_ = false;
+  bool halted_ = false;
 };
 
 }  // namespace mos

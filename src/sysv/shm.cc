@@ -170,13 +170,19 @@ msim::Task<ShmSystem::ResolvedAccess> ShmSystem::Prepare(mos::Process* p, mmem::
       case mmem::Access::kNoWritePermission:
         throw ProtectionFault(addr);
       case mmem::Access::kReadFault:
-      case mmem::Access::kWriteFault:
-        co_await backend_->Fault(p, r->attach->seg, r->page, write);
+      case mmem::Access::kWriteFault: {
+        mmem::FaultStatus st = co_await backend_->Fault(p, r->attach->seg, r->page, write);
+        if (st != mmem::FaultStatus::kOk) {
+          // Protocol-level recovery gave up (site faults): surface the
+          // EIDRM-style error instead of retrying forever.
+          throw PageFaultError(addr, st);
+        }
         // The kernel remaps lazily at schedule-in; the process slept in
         // Fault, so its PTEs were refreshed before it got back here. Sync
         // explicitly as well so a same-instant wake never sees stale PTEs.
         as.SyncFromMaster();
         break;
+      }
     }
   }
 }

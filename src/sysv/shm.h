@@ -54,6 +54,26 @@ class ProtectionFault : public std::runtime_error {
       : std::runtime_error("write to read-only attach at address " + std::to_string(addr)) {}
 };
 
+// Thrown when the DSM protocol could not service a page fault: the segment's
+// library site is unreachable (kTimedOut) or the page's contents are
+// unrecoverable (kPageLost). Locus surfaces site failure on System V
+// segments as EIDRM — "the segment was removed out from under you" — so
+// err() is kIdRemoved. Applications in a fault-injected world catch this and
+// degrade; it never occurs on a healthy network.
+class PageFaultError : public std::runtime_error {
+ public:
+  PageFaultError(mmem::VAddr addr, mmem::FaultStatus status)
+      : std::runtime_error(std::string("page fault failed (") + mmem::FaultStatusName(status) +
+                           ") at address " + std::to_string(addr)),
+        status_(status) {}
+
+  ShmErr err() const { return ShmErr::kIdRemoved; }
+  mmem::FaultStatus status() const { return status_; }
+
+ private:
+  mmem::FaultStatus status_;
+};
+
 // IPC_PRIVATE: always creates a fresh segment.
 inline constexpr std::uint64_t kIpcPrivate = 0;
 

@@ -38,6 +38,24 @@ World::World(int num_sites, WorldOptions opts)
     backends_.push_back(std::move(backend));
     shms_.push_back(std::make_unique<ShmSystem>(kernels_.back().get(), raw, &registry_));
   }
+  if (!opts.faults.empty()) {
+    std::vector<mos::Kernel*> raw_kernels;
+    for (auto& k : kernels_) {
+      raw_kernels.push_back(k.get());
+    }
+    injector_ = std::make_unique<mfault::FaultInjector>(&sim_, net_.get(),
+                                                       std::move(raw_kernels), &tracer_);
+    injector_->Schedule(opts.faults);
+    if (opts.enable_trace) {
+      net_->SetDropHook([this](const mnet::Packet& pkt, const char* reason) {
+        tracer_.Record(sim_.Now(), pkt.dst, "drop",
+                       std::string(reason) + ": " +
+                           mirage::MsgKindName(static_cast<mirage::MsgKind>(pkt.type)) +
+                           " site " + std::to_string(pkt.src) + " -> site " +
+                           std::to_string(pkt.dst));
+      });
+    }
+  }
   // Start backends first (they install packet handlers), then the kernels
   // (which register with the network and spawn interrupt service).
   for (int s = 0; s < num_sites; ++s) {
@@ -60,7 +78,33 @@ void World::PrintReport(std::ostream& os) {
   os << "simulated time: " << msim::ToMilliseconds(sim_.Now()) << " ms\n";
   const auto& ns = net_->stats();
   os << "network: " << ns.packets << " packets (" << ns.short_packets << " short, "
-     << ns.large_packets << " page-carrying), " << ns.payload_bytes << " payload bytes\n\n";
+     << ns.large_packets << " page-carrying), " << ns.payload_bytes << " payload bytes\n";
+  if (ns.dropped_no_sink + ns.dropped_site_down + ns.dropped_partitioned + ns.packets_held >
+      0) {
+    os << "network drops: " << ns.dropped_site_down << " site-down, " << ns.dropped_partitioned
+       << " partitioned, " << ns.dropped_no_sink << " no-sink; " << ns.packets_held
+       << " held while paused\n";
+  }
+  if (injector_ != nullptr) {
+    const mfault::FaultInjectorStats& fs = injector_->stats();
+    os << "faults injected: " << fs.crashes << " crashes, " << fs.pauses << " pauses, "
+       << fs.partitions << " partitions (" << fs.heals << " healed), " << fs.circuits_down
+       << " circuits declared down\n";
+    std::uint64_t timeouts = 0, failed = 0, degraded = 0, lost_ops = 0;
+    for (int s = 0; s < site_count(); ++s) {
+      const mirage::Engine* e = engine(s);
+      if (e != nullptr) {
+        const mirage::EngineStats& es = e->stats();
+        timeouts += es.request_timeouts;
+        failed += es.faults_failed;
+        degraded += es.degraded_acks + es.degraded_invalidations;
+        lost_ops += es.ops_failed;
+      }
+    }
+    os << "recovery: " << timeouts << " request timeouts, " << failed << " faults failed, "
+       << degraded << " acks forgiven (degraded), " << lost_ops << " ops failed\n";
+  }
+  os << "\n";
   mtrace::TextTable t({"site", "cpu busy (ms)", "idle (ms)", "remap (ms)", "ctx switches",
                        "faults r/w", "installs", "upgrades", "downgrades", "invalidations",
                        "refusals"});

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/mem/backend.h"
 #include "src/mirage/engine.h"
 #include "src/mirage/protocol.h"
@@ -33,6 +34,13 @@ struct WorldOptions {
   // Optional Locus virtual-circuit transport over a lossy medium (failure
   // injection). Unset = the lossless synchronous medium.
   std::optional<mnet::CircuitOptions> circuit;
+
+  // Site/link fault schedule. Non-empty plans instantiate a FaultInjector
+  // wired into the network and every kernel. Remember to also enable the
+  // protocol recovery timeouts (ProtocolOptions::request_timeout_us etc.) —
+  // with the paper's wait-forever defaults a crashed library site hangs its
+  // clients, by design.
+  mfault::FaultPlan faults;
 
   // Replaces the Mirage engine with another protocol (e.g. the Li/Hudak
   // baseline). When empty, each site gets a mirage::Engine with `protocol`.
@@ -60,6 +68,8 @@ class World {
   ShmSystem& shm(int site) { return *shms_.at(site); }
   // The Mirage engine at `site`, or nullptr under a non-Mirage backend.
   mirage::Engine* engine(int site);
+  // The fault injector, or nullptr when the world runs without a fault plan.
+  mfault::FaultInjector* faults() { return injector_.get(); }
 
   // Advances simulated time by `d`.
   void RunFor(msim::Duration d);
@@ -80,6 +90,7 @@ class World {
   std::vector<std::unique_ptr<mos::Kernel>> kernels_;
   std::vector<std::unique_ptr<mmem::DsmBackend>> backends_;
   std::vector<std::unique_ptr<ShmSystem>> shms_;
+  std::unique_ptr<mfault::FaultInjector> injector_;
   msim::Duration tick_us_;
 };
 

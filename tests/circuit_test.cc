@@ -3,6 +3,8 @@
 // stay coherent on top of it.
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "src/net/circuit.h"
@@ -117,14 +119,133 @@ TEST_F(CircuitFixture, DeterministicForSeed) {
   EXPECT_NE(run(9), run(10));
 }
 
-TEST_F(CircuitFixture, RetransmitLimitSurfacesAsError) {
+TEST_F(CircuitFixture, RetransmitLimitDeclaresCircuitDownWithoutThrowing) {
   CircuitOptions opts;
   opts.loss_probability = 1.0;  // black hole
   opts.max_retransmits = 3;
   opts.retransmit_timeout_us = 10 * kMillisecond;
   layer = std::make_unique<CircuitLayer>(&sim, opts, [](const Packet&) {});
+  std::vector<std::pair<mnet::SiteId, mnet::SiteId>> downs;
+  layer->SetDownHandler([&](mnet::SiteId src, mnet::SiteId dst) {
+    downs.emplace_back(src, dst);
+  });
   layer->Transmit(Pkt(0, 1, 1));
-  EXPECT_THROW(sim.RunUntil(10 * kSecond), std::runtime_error);
+  // The budget exhausts quietly: the circuit is declared down and reported
+  // through the handler — a dead peer must never abort the simulation.
+  EXPECT_NO_THROW(sim.RunUntil(10 * kSecond));
+  EXPECT_EQ(layer->stats().circuits_failed, 1u);
+  ASSERT_EQ(downs.size(), 1u);
+  EXPECT_EQ(downs[0], std::make_pair(mnet::SiteId{0}, mnet::SiteId{1}));
+  EXPECT_TRUE(layer->CircuitDown(0, 1));
+  EXPECT_FALSE(layer->CircuitDown(1, 0));
+  // Traffic offered to the failed circuit is refused and counted.
+  std::uint64_t drops_before = layer->stats().down_drops;
+  layer->Transmit(Pkt(0, 1, 2));
+  sim.RunUntil(20 * kSecond);
+  EXPECT_GT(layer->stats().down_drops, drops_before);
+  EXPECT_EQ(layer->stats().circuits_failed, 1u);  // declared once, not per frame
+}
+
+TEST_F(CircuitFixture, SustainedHighLossDeliversExactlyOnceInOrder) {
+  // 35% sustained loss on both data and acks across 200 frames: every frame
+  // still arrives exactly once, in order.
+  Boot(0.35, /*seed=*/1234);
+  for (std::uint32_t i = 1; i <= 200; ++i) {
+    layer->Transmit(Pkt(0, 1, i));
+  }
+  sim.RunUntil(600 * kSecond);
+  ASSERT_EQ(released.size(), 200u);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    ASSERT_EQ(released[i], i + 1);
+  }
+  EXPECT_GT(layer->stats().frames_dropped, 0u);
+  EXPECT_GT(layer->stats().retransmits, 0u);
+  EXPECT_EQ(layer->stats().circuits_failed, 0u);  // default budget: never give up
+}
+
+TEST_F(CircuitFixture, AsymmetricAckOnlyLossSuppressesDuplicates) {
+  // The hard duplicate-suppression case: every data frame arrives, but many
+  // acks die. The sender retransmits frames the receiver already has; the
+  // receiver must deliver each exactly once and re-ack.
+  CircuitOptions opts;
+  opts.loss_probability = 0.0;
+  opts.ack_loss_probability = 0.6;
+  opts.loss_seed = 77;
+  opts.retransmit_timeout_us = 20 * kMillisecond;
+  layer = std::make_unique<CircuitLayer>(&sim, opts,
+                                         [this](const Packet& p) { released.push_back(p.type); });
+  EXPECT_TRUE(layer->Active());  // ack loss alone activates sequencing
+  for (std::uint32_t i = 1; i <= 40; ++i) {
+    layer->Transmit(Pkt(0, 1, i));
+  }
+  sim.RunUntil(300 * kSecond);
+  ASSERT_EQ(released.size(), 40u);
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    ASSERT_EQ(released[i], i + 1);
+  }
+  EXPECT_EQ(layer->stats().frames_dropped, 0u);   // data never dropped
+  EXPECT_GT(layer->stats().acks_dropped, 0u);     // acks were
+  EXPECT_GT(layer->stats().duplicates_suppressed, 0u);
+  EXPECT_GT(layer->stats().retransmits, 0u);
+}
+
+TEST_F(CircuitFixture, PartitionHealsAndRetransmissionRecovers) {
+  // A deterministic partition (reachability flips false then back true):
+  // frames sent into the partition vanish, and after the heal the
+  // retransmit machinery delivers everything, in order, exactly once.
+  CircuitOptions opts;
+  opts.force_sequencing = true;  // no random loss; the partition is the fault
+  opts.retransmit_timeout_us = 20 * kMillisecond;
+  opts.max_retransmits = 0;  // unlimited budget: survive any outage length
+  layer = std::make_unique<CircuitLayer>(&sim, opts,
+                                         [this](const Packet& p) { released.push_back(p.type); });
+  bool partitioned = false;
+  layer->SetReachability([&](mnet::SiteId, mnet::SiteId) { return !partitioned; });
+
+  layer->Transmit(Pkt(0, 1, 1));
+  sim.ScheduleAt(5 * kMillisecond, [&] { partitioned = true; });
+  // Frames 2..6 are sent into the partition.
+  for (std::uint32_t i = 2; i <= 6; ++i) {
+    sim.ScheduleAt(10 * kMillisecond * i, [&, i] { layer->Transmit(Pkt(0, 1, i)); });
+  }
+  sim.ScheduleAt(400 * kMillisecond, [&] { partitioned = false; });
+  sim.RunUntil(30 * kSecond);
+
+  ASSERT_EQ(released.size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ASSERT_EQ(released[i], i + 1);
+  }
+  EXPECT_GT(layer->stats().down_drops, 0u);   // frames died in the partition
+  EXPECT_GT(layer->stats().retransmits, 0u);  // recovery really ran
+  EXPECT_EQ(layer->stats().circuits_failed, 0u);
+}
+
+TEST_F(CircuitFixture, StatsDeterministicAcrossSameSeedRuns) {
+  auto run = [](double loss, double ack_loss, std::uint64_t seed) {
+    Simulator sim;
+    std::vector<std::uint32_t> rel;
+    CircuitOptions opts;
+    opts.loss_probability = loss;
+    opts.ack_loss_probability = ack_loss;
+    opts.loss_seed = seed;
+    opts.retransmit_timeout_us = 20 * kMillisecond;
+    CircuitLayer layer(&sim, opts, [&](const Packet& p) { rel.push_back(p.type); });
+    for (std::uint32_t i = 1; i <= 60; ++i) {
+      layer.Transmit(Pkt(0, 1, i));
+    }
+    sim.RunUntil(300 * kSecond);
+    const mnet::CircuitStats& s = layer.stats();
+    return std::tuple{rel,
+                      s.data_frames_sent,
+                      s.frames_dropped,
+                      s.retransmits,
+                      s.duplicates_suppressed,
+                      s.acks_sent,
+                      s.acks_dropped,
+                      sim.Now()};
+  };
+  EXPECT_EQ(run(0.3, 0.5, 21), run(0.3, 0.5, 21));
+  EXPECT_NE(run(0.3, 0.5, 21), run(0.3, 0.5, 22));
 }
 
 // ---- the full stack over a lossy medium ----

@@ -1,0 +1,376 @@
+// Fault injection and protocol-level recovery (DESIGN.md "Failure model").
+//
+// Mirage's paper assumes Locus keeps every site alive (§7.1); these tests
+// exercise the extension: crash / pause / partition faults driven by a
+// deterministic FaultPlan, with the protocol recovering via request
+// timeouts + backoff, degraded ack collection (crashed holders forgiven),
+// and EIDRM-style failure surfaced to the application when the library or
+// clock site is gone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sysv/world.h"
+
+namespace {
+
+using mfault::FaultPlan;
+using mos::Priority;
+using mos::Process;
+using msim::kMillisecond;
+using msim::kSecond;
+using msim::Task;
+using msysv::World;
+using msysv::WorldOptions;
+
+// Recovery timeouts for faulted worlds. The defaults (0 = wait forever) are
+// the paper's liveness assumption; every fault test opts into recovery.
+void EnableRecovery(WorldOptions& opts) {
+  opts.protocol.request_timeout_us = 100 * kMillisecond;
+  opts.protocol.max_request_attempts = 3;
+  opts.protocol.ack_timeout_us = 100 * kMillisecond;
+  opts.protocol.op_timeout_us = 1 * kSecond;
+}
+
+struct FaultTest : public ::testing::Test {
+  void Boot(int sites, WorldOptions opts) {
+    w = std::make_unique<World>(sites, std::move(opts));
+    shmid = w->shm(0).Shmget(1, 2048, true).value();
+  }
+  std::unique_ptr<World> w;
+  int shmid = -1;
+};
+
+// Acceptance scenario: crash a site that is neither the library nor the
+// clock site mid-run. The survivors' ping-pong finishes; the crashed
+// reader's copy is invalidated in degraded mode (its ack forgiven).
+TEST_F(FaultTest, CrashBystanderSitePingPongCompletes) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.faults.CrashAt(20 * kMillisecond, 2);
+  Boot(3, opts);
+  constexpr int kLaps = 30;
+  int finished = 0;
+  // Sites 0 (library; faults first, so also clock site) and 1 pass a token.
+  for (int s = 0; s < 2; ++s) {
+    w->kernel(s).Spawn("pingpong", Priority::kUser,
+                       [this, s, &finished](Process* p) -> Task<> {
+      auto& shm = w->shm(s);
+      mmem::VAddr base = shm.Shmat(p, shmid).value();
+      for (int lap = 0; lap < kLaps; ++lap) {
+        std::uint32_t my_turn = static_cast<std::uint32_t>(lap * 2 + s);
+        for (;;) {
+          if (co_await shm.ReadWord(p, base) == my_turn) {
+            break;
+          }
+          co_await w->kernel(s).Yield(p);
+        }
+        co_await shm.WriteWord(p, base, my_turn + 1);
+        co_await w->kernel(s).Compute(p, 500);
+      }
+      ++finished;
+    });
+  }
+  // Site 2 is a bystander reader: it acquires a read copy, then is crashed.
+  w->kernel(2).Spawn("bystander", Priority::kUser, [this](Process* p) -> Task<> {
+    auto& shm = w->shm(2);
+    co_await w->kernel(2).SleepFor(p, 5 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    for (;;) {
+      (void)co_await shm.ReadWord(p, base);
+      co_await w->kernel(2).SleepFor(p, 2 * kMillisecond);
+    }
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return finished == 2; }, 120 * kSecond));
+  EXPECT_TRUE(w->kernel(2).halted());
+  EXPECT_EQ(w->faults()->stats().crashes, 1u);
+  // The crashed reader's copy was purged without its ack.
+  std::uint64_t forgiven = 0;
+  for (int s = 0; s < 3; ++s) {
+    forgiven += w->engine(s)->stats().degraded_acks +
+                w->engine(s)->stats().degraded_invalidations;
+  }
+  EXPECT_GE(forgiven, 1u);
+  // Survivors made full progress: every token increment happened.
+  bool checked = false;
+  w->kernel(0).Spawn("check", Priority::kUser, [this, &checked](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 2 * kLaps);
+    checked = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return checked; }, 10 * kSecond));
+}
+
+// Focused version of the degraded-invalidation path: a reader holds a copy,
+// crashes, and the next writer's invalidation completes by forgiving the
+// crashed site. Later readers still see the new value.
+TEST_F(FaultTest, CrashedReaderInvalidatedInDegradedMode) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.faults.CrashAt(50 * kMillisecond, 2);
+  Boot(3, opts);
+  bool wrote = false;
+  bool read_back = false;
+  w->kernel(0).Spawn("writer", Priority::kUser, [this, &wrote](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    co_await shm.WriteWord(p, base, 1);  // first requester: site 0 is clock site
+    co_await w->kernel(0).SleepFor(p, 100 * kMillisecond);
+    // Site 2 took a copy, then crashed; this upgrade must not hang on it.
+    co_await shm.WriteWord(p, base, 2);
+    wrote = true;
+  });
+  w->kernel(2).Spawn("doomed-reader", Priority::kUser, [this](Process* p) -> Task<> {
+    auto& shm = w->shm(2);
+    co_await w->kernel(2).SleepFor(p, 10 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 1u);
+    co_await w->kernel(2).SleepFor(p, 10 * kSecond);  // crashed long before this
+  });
+  w->kernel(1).Spawn("late-reader", Priority::kUser, [this, &read_back](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    co_await w->kernel(1).SleepFor(p, 400 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 2u);
+    read_back = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return wrote && read_back; }, 60 * kSecond));
+  EXPECT_GE(w->engine(0)->stats().degraded_invalidations +
+                w->engine(0)->stats().degraded_acks,
+            1u);
+  EXPECT_GE(w->network().stats().dropped_site_down, 1u);
+}
+
+// Crashing the library site makes faults on its segments fail after the
+// request/backoff budget is exhausted, surfacing EIDRM to the application
+// instead of hanging it.
+TEST_F(FaultTest, LibraryCrashFaultFailsWithEidrm) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.faults.CrashAt(1 * kMillisecond, 0);
+  Boot(2, opts);
+  bool caught = false;
+  w->kernel(1).Spawn("client", Priority::kUser, [this, &caught](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    co_await w->kernel(1).SleepFor(p, 10 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    try {
+      (void)co_await shm.ReadWord(p, base);
+      ADD_FAILURE() << "fault against a crashed library site succeeded";
+    } catch (const msysv::PageFaultError& e) {
+      EXPECT_EQ(e.err(), msysv::ShmErr::kIdRemoved);
+      EXPECT_EQ(e.status(), mmem::FaultStatus::kTimedOut);
+      caught = true;
+    }
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return caught; }, 60 * kSecond));
+  const mirage::EngineStats& es = w->engine(1)->stats();
+  EXPECT_GE(es.request_timeouts, 1u);
+  EXPECT_GE(es.faults_failed, 1u);
+  EXPECT_GE(w->network().stats().dropped_site_down, 1u);
+}
+
+// Crashing the clock site of a page: the library's next operation on that
+// page cannot complete, so it fails the op, marks the page lost, and sends
+// kRequestFailed to the blocked requester — which gets EIDRM, not a hang.
+// Subsequent faults on the lost page fail fast.
+TEST_F(FaultTest, ClockSiteCrashFailsOpGracefully) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.faults.CrashAt(200 * kMillisecond, 1);
+  Boot(3, opts);
+  bool primed = false;
+  int caught = 0;
+  // Site 1 faults first, so it becomes the page's clock site — then crashes.
+  w->kernel(1).Spawn("clock-to-be", Priority::kUser, [this, &primed](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    (void)co_await shm.ReadWord(p, base);
+    primed = true;
+    co_await w->kernel(1).SleepFor(p, 10 * kSecond);  // crashed at 200 ms
+  });
+  w->kernel(2).Spawn("writer", Priority::kUser, [this, &caught](Process* p) -> Task<> {
+    auto& shm = w->shm(2);
+    co_await w->kernel(2).SleepFor(p, 400 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    try {
+      co_await shm.WriteWord(p, base, 9);
+      ADD_FAILURE() << "write through a crashed clock site succeeded";
+    } catch (const msysv::PageFaultError& e) {
+      EXPECT_EQ(e.err(), msysv::ShmErr::kIdRemoved);
+      ++caught;
+    }
+    // The page is now lost; a retry fails fast rather than re-timing-out.
+    try {
+      (void)co_await shm.ReadWord(p, base);
+      ADD_FAILURE() << "read of a lost page succeeded";
+    } catch (const msysv::PageFaultError& e) {
+      EXPECT_EQ(e.status(), mmem::FaultStatus::kPageLost);
+      ++caught;
+    }
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return primed && caught == 2; }, 60 * kSecond));
+  EXPECT_GE(w->engine(0)->stats().ops_failed, 1u);
+  EXPECT_GE(w->engine(0)->stats().fail_notices_sent, 1u);
+  EXPECT_GE(w->engine(2)->stats().fail_notices_received, 1u);
+  EXPECT_GE(w->engine(2)->stats().faults_failed, 2u);
+}
+
+// A paused site holds inbound packets in order and releases them at resume:
+// the client's fault is delayed, not failed, and duplicate (re-sent)
+// requests are absorbed harmlessly.
+TEST_F(FaultTest, PauseResumeDelaysButCompletes) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.faults.PauseAt(5 * kMillisecond, 0).ResumeAt(250 * kMillisecond, 0);
+  Boot(2, opts);
+  bool wrote = false;
+  bool read = false;
+  msim::Time read_done_at = 0;
+  w->kernel(0).Spawn("writer", Priority::kUser, [this, &wrote](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    co_await shm.WriteWord(p, base, 42);
+    wrote = true;
+  });
+  w->kernel(1).Spawn("reader", Priority::kUser,
+                     [this, &read, &read_done_at](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    co_await w->kernel(1).SleepFor(p, 10 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 42u);
+    read_done_at = w->sim().Now();
+    read = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return wrote && read; }, 60 * kSecond));
+  // The read could not finish before the library resumed.
+  EXPECT_GE(read_done_at, 250 * kMillisecond);
+  EXPECT_GE(w->network().stats().packets_held, 1u);
+  EXPECT_EQ(w->faults()->stats().pauses, 1u);
+  EXPECT_EQ(w->faults()->stats().resumes, 1u);
+}
+
+// With the virtual-circuit transport, a partition that heals is invisible
+// to the protocol: frames dropped while the link was cut are retransmitted
+// after the heal, and the fault completes with no recovery timeouts needed.
+TEST_F(FaultTest, PartitionHealsTransparentlyUnderCircuits) {
+  WorldOptions opts;
+  mnet::CircuitOptions copts;
+  copts.force_sequencing = true;
+  copts.max_retransmits = 0;  // never give the circuit up
+  opts.circuit = copts;
+  opts.faults.PartitionAt(5 * kMillisecond, 0, 1).HealAt(300 * kMillisecond, 0, 1);
+  Boot(2, opts);
+  bool wrote = false;
+  bool read = false;
+  w->kernel(0).Spawn("writer", Priority::kUser, [this, &wrote](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    co_await shm.WriteWord(p, base, 7);
+    wrote = true;
+  });
+  w->kernel(1).Spawn("reader", Priority::kUser, [this, &read](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    co_await w->kernel(1).SleepFor(p, 10 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 7u);
+    read = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return wrote && read; }, 60 * kSecond));
+  const mnet::CircuitStats& cs = w->network().circuits()->stats();
+  EXPECT_GE(cs.down_drops, 1u);
+  EXPECT_GE(cs.retransmits, 1u);
+  EXPECT_EQ(cs.circuits_failed, 0u);
+  EXPECT_EQ(w->faults()->stats().partitions, 1u);
+  EXPECT_EQ(w->faults()->stats().heals, 1u);
+}
+
+// The whole faulted run is bit-deterministic: two identical runs produce
+// identical simulated end times and identical counters everywhere.
+TEST_F(FaultTest, DeterministicAcrossIdenticalFaultedRuns) {
+  auto run = [](std::vector<std::uint64_t>& out) {
+    WorldOptions opts;
+    EnableRecovery(opts);
+    opts.faults.CrashAt(20 * kMillisecond, 2);
+    World w(3, opts);
+    int shmid = w.shm(0).Shmget(1, 2048, true).value();
+    int finished = 0;
+    for (int s = 0; s < 2; ++s) {
+      w.kernel(s).Spawn("pp", Priority::kUser, [&w, s, shmid, &finished](Process* p) -> Task<> {
+        auto& shm = w.shm(s);
+        mmem::VAddr base = shm.Shmat(p, shmid).value();
+        for (int lap = 0; lap < 10; ++lap) {
+          std::uint32_t my_turn = static_cast<std::uint32_t>(lap * 2 + s);
+          for (;;) {
+            if (co_await shm.ReadWord(p, base) == my_turn) {
+              break;
+            }
+            co_await w.kernel(s).Yield(p);
+          }
+          co_await shm.WriteWord(p, base, my_turn + 1);
+        }
+        ++finished;
+      });
+    }
+    w.kernel(2).Spawn("by", Priority::kUser, [&w, shmid](Process* p) -> Task<> {
+      auto& shm = w.shm(2);
+      co_await w.kernel(2).SleepFor(p, 5 * kMillisecond);
+      mmem::VAddr base = shm.Shmat(p, shmid).value();
+      for (;;) {
+        (void)co_await shm.ReadWord(p, base);
+        co_await w.kernel(2).SleepFor(p, 2 * kMillisecond);
+      }
+    });
+    ASSERT_TRUE(w.RunUntil([&] { return finished == 2; }, 120 * kSecond));
+    out.push_back(static_cast<std::uint64_t>(w.sim().Now()));
+    const mnet::NetworkStats& ns = w.network().stats();
+    out.push_back(ns.packets);
+    out.push_back(ns.dropped_site_down);
+    out.push_back(ns.payload_bytes);
+    for (int s = 0; s < 3; ++s) {
+      const mirage::EngineStats& es = w.engine(s)->stats();
+      out.push_back(es.read_faults);
+      out.push_back(es.write_faults);
+      out.push_back(es.pages_installed);
+      out.push_back(es.request_timeouts);
+      out.push_back(es.degraded_acks + es.degraded_invalidations);
+      out.push_back(es.ops_failed);
+    }
+    out.push_back(w.kernel(2).stats().packets_dropped_down);
+  };
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  run(a);
+  run(b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+// A crashed kernel stops executing: its processes freeze at their next
+// suspension point and never run again.
+TEST_F(FaultTest, CrashedSiteStopsExecuting) {
+  WorldOptions opts;
+  opts.faults.CrashAt(95 * kMillisecond, 1);
+  Boot(2, opts);
+  int ticks = 0;
+  w->kernel(1).Spawn("ticker", Priority::kUser, [this, &ticks](Process* p) -> Task<> {
+    for (;;) {
+      ++ticks;
+      co_await w->kernel(1).SleepFor(p, 10 * kMillisecond);
+    }
+  });
+  w->RunFor(500 * kMillisecond);
+  EXPECT_TRUE(w->kernel(1).halted());
+  EXPECT_FALSE(w->kernel(0).halted());
+  // ~10 ticks before the crash at 95 ms, none after.
+  EXPECT_GE(ticks, 5);
+  EXPECT_LE(ticks, 11);
+  int ticks_at_end = ticks;
+  w->RunFor(500 * kMillisecond);
+  EXPECT_EQ(ticks, ticks_at_end);
+}
+
+}  // namespace
