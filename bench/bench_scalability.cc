@@ -5,54 +5,39 @@
 // clock site must invalidate every other reader sequentially point-to-point
 // (no multicast in Locus, §7.1 caveat 2) before the write is granted, so
 // write latency grows linearly in the reader count.
+//
+// The sweep runs on the experiment harness (src/exp); the same spec widened
+// with a frame-loss axis is `examples/experiment_runner scalematrix`.
 #include <cstdio>
 #include <iostream>
 
+#include "src/exp/runner.h"
 #include "src/trace/table.h"
-#include "src/workload/scalability.h"
 
-namespace {
-
-struct Out {
-  double mean_write_ms = 0;
-  double invalidations_per_round = 0;
-  bool completed = false;
-};
-
-Out Run(int sites) {
-  msysv::WorldOptions opts;
+int main() {
+  mexp::ExperimentSpec spec;
+  spec.name = "scalability";
+  spec.workload = "scalability";
+  spec.sites = {2, 3, 4, 6, 8, 10, 12};
   // A modest window keeps the hot page with the writer long enough to
   // write; at Delta=0 the always-hungry readers steal the page back first
   // and the system thrashes (§5.0's pathological case).
-  opts.protocol.default_window_us = 50 * msim::kMillisecond;
-  msysv::World world(sites, opts);
-  mwork::ScalabilityParams prm;
-  prm.rounds = 8;
-  auto r = mwork::LaunchScalability(world, prm);
-  Out out;
-  out.completed = world.RunUntil([&] { return r->completed; }, 600 * msim::kSecond);
-  out.mean_write_ms = r->MeanWriteLatencyMs();
-  std::uint64_t inv = 0;
-  for (int s = 0; s < sites; ++s) {
-    inv += world.engine(s)->stats().local_invalidations;
-  }
-  out.invalidations_per_round = static_cast<double>(inv) / prm.rounds;
-  return out;
-}
+  spec.delta_ms = {50};
+  spec.rounds = 8;
+  spec.max_time_s = 600;
 
-}  // namespace
+  mexp::ExperimentReport report = mexp::ExperimentRunner().Run(spec);
 
-int main() {
   std::printf("E14 — invalidation cost vs number of reader sites\n");
   std::printf("(one writer; N-1 sites hold read copies of the hot page)\n\n");
   mtrace::TextTable t({"sites", "readers invalidated", "mean write latency (ms)",
                        "invalidations/round", "completed"});
-  for (int sites : {2, 3, 4, 6, 8, 10, 12}) {
-    Out o = Run(sites);
-    t.AddRow({mtrace::TextTable::Int(sites), mtrace::TextTable::Int(sites - 1),
-              mtrace::TextTable::Num(o.mean_write_ms, 1),
-              mtrace::TextTable::Num(o.invalidations_per_round, 1),
-              o.completed ? "yes" : "NO"});
+  for (const mexp::PointResult& pt : report.points) {
+    t.AddRow({mtrace::TextTable::Int(pt.params.sites),
+              mtrace::TextTable::Int(pt.params.sites - 1),
+              mtrace::TextTable::Num(pt.metrics.at("mean_write_latency_ms").Mean(), 1),
+              mtrace::TextTable::Num(pt.metrics.at("invalidations_per_round").Mean(), 1),
+              pt.metrics.at("completed").Mean() == 1.0 ? "yes" : "NO"});
   }
   t.Print(std::cout);
   std::printf("\nexpected shape: latency linear in the reader count (sequential\n"

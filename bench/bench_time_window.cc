@@ -11,68 +11,48 @@
 //    longer than it needs);
 //  * on the same site, background (non-DSM) throughput *improves* as Delta
 //    grows — err on the retention side for overall system throughput.
+//
+// Both sweeps run on the experiment harness (src/exp): one declarative spec
+// per table, repetitions = the five start phases (the simulator is
+// deterministic, so phase resonances between the two loops are averaged out
+// explicitly), executed on all available cores and merged in spec order.
+// `examples/experiment_runner fig8` runs the same spec from the CLI.
 #include <cstdio>
 #include <iostream>
 
+#include "src/exp/runner.h"
 #include "src/trace/table.h"
-#include "src/workload/background.h"
-#include "src/workload/readwriters.h"
 
 namespace {
 
-double RunOne(msim::Duration window_us, msim::Duration offset_us, bool with_background,
-              double* bg_rate) {
-  msysv::WorldOptions opts;
-  opts.protocol.default_window_us = window_us;
-  msysv::World world(2, opts);
-  mwork::ReadWritersParams prm;
-  // ~0.8 s of decrement work per process per checkout epoch;
-  // continuous demand, as in the loops of §8.
-  prm.iterations = 50000;
-  prm.start_offset_us = offset_us;
-  auto app = mwork::LaunchReadWriters(world, prm);
-  std::shared_ptr<mwork::BackgroundResult> background;
-  if (with_background) {
-    mwork::BackgroundParams bg;
-    bg.site = 0;
-    bg.unit_cost_us = 1000;
-    background = mwork::LaunchBackground(world, bg);
-  }
-  world.RunUntil([&] { return app->completed; }, 600 * msim::kSecond);
-  if (bg_rate != nullptr && background != nullptr) {
-    *bg_rate = background->UnitsPerSecond();
-  }
-  return app->OpsPerSecond();
-}
-
-// Averages three start phases: the simulator is deterministic, so phase
-// resonances between the two loops are averaged out explicitly.
-double RunApp(msim::Duration window_us, bool with_background, double* bg_rate) {
-  double sum = 0;
-  double bg_sum = 0;
-  const msim::Duration offsets[] = {0, 170 * msim::kMillisecond, 410 * msim::kMillisecond,
-                                    730 * msim::kMillisecond, 1130 * msim::kMillisecond};
-  constexpr int kRuns = 5;
-  for (msim::Duration off : offsets) {
-    double bg = 0;
-    sum += RunOne(window_us, off, with_background, &bg);
-    bg_sum += bg;
-  }
-  if (bg_rate != nullptr) {
-    *bg_rate = bg_sum / kRuns;
-  }
-  return sum / kRuns;
+mexp::ExperimentSpec SweepSpec(std::vector<std::int64_t> delta_ms, bool with_background) {
+  mexp::ExperimentSpec spec;
+  spec.name = with_background ? "amelioration" : "fig8";
+  spec.workload = "readwriters";
+  spec.sites = {2};
+  spec.delta_ms = std::move(delta_ms);
+  // ~0.8 s of decrement work per process per checkout epoch; continuous
+  // demand, as in the loops of §8.
+  spec.iterations = 50000;
+  spec.repetitions = 5;
+  spec.phase_offsets_ms = {0, 170, 410, 730, 1130};
+  spec.with_background = with_background;
+  spec.max_time_s = 600;
+  return spec;
 }
 
 }  // namespace
 
 int main() {
+  mexp::ExperimentRunner runner;
+
   std::printf("Figure 8: two conflicting read-writers, throughput vs Delta\n\n");
+  mexp::ExperimentReport fig8_report = runner.Run(
+      SweepSpec({0, 10, 30, 60, 120, 200, 300, 450, 600, 900, 1200, 1600, 2000}, false));
   mtrace::TextTable fig8({"Delta (ms)", "read-write ops/s"});
-  for (int delta_ms : {0, 10, 30, 60, 120, 200, 300, 450, 600, 900, 1200, 1600, 2000}) {
-    double ops = RunApp(static_cast<msim::Duration>(delta_ms) * msim::kMillisecond,
-                        /*with_background=*/false, nullptr);
-    fig8.AddRow({mtrace::TextTable::Int(delta_ms), mtrace::TextTable::Num(ops, 0)});
+  for (const mexp::PointResult& pt : fig8_report.points) {
+    fig8.AddRow({mtrace::TextTable::Int(pt.params.delta_ms),
+                 mtrace::TextTable::Num(pt.metrics.at("throughput").Mean(), 0)});
   }
   fig8.Print(std::cout);
   std::printf("\npaper: steep contention side below ~120 ms, plateau to ~600 ms "
@@ -80,13 +60,12 @@ int main() {
 
   std::printf("§7.3/§8: thrashing amelioration — background compute process at site 0\n");
   std::printf("(application throughput is traded for overall system throughput)\n\n");
+  mexp::ExperimentReport amel_report = runner.Run(SweepSpec({0, 60, 300, 900, 2000}, true));
   mtrace::TextTable amel({"Delta (ms)", "app ops/s", "background units/s"});
-  for (int delta_ms : {0, 60, 300, 900, 2000}) {
-    double bg = 0;
-    double ops = RunApp(static_cast<msim::Duration>(delta_ms) * msim::kMillisecond,
-                        /*with_background=*/true, &bg);
-    amel.AddRow({mtrace::TextTable::Int(delta_ms), mtrace::TextTable::Num(ops, 0),
-                 mtrace::TextTable::Num(bg, 1)});
+  for (const mexp::PointResult& pt : amel_report.points) {
+    amel.AddRow({mtrace::TextTable::Int(pt.params.delta_ms),
+                 mtrace::TextTable::Num(pt.metrics.at("throughput").Mean(), 0),
+                 mtrace::TextTable::Num(pt.metrics.at("background_units_per_s").Mean(), 1)});
   }
   amel.Print(std::cout);
   std::printf("\npaper: increasing Delta reduces the thrashing application's demand on the\n"

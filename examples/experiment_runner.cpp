@@ -1,0 +1,376 @@
+// The experiment harness CLI: declarative parameter sweeps executed on a
+// worker-thread pool, with streaming statistics and machine-readable output.
+//
+// Usage:
+//   experiment_runner [preset | --spec=FILE.json] [options]
+//
+// Presets:
+//   fig8         the paper's Figure 8 Delta sweep (two conflicting
+//                read-writers; matches bench_time_window's numbers)
+//   amelioration §7.3/§8 background-throughput sweep (bench_time_window's
+//                second table)
+//   scalematrix  sites x frame-loss invalidation-scaling matrix
+//                (bench_scalability's sweep, widened with a loss axis)
+//
+// Axis/override options (comma-separated lists make a grid):
+//   --workload=W             readwriters|pingpong|spinlock|scalability|matrix|dot|tsp
+//   --sites=2,4,8            site-count axis
+//   --delta=0,120,600        time-window axis (ms)
+//   --quantum=6              scheduling-quantum axis (ticks)
+//   --segbytes=512           segment-size axis (bytes)
+//   --loss=0,0.02            frame-loss axis (probability)
+//   --reps=5                 repetitions per grid point
+//   --offsets=0,170,410      per-repetition start phases (ms)
+//   --seed=N                 spec seed (per-run seeds derive from it)
+//   --iters=N --rounds=N     workload sizes
+//   --crash=S@T --pause=S@T1:T2 --cut=A-B@T1:T2
+//                            add one fault plan (repeatable; scenario_runner
+//                            syntax, times in ms)
+//   --max-time-s=600         per-run simulated-time cap
+//
+// Execution and output:
+//   --threads=N     worker threads (default: hardware concurrency). The
+//                   report is byte-identical for every N.
+//   --out=FILE      write the JSON report (default: stdout)
+//   --csv=FILE      also write the long-form CSV
+//   --baseline=FILE diff against a stored JSON report; regressions beyond
+//                   --tolerance (default 0.10) exit non-zero
+//   --quiet         no stderr progress ticker
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/report.h"
+#include "src/trace/table.h"
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(item);
+  }
+  return out;
+}
+
+template <typename T, typename Fn>
+bool ParseList(const std::string& arg, std::vector<T>* out, Fn convert) {
+  std::vector<T> vals;
+  for (const std::string& s : SplitCommas(arg)) {
+    if (s.empty()) {
+      return false;
+    }
+    vals.push_back(convert(s));
+  }
+  if (vals.empty()) {
+    return false;
+  }
+  *out = std::move(vals);
+  return true;
+}
+
+mexp::ExperimentSpec Fig8Spec() {
+  mexp::ExperimentSpec spec;
+  spec.name = "fig8";
+  spec.workload = "readwriters";
+  spec.sites = {2};
+  spec.delta_ms = {0, 10, 30, 60, 120, 200, 300, 450, 600, 900, 1200, 1600, 2000};
+  spec.repetitions = 5;
+  spec.phase_offsets_ms = {0, 170, 410, 730, 1130};
+  spec.iterations = 50000;
+  spec.max_time_s = 600;
+  return spec;
+}
+
+mexp::ExperimentSpec AmeliorationSpec() {
+  mexp::ExperimentSpec spec = Fig8Spec();
+  spec.name = "amelioration";
+  spec.delta_ms = {0, 60, 300, 900, 2000};
+  spec.with_background = true;
+  return spec;
+}
+
+mexp::ExperimentSpec ScaleMatrixSpec() {
+  mexp::ExperimentSpec spec;
+  spec.name = "scalematrix";
+  spec.workload = "scalability";
+  spec.sites = {2, 3, 4, 6, 8, 10, 12};
+  spec.delta_ms = {50};
+  spec.loss = {0.0, 0.01};
+  spec.rounds = 8;
+  spec.repetitions = 1;
+  spec.max_time_s = 600;
+  return spec;
+}
+
+bool LoadSpecFile(const std::string& path, mexp::ExperimentSpec* spec) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open spec file '%s'\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  mexp::Json j = mexp::Json::Parse(buf.str(), &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "spec parse error: %s\n", error.c_str());
+    return false;
+  }
+  if (!mexp::ExperimentSpec::FromJson(j, spec, &error)) {
+    std::fprintf(stderr, "bad spec: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Console summary: one row per grid point with the headline metrics.
+void PrintSummary(const mexp::ExperimentReport& report) {
+  mtrace::TextTable t({"point", "sites", "Delta (ms)", "loss", "faults", "metric", "mean",
+                       "min", "max", "ci95"});
+  int index = 0;
+  for (const mexp::PointResult& pt : report.points) {
+    // The headline metric: throughput when present, else the workload's
+    // primary latency/elapsed figure.
+    const char* headline = pt.metrics.count("throughput") != 0 ? "throughput"
+                           : pt.metrics.count("mean_write_latency_ms") != 0
+                               ? "mean_write_latency_ms"
+                               : "elapsed_s";
+    auto it = pt.metrics.find(headline);
+    if (it == pt.metrics.end()) {
+      continue;
+    }
+    const mexp::StatsAccumulator& acc = it->second;
+    t.AddRow({mtrace::TextTable::Int(index++), mtrace::TextTable::Int(pt.params.sites),
+              mtrace::TextTable::Int(static_cast<int>(pt.params.delta_ms)),
+              mtrace::TextTable::Num(pt.params.loss, 3), pt.params.fault_plan, headline,
+              mtrace::TextTable::Num(acc.Mean(), 1), mtrace::TextTable::Num(acc.Min(), 1),
+              mtrace::TextTable::Num(acc.Max(), 1),
+              mtrace::TextTable::Num(acc.Ci95HalfWidth(), 1)});
+  }
+  t.Print(std::cerr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mexp::ExperimentSpec spec;
+  bool have_spec = false;
+  int threads = 0;
+  bool quiet = false;
+  std::string out_path;
+  std::string csv_path;
+  std::string baseline_path;
+  double tolerance = 0.10;
+  int next_plan = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    auto value = [&s]() { return s.substr(s.find('=') + 1); };
+    bool ok = true;
+    if (s == "fig8") {
+      spec = Fig8Spec();
+      have_spec = true;
+    } else if (s == "amelioration") {
+      spec = AmeliorationSpec();
+      have_spec = true;
+    } else if (s == "scalematrix") {
+      spec = ScaleMatrixSpec();
+      have_spec = true;
+    } else if (s.rfind("--spec=", 0) == 0) {
+      if (!LoadSpecFile(value(), &spec)) {
+        return 2;
+      }
+      have_spec = true;
+    } else if (s.rfind("--workload=", 0) == 0) {
+      spec.workload = value();
+    } else if (s.rfind("--sites=", 0) == 0) {
+      ok = ParseList<int>(value(), &spec.sites,
+                          [](const std::string& v) { return std::atoi(v.c_str()); });
+    } else if (s.rfind("--delta=", 0) == 0) {
+      ok = ParseList<std::int64_t>(value(), &spec.delta_ms,
+                                   [](const std::string& v) { return std::atol(v.c_str()); });
+    } else if (s.rfind("--quantum=", 0) == 0) {
+      ok = ParseList<int>(value(), &spec.quantum_ticks,
+                          [](const std::string& v) { return std::atoi(v.c_str()); });
+    } else if (s.rfind("--segbytes=", 0) == 0) {
+      ok = ParseList<std::uint32_t>(value(), &spec.segment_bytes, [](const std::string& v) {
+        return static_cast<std::uint32_t>(std::atol(v.c_str()));
+      });
+    } else if (s.rfind("--loss=", 0) == 0) {
+      ok = ParseList<double>(value(), &spec.loss,
+                             [](const std::string& v) { return std::atof(v.c_str()); });
+    } else if (s.rfind("--offsets=", 0) == 0) {
+      ok = ParseList<std::int64_t>(value(), &spec.phase_offsets_ms,
+                                   [](const std::string& v) { return std::atol(v.c_str()); });
+    } else if (s.rfind("--reps=", 0) == 0) {
+      spec.repetitions = std::atoi(value().c_str());
+    } else if (s.rfind("--seed=", 0) == 0) {
+      spec.seed = std::strtoull(value().c_str(), nullptr, 0);
+    } else if (s.rfind("--iters=", 0) == 0) {
+      spec.iterations = std::atoi(value().c_str());
+    } else if (s.rfind("--rounds=", 0) == 0) {
+      spec.rounds = std::atoi(value().c_str());
+    } else if (s.rfind("--max-time-s=", 0) == 0) {
+      spec.max_time_s = std::atol(value().c_str());
+    } else if (s.rfind("--crash=", 0) == 0) {
+      int site = 0;
+      long t = 0;
+      if (std::sscanf(s.c_str() + 8, "%d@%ld", &site, &t) != 2) {
+        std::fprintf(stderr, "bad --crash, want S@Tms\n");
+        return 2;
+      }
+      mexp::FaultPlanSpec fp;
+      fp.name = "crash" + std::to_string(next_plan++);
+      fp.plan.CrashAt(t * msim::kMillisecond, site);
+      spec.fault_plans.push_back(std::move(fp));
+    } else if (s.rfind("--pause=", 0) == 0) {
+      int site = 0;
+      long t1 = 0, t2 = 0;
+      if (std::sscanf(s.c_str() + 8, "%d@%ld:%ld", &site, &t1, &t2) != 3 || t2 < t1) {
+        std::fprintf(stderr, "bad --pause, want S@T1:T2 ms\n");
+        return 2;
+      }
+      mexp::FaultPlanSpec fp;
+      fp.name = "pause" + std::to_string(next_plan++);
+      fp.plan.PauseAt(t1 * msim::kMillisecond, site).ResumeAt(t2 * msim::kMillisecond, site);
+      spec.fault_plans.push_back(std::move(fp));
+    } else if (s.rfind("--cut=", 0) == 0) {
+      int sa = 0, sb = 0;
+      long t1 = 0, t2 = 0;
+      if (std::sscanf(s.c_str() + 6, "%d-%d@%ld:%ld", &sa, &sb, &t1, &t2) != 4 || t2 < t1) {
+        std::fprintf(stderr, "bad --cut, want A-B@T1:T2 ms\n");
+        return 2;
+      }
+      mexp::FaultPlanSpec fp;
+      fp.name = "cut" + std::to_string(next_plan++);
+      fp.plan.PartitionAt(t1 * msim::kMillisecond, sa, sb)
+          .HealAt(t2 * msim::kMillisecond, sa, sb);
+      spec.fault_plans.push_back(std::move(fp));
+    } else if (s.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(value().c_str());
+    } else if (s.rfind("--out=", 0) == 0) {
+      out_path = value();
+    } else if (s.rfind("--csv=", 0) == 0) {
+      csv_path = value();
+    } else if (s.rfind("--baseline=", 0) == 0) {
+      baseline_path = value();
+    } else if (s.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::atof(value().c_str());
+    } else if (s == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (see the header comment for usage)\n",
+                   s.c_str());
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad list in '%s'\n", s.c_str());
+      return 2;
+    }
+  }
+  (void)have_spec;  // flags alone define a valid default spec
+
+  if (!mexp::KnownWorkload(spec.workload)) {
+    std::fprintf(stderr, "unknown workload '%s'\n", spec.workload.c_str());
+    return 2;
+  }
+
+  mexp::ExperimentRunner runner(threads);
+  int total_runs = spec.PointCount() * spec.repetitions;
+  if (!quiet) {
+    std::fprintf(stderr, "%s: %d points x %d reps = %d runs on %d threads\n",
+                 spec.name.c_str(), spec.PointCount(), spec.repetitions, total_runs,
+                 runner.threads());
+  }
+  std::mutex progress_mu;
+  auto progress = [&](int done, int total) {
+    if (quiet) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(progress_mu);
+    std::fprintf(stderr, "\r%d/%d runs", done, total);
+    if (done == total) {
+      std::fprintf(stderr, "\n");
+    }
+  };
+  mexp::ExperimentReport report = runner.Run(spec, progress);
+
+  mexp::Json doc = mexp::ReportToJson(report);
+  if (out_path.empty()) {
+    doc.Dump(std::cout);
+    std::cout << "\n";
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+      return 2;
+    }
+    doc.Dump(out);
+    out << "\n";
+    if (!quiet) {
+      std::fprintf(stderr, "report: %s\n", out_path.c_str());
+    }
+  }
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    if (!csv) {
+      std::fprintf(stderr, "cannot write '%s'\n", csv_path.c_str());
+      return 2;
+    }
+    mexp::WriteCsv(report, csv);
+    if (!quiet) {
+      std::fprintf(stderr, "csv: %s\n", csv_path.c_str());
+    }
+  }
+  if (!quiet) {
+    PrintSummary(report);
+  }
+  if (report.failed_runs > 0) {
+    std::fprintf(stderr, "%d run(s) failed\n", report.failed_runs);
+    return 1;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open baseline '%s'\n", baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    mexp::Json base = mexp::Json::Parse(buf.str(), &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "baseline parse error: %s\n", error.c_str());
+      return 2;
+    }
+    std::vector<mexp::DiffEntry> diffs = mexp::DiffReports(base, doc, tolerance);
+    int regressions = 0;
+    for (const mexp::DiffEntry& d : diffs) {
+      if (d.regression) {
+        ++regressions;
+      }
+      std::fprintf(stderr, "%s  %s: %s -> %s (%+.1f%%)%s\n", d.point.c_str(),
+                   d.metric.c_str(), mexp::Json::NumberToString(d.baseline).c_str(),
+                   mexp::Json::NumberToString(d.current).c_str(), d.rel_change * 100.0,
+                   d.regression ? "  REGRESSION" : "");
+    }
+    if (regressions > 0) {
+      std::fprintf(stderr, "%d regression(s) beyond %.0f%% tolerance\n", regressions,
+                   tolerance * 100.0);
+      return 1;
+    }
+    std::fprintf(stderr, "baseline diff: no regressions beyond %.0f%% tolerance\n",
+                 tolerance * 100.0);
+  }
+  return 0;
+}

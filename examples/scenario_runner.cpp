@@ -9,6 +9,10 @@
 //     delta_ms:  window in ms     (default 0)
 //   options:
 //     --no-yield      busy-wait instead of yield() in spin loops
+//     --json          emit a mirage-exp-v1 JSON report (single point) to
+//                     stdout instead of the human-readable report, so fault
+//                     scenarios feed the same aggregation pipeline as
+//                     experiment_runner sweeps
 //     --trace         print the protocol event trace
 //     --parallel-lib  enable concurrent library service of distinct pages
 //     --baseline      run over the Li/Hudak protocol instead of Mirage
@@ -31,6 +35,7 @@
 #include <string>
 
 #include "src/baseline/li_engine.h"
+#include "src/exp/report.h"
 #include "src/mirage/invariants.h"
 #include "src/workload/dotproduct.h"
 #include "src/workload/matrix.h"
@@ -50,6 +55,7 @@ struct Args {
   bool parallel_lib = false;
   bool baseline = false;
   double loss = 0.0;
+  bool json = false;
   mfault::FaultPlan faults;
   bool faulted = false;
 };
@@ -61,6 +67,8 @@ Args Parse(int argc, char** argv) {
     std::string s = argv[i];
     if (s == "--no-yield") {
       a.yield = false;
+    } else if (s == "--json") {
+      a.json = true;
     } else if (s == "--trace") {
       a.trace = true;
     } else if (s == "--parallel-lib") {
@@ -120,6 +128,38 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sites must be in 1..12\n");
     return 2;
   }
+
+  if (args.json) {
+    // Machine-readable mode: run the identical scenario through the
+    // experiment harness and emit a single-point mirage-exp-v1 report, so a
+    // fault scenario lands in the same aggregation/diff pipeline as a sweep.
+    if (!mexp::KnownWorkload(args.workload)) {
+      std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());
+      return 2;
+    }
+    mexp::ExperimentSpec spec;
+    spec.name = "scenario:" + args.workload;
+    spec.workload = args.workload;
+    spec.sites = {args.sites};
+    spec.delta_ms = {args.delta_ms};
+    spec.loss = {args.loss};
+    spec.use_yield = args.yield;
+    spec.parallel_lib = args.parallel_lib;
+    spec.baseline = args.baseline;
+    spec.rounds = 40;  // the human-readable path's ping-pong round count
+    spec.max_time_s = 900;
+    if (args.faulted) {
+      mexp::FaultPlanSpec fp;
+      fp.name = "scenario";
+      fp.plan = args.faults;
+      spec.fault_plans.push_back(std::move(fp));
+    }
+    mexp::ExperimentReport report = mexp::ExperimentRunner(1).Run(spec);
+    mexp::ReportToJson(report).Dump(std::cout);
+    std::cout << "\n";
+    return report.failed_runs == 0 ? 0 : 1;
+  }
+
   msysv::WorldOptions opts;
   opts.enable_trace = args.trace;
   opts.protocol.default_window_us =

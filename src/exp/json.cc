@@ -1,0 +1,356 @@
+#include "src/exp/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace mexp {
+
+namespace {
+
+void Escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void Indent(std::ostream& os, int n) {
+  for (int i = 0; i < n; ++i) {
+    os << "  ";
+  }
+}
+
+}  // namespace
+
+std::string Json::NumberToString(double d) {
+  if (!std::isfinite(d)) {
+    return "null";  // JSON has no Inf/NaN; emit null rather than garbage
+  }
+  double rounded = std::nearbyint(d);
+  if (rounded == d && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  // Shortest form that round-trips: try increasing precision.
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) {
+      break;
+    }
+  }
+  return buf;
+}
+
+void Json::Dump(std::ostream& os, int indent) const {
+  switch (type_) {
+    case Type::kNull:
+      os << "null";
+      break;
+    case Type::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      os << NumberToString(num_);
+      break;
+    case Type::kString:
+      Escape(os, str_);
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        os << "[]";
+        break;
+      }
+      // Short scalar arrays print on one line (parameter lists read better).
+      bool scalars = true;
+      for (const Json& v : arr_) {
+        if (v.is_array() || v.is_object()) {
+          scalars = false;
+          break;
+        }
+      }
+      if (scalars) {
+        os << "[";
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+          if (i > 0) {
+            os << ", ";
+          }
+          arr_[i].Dump(os, indent);
+        }
+        os << "]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        Indent(os, indent + 1);
+        arr_[i].Dump(os, indent + 1);
+        if (i + 1 < arr_.size()) {
+          os << ",";
+        }
+        os << "\n";
+      }
+      Indent(os, indent);
+      os << "]";
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        Indent(os, indent + 1);
+        Escape(os, members_[i].first);
+        os << ": ";
+        members_[i].second.Dump(os, indent + 1);
+        if (i + 1 < members_.size()) {
+          os << ",";
+        }
+        os << "\n";
+      }
+      Indent(os, indent);
+      os << "}";
+      break;
+    }
+  }
+}
+
+std::string Json::ToString() const {
+  std::ostringstream os;
+  Dump(os);
+  return os.str();
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  Json Run() {
+    Json v = ParseValue();
+    SkipWs();
+    if (ok_ && pos_ != text_.size()) {
+      Fail("trailing characters");
+    }
+    return ok_ ? v : Json();
+  }
+
+ private:
+  void Fail(const std::string& msg) {
+    if (ok_ && error_ != nullptr) {
+      *error_ = msg + " at byte " + std::to_string(pos_);
+    }
+    ok_ = false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return Json();
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      return Json(ParseString());
+    }
+    if (c == 't' || c == 'f') {
+      return ParseKeyword();
+    }
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") == 0) {
+        pos_ += 4;
+        return Json();
+      }
+      Fail("bad keyword");
+      return Json();
+    }
+    return ParseNumber();
+  }
+
+  Json ParseKeyword() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Json(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Json(false);
+    }
+    Fail("bad keyword");
+    return Json();
+  }
+
+  Json ParseNumber() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected a value");
+      return Json();
+    }
+    return Json(std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr));
+  }
+
+  std::string ParseString() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          // Basic-multilingual-plane escapes only; enough for our reports.
+          if (pos_ + 4 <= text_.size()) {
+            unsigned code = std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+          } else {
+            Fail("truncated \\u escape");
+          }
+          break;
+        }
+        default: out += e;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unterminated string");
+    } else {
+      ++pos_;  // closing quote
+    }
+    return out;
+  }
+
+  Json ParseArray() {
+    ++pos_;  // '['
+    Json arr = Json::Array();
+    SkipWs();
+    if (Consume(']')) {
+      return arr;
+    }
+    while (ok_) {
+      arr.Push(ParseValue());
+      if (Consume(']')) {
+        return arr;
+      }
+      if (!Consume(',')) {
+        Fail("expected ',' or ']'");
+      }
+    }
+    return arr;
+  }
+
+  Json ParseObject() {
+    ++pos_;  // '{'
+    Json obj = Json::Object();
+    SkipWs();
+    if (Consume('}')) {
+      return obj;
+    }
+    while (ok_) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected a member name");
+        return obj;
+      }
+      std::string key = ParseString();
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        return obj;
+      }
+      obj.Set(key, ParseValue());
+      if (Consume('}')) {
+        return obj;
+      }
+      if (!Consume(',')) {
+        Fail("expected ',' or '}'");
+      }
+    }
+    return obj;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Json Json::Parse(const std::string& text, std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  return Parser(text, error).Run();
+}
+
+}  // namespace mexp

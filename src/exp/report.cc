@@ -1,0 +1,239 @@
+#include "src/exp/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mexp {
+
+namespace {
+
+Json ParamsToJson(const RunConfig& p) {
+  Json j = Json::Object();
+  j.Set("workload", Json(p.workload));
+  j.Set("sites", Json(p.sites));
+  j.Set("delta_ms", Json(p.delta_ms));
+  j.Set("quantum_ticks", Json(p.quantum_ticks));
+  j.Set("segment_bytes", Json(static_cast<double>(p.segment_bytes)));
+  j.Set("loss", Json(p.loss));
+  j.Set("fault_plan", Json(p.fault_plan));
+  return j;
+}
+
+Json HistogramToJson(const mtrace::LatencyHistogram& h) {
+  Json j = Json::Object();
+  j.Set("count", Json(static_cast<double>(h.count())));
+  j.Set("mean_ms", Json(h.MeanMs()));
+  j.Set("p50_ms", Json(h.PercentileMs(0.50)));
+  j.Set("p90_ms", Json(h.PercentileMs(0.90)));
+  j.Set("p99_ms", Json(h.PercentileMs(0.99)));
+  j.Set("max_ms", Json(h.MaxMs()));
+  return j;
+}
+
+std::string SeedString(std::uint64_t seed) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, seed);
+  return buf;
+}
+
+// Human-readable point key, also used to match points across reports.
+std::string PointKey(const Json& params) {
+  std::string key;
+  for (const auto& [name, value] : params.members()) {
+    if (!key.empty()) {
+      key += " ";
+    }
+    key += name + "=" +
+           (value.is_string() ? value.AsString() : Json::NumberToString(value.AsDouble()));
+  }
+  return key;
+}
+
+}  // namespace
+
+Json ReportToJson(const ExperimentReport& report) {
+  Json root = Json::Object();
+  root.Set("schema", Json("mirage-exp-v1"));
+  root.Set("name", Json(report.spec.name));
+  root.Set("workload", Json(report.spec.workload));
+  root.Set("spec", report.spec.ToJson());
+  root.Set("failed_runs", Json(report.failed_runs));
+
+  Json points = Json::Array();
+  for (const PointResult& pt : report.points) {
+    Json p = Json::Object();
+    p.Set("params", ParamsToJson(pt.params));
+    p.Set("repetitions", Json(static_cast<int>(pt.runs.size())));
+
+    Json metrics = Json::Object();
+    for (const auto& [name, acc] : pt.metrics) {
+      Json m = Json::Object();
+      m.Set("mean", Json(acc.Mean()));
+      m.Set("min", Json(acc.Min()));
+      m.Set("max", Json(acc.Max()));
+      m.Set("stddev", Json(acc.StdDev()));
+      m.Set("ci95", Json(acc.Ci95HalfWidth()));
+      m.Set("n", Json(static_cast<double>(acc.count())));
+      metrics.Set(name, std::move(m));
+    }
+    p.Set("metrics", std::move(metrics));
+
+    Json lat = Json::Object();
+    lat.Set("read", HistogramToJson(pt.read_latency));
+    lat.Set("write", HistogramToJson(pt.write_latency));
+    p.Set("fault_latency", std::move(lat));
+
+    Json runs = Json::Array();
+    for (std::size_t r = 0; r < pt.runs.size(); ++r) {
+      const RunResult& rr = pt.runs[r];
+      Json jr = Json::Object();
+      jr.Set("rep", Json(static_cast<int>(r)));
+      jr.Set("seed", Json(SeedString(
+                         ExperimentSpec::DeriveSeed(report.spec.seed,
+                                                    pt.params.run_index + static_cast<int>(r)))));
+      if (!rr.ok) {
+        jr.Set("error", Json(rr.error));
+      } else {
+        Json jm = Json::Object();
+        for (const auto& [name, value] : rr.metrics) {
+          jm.Set(name, Json(value));
+        }
+        jr.Set("metrics", std::move(jm));
+      }
+      runs.Push(std::move(jr));
+    }
+    p.Set("runs", std::move(runs));
+    points.Push(std::move(p));
+  }
+  root.Set("points", std::move(points));
+  return root;
+}
+
+void WriteCsv(const ExperimentReport& report, std::ostream& os) {
+  os << "point,workload,sites,delta_ms,quantum_ticks,segment_bytes,loss,fault_plan,"
+        "metric,n,mean,min,max,stddev,ci95\n";
+  int index = 0;
+  for (const PointResult& pt : report.points) {
+    const RunConfig& p = pt.params;
+    std::string prefix = std::to_string(index++) + "," + p.workload + "," +
+                         std::to_string(p.sites) + "," + std::to_string(p.delta_ms) + "," +
+                         std::to_string(p.quantum_ticks) + "," +
+                         std::to_string(p.segment_bytes) + "," +
+                         Json::NumberToString(p.loss) + "," + p.fault_plan + ",";
+    for (const auto& [name, acc] : pt.metrics) {
+      os << prefix << name << "," << acc.count() << "," << Json::NumberToString(acc.Mean())
+         << "," << Json::NumberToString(acc.Min()) << "," << Json::NumberToString(acc.Max())
+         << "," << Json::NumberToString(acc.StdDev()) << ","
+         << Json::NumberToString(acc.Ci95HalfWidth()) << "\n";
+    }
+    struct Row {
+      const char* name;
+      double value;
+      std::uint64_t n;
+    };
+    const Row latency_rows[] = {
+        {"read_fault_mean_ms", pt.read_latency.MeanMs(), pt.read_latency.count()},
+        {"read_fault_p50_ms", pt.read_latency.PercentileMs(0.50), pt.read_latency.count()},
+        {"read_fault_p99_ms", pt.read_latency.PercentileMs(0.99), pt.read_latency.count()},
+        {"write_fault_mean_ms", pt.write_latency.MeanMs(), pt.write_latency.count()},
+        {"write_fault_p50_ms", pt.write_latency.PercentileMs(0.50), pt.write_latency.count()},
+        {"write_fault_p99_ms", pt.write_latency.PercentileMs(0.99), pt.write_latency.count()},
+    };
+    for (const Row& row : latency_rows) {
+      os << prefix << row.name << "," << row.n << "," << Json::NumberToString(row.value)
+         << ",,,,\n";
+    }
+  }
+}
+
+MetricSense SenseOf(const std::string& metric) {
+  auto contains = [&metric](const char* s) { return metric.find(s) != std::string::npos; };
+  if (contains("throughput") || contains("ops") || contains("units") || contains("cycles") ||
+      contains("completed") || contains("verified") || contains("mutex_held")) {
+    // "ops_failed" contains "ops" but is unambiguously a failure counter.
+    if (contains("failed")) {
+      return MetricSense::kLowerIsBetter;
+    }
+    return MetricSense::kHigherIsBetter;
+  }
+  if (contains("latency") || contains("elapsed") || contains("failed") ||
+      contains("timeouts") || contains("aborted") || contains("_p50") || contains("_p99") ||
+      contains("refusals")) {
+    return MetricSense::kLowerIsBetter;
+  }
+  return MetricSense::kNeutral;
+}
+
+std::vector<DiffEntry> DiffReports(const Json& baseline, const Json& current,
+                                   double tolerance) {
+  std::vector<DiffEntry> out;
+  const Json* base_points = baseline.Find("points");
+  const Json* cur_points = current.Find("points");
+  if (base_points == nullptr || cur_points == nullptr) {
+    return out;
+  }
+
+  // Index baseline points by their parameter key.
+  std::vector<std::pair<std::string, const Json*>> base_index;
+  for (const Json& p : base_points->items()) {
+    const Json* params = p.Find("params");
+    if (params != nullptr) {
+      base_index.emplace_back(PointKey(*params), &p);
+    }
+  }
+
+  for (const Json& cur : cur_points->items()) {
+    const Json* params = cur.Find("params");
+    if (params == nullptr) {
+      continue;
+    }
+    std::string key = PointKey(*params);
+    const Json* base = nullptr;
+    for (const auto& [bk, bp] : base_index) {
+      if (bk == key) {
+        base = bp;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      continue;  // new point; nothing to compare against
+    }
+    const Json* cur_metrics = cur.Find("metrics");
+    const Json* base_metrics = base->Find("metrics");
+    if (cur_metrics == nullptr || base_metrics == nullptr) {
+      continue;
+    }
+    for (const auto& [name, cm] : cur_metrics->members()) {
+      const Json* bm = base_metrics->Find(name);
+      if (bm == nullptr) {
+        continue;
+      }
+      double b = bm->GetDouble("mean", 0.0);
+      double c = cm.GetDouble("mean", 0.0);
+      if (b == c) {
+        continue;
+      }
+      double denom = b < 0 ? -b : b;
+      // A metric moving off zero has no relative scale; treat it as a full
+      // swing so it always clears the tolerance and gets reported.
+      double rel = denom == 0.0 ? (c > b ? 1.0 : -1.0) : (c - b) / denom;
+      double mag = rel < 0 ? -rel : rel;
+      if (mag <= tolerance) {
+        continue;
+      }
+      DiffEntry e;
+      e.point = key;
+      e.metric = name;
+      e.baseline = b;
+      e.current = c;
+      e.rel_change = rel;
+      MetricSense sense = SenseOf(name);
+      e.regression = (sense == MetricSense::kHigherIsBetter && rel < 0) ||
+                     (sense == MetricSense::kLowerIsBetter && rel > 0);
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace mexp

@@ -1,0 +1,225 @@
+#include "src/exp/run.h"
+
+#include <exception>
+#include <functional>
+#include <memory>
+
+#include "src/baseline/li_engine.h"
+#include "src/sysv/world.h"
+#include "src/workload/background.h"
+#include "src/workload/dotproduct.h"
+#include "src/workload/matrix.h"
+#include "src/workload/pingpong.h"
+#include "src/workload/readwriters.h"
+#include "src/workload/scalability.h"
+#include "src/workload/spinlock.h"
+#include "src/workload/tsp.h"
+
+namespace mexp {
+
+namespace {
+
+msysv::WorldOptions BuildWorldOptions(const RunConfig& cfg) {
+  msysv::WorldOptions opts;
+  opts.sched.quantum_ticks = cfg.quantum_ticks;
+  opts.protocol.default_window_us = cfg.delta_ms * msim::kMillisecond;
+  opts.protocol.parallel_page_ops = cfg.parallel_lib;
+  if (cfg.loss > 0.0) {
+    opts.circuit = mnet::CircuitOptions{};
+    opts.circuit->loss_probability = cfg.loss;
+    opts.circuit->loss_seed = cfg.seed;
+  }
+  if (!cfg.faults.empty()) {
+    opts.faults = cfg.faults;
+    // Recovery timeouts: the paper's wait-forever defaults would hang any
+    // client of a crashed library site (same policy as scenario_runner).
+    opts.protocol.request_timeout_us = 250 * msim::kMillisecond;
+    opts.protocol.max_request_attempts = 5;
+    opts.protocol.ack_timeout_us = 250 * msim::kMillisecond;
+    opts.protocol.op_timeout_us = 2 * msim::kSecond;
+    if (opts.circuit.has_value()) {
+      opts.circuit->force_sequencing = true;  // heal recovers by retransmit
+    }
+  }
+  if (cfg.baseline) {
+    opts.backend_factory = [](mos::Kernel* k, mirage::SegmentRegistry* reg,
+                              mtrace::Tracer* tr) -> std::unique_ptr<mmem::DsmBackend> {
+      return std::make_unique<mbase::LiEngine>(k, reg, tr);
+    };
+  }
+  return opts;
+}
+
+// Shared post-run counters: simulated time, network totals, summed Mirage
+// engine statistics, and the merged fault-latency histograms.
+void CollectCommon(msysv::World& world, RunResult* out) {
+  out->metrics["sim_time_ms"] = msim::ToMilliseconds(world.sim().Now());
+  const mnet::NetworkStats& ns = world.network().stats();
+  out->metrics["net_packets"] = static_cast<double>(ns.packets);
+  out->metrics["net_short_packets"] = static_cast<double>(ns.short_packets);
+  out->metrics["net_large_packets"] = static_cast<double>(ns.large_packets);
+  out->metrics["net_payload_bytes"] = static_cast<double>(ns.payload_bytes);
+  if (const mnet::CircuitStats* cs = world.network().circuit_stats()) {
+    out->metrics["circuit_drops"] = static_cast<double>(cs->frames_dropped);
+    out->metrics["circuit_retransmits"] = static_cast<double>(cs->retransmits);
+    out->metrics["circuit_duplicates"] = static_cast<double>(cs->duplicates_suppressed);
+  }
+  mirage::EngineStats sum;
+  bool any_engine = false;
+  for (int s = 0; s < world.site_count(); ++s) {
+    const mirage::Engine* e = world.engine(s);
+    if (e == nullptr) {
+      continue;
+    }
+    any_engine = true;
+    const mirage::EngineStats& es = e->stats();
+    sum.read_faults += es.read_faults;
+    sum.write_faults += es.write_faults;
+    sum.pages_installed += es.pages_installed;
+    sum.upgrades_received += es.upgrades_received;
+    sum.downgrades_performed += es.downgrades_performed;
+    sum.local_invalidations += es.local_invalidations;
+    sum.wait_replies_sent += es.wait_replies_sent;
+    sum.request_timeouts += es.request_timeouts;
+    sum.faults_failed += es.faults_failed;
+    sum.degraded_acks += es.degraded_acks;
+    sum.degraded_invalidations += es.degraded_invalidations;
+    sum.ops_failed += es.ops_failed;
+    out->read_latency.Merge(e->read_fault_latency());
+    out->write_latency.Merge(e->write_fault_latency());
+  }
+  if (any_engine) {
+    out->metrics["read_faults"] = static_cast<double>(sum.read_faults);
+    out->metrics["write_faults"] = static_cast<double>(sum.write_faults);
+    out->metrics["pages_installed"] = static_cast<double>(sum.pages_installed);
+    out->metrics["upgrades"] = static_cast<double>(sum.upgrades_received);
+    out->metrics["downgrades"] = static_cast<double>(sum.downgrades_performed);
+    out->metrics["invalidations"] = static_cast<double>(sum.local_invalidations);
+    out->metrics["refusals"] = static_cast<double>(sum.wait_replies_sent);
+    out->metrics["request_timeouts"] = static_cast<double>(sum.request_timeouts);
+    out->metrics["faults_failed"] = static_cast<double>(sum.faults_failed);
+    out->metrics["degraded_acks"] =
+        static_cast<double>(sum.degraded_acks + sum.degraded_invalidations);
+    out->metrics["ops_failed"] = static_cast<double>(sum.ops_failed);
+  }
+}
+
+}  // namespace
+
+bool KnownWorkload(const std::string& name) {
+  return name == "readwriters" || name == "pingpong" || name == "spinlock" ||
+         name == "scalability" || name == "matrix" || name == "dot" || name == "tsp";
+}
+
+RunResult ExecuteRun(const RunConfig& cfg) {
+  RunResult out;
+  if (!KnownWorkload(cfg.workload)) {
+    out.error = "unknown workload '" + cfg.workload + "'";
+    return out;
+  }
+  try {
+    msysv::World world(cfg.sites, BuildWorldOptions(cfg));
+
+    // Under faults a workload client may get EIDRM (library/clock site
+    // gone); that is a measured outcome, not a harness error.
+    bool aborted = false;
+    auto run_until = [&](const std::function<bool()>& done) {
+      try {
+        return world.RunUntil(done, cfg.max_time_us);
+      } catch (const msysv::PageFaultError&) {
+        aborted = true;
+        return false;
+      }
+    };
+
+    bool completed = false;
+    if (cfg.workload == "readwriters") {
+      mwork::ReadWritersParams prm;
+      prm.iterations = cfg.iterations;
+      prm.segment_bytes = cfg.segment_bytes;
+      prm.start_offset_us = cfg.start_offset_us;
+      prm.site_b = cfg.sites >= 2 ? 1 : 0;
+      auto r = mwork::LaunchReadWriters(world, prm);
+      std::shared_ptr<mwork::BackgroundResult> bg;
+      if (cfg.with_background) {
+        mwork::BackgroundParams bprm;
+        bprm.site = 0;
+        bprm.unit_cost_us = 1000;
+        bg = mwork::LaunchBackground(world, bprm);
+      }
+      completed = run_until([&] { return r->completed; });
+      out.metrics["throughput"] = r->OpsPerSecond();
+      out.metrics["total_ops"] = static_cast<double>(r->total_ops);
+      if (bg != nullptr) {
+        out.metrics["background_units_per_s"] = bg->UnitsPerSecond();
+      }
+    } else if (cfg.workload == "pingpong") {
+      mwork::PingPongParams prm;
+      prm.rounds = cfg.rounds;
+      prm.use_yield = cfg.use_yield;
+      prm.site_b = cfg.sites >= 2 ? 1 : 0;
+      auto r = mwork::LaunchPingPong(world, prm);
+      completed = run_until([&] { return r->completed; });
+      out.metrics["throughput"] = r->CyclesPerSecond();
+      out.metrics["cycles"] = static_cast<double>(r->cycles);
+    } else if (cfg.workload == "spinlock") {
+      mwork::SpinlockParams prm;
+      prm.use_yield = cfg.use_yield;
+      prm.site_b = cfg.sites >= 2 ? 1 : 0;
+      auto r = mwork::LaunchSpinlock(world, prm);
+      completed = run_until([&] { return r->completed; });
+      out.metrics["throughput"] = r->SectionsPerSecond();
+      out.metrics["mutex_held"] =
+          r->final_counter == static_cast<std::uint64_t>(2 * 30 * 4) ? 1.0 : 0.0;
+    } else if (cfg.workload == "scalability") {
+      mwork::ScalabilityParams prm;
+      prm.rounds = cfg.rounds;
+      auto r = mwork::LaunchScalability(world, prm);
+      completed = run_until([&] { return r->completed; });
+      out.metrics["mean_write_latency_ms"] = r->MeanWriteLatencyMs();
+      std::uint64_t inv = 0;
+      for (int s = 0; s < world.site_count(); ++s) {
+        if (const mirage::Engine* e = world.engine(s)) {
+          inv += e->stats().local_invalidations;
+        }
+      }
+      out.metrics["invalidations_per_round"] =
+          static_cast<double>(inv) / static_cast<double>(prm.rounds);
+    } else if (cfg.workload == "matrix") {
+      mwork::MatrixParams prm;
+      prm.n = cfg.matrix_n;
+      prm.workers = cfg.sites;
+      auto r = mwork::LaunchMatrixMultiply(world, prm);
+      completed = run_until([&] { return r->completed; });
+      out.metrics["elapsed_s"] = r->ElapsedSeconds();
+      out.metrics["verified"] = r->verified ? 1.0 : 0.0;
+    } else if (cfg.workload == "dot") {
+      mwork::DotProductParams prm;
+      prm.length = cfg.dot_length;
+      prm.workers = cfg.sites;
+      auto r = mwork::LaunchDotProduct(world, prm);
+      completed = run_until([&] { return r->completed; });
+      out.metrics["elapsed_s"] = r->ElapsedSeconds();
+      out.metrics["verified"] = r->verified ? 1.0 : 0.0;
+    } else if (cfg.workload == "tsp") {
+      mwork::TspParams prm;
+      prm.cities = cfg.tsp_cities;
+      prm.workers = cfg.sites;
+      auto r = mwork::LaunchTsp(world, prm);
+      completed = run_until([&] { return r->completed; });
+      out.metrics["elapsed_s"] = r->ElapsedSeconds();
+      out.metrics["verified"] = r->verified ? 1.0 : 0.0;
+      out.metrics["nodes_expanded"] = static_cast<double>(r->nodes_expanded);
+    }
+
+    out.metrics["completed"] = completed ? 1.0 : 0.0;
+    out.metrics["aborted"] = aborted ? 1.0 : 0.0;
+    CollectCommon(world, &out);
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace mexp

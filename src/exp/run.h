@@ -1,0 +1,41 @@
+// Executing one RunConfig: build a World, launch the named workload, and
+// collect a uniform metric set.
+//
+// ExecuteRun is a pure function of its config — every simulation is
+// single-threaded and self-contained, so the ExperimentRunner can execute
+// many of them on concurrent worker threads and still merge bit-identical
+// results in spec order.
+#ifndef SRC_EXP_RUN_H_
+#define SRC_EXP_RUN_H_
+
+#include <map>
+#include <string>
+
+#include "src/exp/spec.h"
+#include "src/trace/histogram.h"
+
+namespace mexp {
+
+struct RunResult {
+  // False only when the run threw an unexpected exception; a workload abort
+  // under fault injection (EIDRM page loss) is a *successful* measurement of
+  // a failed run: ok stays true, metrics record completed=0 / aborted=1.
+  bool ok = false;
+  std::string error;
+  // Scalar metrics, sorted by name (deterministic emission order). Always
+  // includes "completed"; workloads add their throughput/latency figures and
+  // the shared protocol/network counters.
+  std::map<std::string, double> metrics;
+  // Fault-to-resume latency distributions summed over all sites.
+  mtrace::LatencyHistogram read_latency;
+  mtrace::LatencyHistogram write_latency;
+};
+
+// Workload names understood by ExecuteRun.
+bool KnownWorkload(const std::string& name);
+
+RunResult ExecuteRun(const RunConfig& cfg);
+
+}  // namespace mexp
+
+#endif  // SRC_EXP_RUN_H_

@@ -1,0 +1,82 @@
+#include "src/exp/runner.h"
+
+#include <atomic>
+#include <thread>
+
+namespace mexp {
+
+ExperimentRunner::ExperimentRunner(int threads) : threads_(threads) {
+  if (threads_ <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+}
+
+ExperimentReport ExperimentRunner::Run(const ExperimentSpec& spec,
+                                       const std::function<void(int, int)>& progress) const {
+  ExperimentReport report;
+  report.spec = spec;
+
+  std::vector<RunConfig> configs = spec.Expand();
+  const int total = static_cast<int>(configs.size());
+  std::vector<RunResult> results(configs.size());
+
+  // Work-stealing by atomic index: each worker claims the next unclaimed
+  // run and writes its private slot. No locks, no shared mutable state
+  // between simulations.
+  std::atomic<int> next{0};
+  std::atomic<int> finished{0};
+  auto worker = [&] {
+    for (;;) {
+      int i = next.fetch_add(1);
+      if (i >= total) {
+        return;
+      }
+      results[static_cast<std::size_t>(i)] = ExecuteRun(configs[static_cast<std::size_t>(i)]);
+      int done = finished.fetch_add(1) + 1;
+      if (progress) {
+        progress(done, total);
+      }
+    }
+  };
+
+  int pool = threads_ < total ? threads_ : total;
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(pool));
+    for (int t = 0; t < pool; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  // Merge in spec order: configs/results are already ordered by run_index,
+  // and repetitions of a point are contiguous.
+  report.points.reserve(static_cast<std::size_t>(spec.PointCount()));
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const RunConfig& cfg = configs[i];
+    if (cfg.rep == 0) {
+      report.points.emplace_back();
+      report.points.back().params = cfg;
+    }
+    PointResult& pt = report.points.back();
+    RunResult& rr = results[i];
+    if (!rr.ok) {
+      ++report.failed_runs;
+    } else {
+      for (const auto& [key, value] : rr.metrics) {
+        pt.metrics[key].Add(value);
+      }
+      pt.read_latency.Merge(rr.read_latency);
+      pt.write_latency.Merge(rr.write_latency);
+    }
+    pt.runs.push_back(std::move(rr));
+  }
+  return report;
+}
+
+}  // namespace mexp

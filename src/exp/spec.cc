@@ -1,0 +1,283 @@
+#include "src/exp/spec.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sim/random.h"
+
+namespace mexp {
+
+namespace {
+
+Json IntArray(const std::vector<std::int64_t>& v) {
+  Json a = Json::Array();
+  for (std::int64_t x : v) {
+    a.Push(Json(x));
+  }
+  return a;
+}
+
+template <typename T>
+Json NumArray(const std::vector<T>& v) {
+  Json a = Json::Array();
+  for (T x : v) {
+    a.Push(Json(static_cast<double>(x)));
+  }
+  return a;
+}
+
+template <typename T>
+bool ReadNumArray(const Json& j, const std::string& key, std::vector<T>* out) {
+  const Json* a = j.Find(key);
+  if (a == nullptr) {
+    return true;  // keep default
+  }
+  if (!a->is_array()) {
+    return false;
+  }
+  out->clear();
+  for (const Json& v : a->items()) {
+    if (!v.is_number()) {
+      return false;
+    }
+    out->push_back(static_cast<T>(v.AsDouble()));
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int ExperimentSpec::PointCount() const {
+  std::size_t plans = fault_plans.empty() ? 1 : fault_plans.size();
+  return static_cast<int>(sites.size() * delta_ms.size() * quantum_ticks.size() *
+                          segment_bytes.size() * loss.size() * plans);
+}
+
+std::uint64_t ExperimentSpec::DeriveSeed(std::uint64_t base, int run_index) {
+  // One splitmix step keyed by the run index: adjacent runs get unrelated
+  // streams, and the mapping is a pure function of (base, index).
+  msim::Rng rng(base + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(run_index + 1));
+  return rng.Next();
+}
+
+std::vector<RunConfig> ExperimentSpec::Expand() const {
+  std::vector<FaultPlanSpec> plans = fault_plans;
+  if (plans.empty()) {
+    plans.emplace_back();  // the implicit fault-free "none" plan
+  }
+
+  std::vector<RunConfig> out;
+  int point = 0;
+  int run_index = 0;
+  int reps = repetitions < 1 ? 1 : repetitions;
+  for (int s : sites) {
+    for (std::int64_t d : delta_ms) {
+      for (int q : quantum_ticks) {
+        for (std::uint32_t sb : segment_bytes) {
+          for (double l : loss) {
+            for (const FaultPlanSpec& fp : plans) {
+              for (int r = 0; r < reps; ++r) {
+                RunConfig cfg;
+                cfg.point = point;
+                cfg.rep = r;
+                cfg.run_index = run_index;
+                cfg.workload = workload;
+                cfg.sites = s;
+                cfg.delta_ms = d;
+                cfg.quantum_ticks = q;
+                cfg.segment_bytes = sb;
+                cfg.loss = l;
+                cfg.fault_plan = fp.name;
+                cfg.faults = fp.plan;
+                cfg.seed = DeriveSeed(seed, run_index);
+                if (!phase_offsets_ms.empty()) {
+                  cfg.start_offset_us =
+                      phase_offsets_ms[r % phase_offsets_ms.size()] * msim::kMillisecond;
+                }
+                cfg.iterations = iterations;
+                cfg.rounds = rounds;
+                cfg.matrix_n = matrix_n;
+                cfg.dot_length = dot_length;
+                cfg.tsp_cities = tsp_cities;
+                cfg.with_background = with_background;
+                cfg.use_yield = use_yield;
+                cfg.parallel_lib = parallel_lib;
+                cfg.baseline = baseline;
+                cfg.max_time_us = max_time_s * msim::kSecond;
+                out.push_back(std::move(cfg));
+                ++run_index;
+              }
+              ++point;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Json FaultPlanToJson(const FaultPlanSpec& fp) {
+  Json j = Json::Object();
+  j.Set("name", Json(fp.name));
+  Json events = Json::Array();
+  for (const mfault::FaultEvent& ev : fp.plan.events()) {
+    Json e = Json::Object();
+    switch (ev.kind) {
+      case mfault::FaultKind::kCrashSite: e.Set("kind", Json("crash")); break;
+      case mfault::FaultKind::kPauseSite: e.Set("kind", Json("pause")); break;
+      case mfault::FaultKind::kResumeSite: e.Set("kind", Json("resume")); break;
+      case mfault::FaultKind::kPartitionLink: e.Set("kind", Json("cut")); break;
+      case mfault::FaultKind::kHealLink: e.Set("kind", Json("heal")); break;
+    }
+    e.Set("at_ms", Json(static_cast<double>(ev.at_us) / 1000.0));
+    e.Set("site", Json(ev.site));
+    if (ev.peer != mnet::kNoSite) {
+      e.Set("peer", Json(ev.peer));
+    }
+    events.Push(std::move(e));
+  }
+  j.Set("events", std::move(events));
+  return j;
+}
+
+bool FaultPlanFromJson(const Json& j, FaultPlanSpec* out, std::string* error) {
+  if (!j.is_object()) {
+    *error = "fault plan must be an object";
+    return false;
+  }
+  out->name = j.GetString("name", "plan");
+  out->plan = mfault::FaultPlan();
+  const Json* events = j.Find("events");
+  if (events == nullptr) {
+    return true;
+  }
+  if (!events->is_array()) {
+    *error = "fault plan 'events' must be an array";
+    return false;
+  }
+  for (const Json& e : events->items()) {
+    std::string kind = e.GetString("kind", "");
+    msim::Time at =
+        static_cast<msim::Time>(e.GetDouble("at_ms", 0.0) * msim::kMillisecond);
+    int site = static_cast<int>(e.GetInt("site", -1));
+    int peer = static_cast<int>(e.GetInt("peer", -1));
+    if (kind == "crash") {
+      out->plan.CrashAt(at, site);
+    } else if (kind == "pause") {
+      out->plan.PauseAt(at, site);
+    } else if (kind == "resume") {
+      out->plan.ResumeAt(at, site);
+    } else if (kind == "cut") {
+      out->plan.PartitionAt(at, site, peer);
+    } else if (kind == "heal") {
+      out->plan.HealAt(at, site, peer);
+    } else {
+      *error = "unknown fault kind '" + kind + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+Json ExperimentSpec::ToJson() const {
+  Json j = Json::Object();
+  j.Set("name", Json(name));
+  j.Set("workload", Json(workload));
+  j.Set("sites", NumArray(sites));
+  j.Set("delta_ms", IntArray(delta_ms));
+  j.Set("quantum_ticks", NumArray(quantum_ticks));
+  j.Set("segment_bytes", NumArray(segment_bytes));
+  j.Set("loss", NumArray(loss));
+  if (!fault_plans.empty()) {
+    Json plans = Json::Array();
+    for (const FaultPlanSpec& fp : fault_plans) {
+      plans.Push(FaultPlanToJson(fp));
+    }
+    j.Set("fault_plans", std::move(plans));
+  }
+  j.Set("repetitions", Json(repetitions));
+  j.Set("phase_offsets_ms", IntArray(phase_offsets_ms));
+  char seedbuf[32];
+  std::snprintf(seedbuf, sizeof(seedbuf), "0x%016" PRIx64, seed);
+  j.Set("seed", Json(std::string(seedbuf)));
+  j.Set("iterations", Json(iterations));
+  j.Set("rounds", Json(rounds));
+  j.Set("matrix_n", Json(matrix_n));
+  j.Set("dot_length", Json(dot_length));
+  j.Set("tsp_cities", Json(tsp_cities));
+  j.Set("with_background", Json(with_background));
+  j.Set("yield", Json(use_yield));
+  j.Set("parallel_lib", Json(parallel_lib));
+  j.Set("baseline", Json(baseline));
+  j.Set("max_time_s", Json(max_time_s));
+  return j;
+}
+
+bool ExperimentSpec::FromJson(const Json& j, ExperimentSpec* out, std::string* error) {
+  if (!j.is_object()) {
+    *error = "spec must be a JSON object";
+    return false;
+  }
+  ExperimentSpec spec;
+  spec.name = j.GetString("name", spec.name);
+  spec.workload = j.GetString("workload", spec.workload);
+  if (!ReadNumArray(j, "sites", &spec.sites) || !ReadNumArray(j, "delta_ms", &spec.delta_ms) ||
+      !ReadNumArray(j, "quantum_ticks", &spec.quantum_ticks) ||
+      !ReadNumArray(j, "segment_bytes", &spec.segment_bytes) ||
+      !ReadNumArray(j, "loss", &spec.loss) ||
+      !ReadNumArray(j, "phase_offsets_ms", &spec.phase_offsets_ms)) {
+    *error = "axis members must be non-empty arrays of numbers";
+    return false;
+  }
+  const Json* plans = j.Find("fault_plans");
+  if (plans != nullptr) {
+    if (!plans->is_array()) {
+      *error = "'fault_plans' must be an array";
+      return false;
+    }
+    for (const Json& p : plans->items()) {
+      FaultPlanSpec fp;
+      if (!FaultPlanFromJson(p, &fp, error)) {
+        return false;
+      }
+      spec.fault_plans.push_back(std::move(fp));
+    }
+  }
+  spec.repetitions = static_cast<int>(j.GetInt("repetitions", spec.repetitions));
+  // Seeds are serialized as hex strings: 64-bit values do not survive a trip
+  // through a JSON double.
+  const Json* seed = j.Find("seed");
+  if (seed != nullptr) {
+    if (seed->is_number()) {
+      spec.seed = static_cast<std::uint64_t>(seed->AsInt());
+    } else if (seed->is_string()) {
+      spec.seed = std::strtoull(seed->AsString().c_str(), nullptr, 0);
+    }
+  }
+  spec.iterations = static_cast<int>(j.GetInt("iterations", spec.iterations));
+  spec.rounds = static_cast<int>(j.GetInt("rounds", spec.rounds));
+  spec.matrix_n = static_cast<int>(j.GetInt("matrix_n", spec.matrix_n));
+  spec.dot_length = static_cast<int>(j.GetInt("dot_length", spec.dot_length));
+  spec.tsp_cities = static_cast<int>(j.GetInt("tsp_cities", spec.tsp_cities));
+  spec.with_background = j.GetBool("with_background", spec.with_background);
+  spec.use_yield = j.GetBool("yield", spec.use_yield);
+  spec.parallel_lib = j.GetBool("parallel_lib", spec.parallel_lib);
+  spec.baseline = j.GetBool("baseline", spec.baseline);
+  spec.max_time_s = j.GetInt("max_time_s", spec.max_time_s);
+  if (spec.repetitions < 1) {
+    *error = "repetitions must be >= 1";
+    return false;
+  }
+  for (int s : spec.sites) {
+    if (s < 1 || s > 12) {
+      *error = "sites values must be in 1..12";
+      return false;
+    }
+  }
+  *out = std::move(spec);
+  return true;
+}
+
+}  // namespace mexp

@@ -1,0 +1,119 @@
+// Declarative experiment specifications.
+//
+// An ExperimentSpec names a workload and a parameter grid — sites, the time
+// window Delta, the scheduling quantum, segment size, network frame loss,
+// and fault plans — plus a repetition count. Expand() flattens the grid into
+// RunConfigs in a fixed nesting order with per-run seeds derived from the
+// spec seed, so the same spec always yields the same runs in the same order
+// no matter how many worker threads later execute them.
+//
+// Specs round-trip through JSON (see DESIGN.md "Experiment JSON schema"):
+// the CLI loads them from files, and every report embeds the spec that
+// produced it.
+#ifndef SRC_EXP_SPEC_H_
+#define SRC_EXP_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exp/json.h"
+#include "src/fault/fault.h"
+#include "src/sim/time.h"
+
+namespace mexp {
+
+// A named fault schedule used as one value of the fault-plan axis.
+struct FaultPlanSpec {
+  std::string name = "none";
+  mfault::FaultPlan plan;
+};
+
+// One fully resolved simulation: a single point of the grid at one
+// repetition. Everything a worker thread needs to build a World and run the
+// workload, with no shared state.
+struct RunConfig {
+  int point = 0;      // grid-point index, in spec nesting order
+  int rep = 0;        // repetition within the point
+  int run_index = 0;  // global index across the expansion
+
+  std::string workload = "readwriters";
+  int sites = 2;
+  std::int64_t delta_ms = 0;
+  int quantum_ticks = 6;
+  std::uint32_t segment_bytes = 512;
+  double loss = 0.0;
+  std::string fault_plan = "none";
+  mfault::FaultPlan faults;
+
+  // Derived per-run values.
+  std::uint64_t seed = 0;
+  msim::Duration start_offset_us = 0;
+
+  // Workload tunables (copied from the spec).
+  int iterations = 50000;
+  int rounds = 8;
+  int matrix_n = 24;
+  int dot_length = 2048;
+  int tsp_cities = 8;
+  bool with_background = false;
+  bool use_yield = true;
+  bool parallel_lib = false;
+  bool baseline = false;
+  msim::Duration max_time_us = 600 * msim::kSecond;
+};
+
+struct ExperimentSpec {
+  std::string name = "experiment";
+  std::string workload = "readwriters";
+
+  // ---- Grid axes (each must be non-empty) ----
+  std::vector<int> sites{2};
+  std::vector<std::int64_t> delta_ms{0};
+  std::vector<int> quantum_ticks{6};
+  std::vector<std::uint32_t> segment_bytes{512};
+  std::vector<double> loss{0.0};
+  // Empty = one implicit fault-free plan named "none".
+  std::vector<FaultPlanSpec> fault_plans;
+
+  // ---- Repetitions ----
+  int repetitions = 1;
+  // Repetition r starts its second process after phase_offsets_ms[r % size]
+  // of local compute — the legacy benches' phase-averaging, as a spec knob.
+  std::vector<std::int64_t> phase_offsets_ms{0};
+  std::uint64_t seed = 1;
+
+  // ---- Workload tunables ----
+  int iterations = 50000;
+  int rounds = 8;
+  int matrix_n = 24;
+  int dot_length = 2048;
+  int tsp_cities = 8;
+  bool with_background = false;
+  bool use_yield = true;
+  bool parallel_lib = false;
+  bool baseline = false;
+  std::int64_t max_time_s = 600;
+
+  // Grid points (product of the axis sizes, without repetitions).
+  int PointCount() const;
+  // Flattens the grid in nesting order sites > delta > quantum >
+  // segment_bytes > loss > fault_plan, repetitions innermost. Deterministic.
+  std::vector<RunConfig> Expand() const;
+
+  // The seed for global run `run_index`, splitmix-derived from the spec seed.
+  static std::uint64_t DeriveSeed(std::uint64_t base, int run_index);
+
+  Json ToJson() const;
+  // Parses a spec; unknown members are ignored, absent ones keep defaults.
+  // Returns false and sets *error on malformed input.
+  static bool FromJson(const Json& j, ExperimentSpec* out, std::string* error);
+};
+
+// Fault plan (de)serialization, shared with the report emitter.
+Json FaultPlanToJson(const FaultPlanSpec& fp);
+bool FaultPlanFromJson(const Json& j, FaultPlanSpec* out, std::string* error);
+
+}  // namespace mexp
+
+#endif  // SRC_EXP_SPEC_H_

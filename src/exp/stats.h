@@ -1,0 +1,81 @@
+// Streaming statistics for experiment aggregation.
+//
+// A StatsAccumulator folds one scalar metric across the repetitions of a
+// grid point: exact running mean (sum/count, so the aggregate of the Figure 8
+// sweep reproduces the legacy bench's average bit-for-bit), min/max,
+// Welford variance for the sample stddev, and a Student-t 95% confidence
+// half-width across repetitions. Latency distributions are aggregated
+// separately by merging mtrace::LatencyHistogram (log-bucketed percentiles
+// survive the merge exactly; see histogram.h).
+#ifndef SRC_EXP_STATS_H_
+#define SRC_EXP_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mexp {
+
+class StatsAccumulator {
+ public:
+  void Add(double x) {
+    ++count_;
+    sum_ += x;
+    if (x < min_) {
+      min_ = x;
+    }
+    if (x > max_) {
+      max_ = x;
+    }
+    // Welford, for the variance only (the mean reported is sum/count).
+    double delta = x - welford_mean_;
+    welford_mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - welford_mean_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double Sum() const { return sum_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Sample standard deviation (n-1 denominator); 0 with fewer than 2 samples.
+  double StdDev() const {
+    if (count_ < 2) {
+      return 0.0;
+    }
+    return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+  }
+
+  // Half-width of the 95% confidence interval for the mean across the
+  // samples (t-distribution; the repetitions of a deterministic simulation
+  // differ only through the swept phase/seed, but the interval still bounds
+  // how much that variation moves the mean).
+  double Ci95HalfWidth() const {
+    if (count_ < 2) {
+      return 0.0;
+    }
+    return TValue95(count_ - 1) * StdDev() / std::sqrt(static_cast<double>(count_));
+  }
+
+ private:
+  // Two-sided 95% Student-t critical values; df > 30 ~ normal.
+  static double TValue95(std::uint64_t df) {
+    static constexpr double kT[31] = {
+        0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201,  2.179,  2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+        2.074,  2.069,  2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+    return df <= 30 ? kT[df] : 1.960;
+  }
+
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double welford_mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace mexp
+
+#endif  // SRC_EXP_STATS_H_

@@ -4,6 +4,7 @@
 #ifndef SRC_TRACE_HISTOGRAM_H_
 #define SRC_TRACE_HISTOGRAM_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <ostream>
@@ -33,7 +34,10 @@ class LatencyHistogram {
   }
   double MaxMs() const { return static_cast<double>(max_us_) / 1000.0; }
 
-  // Approximate percentile (upper edge of the bucket containing it).
+  // Approximate percentile (upper edge of the bucket containing it). The
+  // top bucket is open-ended, so its nominal upper edge can exceed any
+  // recorded value; a percentile landing there is clamped to the observed
+  // maximum instead of reporting an edge no sample ever reached.
   double PercentileMs(double p) const {
     if (count_ == 0) {
       return 0.0;
@@ -46,11 +50,26 @@ class LatencyHistogram {
     for (int b = 0; b < kBuckets; ++b) {
       seen += buckets_[b];
       if (seen > target) {
-        return msim::ToMilliseconds(UpperEdge(b));
+        return b == kBuckets - 1 ? MaxMs() : msim::ToMilliseconds(UpperEdge(b));
       }
     }
     return MaxMs();
   }
+
+  // Accumulates another histogram into this one (cross-run/cross-site
+  // aggregation). Bucket layouts are identical by construction.
+  void Merge(const LatencyHistogram& other) {
+    count_ += other.count_;
+    sum_us_ += other.sum_us_;
+    max_us_ = std::max(max_us_, other.max_us_);
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+  }
+
+  // Raw bucket counts (serialization).
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+  std::uint64_t sum_us() const { return sum_us_; }
 
   void Print(std::ostream& os, const std::string& label) const {
     os << label << ": n=" << count_ << " mean=" << MeanMs() << "ms p50="

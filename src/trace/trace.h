@@ -3,9 +3,15 @@
 // Captures a timeline of protocol events (faults, messages, invalidations,
 // installs) so benches can print the paper's Figure 6 message sequence and
 // tests can assert on protocol behaviour rather than only on end state.
+//
+// Memory is bounded on demand: SetCapacity(N) keeps only the N most recent
+// events, evicting the oldest and counting what was dropped, so a
+// long parameter sweep with tracing enabled cannot grow without limit.
 #ifndef SRC_TRACE_TRACE_H_
 #define SRC_TRACE_TRACE_H_
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <ostream>
 #include <string>
@@ -28,15 +34,30 @@ class Tracer {
   void SetEnabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  // Caps retained events at `cap` (0 = unbounded, the default). When the cap
+  // is reached the oldest event is evicted per new record; evictions are
+  // counted in dropped_events(). Shrinking below the current size evicts
+  // immediately.
+  void SetCapacity(std::size_t cap) {
+    capacity_ = cap;
+    EvictToCapacity();
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped_events() const { return dropped_; }
+
   void Record(msim::Time t, mnet::SiteId site, std::string category, std::string detail) {
     if (!enabled_) {
       return;
     }
     events_.push_back(TraceEvent{t, site, std::move(category), std::move(detail)});
+    EvictToCapacity();
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  const std::deque<TraceEvent>& events() const { return events_; }
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   // Events matching a category, in time order.
   std::vector<TraceEvent> Filter(const std::string& category) const {
@@ -58,6 +79,9 @@ class Tracer {
   }
 
   void Print(std::ostream& os) const {
+    if (dropped_ > 0) {
+      os << "(" << dropped_ << " oldest events evicted; capacity " << capacity_ << ")\n";
+    }
     for (const TraceEvent& e : events_) {
       PrintEvent(os, e);
     }
@@ -72,6 +96,16 @@ class Tracer {
   }
 
  private:
+  void EvictToCapacity() {
+    if (capacity_ == 0) {
+      return;
+    }
+    while (events_.size() > capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+  }
+
   static void PrintEvent(std::ostream& os, const TraceEvent& e) {
     char buf[64];
     snprintf(buf, sizeof(buf), "%10.3f ms  site %d  %-12s ", msim::ToMilliseconds(e.time),
@@ -80,7 +114,9 @@ class Tracer {
   }
 
   bool enabled_ = false;
-  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t dropped_ = 0;
+  std::deque<TraceEvent> events_;
 };
 
 }  // namespace mtrace

@@ -1,0 +1,292 @@
+// Tests for the experiment harness: spec expansion and seed derivation,
+// JSON round trips, streaming statistics, the parallel runner's determinism
+// across thread counts, and baseline regression diffing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "src/exp/report.h"
+#include "src/exp/runner.h"
+#include "src/exp/spec.h"
+#include "src/exp/stats.h"
+
+namespace {
+
+TEST(ExperimentSpec, ExpandIsGridTimesRepsInFixedOrder) {
+  mexp::ExperimentSpec spec;
+  spec.sites = {2, 4};
+  spec.delta_ms = {0, 100};
+  spec.loss = {0.0, 0.5};
+  spec.repetitions = 3;
+  EXPECT_EQ(spec.PointCount(), 8);
+  std::vector<mexp::RunConfig> runs = spec.Expand();
+  ASSERT_EQ(runs.size(), 24u);
+  // Nesting order: sites > delta > quantum > segment_bytes > loss > plan,
+  // reps contiguous and innermost.
+  EXPECT_EQ(runs[0].sites, 2);
+  EXPECT_EQ(runs[0].delta_ms, 0);
+  EXPECT_EQ(runs[0].loss, 0.0);
+  EXPECT_EQ(runs[2].rep, 2);
+  EXPECT_EQ(runs[3].loss, 0.5);
+  EXPECT_EQ(runs[3].rep, 0);
+  EXPECT_EQ(runs[6].delta_ms, 100);
+  EXPECT_EQ(runs[12].sites, 4);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].run_index, static_cast<int>(i));
+    EXPECT_EQ(runs[i].point, static_cast<int>(i) / 3);
+  }
+}
+
+TEST(ExperimentSpec, DerivedSeedsAreStableAndDistinct) {
+  std::uint64_t s0 = mexp::ExperimentSpec::DeriveSeed(1, 0);
+  std::uint64_t s1 = mexp::ExperimentSpec::DeriveSeed(1, 1);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(s0, mexp::ExperimentSpec::DeriveSeed(1, 0));  // pure function
+  // The expansion installs exactly these seeds.
+  mexp::ExperimentSpec spec;
+  spec.repetitions = 2;
+  std::vector<mexp::RunConfig> runs = spec.Expand();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].seed, s0);
+  EXPECT_EQ(runs[1].seed, s1);
+}
+
+TEST(ExperimentSpec, PhaseOffsetsCycleThroughRepetitions) {
+  mexp::ExperimentSpec spec;
+  spec.repetitions = 4;
+  spec.phase_offsets_ms = {0, 170, 410};
+  std::vector<mexp::RunConfig> runs = spec.Expand();
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].start_offset_us, 0);
+  EXPECT_EQ(runs[1].start_offset_us, 170 * msim::kMillisecond);
+  EXPECT_EQ(runs[2].start_offset_us, 410 * msim::kMillisecond);
+  EXPECT_EQ(runs[3].start_offset_us, 0);  // wraps
+}
+
+TEST(ExperimentSpec, JsonRoundTripPreservesGridAndSeed) {
+  mexp::ExperimentSpec spec;
+  spec.name = "roundtrip";
+  spec.workload = "scalability";
+  spec.sites = {2, 6, 12};
+  spec.delta_ms = {0, 50};
+  spec.loss = {0.0, 0.02};
+  spec.repetitions = 2;
+  spec.seed = 0xDEADBEEFCAFEF00DULL;
+  spec.rounds = 5;
+  mexp::FaultPlanSpec fp;
+  fp.name = "crash1";
+  fp.plan.CrashAt(50 * msim::kMillisecond, 1);
+  fp.plan.PartitionAt(100 * msim::kMillisecond, 0, 2);
+  fp.plan.HealAt(400 * msim::kMillisecond, 0, 2);
+  spec.fault_plans.push_back(fp);
+
+  std::string text = spec.ToJson().ToString();
+  std::string error;
+  mexp::Json parsed = mexp::Json::Parse(text, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  mexp::ExperimentSpec back;
+  ASSERT_TRUE(mexp::ExperimentSpec::FromJson(parsed, &back, &error)) << error;
+  EXPECT_EQ(back.name, "roundtrip");
+  EXPECT_EQ(back.workload, "scalability");
+  EXPECT_EQ(back.sites, spec.sites);
+  EXPECT_EQ(back.delta_ms, spec.delta_ms);
+  EXPECT_EQ(back.loss, spec.loss);
+  EXPECT_EQ(back.seed, spec.seed);  // hex-string seeds survive exactly
+  EXPECT_EQ(back.rounds, 5);
+  ASSERT_EQ(back.fault_plans.size(), 1u);
+  EXPECT_EQ(back.fault_plans[0].name, "crash1");
+  ASSERT_EQ(back.fault_plans[0].plan.events().size(), 3u);
+  EXPECT_EQ(back.fault_plans[0].plan.events()[0].kind, mfault::FaultKind::kCrashSite);
+  EXPECT_EQ(back.fault_plans[0].plan.events()[2].kind, mfault::FaultKind::kHealLink);
+  EXPECT_EQ(back.fault_plans[0].plan.events()[2].peer, 2);
+  // And the round-tripped spec expands to the same runs.
+  EXPECT_EQ(back.Expand().size(), spec.Expand().size());
+  EXPECT_EQ(back.Expand()[3].seed, spec.Expand()[3].seed);
+}
+
+TEST(ExperimentSpec, FromJsonRejectsBadInput) {
+  std::string error;
+  mexp::ExperimentSpec out;
+  mexp::Json bad = mexp::Json::Parse(R"({"sites": []})", &error);
+  EXPECT_FALSE(mexp::ExperimentSpec::FromJson(bad, &out, &error));
+  bad = mexp::Json::Parse(R"({"sites": [99]})", &error);
+  EXPECT_FALSE(mexp::ExperimentSpec::FromJson(bad, &out, &error));
+  bad = mexp::Json::Parse(R"({"repetitions": 0})", &error);
+  EXPECT_FALSE(mexp::ExperimentSpec::FromJson(bad, &out, &error));
+}
+
+TEST(Json, ParseDumpRoundTrip) {
+  std::string error;
+  mexp::Json j = mexp::Json::Parse(
+      R"({"a": 1, "b": [1.5, "x\n", true, null], "c": {"nested": -2e3}})", &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(j.GetInt("a", 0), 1);
+  const mexp::Json* b = j.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->items().size(), 4u);
+  EXPECT_DOUBLE_EQ(b->items()[0].AsDouble(), 1.5);
+  EXPECT_EQ(b->items()[1].AsString(), "x\n");
+  EXPECT_TRUE(b->items()[2].AsBool());
+  EXPECT_TRUE(b->items()[3].is_null());
+  EXPECT_DOUBLE_EQ(j.Find("c")->GetDouble("nested", 0), -2000.0);
+  // Dump -> parse -> dump is a fixed point.
+  std::string once = j.ToString();
+  mexp::Json again = mexp::Json::Parse(once, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(again.ToString(), once);
+}
+
+TEST(Json, ParseReportsErrors) {
+  std::string error;
+  mexp::Json j = mexp::Json::Parse("{\"a\": }", &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(j.is_null());
+  mexp::Json::Parse("[1, 2", &error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(StatsAccumulator, MomentsAndConfidenceInterval) {
+  mexp::StatsAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.Add(x);
+  }
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.Max(), 9.0);
+  EXPECT_NEAR(acc.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  // t(7, 0.975) = 2.365
+  EXPECT_NEAR(acc.Ci95HalfWidth(), 2.365 * acc.StdDev() / std::sqrt(8.0), 1e-9);
+  mexp::StatsAccumulator empty;
+  EXPECT_EQ(empty.Mean(), 0.0);
+  EXPECT_EQ(empty.StdDev(), 0.0);
+  EXPECT_EQ(empty.Ci95HalfWidth(), 0.0);
+}
+
+// The acceptance property: a grid run on 8 worker threads emits exactly the
+// bytes of the single-threaded run — merge order is spec order, never
+// completion order.
+TEST(ExperimentRunner, ReportBytesIdenticalAcrossThreadCounts) {
+  mexp::ExperimentSpec spec;
+  spec.name = "determinism";
+  spec.workload = "pingpong";
+  spec.sites = {2, 3};
+  spec.delta_ms = {0, 17};
+  spec.loss = {0.0, 0.1};  // exercises the seeded lossy-circuit path too
+  spec.rounds = 6;
+  spec.repetitions = 2;
+  spec.max_time_s = 300;
+
+  std::string one = mexp::ReportToJson(mexp::ExperimentRunner(1).Run(spec)).ToString();
+  std::string eight = mexp::ReportToJson(mexp::ExperimentRunner(8).Run(spec)).ToString();
+  EXPECT_EQ(one, eight);
+  EXPECT_FALSE(one.empty());
+}
+
+TEST(ExperimentRunner, AggregatesAcrossRepetitionsInSpecOrder) {
+  mexp::ExperimentSpec spec;
+  spec.workload = "pingpong";
+  spec.sites = {2};
+  spec.delta_ms = {0};
+  spec.rounds = 5;
+  spec.repetitions = 3;
+  mexp::ExperimentReport report = mexp::ExperimentRunner(2).Run(spec);
+  ASSERT_EQ(report.points.size(), 1u);
+  EXPECT_EQ(report.failed_runs, 0);
+  const mexp::PointResult& pt = report.points[0];
+  ASSERT_EQ(pt.runs.size(), 3u);
+  EXPECT_EQ(pt.metrics.at("completed").Mean(), 1.0);
+  EXPECT_EQ(pt.metrics.at("cycles").count(), 3u);
+  EXPECT_DOUBLE_EQ(pt.metrics.at("cycles").Mean(), 5.0);
+  // Identical deterministic runs: zero spread, and the merged histogram has
+  // three runs' worth of write faults.
+  EXPECT_DOUBLE_EQ(pt.metrics.at("throughput").StdDev(), 0.0);
+  EXPECT_EQ(pt.write_latency.count(), 3 * pt.runs[0].write_latency.count());
+}
+
+TEST(ExperimentRunner, FaultPlanAxisProducesMeasuredDegradedRuns) {
+  // Crash the library site: clients fail with EIDRM; the harness records a
+  // failed (aborted) run as a measurement, not a harness error.
+  mexp::ExperimentSpec spec;
+  spec.workload = "pingpong";
+  spec.sites = {2};
+  spec.delta_ms = {0};
+  spec.rounds = 40;
+  spec.max_time_s = 120;
+  mexp::FaultPlanSpec fp;
+  fp.name = "crash_library";
+  fp.plan.CrashAt(50 * msim::kMillisecond, 0);
+  spec.fault_plans.push_back(fp);
+
+  mexp::ExperimentReport report = mexp::ExperimentRunner(1).Run(spec);
+  ASSERT_EQ(report.points.size(), 1u);
+  EXPECT_EQ(report.failed_runs, 0);
+  const mexp::PointResult& pt = report.points[0];
+  EXPECT_EQ(pt.params.fault_plan, "crash_library");
+  EXPECT_EQ(pt.metrics.at("completed").Mean(), 0.0);
+  EXPECT_EQ(pt.metrics.at("aborted").Mean(), 1.0);
+  EXPECT_GT(pt.metrics.at("faults_failed").Mean(), 0.0);
+}
+
+TEST(ReportDiff, FlagsDirectionalRegressionsBeyondTolerance) {
+  auto make_report = [](double throughput, double latency) {
+    mexp::ExperimentSpec spec;
+    mexp::ExperimentReport report;
+    report.spec = spec;
+    mexp::PointResult pt;
+    pt.params = spec.Expand()[0];
+    mexp::RunResult rr;
+    rr.ok = true;
+    rr.metrics["throughput"] = throughput;
+    rr.metrics["mean_write_latency_ms"] = latency;
+    pt.metrics["throughput"].Add(throughput);
+    pt.metrics["mean_write_latency_ms"].Add(latency);
+    pt.runs.push_back(std::move(rr));
+    report.points.push_back(std::move(pt));
+    return mexp::ReportToJson(report);
+  };
+  mexp::Json base = make_report(100.0, 10.0);
+  mexp::Json worse = make_report(80.0, 13.0);   // -20% throughput, +30% latency
+  mexp::Json better = make_report(120.0, 8.0);  // improvements only
+
+  std::vector<mexp::DiffEntry> diffs = mexp::DiffReports(base, worse, 0.10);
+  int regressions = 0;
+  for (const mexp::DiffEntry& d : diffs) {
+    if (d.regression) {
+      ++regressions;
+    }
+  }
+  EXPECT_EQ(regressions, 2);
+
+  for (const mexp::DiffEntry& d : mexp::DiffReports(base, better, 0.10)) {
+    EXPECT_FALSE(d.regression) << d.metric;
+  }
+  // Within tolerance: nothing reported at all.
+  EXPECT_TRUE(mexp::DiffReports(base, make_report(95.0, 10.4), 0.10).empty());
+}
+
+TEST(ReportDiff, MetricSenses) {
+  EXPECT_EQ(mexp::SenseOf("throughput"), mexp::MetricSense::kHigherIsBetter);
+  EXPECT_EQ(mexp::SenseOf("background_units_per_s"), mexp::MetricSense::kHigherIsBetter);
+  EXPECT_EQ(mexp::SenseOf("mean_write_latency_ms"), mexp::MetricSense::kLowerIsBetter);
+  EXPECT_EQ(mexp::SenseOf("elapsed_s"), mexp::MetricSense::kLowerIsBetter);
+  EXPECT_EQ(mexp::SenseOf("ops_failed"), mexp::MetricSense::kLowerIsBetter);
+  EXPECT_EQ(mexp::SenseOf("faults_failed"), mexp::MetricSense::kLowerIsBetter);
+  EXPECT_EQ(mexp::SenseOf("net_packets"), mexp::MetricSense::kNeutral);
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerMetric) {
+  mexp::ExperimentSpec spec;
+  spec.workload = "pingpong";
+  spec.rounds = 4;
+  mexp::ExperimentReport report = mexp::ExperimentRunner(1).Run(spec);
+  std::ostringstream os;
+  mexp::WriteCsv(report, os);
+  std::string csv = os.str();
+  EXPECT_NE(csv.find("point,workload,sites,delta_ms"), std::string::npos);
+  EXPECT_NE(csv.find(",throughput,"), std::string::npos);
+  EXPECT_NE(csv.find(",write_fault_p99_ms,"), std::string::npos);
+}
+
+}  // namespace

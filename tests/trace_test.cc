@@ -115,4 +115,92 @@ TEST(LatencyHistogram, SubMillisecondAndOverflowBuckets) {
   EXPECT_EQ(h.count(), 0u);
 }
 
+TEST(LatencyHistogram, TopBucketPercentileClampsToObservedMax) {
+  // A single sample far past the last bucket edge lands in the open-ended
+  // top bucket. The percentile must report the observed maximum, not the
+  // top bucket's (meaningless) nominal upper edge.
+  mtrace::LatencyHistogram h;
+  h.Record(200 * msim::kSecond);  // 200,000 ms
+  EXPECT_DOUBLE_EQ(h.PercentileMs(0.99), 200000.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(1.0), h.MaxMs());
+  // With a finite-bucket sample below it, low percentiles are still edges.
+  h.Record(3 * msim::kMillisecond);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(0.25), 4.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(0.99), 200000.0);
+}
+
+TEST(LatencyHistogram, MergeCombinesCountsSumAndMax) {
+  mtrace::LatencyHistogram a;
+  mtrace::LatencyHistogram b;
+  for (int i = 0; i < 90; ++i) {
+    a.Record(3 * msim::kMillisecond);
+  }
+  for (int i = 0; i < 10; ++i) {
+    b.Record(100 * msim::kMillisecond);
+  }
+  b.Record(200 * msim::kSecond);  // overflow sample only in b
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 101u);
+  EXPECT_DOUBLE_EQ(a.MaxMs(), 200000.0);
+  EXPECT_NEAR(a.MeanMs(), (90 * 3.0 + 10 * 100.0 + 200000.0) / 101.0, 1e-9);
+  // Merged distribution answers percentiles as if recorded into one.
+  EXPECT_DOUBLE_EQ(a.PercentileMs(0.50), 4.0);
+  EXPECT_DOUBLE_EQ(a.PercentileMs(0.95), 128.0);
+  EXPECT_DOUBLE_EQ(a.PercentileMs(1.0), 200000.0);
+  // Merging an empty histogram is a no-op.
+  mtrace::LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 101u);
+}
+
+TEST(Tracer, UnboundedByDefault) {
+  mtrace::Tracer t;
+  t.SetEnabled(true);
+  for (int i = 0; i < 1000; ++i) {
+    t.Record(i, 0, "e", "d");
+  }
+  EXPECT_EQ(t.events().size(), 1000u);
+  EXPECT_EQ(t.dropped_events(), 0u);
+}
+
+TEST(Tracer, CapacityEvictsOldestAndCountsDrops) {
+  mtrace::Tracer t;
+  t.SetEnabled(true);
+  t.SetCapacity(3);
+  for (int i = 0; i < 5; ++i) {
+    t.Record(i * 100, 0, "e", "event" + std::to_string(i));
+  }
+  ASSERT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.dropped_events(), 2u);
+  // The survivors are the newest three, still in order.
+  EXPECT_EQ(t.events().front().detail, "event2");
+  EXPECT_EQ(t.events().back().detail, "event4");
+  // Print announces the eviction so truncated traces are never mistaken
+  // for complete ones.
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("2 oldest events evicted"), std::string::npos);
+  // Clear resets the drop counter along with the events.
+  t.Clear();
+  EXPECT_EQ(t.dropped_events(), 0u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Tracer, ShrinkingCapacityEvictsImmediately) {
+  mtrace::Tracer t;
+  t.SetEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    t.Record(i, 0, "e", std::to_string(i));
+  }
+  t.SetCapacity(4);
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.dropped_events(), 6u);
+  EXPECT_EQ(t.events().front().detail, "6");
+  // Raising the cap back does not resurrect anything.
+  t.SetCapacity(0);
+  EXPECT_EQ(t.events().size(), 4u);
+  t.Record(99, 0, "e", "new");
+  EXPECT_EQ(t.events().size(), 5u);
+}
+
 }  // namespace
