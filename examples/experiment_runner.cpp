@@ -11,6 +11,11 @@
 //                second table)
 //   scalematrix  sites x frame-loss invalidation-scaling matrix
 //                (bench_scalability's sweep, widened with a loss axis)
+//   availability library-site failover sweep: ping-pong with the segment
+//                homed on a pure-controller site (--lib=2), with and
+//                without crashing it mid-run, across site counts — the
+//                fraction of runs that keep completing measures how well
+//                segments survive controller loss
 //
 // Axis/override options (comma-separated lists make a grid):
 //   --workload=W             readwriters|pingpong|spinlock|scalability|matrix|dot|tsp
@@ -23,6 +28,9 @@
 //   --offsets=0,170,410      per-repetition start phases (ms)
 //   --seed=N                 spec seed (per-run seeds derive from it)
 //   --iters=N --rounds=N     workload sizes
+//   --lib=S                  pre-create the segment at site S (its library
+//                            site) so a crash plan can target a pure
+//                            controller (pingpong/readwriters)
 //   --crash=S@T --pause=S@T1:T2 --cut=A-B@T1:T2
 //                            add one fault plan (repeatable; scenario_runner
 //                            syntax, times in ms)
@@ -111,6 +119,29 @@ mexp::ExperimentSpec ScaleMatrixSpec() {
   return spec;
 }
 
+mexp::ExperimentSpec AvailabilitySpec() {
+  mexp::ExperimentSpec spec;
+  spec.name = "availability";
+  spec.workload = "pingpong";
+  spec.sites = {3, 4, 6, 8};
+  spec.delta_ms = {0};
+  spec.rounds = 40;
+  spec.repetitions = 3;
+  // The segment lives on site 2, a pure controller: the ping-pong players
+  // (sites 0 and 1) hold every copy, so crashing the library tests failover
+  // alone, not data loss.
+  spec.library_site = 2;
+  mexp::FaultPlanSpec none;
+  none.name = "none";
+  spec.fault_plans.push_back(std::move(none));
+  mexp::FaultPlanSpec crash;
+  crash.name = "crash_library";
+  crash.plan.CrashAt(50 * msim::kMillisecond, 2);
+  spec.fault_plans.push_back(std::move(crash));
+  spec.max_time_s = 60;
+  return spec;
+}
+
 bool LoadSpecFile(const std::string& path, mexp::ExperimentSpec* spec) {
   std::ifstream in(path);
   if (!in) {
@@ -185,6 +216,9 @@ int main(int argc, char** argv) {
     } else if (s == "scalematrix") {
       spec = ScaleMatrixSpec();
       have_spec = true;
+    } else if (s == "availability") {
+      spec = AvailabilitySpec();
+      have_spec = true;
     } else if (s.rfind("--spec=", 0) == 0) {
       if (!LoadSpecFile(value(), &spec)) {
         return 2;
@@ -219,6 +253,8 @@ int main(int argc, char** argv) {
       spec.iterations = std::atoi(value().c_str());
     } else if (s.rfind("--rounds=", 0) == 0) {
       spec.rounds = std::atoi(value().c_str());
+    } else if (s.rfind("--lib=", 0) == 0) {
+      spec.library_site = std::atoi(value().c_str());
     } else if (s.rfind("--max-time-s=", 0) == 0) {
       spec.max_time_s = std::atol(value().c_str());
     } else if (s.rfind("--crash=", 0) == 0) {

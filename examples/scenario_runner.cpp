@@ -18,6 +18,10 @@
 //     --baseline      run over the Li/Hudak protocol instead of Mirage
 //     --loss=P        drop each frame with probability P (virtual circuits
 //                     retransmit; 0 < P < 1)
+//     --lib=S         pre-create the workload segment at site S, making it
+//                     the library site (pingpong/readwriters); lets a crash
+//                     plan kill a pure-controller library while every
+//                     workload process survives and fails over
 //     --crash=S@T     crash site S at T ms (permanent)
 //     --pause=S@T1:T2 pause site S's inbound delivery from T1 to T2 ms
 //     --cut=A-B@T1:T2 partition the A<->B link from T1 to T2 ms
@@ -25,8 +29,9 @@
 // Any fault flag enables the protocol recovery timeouts (request backoff,
 // ack timeouts, op deadline) and, when circuits are active, forced
 // sequencing so healed partitions recover by retransmission. Post-run
-// invariant checking is skipped under faults: a crashed site's directory
-// is legitimately stale.
+// invariant checking scopes itself to live sites: a crashed site's frozen
+// copies are not part of the system, and pages lost in recovery make no
+// directory promises.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,6 +61,7 @@ struct Args {
   bool baseline = false;
   double loss = 0.0;
   bool json = false;
+  int library_site = 0;
   mfault::FaultPlan faults;
   bool faulted = false;
 };
@@ -77,6 +83,8 @@ Args Parse(int argc, char** argv) {
       a.baseline = true;
     } else if (s.rfind("--loss=", 0) == 0) {
       a.loss = std::atof(s.c_str() + 7);
+    } else if (s.rfind("--lib=", 0) == 0) {
+      a.library_site = std::atoi(s.c_str() + 6);
     } else if (s.rfind("--crash=", 0) == 0) {
       int site = 0;
       long t = 0;
@@ -148,6 +156,7 @@ int main(int argc, char** argv) {
     spec.baseline = args.baseline;
     spec.rounds = 40;  // the human-readable path's ping-pong round count
     spec.max_time_s = 900;
+    spec.library_site = args.library_site;
     if (args.faulted) {
       mexp::FaultPlanSpec fp;
       fp.name = "scenario";
@@ -212,12 +221,21 @@ int main(int argc, char** argv) {
     }
   };
 
+  // --lib=S: make site S the library by pre-creating the segment there; the
+  // workload's own Shmget then finds the existing key.
+  auto prehome = [&world, &args](std::uint64_t key, std::uint32_t bytes) {
+    if (args.library_site > 0 && args.library_site < args.sites) {
+      (void)world.shm(args.library_site).Shmget(key, bytes, /*create=*/true);
+    }
+  };
+
   bool ok = false;
   if (args.workload == "pingpong") {
     mwork::PingPongParams prm;
     prm.rounds = 40;
     prm.use_yield = args.yield;
     prm.site_b = args.sites >= 2 ? 1 : 0;
+    prehome(prm.key, prm.segment_bytes);
     auto r = mwork::LaunchPingPong(world, prm);
     ok = run_workload([&] { return r->completed; });
     std::printf("throughput: %.2f cycles/s over %d cycles\n\n", r->CyclesPerSecond(),
@@ -225,6 +243,7 @@ int main(int argc, char** argv) {
   } else if (args.workload == "readwriters") {
     mwork::ReadWritersParams prm;
     prm.iterations = 50000;
+    prehome(prm.key, prm.segment_bytes);
     auto r = mwork::LaunchReadWriters(world, prm);
     ok = run_workload([&] { return r->completed; });
     std::printf("throughput: %.0f read-write ops/s\n\n", r->OpsPerSecond());
@@ -267,16 +286,20 @@ int main(int argc, char** argv) {
   }
 
   world.PrintReport(std::cout);
-  if (!args.baseline && !args.faulted) {
-    // Skipped under faults: a crashed site's directory is legitimately
-    // stale, and a lost page legitimately has no usable copy.
-    // dsm doctor: validate the global protocol invariants post-run.
+  if (!args.baseline) {
+    // dsm doctor: validate the global protocol invariants post-run. Under
+    // faults the checker is scoped to live sites — a crashed site's frozen
+    // copies left the system, and the coherence and directory/image
+    // agreement must still hold among the survivors (across any failover).
     std::vector<mirage::Engine*> engines;
     for (int s = 0; s < world.site_count(); ++s) {
       engines.push_back(world.engine(s));
     }
     world.RunFor(2 * msim::kSecond);  // quiesce
     mirage::InvariantChecker checker(engines);
+    if (args.faulted) {
+      checker.SetLiveness([&world](mnet::SiteId s) { return world.faults()->SiteUp(s); });
+    }
     mirage::InvariantReport report = checker.CheckFull(world.registry());
     std::printf("\ninvariants: %s (%d pages checked)\n",
                 report.ok() ? "OK" : "VIOLATED", report.pages_checked);

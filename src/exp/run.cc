@@ -85,6 +85,12 @@ void CollectCommon(msysv::World& world, RunResult* out) {
     sum.degraded_acks += es.degraded_acks;
     sum.degraded_invalidations += es.degraded_invalidations;
     sum.ops_failed += es.ops_failed;
+    sum.elections_won += es.elections_won;
+    sum.recoveries_completed += es.recoveries_completed;
+    sum.pages_recovered += es.pages_recovered;
+    sum.pages_lost_in_recovery += es.pages_lost_in_recovery;
+    sum.stale_epoch_drops += es.stale_epoch_drops;
+    sum.recovery_replies_sent += es.recovery_replies_sent;
     out->read_latency.Merge(e->read_fault_latency());
     out->write_latency.Merge(e->write_fault_latency());
   }
@@ -101,6 +107,12 @@ void CollectCommon(msysv::World& world, RunResult* out) {
     out->metrics["degraded_acks"] =
         static_cast<double>(sum.degraded_acks + sum.degraded_invalidations);
     out->metrics["ops_failed"] = static_cast<double>(sum.ops_failed);
+    out->metrics["elections"] = static_cast<double>(sum.elections_won);
+    out->metrics["recoveries"] = static_cast<double>(sum.recoveries_completed);
+    out->metrics["pages_recovered"] = static_cast<double>(sum.pages_recovered);
+    out->metrics["pages_lost"] = static_cast<double>(sum.pages_lost_in_recovery);
+    out->metrics["stale_epoch_drops"] = static_cast<double>(sum.stale_epoch_drops);
+    out->metrics["recovery_replies"] = static_cast<double>(sum.recovery_replies_sent);
   }
 }
 
@@ -132,11 +144,22 @@ RunResult ExecuteRun(const RunConfig& cfg) {
       }
     };
 
+    // A nonzero library_site pre-creates the workload's segment there, so a
+    // fault plan can crash a pure-controller library site while the workload
+    // processes (who find the existing key) all survive. The two spin-loop
+    // workloads used by the failover experiments honour it.
+    auto prehome = [&world, &cfg](std::uint64_t key, std::uint32_t bytes) {
+      if (cfg.library_site > 0 && cfg.library_site < cfg.sites) {
+        (void)world.shm(cfg.library_site).Shmget(key, bytes, /*create=*/true);
+      }
+    };
+
     bool completed = false;
     if (cfg.workload == "readwriters") {
       mwork::ReadWritersParams prm;
       prm.iterations = cfg.iterations;
       prm.segment_bytes = cfg.segment_bytes;
+      prehome(prm.key, prm.segment_bytes);
       prm.start_offset_us = cfg.start_offset_us;
       prm.site_b = cfg.sites >= 2 ? 1 : 0;
       auto r = mwork::LaunchReadWriters(world, prm);
@@ -158,6 +181,7 @@ RunResult ExecuteRun(const RunConfig& cfg) {
       prm.rounds = cfg.rounds;
       prm.use_yield = cfg.use_yield;
       prm.site_b = cfg.sites >= 2 ? 1 : 0;
+      prehome(prm.key, prm.segment_bytes);
       auto r = mwork::LaunchPingPong(world, prm);
       completed = run_until([&] { return r->completed; });
       out.metrics["throughput"] = r->CyclesPerSecond();

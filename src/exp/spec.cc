@@ -95,6 +95,7 @@ std::vector<RunConfig> ExperimentSpec::Expand() const {
                   cfg.start_offset_us =
                       phase_offsets_ms[r % phase_offsets_ms.size()] * msim::kMillisecond;
                 }
+                cfg.library_site = library_site;
                 cfg.iterations = iterations;
                 cfg.rounds = rounds;
                 cfg.matrix_n = matrix_n;
@@ -202,6 +203,7 @@ Json ExperimentSpec::ToJson() const {
   char seedbuf[32];
   std::snprintf(seedbuf, sizeof(seedbuf), "0x%016" PRIx64, seed);
   j.Set("seed", Json(std::string(seedbuf)));
+  j.Set("library_site", Json(library_site));
   j.Set("iterations", Json(iterations));
   j.Set("rounds", Json(rounds));
   j.Set("matrix_n", Json(matrix_n));
@@ -256,6 +258,7 @@ bool ExperimentSpec::FromJson(const Json& j, ExperimentSpec* out, std::string* e
       spec.seed = std::strtoull(seed->AsString().c_str(), nullptr, 0);
     }
   }
+  spec.library_site = static_cast<int>(j.GetInt("library_site", spec.library_site));
   spec.iterations = static_cast<int>(j.GetInt("iterations", spec.iterations));
   spec.rounds = static_cast<int>(j.GetInt("rounds", spec.rounds));
   spec.matrix_n = static_cast<int>(j.GetInt("matrix_n", spec.matrix_n));

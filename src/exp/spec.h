@@ -51,6 +51,11 @@ struct RunConfig {
   msim::Duration start_offset_us = 0;
 
   // Workload tunables (copied from the spec).
+  // Site whose Shmget creates the shared segment (its library site). 0 is
+  // the workloads' native behaviour; a nonzero value pre-creates the segment
+  // there, so a fault plan can crash a pure-controller library while every
+  // workload process survives (the failover experiments).
+  int library_site = 0;
   int iterations = 50000;
   int rounds = 8;
   int matrix_n = 24;
@@ -84,6 +89,7 @@ struct ExperimentSpec {
   std::uint64_t seed = 1;
 
   // ---- Workload tunables ----
+  int library_site = 0;  // see RunConfig::library_site
   int iterations = 50000;
   int rounds = 8;
   int matrix_n = 24;

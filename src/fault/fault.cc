@@ -48,8 +48,19 @@ void FaultInjector::Apply(const FaultEvent& ev) {
         if (ev.site >= 0 && ev.site < static_cast<int>(kernels_.size())) {
           kernels_[ev.site]->Halt();
         }
-        paused_.erase(ev.site);  // a crash supersedes a pause
+        if (paused_.erase(ev.site) != 0) {
+          // A crash supersedes a pause: the packets held for the paused
+          // site die with it rather than replaying at a later resume.
+          std::uint64_t dropped = net_->DropHeld(ev.site);
+          stats_.held_dropped_on_crash += dropped;
+          if (dropped != 0) {
+            Trace(ev.site, std::to_string(dropped) + " held packet(s) dropped at crash");
+          }
+        }
         Trace(ev.site, "site crashed");
+        for (const CrashObserver& obs : crash_observers_) {
+          obs(ev.site);
+        }
       }
       break;
     }

@@ -21,6 +21,7 @@
 #define SRC_FAULT_FAULT_H_
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <vector>
 
@@ -88,6 +89,9 @@ struct FaultInjectorStats {
   std::uint64_t partitions = 0;
   std::uint64_t heals = 0;
   std::uint64_t circuits_down = 0;  // circuit-layer give-ups reported to us
+  // Packets that were held for a paused site when that site crashed: the
+  // held queue dies with the site instead of replaying at a later resume.
+  std::uint64_t held_dropped_on_crash = 0;
 };
 
 // Executes a FaultPlan against a simulated world: halts crashed kernels,
@@ -107,6 +111,12 @@ class FaultInjector {
 
   // Applies a single fault right now (tests drive these directly).
   void Apply(const FaultEvent& ev);
+
+  // Registers a callback fired (synchronously, registration order) right
+  // after a site transitions to crashed. The protocol layer uses this to
+  // start library-site failover elections deterministically.
+  using CrashObserver = std::function<void(mnet::SiteId)>;
+  void AddCrashObserver(CrashObserver obs) { crash_observers_.push_back(std::move(obs)); }
 
   // ---- Liveness oracle ----
   bool SiteUp(mnet::SiteId s) const { return crashed_.count(s) == 0; }
@@ -132,6 +142,7 @@ class FaultInjector {
   std::set<mnet::SiteId> crashed_;
   std::set<mnet::SiteId> paused_;
   std::set<std::uint64_t> cut_links_;
+  std::vector<CrashObserver> crash_observers_;
   FaultInjectorStats stats_;
 };
 

@@ -24,6 +24,10 @@ struct SegmentMeta {
   SegmentPerms perms;
   // The site that created the segment is configured as its library site.
   mnet::SiteId library_site = mnet::kNoSite;
+  // Recovery epoch: bumped each time a successor library site takes over
+  // after a crash. Protocol messages carry the epoch so pre-crash traffic
+  // can be fenced off from the reconstructed directory.
+  std::uint32_t epoch = 0;
 
   int PageCount() const {
     return static_cast<int>((size_bytes + kPageSize - 1) / kPageSize);

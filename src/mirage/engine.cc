@@ -46,6 +46,10 @@ const char* MsgKindName(MsgKind k) {
       return "INSTALL_ACK";
     case MsgKind::kRequestFailed:
       return "REQUEST_FAILED";
+    case MsgKind::kRecoveryQuery:
+      return "RECOVERY_QUERY";
+    case MsgKind::kRecoveryReply:
+      return "RECOVERY_REPLY";
   }
   return "UNKNOWN";
 }
@@ -93,6 +97,8 @@ void Engine::Start() {
   }
   worker_proc_ = kernel_->Spawn("dsm-worker", mos::Priority::kKernel,
                                 [this](mos::Process* self) { return WorkerMain(self); });
+  recovery_proc_ = kernel_->Spawn("dsm-recovery", mos::Priority::kKernel,
+                                 [this](mos::Process* self) { return RecoveryMain(self); });
 }
 
 mmem::SegmentImage* Engine::EnsureImage(const mmem::SegmentMeta& meta) {
@@ -154,6 +160,8 @@ void Engine::ReallyDrop(mmem::SegmentId seg) {
   active_ops_.erase(seg);
   images_.erase(seg);
   dirs_.erase(seg);
+  seg_epochs_.erase(seg);
+  recovering_.erase(seg);
   for (auto it = waits_.begin(); it != waits_.end();) {
     if (static_cast<mmem::SegmentId>(it->first >> 32) == seg) {
       it = waits_.erase(it);
@@ -174,8 +182,7 @@ msim::Task<mmem::FaultStatus> Engine::Fault(mos::Process* p, mmem::SegmentId seg
   }
   Trace("fault", (write ? "write fault seg " : "read fault seg ") + std::to_string(seg) +
                      " page " + std::to_string(page) + " pid " + std::to_string(p->pid));
-  auto meta = registry_->FindById(seg);
-  if (!meta.has_value()) {
+  if (!registry_->FindById(seg).has_value()) {
     throw std::logic_error("mirage: fault on unknown segment " + std::to_string(seg));
   }
   mmem::SegmentImage& img = ImageRef(seg);
@@ -208,6 +215,13 @@ msim::Task<mmem::FaultStatus> Engine::Fault(mos::Process* p, mmem::SegmentId seg
     }
     bool& pending = write ? w.pending_write : w.pending_read;
     if (!pending) {
+      // Re-read the segment meta every (re-)send: a failover election may
+      // have re-homed the library and bumped the epoch since the last try.
+      auto meta = registry_->FindById(seg);
+      if (!meta.has_value()) {
+        throw std::logic_error("mirage: fault on unknown segment " + std::to_string(seg));
+      }
+      AdoptEpoch(seg, meta->epoch);
       pending = true;
       ++attempts;
       PageRequestBody body;
@@ -216,6 +230,7 @@ msim::Task<mmem::FaultStatus> Engine::Fault(mos::Process* p, mmem::SegmentId seg
       body.write = write;
       body.requester = site();
       body.pid = p->pid;
+      body.epoch = meta->epoch;
       if (meta->library_site == site()) {
         // Colocated library: no network message, just the local service cost
         // (the paper's 1.5 ms local fault service).
@@ -231,6 +246,11 @@ msim::Task<mmem::FaultStatus> Engine::Fault(mos::Process* p, mmem::SegmentId seg
                                 kShortMsgBytes, body));
       }
       deadline = kernel_->Now() + wait;
+      // Time passed inside the Compute/Send awaits above: the answer (or a
+      // colocated requester's install) may already have arrived, and its
+      // wakeup found nobody on the channel. Re-check before sleeping or the
+      // wakeup is lost and a wait-forever fault hangs.
+      continue;
     }
     if (wait <= 0) {
       co_await kernel_->SleepOn(p, w.chan);
@@ -239,6 +259,10 @@ msim::Task<mmem::FaultStatus> Engine::Fault(mos::Process* p, mmem::SegmentId seg
     msim::Duration remaining = deadline - kernel_->Now();
     if (remaining <= 0) {
       ++stats_.request_timeouts;
+      // Backstop election: if the library died before this site attached
+      // (so it missed the crash notification), the timeout path is where
+      // the orphaned segment is noticed.
+      MaybeElect(seg);
       if (attempts >= std::max(1, opts_.max_request_attempts)) {
         pending = false;
         ++stats_.faults_failed;
@@ -266,6 +290,9 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
     }
     case MsgKind::kClockOp: {
       ClockOpBody b = mnet::PacketBody<ClockOpBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        break;
+      }
       if (b.clock_check) {
         msim::Duration remaining = LocalWindowRemaining(b.seg, b.page);
         bool honor = remaining <= 0 ||
@@ -284,7 +311,7 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
           } else {
             ++stats_.wait_replies_sent;
             Trace("clock", "refuse invalidation, " + std::to_string(remaining) + " us left");
-            WaitReplyBody r{b.seg, b.page, b.req_id, remaining};
+            WaitReplyBody r{b.seg, b.page, b.req_id, remaining, b.epoch};
             co_await kernel_->Send(
                 self, mnet::MakePacket(site(), pkt.src,
                                        static_cast<std::uint32_t>(MsgKind::kWaitReply),
@@ -299,6 +326,9 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
     }
     case MsgKind::kWaitReply: {
       const auto& b = mnet::PacketBody<WaitReplyBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        break;
+      }
       auto it = lib_pending_map_.find(b.req_id);
       if (it != lib_pending_map_.end()) {
         it->second->wait_reply = true;
@@ -309,8 +339,14 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
     }
     case MsgKind::kInvalidatePage: {
       const auto& b = mnet::PacketBody<InvalidatePageBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        // A pre-crash invalidation must not destroy a copy the reconstructed
+        // directory is counting on. No ack either: the stale clock op is
+        // fenced everywhere and abandons itself.
+        break;
+      }
       ApplyInvalidate(b);
-      InvalidateAckBody a{b.seg, b.page, b.req_id, site()};
+      InvalidateAckBody a{b.seg, b.page, b.req_id, site(), b.epoch};
       co_await kernel_->Send(
           self, mnet::MakePacket(site(), pkt.src,
                                  static_cast<std::uint32_t>(MsgKind::kInvalidateAck),
@@ -319,6 +355,11 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
     }
     case MsgKind::kInvalidateAck: {
       const auto& b = mnet::PacketBody<InvalidateAckBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        // Fenced: a pre-crash ack must not credit a successor's op (request
+        // ids restart at the new library, so collisions are possible).
+        break;
+      }
       auto it = inv_collectors_.find(b.req_id);
       if (it != inv_collectors_.end()) {
         ++it->second->got;
@@ -331,11 +372,15 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
     }
     case MsgKind::kPageInstall: {
       const auto& b = mnet::PacketBody<PageInstallBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        break;
+      }
+      AdoptEpoch(b.seg, b.epoch);
       ApplyInstall(b);
       if (b.library_site == site()) {
         CreditInstallAck(b.req_id, site());
       } else {
-        InstallAckBody a{b.seg, b.page, b.req_id, site()};
+        InstallAckBody a{b.seg, b.page, b.req_id, site(), b.epoch};
         co_await kernel_->Send(
             self, mnet::MakePacket(site(), b.library_site,
                                    static_cast<std::uint32_t>(MsgKind::kInstallAck),
@@ -345,11 +390,15 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
     }
     case MsgKind::kUpgradeGrant: {
       const auto& b = mnet::PacketBody<UpgradeGrantBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        break;
+      }
+      AdoptEpoch(b.seg, b.epoch);
       ApplyUpgrade(b);
       if (b.library_site == site()) {
         CreditInstallAck(b.req_id, site());
       } else {
-        InstallAckBody a{b.seg, b.page, b.req_id, site()};
+        InstallAckBody a{b.seg, b.page, b.req_id, site(), b.epoch};
         co_await kernel_->Send(
             self, mnet::MakePacket(site(), b.library_site,
                                    static_cast<std::uint32_t>(MsgKind::kInstallAck),
@@ -359,19 +408,71 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
     }
     case MsgKind::kInstallAck: {
       const auto& b = mnet::PacketBody<InstallAckBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        break;
+      }
       CreditInstallAck(b.req_id, b.from);
       break;
     }
     case MsgKind::kRequestFailed: {
-      ApplyRequestFailed(mnet::PacketBody<RequestFailedBody>(pkt));
+      const auto& b = mnet::PacketBody<RequestFailedBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        break;
+      }
+      AdoptEpoch(b.seg, b.epoch);
+      ApplyRequestFailed(b);
+      break;
+    }
+    case MsgKind::kRecoveryQuery: {
+      const auto& b = mnet::PacketBody<RecoveryQueryBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        break;
+      }
+      // Adopting the epoch fences all pre-crash traffic and re-targets this
+      // site's outstanding requests at the successor library.
+      AdoptEpoch(b.seg, b.epoch);
+      auto meta = registry_->FindById(b.seg);
+      if (!meta.has_value()) {
+        break;  // destroyed while the query was in flight
+      }
+      ++stats_.recovery_replies_sent;
+      RecoveryReplyBody r;
+      r.seg = b.seg;
+      r.epoch = b.epoch;
+      r.from = site();
+      r.pages = LocalCopyState(b.seg, meta->PageCount());
+      Trace("recovery", "answer recovery query for seg " + std::to_string(b.seg) +
+                            " epoch " + std::to_string(b.epoch));
+      co_await kernel_->Send(
+          self, mnet::MakePacket(site(), b.new_library,
+                                 static_cast<std::uint32_t>(MsgKind::kRecoveryReply),
+                                 kShortMsgBytes, std::move(r)));
+      break;
+    }
+    case MsgKind::kRecoveryReply: {
+      const auto& b = mnet::PacketBody<RecoveryReplyBody>(pkt);
+      auto it = rec_collectors_.find(b.seg);
+      if (it == rec_collectors_.end() || b.epoch != it->second->epoch) {
+        (void)StaleEpoch(b.seg, b.epoch);  // count pre-crash stragglers
+        break;
+      }
+      it->second->replies[b.from] = b.pages;
+      it->second->awaiting &= ~mmem::MaskOf(b.from);
+      kernel_->Wakeup(it->second->chan);
       break;
     }
   }
 }
 
 void Engine::EnqueueLibraryRequest(const PageRequestBody& body) {
-  if (dirs_.count(body.seg) == 0) {
-    return;  // segment destroyed while the request was in flight
+  if (StaleEpoch(body.seg, body.epoch)) {
+    return;  // pre-crash request; the requester re-sends with the new epoch
+  }
+  if (dirs_.count(body.seg) == 0 && recovering_.count(body.seg) == 0) {
+    // Segment destroyed while the request was in flight (a recovering
+    // segment has no directory yet but will once reconstruction finishes,
+    // so its requests queue up rather than drop).
+    return;
   }
   if (opts_.enable_request_log) {
     log_.Add(RequestLogEntry{kernel_->Now(), body.seg, body.page, body.write, body.requester,
@@ -468,7 +569,8 @@ msim::Task<> Engine::LibraryMain(mos::Process* self) {
     // each page stays strictly ordered.
     auto it = lib_queue_.begin();
     while (it != lib_queue_.end() &&
-           busy_pages_.count(WaitKey(it->body.seg, it->body.page)) != 0) {
+           (busy_pages_.count(WaitKey(it->body.seg, it->body.page)) != 0 ||
+            recovering_.count(it->body.seg) != 0)) {
       ++it;
     }
     if (it == lib_queue_.end()) {
@@ -486,8 +588,10 @@ msim::Task<> Engine::LibraryMain(mos::Process* self) {
     --active_ops_[seg];
     busy_pages_.erase(key);
     MaybeReap(seg);
-    // Deferred same-page requests (and idle peers) get another look.
+    // Deferred same-page requests (and idle peers) get another look; a
+    // reconstruction waiting for this segment to quiesce gets one too.
     kernel_->Wakeup(lib_chan_);
+    kernel_->Wakeup(recovery_chan_);
   }
 }
 
@@ -504,12 +608,19 @@ msim::Task<> Engine::WorkerMain(mos::Process* self) {
     (void)co_await ExecuteClockOp(self, op);
     --active_ops_[op.seg];
     MaybeReap(op.seg);
+    kernel_->Wakeup(recovery_chan_);
   }
 }
 
 msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending& slot) {
   ++stats_.requests_processed;
   co_await kernel_->Compute(self, kernel_->costs().library_processing_cpu_us);
+  if (StaleEpoch(req.body.seg, req.body.epoch)) {
+    // The epoch moved while the request sat in the queue; the requester
+    // re-sends against the reconstructed directory.
+    ++stats_.requests_dropped;
+    co_return;
+  }
   auto dit = dirs_.find(req.body.seg);
   if (dit == dirs_.end()) {
     ++stats_.requests_dropped;
@@ -604,6 +715,7 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
         op.new_window_us = window;
         op.clock_check = false;
         op.library_site = site();
+        op.epoch = KnownEpoch(seg);
         ok = co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(op.targets), slot);
         if (ok) {
           pd.readers |= batch;
@@ -624,6 +736,7 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
         op.new_window_us = window;
         op.clock_check = true;
         op.library_site = site();
+        op.epoch = KnownEpoch(seg);
         ok = co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
         if (ok) {
           pd.mode = PageMode::kWriter;
@@ -648,6 +761,7 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
         op.new_window_us = window;
         op.clock_check = true;
         op.library_site = site();
+        op.epoch = KnownEpoch(seg);
         ok = co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
         if (ok) {
           pd.writer = requester;
@@ -663,6 +777,7 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
         op.new_window_us = window;
         op.clock_check = true;
         op.library_site = site();
+        op.epoch = KnownEpoch(seg);
         if (opts_.downgrade_optimization) {
           op.action = ClockAction::kDowngradeForReaders;
           op.targets = batch & ~mmem::MaskOf(pd.writer);
@@ -694,6 +809,23 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
   }
   if (!ok) {
     ++stats_.ops_failed;
+    if (recovering_.count(seg) != 0 || StaleEpoch(seg, req.body.epoch)) {
+      // The epoch moved under this op (a reconstruction started while it was
+      // in flight): the op was fenced, not failed. The requester re-sends
+      // against the rebuilt directory — nothing is lost.
+      co_return;
+    }
+    if (slot.clock_site != mnet::kNoSite && slot.clock_site != site() &&
+        !kernel_->net()->SiteUp(slot.clock_site)) {
+      // The clock site died holding the freshest copy-state. Instead of
+      // condemning the page, rebuild the directory from the survivors; if a
+      // copy survives anywhere the page keeps serving (freshest-copy
+      // transfer), and only a page whose every copy died becomes lost.
+      Trace("recovery", "clock site " + std::to_string(slot.clock_site) +
+                            " down; reconstructing seg " + std::to_string(seg));
+      StartRecovery(seg, /*elected=*/false);
+      co_return;
+    }
     pd.lost = true;
     Trace("failure", "operation failed; page " + std::to_string(page) + " of seg " +
                          std::to_string(seg) + " marked lost");
@@ -734,6 +866,7 @@ msim::Task<bool> Engine::GrantFromEmpty(mos::Process* self, PageDir& pd, const R
     local.library_site = site();
     local.resulting_readers = write ? 0 : batch;
     local.writer_site = write ? requester : mnet::kNoSite;
+    local.epoch = KnownEpoch(req.body.seg);
     local.data.assign(mmem::kPageSize, 0);
     ApplyInstall(local);
     CreditInstallAck(req_id, site());
@@ -748,6 +881,7 @@ msim::Task<bool> Engine::GrantFromEmpty(mos::Process* self, PageDir& pd, const R
     b.library_site = site();
     b.resulting_readers = write ? 0 : batch;
     b.writer_site = write ? requester : mnet::kNoSite;
+    b.epoch = KnownEpoch(req.body.seg);
     b.data.assign(mmem::kPageSize, 0);
     co_await kernel_->Send(
         self, mnet::MakePacket(site(), s, static_cast<std::uint32_t>(MsgKind::kPageInstall),
@@ -887,19 +1021,306 @@ msim::Task<> Engine::NotifyRequestFailed(mos::Process* self, mmem::SegmentId seg
   for (mnet::SiteId s : sites) {
     if (s == site()) {
       ++stats_.fail_notices_sent;
-      ApplyRequestFailed(RequestFailedBody{seg, page, req_id});
+      ApplyRequestFailed(RequestFailedBody{seg, page, req_id, KnownEpoch(seg)});
     } else if (kernel_->net()->SiteUp(s)) {
       ++stats_.fail_notices_sent;
       co_await kernel_->Send(
-          self, mnet::MakePacket(site(), s, static_cast<std::uint32_t>(MsgKind::kRequestFailed),
-                                 kShortMsgBytes, RequestFailedBody{seg, page, req_id}));
+          self,
+          mnet::MakePacket(site(), s, static_cast<std::uint32_t>(MsgKind::kRequestFailed),
+                           kShortMsgBytes, RequestFailedBody{seg, page, req_id, KnownEpoch(seg)}));
     }
   }
+}
+
+// ---------------------------------------------------- library-site failover --
+
+std::uint32_t Engine::KnownEpoch(mmem::SegmentId seg) const {
+  auto it = seg_epochs_.find(seg);
+  return it == seg_epochs_.end() ? 0 : it->second;
+}
+
+bool Engine::StaleEpoch(mmem::SegmentId seg, std::uint32_t epoch) {
+  if (epoch >= KnownEpoch(seg)) {
+    return false;
+  }
+  ++stats_.stale_epoch_drops;
+  Trace("fence", "stale epoch " + std::to_string(epoch) + " < " +
+                     std::to_string(KnownEpoch(seg)) + " for seg " + std::to_string(seg));
+  return true;
+}
+
+void Engine::AdoptEpoch(mmem::SegmentId seg, std::uint32_t epoch) {
+  if (epoch <= KnownEpoch(seg)) {
+    return;
+  }
+  seg_epochs_[seg] = epoch;
+  // Re-target this site's outstanding requests: clear the pending flags and
+  // wake the waiters, whose next loop iteration re-reads the registry and
+  // re-sends to the (possibly re-homed) library under the new epoch. The
+  // sticky loss verdicts are from the old epoch; the reconstructed
+  // directory re-validates them.
+  for (auto& [key, w] : waits_) {
+    if (static_cast<mmem::SegmentId>(key >> 32) != seg) {
+      continue;
+    }
+    w->pending_read = false;
+    w->pending_write = false;
+    w->failed = false;
+    kernel_->Wakeup(w->chan);
+  }
+}
+
+void Engine::OnSiteCrashed(mnet::SiteId crashed) {
+  for (const mmem::SegmentMeta& meta : registry_->All()) {
+    if (!kernel_->net()->SiteUp(meta.library_site)) {
+      // The segment's controller is gone; elect a successor if it's us.
+      MaybeElect(meta.id);
+    } else if (meta.library_site == site()) {
+      // We are the (surviving) library: if the crashed site was clock site
+      // for any page, the directory must be rebuilt around the freshest
+      // surviving copies before those pages can serve again.
+      auto dit = dirs_.find(meta.id);
+      if (dit == dirs_.end()) {
+        continue;
+      }
+      for (const PageDir& pd : dit->second.pages) {
+        if (!pd.lost && pd.mode != PageMode::kEmpty && pd.clock_site == crashed) {
+          StartRecovery(meta.id, /*elected=*/false);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Engine::MaybeElect(mmem::SegmentId seg) {
+  if (recovering_.count(seg) != 0) {
+    return;
+  }
+  auto meta = registry_->FindById(seg);
+  if (!meta.has_value() || kernel_->net()->SiteUp(meta->library_site)) {
+    return;
+  }
+  if (images_.count(seg) == 0) {
+    return;  // we hold no state for this segment
+  }
+  // Deterministic election: the successor is the lowest live attached site.
+  // Every survivor computes the same answer from the shared registry and
+  // the shared liveness oracle, so exactly one site elects itself.
+  mnet::SiteId successor = mnet::kNoSite;
+  ForEachSite(registry_->AttachedSites(seg), [&](mnet::SiteId s) {
+    if (successor == mnet::kNoSite && kernel_->net()->SiteUp(s)) {
+      successor = s;
+    }
+  });
+  if (successor == site()) {
+    StartRecovery(seg, /*elected=*/true);
+  }
+}
+
+void Engine::StartRecovery(mmem::SegmentId seg, bool elected) {
+  if (recovering_.count(seg) != 0) {
+    return;
+  }
+  auto meta = registry_->FindById(seg);
+  if (!meta.has_value()) {
+    return;
+  }
+  const std::uint32_t new_epoch = meta->epoch + 1;
+  // Claim the library role under the new epoch *before* any recovery
+  // traffic flows: if we crash mid-recovery, the next survivor sees the
+  // registry pointing at a dead library and elects itself with epoch + 2,
+  // fencing everything we started.
+  if (!registry_->UpdateLibrary(seg, site(), new_epoch)) {
+    return;
+  }
+  AdoptEpoch(seg, new_epoch);
+  recovering_.insert(seg);
+  if (elected) {
+    ++stats_.elections_won;
+  }
+  Trace("recovery", std::string(elected ? "elected library" : "in-place rebuild") +
+                        " for seg " + std::to_string(seg) + ", epoch " +
+                        std::to_string(new_epoch));
+  recovery_queue_.push_back(RecoveryItem{seg, elected});
+  kernel_->Wakeup(recovery_chan_);
+}
+
+msim::Task<> Engine::RecoveryMain(mos::Process* self) {
+  for (;;) {
+    while (recovery_queue_.empty()) {
+      co_await kernel_->SleepOn(self, recovery_chan_);
+    }
+    RecoveryItem item = recovery_queue_.front();
+    recovery_queue_.pop_front();
+    co_await RecoverSegment(self, item);
+    // Requests queued during the rebuild get dispatched now.
+    kernel_->Wakeup(lib_chan_);
+  }
+}
+
+msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
+  const mmem::SegmentId seg = item.seg;
+  auto meta = registry_->FindById(seg);
+  if (!meta.has_value() || meta->library_site != site()) {
+    recovering_.erase(seg);
+    co_return;  // destroyed (or superseded) while queued
+  }
+  const std::uint32_t epoch = meta->epoch;
+  const int page_count = meta->PageCount();
+
+  // Drain our own in-flight library/worker ops on this segment first. They
+  // carry the old epoch — fenced everywhere, so they abort — but the rebuild
+  // must not run concurrently with coroutines holding directory references.
+  for (;;) {
+    auto ait = active_ops_.find(seg);
+    if (ait == active_ops_.end() || ait->second == 0) {
+      break;
+    }
+    co_await kernel_->SleepOn(self, recovery_chan_);
+  }
+
+  // Keep what the old directory knew (in-place rebuild after a clock-site
+  // crash): per-page Delta tuning, which pages were never granted, and
+  // which were already lost. After an election there is no old directory —
+  // it died with the library site.
+  std::vector<PageDir> old_pages;
+  bool had_dir = false;
+  if (auto dit = dirs_.find(seg); dit != dirs_.end()) {
+    old_pages = dit->second.pages;
+    had_dir = true;
+  }
+
+  // Solicit copy-state from every surviving attached site.
+  mmem::SiteMask live_peers = 0;
+  ForEachSite(registry_->AttachedSites(seg) & ~mmem::MaskOf(site()), [&](mnet::SiteId s) {
+    if (kernel_->net()->SiteUp(s)) {
+      live_peers |= mmem::MaskOf(s);
+    }
+  });
+  RecoveryCollector col;
+  col.epoch = epoch;
+  col.awaiting = live_peers;
+  rec_collectors_[seg] = &col;
+  std::vector<mnet::SiteId> peers;
+  ForEachSite(live_peers, [&](mnet::SiteId s) { peers.push_back(s); });
+  for (mnet::SiteId s : peers) {
+    RecoveryQueryBody q{seg, epoch, site()};
+    co_await kernel_->Send(
+        self, mnet::MakePacket(site(), s, static_cast<std::uint32_t>(MsgKind::kRecoveryQuery),
+                               kShortMsgBytes, q));
+  }
+  // Collect the replies, forgiving peers that crash mid-collection (their
+  // copies die with them; what they would have reported no longer exists).
+  for (;;) {
+    mmem::SiteMask down = 0;
+    ForEachSite(col.awaiting, [&](mnet::SiteId s) {
+      if (!kernel_->net()->SiteUp(s)) {
+        down |= mmem::MaskOf(s);
+      }
+    });
+    col.awaiting &= ~down;
+    if (col.awaiting == 0) {
+      break;
+    }
+    msim::Duration wait =
+        opts_.ack_timeout_us > 0 ? opts_.ack_timeout_us : opts_.request_timeout_us;
+    if (wait > 0) {
+      co_await kernel_->SleepOnFor(self, col.chan, wait);
+    } else {
+      co_await kernel_->SleepOn(self, col.chan);
+    }
+  }
+  rec_collectors_.erase(seg);
+  // Our own copies participate on equal terms.
+  col.replies[site()] = LocalCopyState(seg, page_count);
+
+  // Reconstruct the per-page directory from the survivors' answers:
+  //  * a writable copy wins — its holder is writer and clock site;
+  //  * otherwise every copy-holder is a reader and the freshest copy
+  //    (latest install, ties to the lowest site) carries the clock;
+  //  * no copy anywhere: the page's contents died with the crash. A page
+  //    the old directory knew was never granted stays Empty (zero-fill on
+  //    first use); any other page is marked lost — we never fabricate
+  //    contents (consistency over availability).
+  SegDir dir;
+  dir.pages.resize(page_count);
+  std::uint64_t recovered = 0;
+  std::uint64_t lost = 0;
+  for (int p = 0; p < page_count; ++p) {
+    PageDir& pd = dir.pages[p];
+    pd.window_us = had_dir ? old_pages[p].window_us : opts_.default_window_us;
+    mnet::SiteId writer = mnet::kNoSite;
+    mmem::SiteMask readers = 0;
+    mnet::SiteId freshest = mnet::kNoSite;
+    msim::Time freshest_at = -1;
+    for (const auto& [s, states] : col.replies) {
+      if (p >= static_cast<int>(states.size()) || !states[p].present) {
+        continue;
+      }
+      if (states[p].writable && writer == mnet::kNoSite) {
+        writer = s;
+      } else {
+        readers |= mmem::MaskOf(s);
+      }
+      if (states[p].install_time > freshest_at) {
+        freshest_at = states[p].install_time;
+        freshest = s;
+      }
+    }
+    if (writer != mnet::kNoSite) {
+      pd.mode = PageMode::kWriter;
+      pd.writer = writer;
+      pd.clock_site = writer;
+      pd.readers = 0;
+      ++recovered;
+    } else if (readers != 0) {
+      pd.mode = PageMode::kReaders;
+      pd.readers = readers;
+      pd.writer = mnet::kNoSite;
+      pd.clock_site = freshest;
+      ++recovered;
+    } else if (had_dir && !old_pages[p].lost && old_pages[p].mode == PageMode::kEmpty) {
+      pd.mode = PageMode::kEmpty;
+    } else {
+      pd.lost = true;
+      if (!had_dir || !old_pages[p].lost) {
+        ++lost;  // newly lost; pages already condemned are not re-counted
+      }
+    }
+  }
+  dirs_[seg] = std::move(dir);
+  stats_.pages_recovered += recovered;
+  stats_.pages_lost_in_recovery += lost;
+  ++stats_.recoveries_completed;
+  recovering_.erase(seg);
+  Trace("recovery", "seg " + std::to_string(seg) + " reconstructed under epoch " +
+                        std::to_string(epoch) + ": " + std::to_string(recovered) +
+                        " page(s) recovered, " + std::to_string(lost) + " lost");
+}
+
+std::vector<PageCopyState> Engine::LocalCopyState(mmem::SegmentId seg, int page_count) const {
+  std::vector<PageCopyState> out(page_count);
+  auto it = images_.find(seg);
+  if (it == images_.end()) {
+    return out;  // no local image: all absent
+  }
+  const mmem::SegmentImage& img = *it->second;
+  int n = std::min(page_count, img.page_count());
+  for (int p = 0; p < n; ++p) {
+    out[p].present = img.Present(p);
+    out[p].writable = img.Writable(p);
+    out[p].install_time = img.aux(p).install_time;
+  }
+  return out;
 }
 
 // -------------------------------------------------------------- clock site --
 
 msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
+  if (StaleEpoch(op.seg, op.epoch)) {
+    co_return false;  // fenced: issued before a failover the queue outlived
+  }
   ++stats_.clock_ops_executed;
   mmem::SegmentImage& img = ImageRef(op.seg);
   const mnet::SiteId me = site();
@@ -922,12 +1343,18 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
     std::vector<mnet::SiteId> sites;
     ForEachSite(inv, [&](mnet::SiteId s) { sites.push_back(s); });
     for (mnet::SiteId s : sites) {
-      InvalidatePageBody b{op.seg, op.page, op.req_id, me};
+      InvalidatePageBody b{op.seg, op.page, op.req_id, me, op.epoch};
       co_await kernel_->Send(
           self, mnet::MakePacket(me, s, static_cast<std::uint32_t>(MsgKind::kInvalidatePage),
                                  kShortMsgBytes, b));
     }
     while (col.got < col.expected) {
+      if (StaleEpoch(op.seg, op.epoch)) {
+        // A reconstruction overtook this op mid-invalidation; the remaining
+        // acks will never come (survivors fence the stale invalidates).
+        inv_collectors_.erase(op.req_id);
+        co_return false;
+      }
       mmem::SiteMask down = 0;
       ForEachSite(col.awaiting, [&](mnet::SiteId s) {
         if (!kernel_->net()->SiteUp(s)) {
@@ -965,6 +1392,11 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
   }
 
   // 2. Local transform and data capture (copy before any local invalidation).
+  //    A stale op must not touch the local copy: the reconstructed directory
+  //    may be counting on it.
+  if (StaleEpoch(op.seg, op.epoch)) {
+    co_return false;
+  }
   mmem::PageBytes data;
   bool send_data = true;
   bool writable_grant = false;
@@ -1013,7 +1445,8 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
       // The clock site itself is the new holder: this is the in-place
       // upgrade of optimization 1.
       if (op.action == ClockAction::kUpgradeWriter) {
-        UpgradeGrantBody b{op.seg, op.page, op.req_id, op.new_window_us, op.library_site};
+        UpgradeGrantBody b{op.seg, op.page, op.req_id, op.new_window_us, op.library_site,
+                         op.epoch};
         ApplyUpgrade(b);
       } else {
         PageInstallBody b;
@@ -1025,13 +1458,14 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
         b.library_site = op.library_site;
         b.resulting_readers = op.resulting_readers;
         b.writer_site = writable_grant ? s : mnet::kNoSite;
+        b.epoch = op.epoch;
         b.data = data;
         ApplyInstall(b);
       }
       if (op.library_site == me) {
         CreditInstallAck(op.req_id, me);
       } else {
-        InstallAckBody a{op.seg, op.page, op.req_id, me};
+        InstallAckBody a{op.seg, op.page, op.req_id, me, op.epoch};
         co_await kernel_->Send(
             self, mnet::MakePacket(me, op.library_site,
                                    static_cast<std::uint32_t>(MsgKind::kInstallAck),
@@ -1047,12 +1481,14 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
       b.library_site = op.library_site;
       b.resulting_readers = op.resulting_readers;
       b.writer_site = writable_grant ? s : mnet::kNoSite;
+      b.epoch = op.epoch;
       b.data = data;
       co_await kernel_->Send(
           self, mnet::MakePacket(me, s, static_cast<std::uint32_t>(MsgKind::kPageInstall),
                                  kPageMsgBytes, std::move(b)));
     } else {
-      UpgradeGrantBody b{op.seg, op.page, op.req_id, op.new_window_us, op.library_site};
+      UpgradeGrantBody b{op.seg, op.page, op.req_id, op.new_window_us, op.library_site,
+                         op.epoch};
       co_await kernel_->Send(
           self, mnet::MakePacket(me, s, static_cast<std::uint32_t>(MsgKind::kUpgradeGrant),
                                  kShortMsgBytes, b));

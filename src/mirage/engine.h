@@ -63,6 +63,13 @@ struct EngineStats {
   std::uint64_t ops_failed = 0;              // library ops abandoned; page marked lost
   std::uint64_t fail_notices_sent = 0;       // kRequestFailed sent/applied by library
   std::uint64_t fail_notices_received = 0;   // kRequestFailed applied at using site
+  // ---- Library-site failover (DESIGN.md §8): all zero on a healthy run ----
+  std::uint64_t elections_won = 0;           // this site took over as library
+  std::uint64_t recoveries_completed = 0;    // directory reconstructions finished
+  std::uint64_t pages_recovered = 0;         // pages re-homed from survivor copies
+  std::uint64_t pages_lost_in_recovery = 0;  // pages whose every copy died
+  std::uint64_t recovery_replies_sent = 0;   // kRecoveryQuery answered by this site
+  std::uint64_t stale_epoch_drops = 0;       // pre-crash messages fenced by epoch
 };
 
 // Library-side page directory state (Table 1 "Current" column).
@@ -128,6 +135,16 @@ class Engine : public mmem::DsmBackend {
   mos::Kernel* kernel() const { return kernel_; }
   mnet::SiteId site() const { return kernel_->site(); }
 
+  // Library-site failover entry point, invoked (in ascending site order)
+  // from the FaultInjector's crash observer. Scans the registry for
+  // segments orphaned by the crash; if this site is the lowest live
+  // attached site of such a segment it elects itself the successor library,
+  // bumps the epoch, and queues a directory reconstruction. A live library
+  // whose clock site died queues an in-place reconstruction instead.
+  void OnSiteCrashed(mnet::SiteId crashed);
+  // The highest epoch this site has seen for `seg` (0 until a recovery).
+  std::uint32_t KnownEpoch(mmem::SegmentId seg) const;
+
  private:
   struct PageDir {
     PageMode mode = PageMode::kEmpty;
@@ -183,6 +200,19 @@ class Engine : public mmem::DsmBackend {
     mmem::SiteMask awaiting = 0;  // sites whose invalidate ack is still owed
     mos::Channel chan;
   };
+  // Collects kRecoveryReply copy-states during a directory reconstruction.
+  struct RecoveryCollector {
+    std::uint32_t epoch = 0;
+    mmem::SiteMask awaiting = 0;  // surviving sites still owing a reply
+    std::map<mnet::SiteId, std::vector<PageCopyState>> replies;
+    mos::Channel chan;
+  };
+  // One queued reconstruction: a successor takeover (election) or an
+  // in-place rebuild at a surviving library whose clock site died.
+  struct RecoveryItem {
+    mmem::SegmentId seg = -1;
+    bool elected = false;
+  };
   struct Request {
     PageRequestBody body;
     msim::Time queued_at = 0;
@@ -196,6 +226,7 @@ class Engine : public mmem::DsmBackend {
   // Protocol processes.
   msim::Task<> LibraryMain(mos::Process* self);
   msim::Task<> WorkerMain(mos::Process* self);
+  msim::Task<> RecoveryMain(mos::Process* self);
   msim::Task<> HandlePacket(mos::Process* self, mnet::Packet pkt);
 
   // Library-side request processing. The bool-returning stages report
@@ -227,6 +258,23 @@ class Engine : public mmem::DsmBackend {
   void ApplyInvalidate(const InvalidatePageBody& body);
   void ApplyRequestFailed(const RequestFailedBody& body);
   void CreditInstallAck(std::uint64_t req_id, mnet::SiteId from);
+
+  // ---- Library-site failover (election / epoch fencing / reconstruction) ----
+  // True when a message stamped `epoch` predates this site's known epoch
+  // for the segment; such messages are fenced (dropped and counted).
+  bool StaleEpoch(mmem::SegmentId seg, std::uint32_t epoch);
+  // Raises the known epoch; on a raise, clears every pending request flag
+  // for the segment and wakes the waiters so they re-target the new library.
+  void AdoptEpoch(mmem::SegmentId seg, std::uint32_t epoch);
+  // Claims the library role (election) or bumps the epoch in place, then
+  // queues the reconstruction. Idempotent while a recovery is pending.
+  void StartRecovery(mmem::SegmentId seg, bool elected);
+  // Election backstop for sites that attached after the crash notification.
+  void MaybeElect(mmem::SegmentId seg);
+  // The reconstruction procedure run by RecoveryMain.
+  msim::Task<> RecoverSegment(mos::Process* self, RecoveryItem item);
+  // Local copy-state answer to a kRecoveryQuery (also used for self).
+  std::vector<PageCopyState> LocalCopyState(mmem::SegmentId seg, int page_count) const;
 
   bool SegmentQuiescent(mmem::SegmentId seg) const;
   void MaybeReap(mmem::SegmentId seg);
@@ -264,6 +312,16 @@ class Engine : public mmem::DsmBackend {
   mos::Channel worker_chan_;
   mos::Process* worker_proc_ = nullptr;
   std::map<std::uint64_t, InvAckCollector*> inv_collectors_;
+
+  // ---- Failover state ----
+  // Highest epoch seen per segment (all roles); messages below it are fenced.
+  std::map<mmem::SegmentId, std::uint32_t> seg_epochs_;
+  // Segments this site is currently reconstructing (it is their library).
+  std::set<mmem::SegmentId> recovering_;
+  std::deque<RecoveryItem> recovery_queue_;
+  mos::Channel recovery_chan_;
+  mos::Process* recovery_proc_ = nullptr;
+  std::map<mmem::SegmentId, RecoveryCollector*> rec_collectors_;
 
   RequestLog log_;
   EngineStats stats_;

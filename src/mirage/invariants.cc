@@ -34,6 +34,9 @@ void InvariantChecker::CheckSegmentPhysical(const mmem::SegmentMeta& meta,
     int writable = 0;
     int copies = 0;
     for (Engine* e : engines_) {
+      if (!Live(e->site())) {
+        continue;  // a crashed site's frozen copies left the system
+      }
       mmem::SegmentImage* img = e->ImageOrNull(meta.id);
       if (img == nullptr || !img->Present(page)) {
         continue;
@@ -53,6 +56,9 @@ void InvariantChecker::CheckSegmentPhysical(const mmem::SegmentMeta& meta,
 
 void InvariantChecker::CheckSegmentDirectory(const mmem::SegmentMeta& meta,
                                              InvariantReport* report) const {
+  if (!Live(meta.library_site)) {
+    return;  // no authoritative directory until a survivor elects itself
+  }
   Engine* library = nullptr;
   for (Engine* e : engines_) {
     if (e->site() == meta.library_site) {
@@ -71,9 +77,15 @@ void InvariantChecker::CheckSegmentDirectory(const mmem::SegmentMeta& meta,
       report->violations.push_back(Where(meta, page) + ": missing directory entry");
       continue;
     }
+    if (dv->lost) {
+      continue;  // condemned pages make no directory/image promises
+    }
     mmem::SiteMask present = 0;
     mmem::SiteMask writable = 0;
     for (Engine* e : engines_) {
+      if (!Live(e->site())) {
+        continue;
+      }
       mmem::SegmentImage* img = e->ImageOrNull(meta.id);
       if (img != nullptr && img->Present(page)) {
         present |= mmem::MaskOf(e->site());

@@ -14,7 +14,9 @@
 #ifndef SRC_MIRAGE_INVARIANTS_H_
 #define SRC_MIRAGE_INVARIANTS_H_
 
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/mirage/engine.h"
@@ -31,6 +33,14 @@ class InvariantChecker {
  public:
   explicit InvariantChecker(std::vector<Engine*> engines) : engines_(std::move(engines)) {}
 
+  // Under fault injection, scope the checks to live sites: a crashed site's
+  // frozen image is not part of the system any more, a segment whose library
+  // site is down has no authoritative directory until failover completes,
+  // and pages marked lost are exempt from the directory/image agreement.
+  // Without a predicate every site is considered live (the default).
+  using LivenessFn = std::function<bool(mnet::SiteId)>;
+  void SetLiveness(LivenessFn fn) { live_ = std::move(fn); }
+
   // Physical invariants only — safe to call at any instant.
   InvariantReport CheckPhysical(const SegmentRegistry& registry) const;
 
@@ -39,10 +49,12 @@ class InvariantChecker {
   InvariantReport CheckFull(const SegmentRegistry& registry) const;
 
  private:
+  bool Live(mnet::SiteId s) const { return !live_ || live_(s); }
   void CheckSegmentPhysical(const mmem::SegmentMeta& meta, InvariantReport* report) const;
   void CheckSegmentDirectory(const mmem::SegmentMeta& meta, InvariantReport* report) const;
 
   std::vector<Engine*> engines_;
+  LivenessFn live_;
 };
 
 }  // namespace mirage

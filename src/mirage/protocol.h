@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/mem/page.h"
 #include "src/net/packet.h"
@@ -39,6 +40,12 @@ enum class MsgKind : std::uint32_t {
   // exceeded its operation deadline). Sent to every waiting requester; the
   // requester fails the fault with FaultStatus::kPageLost.
   kRequestFailed = 9,
+  // Recovery (library-site failover): the elected successor library asks
+  // every surviving attached site for its copy-state of a segment...
+  kRecoveryQuery = 10,
+  // ...and each survivor answers with one PageCopyState per page. The
+  // successor reconstructs the page directory from these answers.
+  kRecoveryReply = 11,
 };
 
 const char* MsgKindName(MsgKind k);
@@ -54,6 +61,7 @@ struct PageRequestBody {
   bool write = false;
   mnet::SiteId requester = mnet::kNoSite;
   int pid = -1;  // requesting process, recorded by the library log (§9)
+  std::uint32_t epoch = 0;
 };
 
 // What the clock site must do on behalf of the library (paper Table 1).
@@ -94,6 +102,7 @@ struct ClockOpBody {
   msim::Duration new_window_us = 0;
   bool clock_check = true;
   mnet::SiteId library_site = mnet::kNoSite;
+  std::uint32_t epoch = 0;
 };
 
 struct WaitReplyBody {
@@ -101,6 +110,7 @@ struct WaitReplyBody {
   mmem::PageNum page = 0;
   std::uint64_t req_id = 0;
   msim::Duration remaining_us = 0;
+  std::uint32_t epoch = 0;
 };
 
 struct InvalidatePageBody {
@@ -108,6 +118,7 @@ struct InvalidatePageBody {
   mmem::PageNum page = 0;
   std::uint64_t req_id = 0;
   mnet::SiteId clock_site = mnet::kNoSite;
+  std::uint32_t epoch = 0;
 };
 
 struct InvalidateAckBody {
@@ -115,6 +126,7 @@ struct InvalidateAckBody {
   mmem::PageNum page = 0;
   std::uint64_t req_id = 0;
   mnet::SiteId from = mnet::kNoSite;
+  std::uint32_t epoch = 0;
 };
 
 struct PageInstallBody {
@@ -127,6 +139,7 @@ struct PageInstallBody {
   // auxpte seed for the receiver (meaningful when it becomes the clock site).
   mmem::SiteMask resulting_readers = 0;
   mnet::SiteId writer_site = mnet::kNoSite;
+  std::uint32_t epoch = 0;
   mmem::PageBytes data;
 };
 
@@ -136,6 +149,7 @@ struct UpgradeGrantBody {
   std::uint64_t req_id = 0;
   msim::Duration window_us = 0;
   mnet::SiteId library_site = mnet::kNoSite;
+  std::uint32_t epoch = 0;
 };
 
 struct InstallAckBody {
@@ -143,12 +157,39 @@ struct InstallAckBody {
   mmem::PageNum page = 0;
   std::uint64_t req_id = 0;
   mnet::SiteId from = mnet::kNoSite;
+  std::uint32_t epoch = 0;
 };
 
 struct RequestFailedBody {
   mmem::SegmentId seg = -1;
   mmem::PageNum page = 0;
   std::uint64_t req_id = 0;
+  std::uint32_t epoch = 0;
+};
+
+// Failover election (library-site crash recovery). The elected successor
+// solicits copy-state from every surviving attached site and rebuilds the
+// page directory from the replies. Both messages carry the *new* epoch.
+struct RecoveryQueryBody {
+  mmem::SegmentId seg = -1;
+  std::uint32_t epoch = 0;
+  mnet::SiteId new_library = mnet::kNoSite;
+};
+
+// One surviving site's view of one page: whether it holds a copy, whether
+// that copy is writable, and when it was installed (freshness for clock-site
+// reassignment).
+struct PageCopyState {
+  bool present = false;
+  bool writable = false;
+  msim::Time install_time = 0;
+};
+
+struct RecoveryReplyBody {
+  mmem::SegmentId seg = -1;
+  std::uint32_t epoch = 0;
+  mnet::SiteId from = mnet::kNoSite;
+  std::vector<PageCopyState> pages;
 };
 
 // Tunables and the paper's optional mechanisms.

@@ -69,24 +69,65 @@ class SegmentRegistry {
     }
     by_id_.erase(it);
     attach_counts_.erase(id);
+    site_attach_counts_.erase(id);
     for (const auto& obs : destroy_observers_) {
       obs(id);
     }
     return true;
   }
 
-  // Global attach accounting, one count per segment across all sites.
-  int NoteAttach(mmem::SegmentId id) { return ++attach_counts_[id]; }
-  int NoteDetach(mmem::SegmentId id) {
+  // Attach accounting, one count per (segment, site). The per-site mask
+  // feeds the failover election set: a successor library site is chosen
+  // among the live attached sites.
+  int NoteAttach(mmem::SegmentId id, mnet::SiteId site) {
+    ++site_attach_counts_[id][site];
+    return ++attach_counts_[id];
+  }
+  int NoteDetach(mmem::SegmentId id, mnet::SiteId site) {
     auto it = attach_counts_.find(id);
     if (it == attach_counts_.end() || it->second == 0) {
       return 0;
+    }
+    auto sit = site_attach_counts_.find(id);
+    if (sit != site_attach_counts_.end()) {
+      auto cit = sit->second.find(site);
+      if (cit != sit->second.end() && --cit->second <= 0) {
+        sit->second.erase(cit);
+      }
     }
     return --it->second;
   }
   int AttachCount(mmem::SegmentId id) const {
     auto it = attach_counts_.find(id);
     return it == attach_counts_.end() ? 0 : it->second;
+  }
+  // Mask of sites with at least one live attach of the segment.
+  mmem::SiteMask AttachedSites(mmem::SegmentId id) const {
+    auto it = site_attach_counts_.find(id);
+    if (it == site_attach_counts_.end()) {
+      return 0;
+    }
+    mmem::SiteMask mask = 0;
+    for (const auto& [site, count] : it->second) {
+      if (count > 0) {
+        mask |= mmem::MaskOf(site);
+      }
+    }
+    return mask;
+  }
+
+  // Failover: install `successor` as the segment's library site under a new
+  // epoch. Name resolution is free in the Locus model, so survivors learn
+  // the new controller the next time they consult the registry; protocol
+  // messages still carry the epoch to fence pre-crash traffic in flight.
+  bool UpdateLibrary(mmem::SegmentId id, mnet::SiteId successor, std::uint32_t epoch) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end() || epoch <= it->second.epoch) {
+      return false;
+    }
+    it->second.library_site = successor;
+    it->second.epoch = epoch;
+    return true;
   }
 
   void AddDestroyObserver(std::function<void(mmem::SegmentId)> obs) {
@@ -109,6 +150,7 @@ class SegmentRegistry {
   std::map<std::uint64_t, mmem::SegmentId> by_key_;
   std::map<mmem::SegmentId, mmem::SegmentMeta> by_id_;
   std::map<mmem::SegmentId, int> attach_counts_;
+  std::map<mmem::SegmentId, std::map<mnet::SiteId, int>> site_attach_counts_;
   std::vector<std::function<void(mmem::SegmentId)>> destroy_observers_;
   mmem::SegmentId next_id_ = 1;
 };

@@ -120,6 +120,20 @@ void Network::FlushHeld(SiteId site) {
   }
 }
 
+std::uint64_t Network::DropHeld(SiteId site) {
+  auto it = held_.find(site);
+  if (it == held_.end()) {
+    return 0;
+  }
+  std::deque<Packet> pending = std::move(it->second);
+  held_.erase(it);
+  for (const Packet& pkt : pending) {
+    ++stats_.dropped_site_down;
+    Drop(pkt, "crashed-while-held");
+  }
+  return pending.size();
+}
+
 void Network::Drop(const Packet& pkt, const char* reason) {
   if (drop_hook_) {
     drop_hook_(pkt, reason);

@@ -98,6 +98,11 @@ class Network {
   // Delivers the packets held while `site` was paused, preserving order.
   void FlushHeld(SiteId site);
 
+  // Drops every packet held for `site` (the site crashed while paused: its
+  // inbound queue dies with it). Returns the number of packets dropped; each
+  // is counted in dropped_site_down and reported to the drop hook.
+  std::uint64_t DropHeld(SiteId site);
+
   // ---- Liveness queries (protocol-level graceful degradation) ----
   bool SiteUp(SiteId s) const { return !site_up_ || site_up_(s); }
   bool LinkUp(SiteId a, SiteId b) const { return !link_up_ || link_up_(a, b); }

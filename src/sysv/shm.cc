@@ -54,7 +54,7 @@ Result<mmem::VAddr> ShmSystem::Shmat(mos::Process* p, int shmid,
   if (!base.has_value()) {
     return ShmErr::kInval;
   }
-  registry_->NoteAttach(shmid);
+  registry_->NoteAttach(shmid, kernel_->site());
   UpdateProcessMemoryHooks(p);
   return *base;
 }
@@ -68,7 +68,7 @@ Result<void> ShmSystem::Shmdt(mos::Process* p, mmem::VAddr addr) {
   mmem::SegmentId seg = r->attach->seg;
   as.Detach(seg);
   UpdateProcessMemoryHooks(p);
-  int remaining = registry_->NoteDetach(seg);
+  int remaining = registry_->NoteDetach(seg, kernel_->site());
   if (remaining == 0) {
     // "The last detach of a segment destroys it" (§2.2).
     registry_->Destroy(seg);

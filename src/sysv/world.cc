@@ -46,6 +46,21 @@ World::World(int num_sites, WorldOptions opts)
     injector_ = std::make_unique<mfault::FaultInjector>(&sim_, net_.get(),
                                                        std::move(raw_kernels), &tracer_);
     injector_->Schedule(opts.faults);
+    // Library-site failover: every surviving Mirage engine learns of a
+    // crash immediately (the shared liveness oracle stands in for Locus's
+    // topology change notifications). Observers run in ascending site
+    // order, so the lowest live attached site elects itself first and the
+    // rest see the registry already re-homed.
+    injector_->AddCrashObserver([this](mnet::SiteId crashed) {
+      for (int s = 0; s < site_count(); ++s) {
+        if (s == crashed || !injector_->SiteUp(s)) {
+          continue;
+        }
+        if (mirage::Engine* e = engine(s)) {
+          e->OnSiteCrashed(crashed);
+        }
+      }
+    });
     if (opts.enable_trace) {
       net_->SetDropHook([this](const mnet::Packet& pkt, const char* reason) {
         tracer_.Record(sim_.Now(), pkt.dst, "drop",
@@ -91,6 +106,7 @@ void World::PrintReport(std::ostream& os) {
        << fs.partitions << " partitions (" << fs.heals << " healed), " << fs.circuits_down
        << " circuits declared down\n";
     std::uint64_t timeouts = 0, failed = 0, degraded = 0, lost_ops = 0;
+    std::uint64_t elections = 0, rebuilds = 0, pages_rec = 0, pages_lost = 0, fenced = 0;
     for (int s = 0; s < site_count(); ++s) {
       const mirage::Engine* e = engine(s);
       if (e != nullptr) {
@@ -99,10 +115,20 @@ void World::PrintReport(std::ostream& os) {
         failed += es.faults_failed;
         degraded += es.degraded_acks + es.degraded_invalidations;
         lost_ops += es.ops_failed;
+        elections += es.elections_won;
+        rebuilds += es.recoveries_completed;
+        pages_rec += es.pages_recovered;
+        pages_lost += es.pages_lost_in_recovery;
+        fenced += es.stale_epoch_drops;
       }
     }
     os << "recovery: " << timeouts << " request timeouts, " << failed << " faults failed, "
        << degraded << " acks forgiven (degraded), " << lost_ops << " ops failed\n";
+    if (elections + rebuilds + fenced > 0) {
+      os << "failover: " << elections << " elections, " << rebuilds
+         << " directories reconstructed, " << pages_rec << " pages recovered, " << pages_lost
+         << " pages lost, " << fenced << " stale-epoch packets fenced\n";
+    }
   }
   os << "\n";
   mtrace::TextTable t({"site", "cpu busy (ms)", "idle (ms)", "remap (ms)", "ctx switches",

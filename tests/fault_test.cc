@@ -144,10 +144,12 @@ TEST_F(FaultTest, CrashedReaderInvalidatedInDegradedMode) {
   EXPECT_GE(w->network().stats().dropped_site_down, 1u);
 }
 
-// Crashing the library site makes faults on its segments fail after the
-// request/backoff budget is exhausted, surfacing EIDRM to the application
-// instead of hanging it.
-TEST_F(FaultTest, LibraryCrashFaultFailsWithEidrm) {
+// Crashing the library site now triggers failover: the sole survivor elects
+// itself library under a bumped epoch and reconstructs the directory. The
+// crashed library held the only (never-granted) state, so the page comes
+// back lost and the fault fails fast with EIDRM — but through the rebuilt
+// directory, not a timeout hang.
+TEST_F(FaultTest, LibraryCrashSoleSurvivorElectsAndCondemnsLostPages) {
   WorldOptions opts;
   EnableRecovery(opts);
   opts.faults.CrashAt(1 * kMillisecond, 0);
@@ -159,25 +161,30 @@ TEST_F(FaultTest, LibraryCrashFaultFailsWithEidrm) {
     mmem::VAddr base = shm.Shmat(p, shmid).value();
     try {
       (void)co_await shm.ReadWord(p, base);
-      ADD_FAILURE() << "fault against a crashed library site succeeded";
+      ADD_FAILURE() << "fault on a page that died with the library succeeded";
     } catch (const msysv::PageFaultError& e) {
       EXPECT_EQ(e.err(), msysv::ShmErr::kIdRemoved);
-      EXPECT_EQ(e.status(), mmem::FaultStatus::kTimedOut);
+      EXPECT_EQ(e.status(), mmem::FaultStatus::kPageLost);
       caught = true;
     }
   });
   ASSERT_TRUE(w->RunUntil([&] { return caught; }, 60 * kSecond));
   const mirage::EngineStats& es = w->engine(1)->stats();
-  EXPECT_GE(es.request_timeouts, 1u);
+  EXPECT_GE(es.request_timeouts, 1u);  // the timeout path noticed the orphan
+  EXPECT_EQ(es.elections_won, 1u);
+  EXPECT_EQ(es.recoveries_completed, 1u);
+  EXPECT_GE(es.pages_lost_in_recovery, 1u);
+  EXPECT_EQ(es.pages_recovered, 0u);  // the survivor held no copies
   EXPECT_GE(es.faults_failed, 1u);
+  EXPECT_EQ(w->engine(1)->KnownEpoch(shmid), 1u);
   EXPECT_GE(w->network().stats().dropped_site_down, 1u);
 }
 
-// Crashing the clock site of a page: the library's next operation on that
-// page cannot complete, so it fails the op, marks the page lost, and sends
-// kRequestFailed to the blocked requester — which gets EIDRM, not a hang.
-// Subsequent faults on the lost page fail fast.
-TEST_F(FaultTest, ClockSiteCrashFailsOpGracefully) {
+// Crashing the clock site of a page whose only copy lived there: the
+// surviving library rebuilds the directory in place (same site, new epoch).
+// No copy survives anywhere, so the page is condemned and the blocked
+// requester gets EIDRM, not a hang; subsequent faults fail fast.
+TEST_F(FaultTest, ClockSiteCrashReconstructsAndCondemnsOrphanedPage) {
   WorldOptions opts;
   EnableRecovery(opts);
   opts.faults.CrashAt(200 * kMillisecond, 1);
@@ -198,12 +205,12 @@ TEST_F(FaultTest, ClockSiteCrashFailsOpGracefully) {
     mmem::VAddr base = shm.Shmat(p, shmid).value();
     try {
       co_await shm.WriteWord(p, base, 9);
-      ADD_FAILURE() << "write through a crashed clock site succeeded";
+      ADD_FAILURE() << "write to a page whose only copy crashed succeeded";
     } catch (const msysv::PageFaultError& e) {
       EXPECT_EQ(e.err(), msysv::ShmErr::kIdRemoved);
       ++caught;
     }
-    // The page is now lost; a retry fails fast rather than re-timing-out.
+    // The page is condemned; a retry fails fast rather than re-timing-out.
     try {
       (void)co_await shm.ReadWord(p, base);
       ADD_FAILURE() << "read of a lost page succeeded";
@@ -213,10 +220,227 @@ TEST_F(FaultTest, ClockSiteCrashFailsOpGracefully) {
     }
   });
   ASSERT_TRUE(w->RunUntil([&] { return primed && caught == 2; }, 60 * kSecond));
-  EXPECT_GE(w->engine(0)->stats().ops_failed, 1u);
-  EXPECT_GE(w->engine(0)->stats().fail_notices_sent, 1u);
+  const mirage::EngineStats& lib = w->engine(0)->stats();
+  EXPECT_EQ(lib.elections_won, 0u);  // in-place rebuild, not an election
+  EXPECT_EQ(lib.recoveries_completed, 1u);
+  EXPECT_GE(lib.pages_lost_in_recovery, 1u);
+  EXPECT_GE(lib.fail_notices_sent, 1u);
   EXPECT_GE(w->engine(2)->stats().fail_notices_received, 1u);
   EXPECT_GE(w->engine(2)->stats().faults_failed, 2u);
+  EXPECT_EQ(w->engine(0)->KnownEpoch(shmid), 1u);
+}
+
+// Tentpole acceptance: the library site of a segment crashes mid-ping-pong.
+// The surviving attached sites elect the lowest live site as successor,
+// the directory is reconstructed from their copies, and the ping-pong
+// completes every lap — no EIDRM, no hang.
+TEST_F(FaultTest, LibraryCrashSurvivorsElectAndCompletePingPong) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.faults.CrashAt(60 * kMillisecond, 2);
+  w = std::make_unique<World>(3, std::move(opts));
+  // Library at site 2 — a pure controller, holding no copies of its own.
+  shmid = w->shm(2).Shmget(1, 2048, true).value();
+  constexpr int kLaps = 25;
+  int finished = 0;
+  for (int s = 0; s < 2; ++s) {
+    w->kernel(s).Spawn("pingpong", Priority::kUser,
+                       [this, s, &finished](Process* p) -> Task<> {
+      auto& shm = w->shm(s);
+      mmem::VAddr base = shm.Shmat(p, shmid).value();
+      for (int lap = 0; lap < kLaps; ++lap) {
+        std::uint32_t my_turn = static_cast<std::uint32_t>(lap * 2 + s);
+        for (;;) {
+          if (co_await shm.ReadWord(p, base) == my_turn) {
+            break;
+          }
+          co_await w->kernel(s).Yield(p);
+        }
+        co_await shm.WriteWord(p, base, my_turn + 1);
+        co_await w->kernel(s).Compute(p, 500);
+      }
+      ++finished;
+    });
+  }
+  ASSERT_TRUE(w->RunUntil([&] { return finished == 2; }, 120 * kSecond));
+  EXPECT_TRUE(w->kernel(2).halted());
+  // Site 0 is the lowest live attached site: it won the (only) election.
+  EXPECT_EQ(w->engine(0)->stats().elections_won, 1u);
+  EXPECT_EQ(w->engine(1)->stats().elections_won, 0u);
+  EXPECT_EQ(w->engine(0)->stats().recoveries_completed, 1u);
+  EXPECT_GE(w->engine(0)->stats().pages_recovered, 1u);
+  EXPECT_EQ(w->engine(0)->KnownEpoch(shmid), 1u);
+  EXPECT_EQ(w->engine(1)->KnownEpoch(shmid), 1u);
+  // The token page survived the failover: every increment happened.
+  bool checked = false;
+  w->kernel(0).Spawn("check", Priority::kUser, [this, &checked](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 2 * kLaps);
+    checked = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return checked; }, 10 * kSecond));
+}
+
+// Clock-site-only crash with a surviving reader elsewhere: the library's
+// in-place reconstruction re-homes the clock to the freshest surviving
+// copy, and the page keeps serving — reads and writes succeed afterwards.
+TEST_F(FaultTest, ClockSiteCrashTransfersClockToFreshestSurvivingCopy) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.faults.CrashAt(200 * kMillisecond, 1);
+  Boot(4, opts);
+  bool primed = false;
+  bool wrote = false;
+  // Site 1 reads first (clock site), site 2 reads second (plain reader).
+  w->kernel(1).Spawn("clock-to-be", Priority::kUser, [this, &primed](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    (void)co_await shm.ReadWord(p, base);
+    primed = true;
+    co_await w->kernel(1).SleepFor(p, 10 * kSecond);  // crashed at 200 ms
+  });
+  w->kernel(2).Spawn("survivor-reader", Priority::kUser, [this](Process* p) -> Task<> {
+    auto& shm = w->shm(2);
+    co_await w->kernel(2).SleepFor(p, 50 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    (void)co_await shm.ReadWord(p, base);
+  });
+  w->kernel(3).Spawn("late-writer", Priority::kUser, [this, &wrote](Process* p) -> Task<> {
+    auto& shm = w->shm(3);
+    co_await w->kernel(3).SleepFor(p, 400 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    co_await shm.WriteWord(p, base, 77);  // must not hang or fail
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 77u);
+    wrote = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return primed && wrote; }, 60 * kSecond));
+  const mirage::EngineStats& lib = w->engine(0)->stats();
+  EXPECT_EQ(lib.elections_won, 0u);
+  EXPECT_EQ(lib.recoveries_completed, 1u);
+  EXPECT_GE(lib.pages_recovered, 1u);  // site 2's copy carried the page over
+  EXPECT_EQ(lib.pages_lost_in_recovery, 0u);
+  EXPECT_EQ(lib.ops_failed, 0u);  // recovery pre-empted any failing op
+  EXPECT_EQ(w->engine(2)->stats().recovery_replies_sent, 1u);
+}
+
+// Library crash while an invalidation is in flight to a paused reader: the
+// held pre-crash invalidation is fenced by its stale epoch when the reader
+// resumes, so it cannot destroy a copy the reconstructed directory counts
+// on, and the blocked writer completes under the new epoch.
+TEST_F(FaultTest, CrashDuringInFlightInvalidationIsEpochFenced) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.faults.PauseAt(90 * kMillisecond, 3)
+      .CrashAt(150 * kMillisecond, 0)
+      .ResumeAt(400 * kMillisecond, 3);
+  Boot(4, opts);
+  bool wrote = false;
+  // Sites 2 and 3 read (site 2 first: clock site). Site 1 then writes; the
+  // invalidation to paused site 3 is held when the library (site 0) dies.
+  for (int s : {2, 3}) {
+    w->kernel(s).Spawn("reader", Priority::kUser, [this, s](Process* p) -> Task<> {
+      auto& shm = w->shm(s);
+      co_await w->kernel(s).SleepFor(p, s == 2 ? 5 * kMillisecond : 20 * kMillisecond);
+      mmem::VAddr base = shm.Shmat(p, shmid).value();
+      (void)co_await shm.ReadWord(p, base);
+    });
+  }
+  w->kernel(1).Spawn("writer", Priority::kUser, [this, &wrote](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    co_await w->kernel(1).SleepFor(p, 100 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    co_await shm.WriteWord(p, base, 5);
+    wrote = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return wrote; }, 120 * kSecond));
+  // Site 1 is the lowest live attached site when the library dies.
+  EXPECT_EQ(w->engine(1)->stats().elections_won, 1u);
+  EXPECT_EQ(w->engine(1)->stats().recoveries_completed, 1u);
+  EXPECT_GE(w->engine(1)->stats().pages_recovered, 1u);
+  // The resumed reader fenced the stale (pre-crash epoch) invalidation.
+  std::uint64_t fenced = 0;
+  for (int s = 1; s < 4; ++s) {
+    fenced += w->engine(s)->stats().stale_epoch_drops;
+  }
+  EXPECT_GE(fenced, 1u);
+  EXPECT_EQ(w->engine(3)->KnownEpoch(shmid), 1u);
+}
+
+// Back-to-back crashes: the original library dies, the elected successor
+// dies mid-tenure, and a second election (epoch 2) re-homes the segment
+// again. The last survivor's copies keep the data alive throughout.
+TEST_F(FaultTest, BackToBackCrashesForceSecondElection) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.faults.CrashAt(100 * kMillisecond, 0).CrashAt(400 * kMillisecond, 1);
+  Boot(3, opts);
+  bool seeded = false;
+  bool done = false;
+  // Site 1 attaches early so it is electable; site 2 holds the data.
+  w->kernel(1).Spawn("first-successor", Priority::kUser, [this, &seeded](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    (void)co_await shm.ReadWord(p, base);
+    seeded = true;
+    co_await w->kernel(1).SleepFor(p, 10 * kSecond);  // crashed at 400 ms
+  });
+  w->kernel(2).Spawn("survivor", Priority::kUser, [this, &done](Process* p) -> Task<> {
+    auto& shm = w->shm(2);
+    co_await w->kernel(2).SleepFor(p, 30 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    co_await shm.WriteWord(p, base, 11);  // site 2 becomes the writer
+    co_await w->kernel(2).SleepFor(p, 600 * kMillisecond);  // outlive both crashes
+    co_await shm.WriteWord(p, base, 12);  // served by the epoch-2 library
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 12u);
+    done = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return seeded && done; }, 120 * kSecond));
+  EXPECT_EQ(w->engine(1)->stats().elections_won, 1u);  // epoch 1, died in office
+  EXPECT_EQ(w->engine(2)->stats().elections_won, 1u);  // epoch 2
+  EXPECT_EQ(w->engine(2)->KnownEpoch(shmid), 2u);
+  EXPECT_GE(w->engine(2)->stats().pages_recovered, 1u);
+}
+
+// Regression (pause+crash interaction): packets held for a paused site are
+// dropped — and counted — when the site crashes, and a later stale resume
+// replays nothing.
+TEST_F(FaultTest, CrashWhilePausedDropsHeldPacketsInsteadOfReplaying) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.faults.PauseAt(30 * kMillisecond, 1)
+      .CrashAt(80 * kMillisecond, 1)
+      .ResumeAt(120 * kMillisecond, 1);
+  Boot(2, opts);
+  bool wrote = false;
+  w->kernel(0).Spawn("writer", Priority::kUser, [this, &wrote](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    co_await shm.WriteWord(p, base, 1);  // site 0: writer and clock site
+    co_await w->kernel(0).SleepFor(p, 50 * kMillisecond);
+    // Site 1 holds a read copy and is paused: the invalidation below is
+    // held, then dies with the site at 80 ms. The ack is forgiven.
+    co_await shm.WriteWord(p, base, 2);
+    wrote = true;
+  });
+  w->kernel(1).Spawn("doomed-reader", Priority::kUser, [this](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    co_await w->kernel(1).SleepFor(p, 10 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 1u);
+    co_await w->kernel(1).SleepFor(p, 10 * kSecond);  // crashed long before
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return wrote; }, 60 * kSecond));
+  const mfault::FaultInjectorStats& fs = w->faults()->stats();
+  EXPECT_EQ(fs.pauses, 1u);
+  EXPECT_EQ(fs.crashes, 1u);
+  EXPECT_GE(fs.held_dropped_on_crash, 1u);
+  // The resume found the site crashed, not paused: a no-op, no replay.
+  EXPECT_EQ(fs.resumes, 0u);
+  EXPECT_GE(w->network().stats().packets_held, 1u);
+  EXPECT_GE(w->engine(0)->stats().degraded_acks +
+                w->engine(0)->stats().degraded_invalidations,
+            1u);
 }
 
 // A paused site holds inbound packets in order and releases them at resume:

@@ -46,12 +46,15 @@ TEST(Registry, AttachCountingAndObservers) {
   int dropped = -1;
   reg.AddDestroyObserver([&](mmem::SegmentId id) { dropped = id; });
   auto meta = reg.Create(7, 512, mmem::SegmentPerms{}, 0);
-  EXPECT_EQ(reg.NoteAttach(meta->id), 1);
-  EXPECT_EQ(reg.NoteAttach(meta->id), 2);
+  EXPECT_EQ(reg.NoteAttach(meta->id, 0), 1);
+  EXPECT_EQ(reg.NoteAttach(meta->id, 2), 2);
   EXPECT_EQ(reg.AttachCount(meta->id), 2);
-  EXPECT_EQ(reg.NoteDetach(meta->id), 1);
-  EXPECT_EQ(reg.NoteDetach(meta->id), 0);
-  EXPECT_EQ(reg.NoteDetach(meta->id), 0);  // underflow-safe
+  EXPECT_EQ(reg.AttachedSites(meta->id), mmem::MaskOf(0) | mmem::MaskOf(2));
+  EXPECT_EQ(reg.NoteDetach(meta->id, 2), 1);
+  EXPECT_EQ(reg.AttachedSites(meta->id), mmem::MaskOf(0));
+  EXPECT_EQ(reg.NoteDetach(meta->id, 0), 0);
+  EXPECT_EQ(reg.NoteDetach(meta->id, 0), 0);  // underflow-safe
+  EXPECT_EQ(reg.AttachedSites(meta->id), 0u);
   reg.Destroy(meta->id);
   EXPECT_EQ(dropped, meta->id);
 }
