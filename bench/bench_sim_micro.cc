@@ -1,77 +1,377 @@
-// Host-time microbenchmarks of the simulation substrate itself (google-
-// benchmark): event queue throughput, coroutine task switching, and
-// end-to-end simulated-protocol throughput per host second. These gate the
-// practicality of the larger sweeps (Figures 7 and 8 run thousands of
-// simulated seconds).
-#include <benchmark/benchmark.h>
+// Simulator hot-path microbenchmark suite (DESIGN.md §10).
+//
+// Measures the event-queue primitives that dominate every experiment sweep —
+// schedule/fire throughput, schedule/cancel throughput, packet round-trips,
+// and a fig8-flavoured end-to-end run — and emits a machine-readable
+// BENCH_sim.json for the CI trajectory.
+//
+// Every queue benchmark is measured twice: once against the live Simulator
+// (binary heap + slot pool + InlineFunction) and once against an in-binary
+// replica of the pre-change queue (std::map keyed (time, id) holding
+// std::function, linear-scan Cancel). The recorded `speedup` is the ratio of
+// the two on the same host, which makes the number portable: a slow CI
+// runner slows both sides equally, so the checked-in baseline gates on
+// speedup, not raw events/s. End-to-end wall-clock numbers are reported for
+// the trajectory but not gated (they track host speed).
+//
+// Usage:
+//   bench_sim_micro                  human-readable table
+//   bench_sim_micro --json[=FILE]    also write JSON (default BENCH_sim.json)
+//   bench_sim_micro --baseline=FILE  fail (exit 1) if any gated speedup
+//                                    regresses more than --tolerance
+//                                    (default 0.25) below the baseline
+//   bench_sim_micro --quick          ~5x shorter measurement (smoke runs)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench/map_queue_ref.h"
+#include "src/exp/json.h"
+#include "src/net/network.h"
 #include "src/sim/simulator.h"
-#include "src/sim/sync.h"
-#include "src/sim/task.h"
 #include "src/sysv/world.h"
 #include "src/workload/readwriters.h"
 
 namespace {
 
-void BM_EventSchedule(benchmark::State& state) {
-  msim::Simulator sim;
-  std::int64_t n = 0;
-  for (auto _ : state) {
-    sim.Schedule(1, [&n] { ++n; });
-    sim.Run();
-  }
-  benchmark::DoNotOptimize(n);
-}
-BENCHMARK(BM_EventSchedule);
+using mbench::MapQueueRef;
 
-void BM_EventBurst1k(benchmark::State& state) {
-  for (auto _ : state) {
-    msim::Simulator sim;
-    std::int64_t n = 0;
-    for (int i = 0; i < 1000; ++i) {
-      sim.Schedule(i, [&n] { ++n; });
+using WallClock = std::chrono::steady_clock;
+
+double SecondsSince(WallClock::time_point t0) {
+  return std::chrono::duration<double>(WallClock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Measurement: grow rounds geometrically until one run of `body(rounds)`
+// consumes at least `min_secs`, then time three runs at that size and keep
+// the fastest. Best-of-N is the standard noise-robust throughput estimator:
+// interference (daemons, frequency dips) only ever slows a run down, so the
+// minimum time is the closest observation of the code's true cost.
+template <typename Body>
+double MeasureOpsPerSec(Body body, std::uint64_t ops_per_round, double min_secs) {
+  std::uint64_t rounds = 64;
+  double secs = 0.0;
+  for (;;) {
+    auto t0 = WallClock::now();
+    body(rounds);
+    secs = SecondsSince(t0);
+    if (secs >= min_secs) {
+      break;
     }
-    sim.Run();
-    benchmark::DoNotOptimize(n);
+    rounds = secs <= 0.0 ? rounds * 8 : rounds * 2;
   }
-}
-BENCHMARK(BM_EventBurst1k);
-
-msim::Task<> Chained(msim::Simulator& sim, int depth) {
-  if (depth > 0) {
-    co_await Chained(sim, depth - 1);
+  for (int rep = 0; rep < 2; ++rep) {
+    auto t0 = WallClock::now();
+    body(rounds);
+    secs = std::min(secs, SecondsSince(t0));
   }
-  co_await msim::SleepFor(sim, 1);
+  return static_cast<double>(ops_per_round) * static_cast<double>(rounds) / secs;
 }
 
-void BM_CoroutineChain(benchmark::State& state) {
-  for (auto _ : state) {
-    msim::Simulator sim;
-    msim::Task<> t = Chained(sim, 32);
-    t.Start();
-    sim.Run();
-  }
-}
-BENCHMARK(BM_CoroutineChain);
+struct BenchResult {
+  std::string name;
+  double events_per_sec = 0.0;      // live Simulator
+  double ref_events_per_sec = 0.0;  // MapQueueRef; 0 when not applicable
+  double speedup = 0.0;             // events_per_sec / ref_events_per_sec
+  bool gated = false;               // participates in the baseline check
+  double wall_seconds = 0.0;        // end-to-end benches only
+  std::uint64_t sim_events = 0;     // end-to-end benches only
+};
 
-void BM_SimulatedReadWriters(benchmark::State& state) {
-  // Simulated protocol seconds processed per host second.
-  double simulated_us = 0;
-  for (auto _ : state) {
-    msysv::WorldOptions opts;
-    opts.protocol.default_window_us = 100 * msim::kMillisecond;
-    msysv::World world(2, opts);
-    mwork::ReadWritersParams prm;
-    prm.iterations = 5000;
-    auto r = mwork::LaunchReadWriters(world, prm);
-    world.RunUntil([&] { return r->completed; }, 60 * msim::kSecond);
-    simulated_us += static_cast<double>(world.sim().Now());
-  }
-  state.counters["sim_seconds_per_host_second"] =
-      benchmark::Counter(simulated_us / 1e6, benchmark::Counter::kIsRate);
+// ---- schedule+fire: `batch` events per round, mixed short future delays
+// (or all at the current instant), drained by Run(). This is the shape of a
+// sweep's steady state: per-site ticks, scheduler slices, a few timers.
+//
+// The closure carries a 32-byte capture to match the real event population:
+// the simulator's hot-path lambdas hold a packet (two site ids, type, size,
+// payload pointer) or a coroutine handle plus context, not a bare pointer.
+// That size is past std::function's small-buffer limit, so the reference
+// queue pays the closure allocation the old simulator actually paid.
+BenchResult BenchScheduleFire(int batch, bool zero_delay, double min_secs) {
+  std::int64_t sink = 0;
+  std::uint64_t p0 = 0x9E3779B97F4A7C15ull, p1 = 0xBF58476D1CE4E5B9ull, p2 = 0x94D049BB133111EBull;
+  double live = MeasureOpsPerSec(
+      [&](std::uint64_t rounds) {
+        msim::Simulator sim;
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          for (int i = 0; i < batch; ++i) {
+            sim.Schedule(zero_delay ? 0 : (i & 7) + 1,
+                         [&sink, p0, p1, p2] { sink += static_cast<std::int64_t>(p0 ^ p1 ^ p2); });
+          }
+          sim.Run();
+        }
+      },
+      batch, min_secs);
+  double ref = MeasureOpsPerSec(
+      [&](std::uint64_t rounds) {
+        MapQueueRef q;
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          for (int i = 0; i < batch; ++i) {
+            q.Schedule(zero_delay ? 0 : (i & 7) + 1,
+                       [&sink, p0, p1, p2] { sink += static_cast<std::int64_t>(p0 ^ p1 ^ p2); });
+          }
+          q.Run();
+        }
+      },
+      batch, min_secs);
+  BenchResult out;
+  out.name = std::string("schedule_fire_") + (zero_delay ? "zero_" : "future_") +
+             std::to_string(batch);
+  out.events_per_sec = live;
+  out.ref_events_per_sec = ref;
+  out.speedup = live / ref;
+  out.gated = true;
+  return out;
 }
-BENCHMARK(BM_SimulatedReadWriters)->Unit(benchmark::kMillisecond);
+
+// ---- schedule+cancel: every scheduled event is cancelled before it fires
+// (the timer-race shape: request timeouts armed and disarmed per message).
+BenchResult BenchScheduleCancel(int batch, double min_secs) {
+  std::int64_t sink = 0;
+  std::uint64_t p0 = 0x9E3779B97F4A7C15ull, p1 = 0xBF58476D1CE4E5B9ull, p2 = 0x94D049BB133111EBull;
+  double live = MeasureOpsPerSec(
+      [&](std::uint64_t rounds) {
+        msim::Simulator sim;
+        std::vector<msim::EventId> ids(batch);
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          for (int i = 0; i < batch; ++i) {
+            ids[i] = sim.Schedule(1000 + i, [&sink, p0, p1, p2] {
+              sink += static_cast<std::int64_t>(p0 ^ p1 ^ p2);
+            });
+          }
+          for (int i = 0; i < batch; ++i) {
+            sim.Cancel(ids[i]);
+          }
+        }
+      },
+      batch, min_secs);
+  double ref = MeasureOpsPerSec(
+      [&](std::uint64_t rounds) {
+        MapQueueRef q;
+        std::vector<MapQueueRef::EventId> ids(batch);
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          for (int i = 0; i < batch; ++i) {
+            ids[i] = q.Schedule(1000 + i, [&sink, p0, p1, p2] {
+              sink += static_cast<std::int64_t>(p0 ^ p1 ^ p2);
+            });
+          }
+          for (int i = 0; i < batch; ++i) {
+            q.Cancel(ids[i]);
+          }
+        }
+      },
+      batch, min_secs);
+  BenchResult out;
+  out.name = "schedule_cancel_" + std::to_string(batch);
+  out.events_per_sec = live;
+  out.ref_events_per_sec = ref;
+  out.speedup = live / ref;
+  out.gated = true;
+  return out;
+}
+
+// ---- packet round-trip: two sites ping-pong a short packet through the
+// Network (no circuit layer; the protocol's lossless fast path). Measures
+// the delivery dispatch chain: Deliver -> Release -> sink -> Schedule.
+BenchResult BenchPacketRoundTrip(double min_secs) {
+  BenchResult out;
+  out.name = "packet_roundtrip";
+  double rt = MeasureOpsPerSec(
+      [&](std::uint64_t rounds) {
+        msim::Simulator sim;
+        mnet::CostModel costs;
+        mnet::Network net(&sim, &costs);
+        std::uint64_t remaining = 0;
+        mnet::Packet ping;
+        ping.src = 0;
+        ping.dst = 1;
+        ping.type = 1;
+        ping.size_bytes = 64;
+        net.RegisterSite(0, [&](const mnet::Packet&) {
+          if (remaining > 0) {
+            --remaining;
+            sim.Schedule(1, [&] { net.Deliver(ping); });
+          }
+        });
+        net.RegisterSite(1, [&](const mnet::Packet& p) {
+          mnet::Packet pong = p;
+          pong.src = 1;
+          pong.dst = 0;
+          sim.Schedule(1, [&net, pong] { net.Deliver(pong); });
+        });
+        remaining = rounds;
+        net.Deliver(ping);
+        sim.Run();
+      },
+      1, min_secs);
+  out.events_per_sec = rt;  // round trips per second
+  return out;
+}
+
+// ---- fig8-preset end-to-end: the 2-site conflicting read-writers workload
+// behind EXPERIMENTS.md figure 8, window 0 (maximum cross-site transfer
+// traffic), run to completion. Wall clock and simulator events/s are the
+// trajectory numbers; not gated (they scale with host speed).
+BenchResult BenchFig8EndToEnd(int iterations) {
+  BenchResult out;
+  out.name = "fig8_e2e";
+  msysv::WorldOptions opts;
+  opts.protocol.default_window_us = 0;
+  msysv::World world(2, opts);
+  mwork::ReadWritersParams prm;
+  prm.iterations = iterations;
+  auto t0 = WallClock::now();
+  auto r = mwork::LaunchReadWriters(world, prm);
+  world.RunUntil([&] { return r->completed; }, 600 * msim::kSecond);
+  out.wall_seconds = SecondsSince(t0);
+  out.sim_events = world.sim().ProcessedEvents();
+  out.events_per_sec = static_cast<double>(out.sim_events) / out.wall_seconds;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+mexp::Json ToJson(const std::vector<BenchResult>& results) {
+  mexp::Json root = mexp::Json::Object();
+  root.Set("schema", "mirage-bench-sim-v1");
+  mexp::Json arr = mexp::Json::Array();
+  for (const BenchResult& r : results) {
+    mexp::Json b = mexp::Json::Object();
+    b.Set("name", r.name);
+    b.Set("events_per_sec", r.events_per_sec);
+    if (r.ref_events_per_sec > 0.0) {
+      b.Set("ref_events_per_sec", r.ref_events_per_sec);
+      b.Set("speedup", r.speedup);
+    }
+    b.Set("gated", r.gated);
+    if (r.wall_seconds > 0.0) {
+      b.Set("wall_seconds", r.wall_seconds);
+      b.Set("sim_events", r.sim_events);
+    }
+    arr.Push(std::move(b));
+  }
+  root.Set("benchmarks", std::move(arr));
+  return root;
+}
+
+// Compares gated speedups against a checked-in baseline; returns the number
+// of regressions beyond `tolerance` (fractional, e.g. 0.25 = 25%).
+int CheckBaseline(const std::vector<BenchResult>& results, const std::string& path,
+                  double tolerance) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_sim_micro: cannot open baseline %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  mexp::Json base = mexp::Json::Parse(ss.str(), &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "bench_sim_micro: baseline parse error: %s\n", err.c_str());
+    return 1;
+  }
+  const mexp::Json* benches = base.Find("benchmarks");
+  if (benches == nullptr || !benches->is_array()) {
+    std::fprintf(stderr, "bench_sim_micro: baseline has no benchmarks array\n");
+    return 1;
+  }
+  int regressions = 0;
+  for (const BenchResult& r : results) {
+    if (!r.gated) {
+      continue;
+    }
+    for (const mexp::Json& b : benches->items()) {
+      if (b.GetString("name", "") != r.name) {
+        continue;
+      }
+      double want = b.GetDouble("speedup", 0.0);
+      double floor = want * (1.0 - tolerance);
+      if (r.speedup < floor) {
+        std::fprintf(stderr,
+                     "REGRESSION %s: speedup %.2fx < %.2fx (baseline %.2fx - %.0f%%)\n",
+                     r.name.c_str(), r.speedup, floor, want, tolerance * 100);
+        ++regressions;
+      }
+      break;
+    }
+  }
+  return regressions;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string baseline_path;
+  double tolerance = 0.25;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json_path = "BENCH_sim.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::stod(arg.substr(12));
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (see the header comment)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const double min_secs = quick ? 0.05 : 0.25;
+  std::vector<BenchResult> results;
+  results.push_back(BenchScheduleFire(64, /*zero_delay=*/false, min_secs));
+  results.push_back(BenchScheduleFire(256, /*zero_delay=*/false, min_secs));
+  results.push_back(BenchScheduleFire(1024, /*zero_delay=*/false, min_secs));
+  results.push_back(BenchScheduleFire(64, /*zero_delay=*/true, min_secs));
+  results.push_back(BenchScheduleCancel(1024, min_secs));
+  results.push_back(BenchPacketRoundTrip(min_secs));
+  results.push_back(BenchFig8EndToEnd(quick ? 10000 : 50000));
+
+  std::printf("%-26s %14s %14s %9s\n", "benchmark", "events/s", "ref events/s", "speedup");
+  for (const BenchResult& r : results) {
+    if (r.ref_events_per_sec > 0.0) {
+      std::printf("%-26s %14.0f %14.0f %8.2fx\n", r.name.c_str(), r.events_per_sec,
+                  r.ref_events_per_sec, r.speedup);
+    } else if (r.wall_seconds > 0.0) {
+      std::printf("%-26s %14.0f %14s %8s  (%.3fs wall, %llu events)\n", r.name.c_str(),
+                  r.events_per_sec, "-", "-", r.wall_seconds,
+                  static_cast<unsigned long long>(r.sim_events));
+    } else {
+      std::printf("%-26s %14.0f %14s %8s\n", r.name.c_str(), r.events_per_sec, "-", "-");
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    ToJson(results).Dump(out);
+    out << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    int regressions = CheckBaseline(results, baseline_path, tolerance);
+    if (regressions > 0) {
+      std::fprintf(stderr, "bench_sim_micro: %d regression(s) beyond %.0f%% tolerance\n",
+                   regressions, tolerance * 100);
+      return 1;
+    }
+    std::printf("baseline check passed (tolerance %.0f%%)\n", tolerance * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "bench/map_queue_ref.h"
+
+namespace mbench {
+
+bool MapQueueRef::Cancel(EventId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->first.id == id) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MapQueueRef::PopAndFire() {
+  auto it = queue_.begin();
+  now_ = it->first.time;
+  std::function<void()> fn = std::move(it->second);
+  queue_.erase(it);
+  ++processed_;
+  fn();
+  return true;
+}
+
+std::uint64_t MapQueueRef::Run(std::uint64_t max_events) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stop_requested_ && n < max_events) {
+    PopAndFire();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace mbench

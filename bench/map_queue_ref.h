@@ -1,0 +1,63 @@
+// Reference event queue for bench_sim_micro: a faithful replica of the
+// pre-heap Simulator (std::map keyed (time, id), std::function payloads,
+// linear-scan Cancel). The split mirrors the original exactly — Schedule
+// inline in the header, Run/Cancel in their own translation unit — so the
+// measured baseline has the same inlining profile the real thing had.
+#ifndef BENCH_MAP_QUEUE_REF_H_
+#define BENCH_MAP_QUEUE_REF_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "src/sim/time.h"
+
+namespace mbench {
+
+class MapQueueRef {
+ public:
+  using EventId = std::uint64_t;
+
+  msim::Time Now() const { return now_; }
+
+  EventId Schedule(msim::Duration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  EventId ScheduleAt(msim::Time t, std::function<void()> fn) {
+    if (t < now_) {
+      t = now_;
+    }
+    EventId id = next_id_++;
+    queue_.emplace(Key{t, id}, std::move(fn));
+    return id;
+  }
+
+  bool Cancel(EventId id);
+  std::uint64_t Run(std::uint64_t max_events = UINT64_MAX);
+
+  bool Empty() const { return queue_.empty(); }
+  std::size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Key {
+    msim::Time time;
+    EventId id;
+    bool operator<(const Key& o) const {
+      return time != o.time ? time < o.time : id < o.id;
+    }
+  };
+
+  bool PopAndFire();
+
+  msim::Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  bool stop_requested_ = false;
+  std::map<Key, std::function<void()>> queue_;
+};
+
+}  // namespace mbench
+
+#endif  // BENCH_MAP_QUEUE_REF_H_

@@ -110,9 +110,9 @@ mmem::SegmentImage* Engine::EnsureImage(const mmem::SegmentMeta& meta) {
   mmem::SegmentImage* raw = image.get();
   images_[meta.id] = std::move(image);
   if (meta.library_site == site()) {
-    SegDir dir;
-    dir.pages.resize(meta.PageCount());
-    for (PageDir& pd : dir.pages) {
+    auto dir = std::make_unique<SegDir>();
+    dir->pages.resize(meta.PageCount());
+    for (PageDir& pd : dir->pages) {
       pd.window_us = opts_.default_window_us;
     }
     dirs_[meta.id] = std::move(dir);
@@ -629,7 +629,7 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
   const mmem::SegmentId seg = req.body.seg;
   const mmem::PageNum page = req.body.page;
   const mnet::SiteId requester = req.body.requester;
-  PageDir& pd = dit->second.pages.at(page);
+  PageDir& pd = dit->second->pages.at(page);
 
   if (pd.lost) {
     // A previous operation on this page failed and its contents are
@@ -1083,7 +1083,7 @@ void Engine::OnSiteCrashed(mnet::SiteId crashed) {
       if (dit == dirs_.end()) {
         continue;
       }
-      for (const PageDir& pd : dit->second.pages) {
+      for (const PageDir& pd : dit->second->pages) {
         if (!pd.lost && pd.mode != PageMode::kEmpty && pd.clock_site == crashed) {
           StartRecovery(meta.id, /*elected=*/false);
           break;
@@ -1187,7 +1187,7 @@ msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
   std::vector<PageDir> old_pages;
   bool had_dir = false;
   if (auto dit = dirs_.find(seg); dit != dirs_.end()) {
-    old_pages = dit->second.pages;
+    old_pages = dit->second->pages;
     had_dir = true;
   }
 
@@ -1243,12 +1243,12 @@ msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
   //    the old directory knew was never granted stays Empty (zero-fill on
   //    first use); any other page is marked lost — we never fabricate
   //    contents (consistency over availability).
-  SegDir dir;
-  dir.pages.resize(page_count);
+  auto dir = std::make_unique<SegDir>();
+  dir->pages.resize(page_count);
   std::uint64_t recovered = 0;
   std::uint64_t lost = 0;
   for (int p = 0; p < page_count; ++p) {
-    PageDir& pd = dir.pages[p];
+    PageDir& pd = dir->pages[p];
     pd.window_us = had_dir ? old_pages[p].window_us : opts_.default_window_us;
     mnet::SiteId writer = mnet::kNoSite;
     mmem::SiteMask readers = 0;
@@ -1551,7 +1551,7 @@ void Engine::SetSegmentWindow(mmem::SegmentId seg, msim::Duration window_us) {
   if (it == dirs_.end()) {
     throw std::logic_error("mirage: SetSegmentWindow at a non-library site");
   }
-  for (PageDir& pd : it->second.pages) {
+  for (PageDir& pd : it->second->pages) {
     pd.window_us = window_us;
   }
 }
@@ -1561,7 +1561,7 @@ void Engine::SetPageWindow(mmem::SegmentId seg, mmem::PageNum page, msim::Durati
   if (it == dirs_.end()) {
     throw std::logic_error("mirage: SetPageWindow at a non-library site");
   }
-  it->second.pages.at(page).window_us = window_us;
+  it->second->pages.at(page).window_us = window_us;
 }
 
 msim::Duration Engine::PageWindow(mmem::SegmentId seg, mmem::PageNum page) const {
@@ -1569,7 +1569,7 @@ msim::Duration Engine::PageWindow(mmem::SegmentId seg, mmem::PageNum page) const
   if (it == dirs_.end()) {
     throw std::logic_error("mirage: PageWindow at a non-library site");
   }
-  return it->second.pages.at(page).window_us;
+  return it->second->pages.at(page).window_us;
 }
 
 mmem::SegmentImage* Engine::ImageOrNull(mmem::SegmentId seg) {
@@ -1582,7 +1582,7 @@ std::optional<DirectoryView> Engine::Directory(mmem::SegmentId seg, mmem::PageNu
   if (it == dirs_.end()) {
     return std::nullopt;
   }
-  const PageDir& pd = it->second.pages.at(page);
+  const PageDir& pd = it->second->pages.at(page);
   DirectoryView v;
   v.mode = pd.mode;
   v.readers = pd.readers;

@@ -33,6 +33,7 @@
 #include "src/mirage/registry.h"
 #include "src/mirage/request_log.h"
 #include "src/os/kernel.h"
+#include "src/sim/flat_map.h"
 #include "src/trace/histogram.h"
 #include "src/trace/trace.h"
 
@@ -292,9 +293,13 @@ class Engine : public mmem::DsmBackend {
   ProtocolOptions opts_;
   mtrace::Tracer* tracer_;
 
-  std::map<mmem::SegmentId, std::unique_ptr<mmem::SegmentImage>> images_;
-  std::map<mmem::SegmentId, SegDir> dirs_;
-  std::map<std::uint64_t, std::unique_ptr<PageWait>> waits_;
+  // Per-segment tables are FlatMaps (sorted vectors): the population is a
+  // handful of segments, and these are consulted on every fault and message.
+  // SegDir lives behind a unique_ptr so PageDir references held across
+  // coroutine suspensions stay valid when the table grows.
+  msim::FlatMap<mmem::SegmentId, std::unique_ptr<mmem::SegmentImage>> images_;
+  msim::FlatMap<mmem::SegmentId, std::unique_ptr<SegDir>> dirs_;
+  msim::FlatMap<std::uint64_t, std::unique_ptr<PageWait>> waits_;
 
   std::deque<Request> lib_queue_;
   mos::Channel lib_chan_;
@@ -305,7 +310,7 @@ class Engine : public mmem::DsmBackend {
   // Destroy-while-busy protection: segments with in-flight library/worker
   // operations are reaped only once those operations drain.
   std::set<mmem::SegmentId> dying_segments_;
-  std::map<mmem::SegmentId, int> active_ops_;
+  msim::FlatMap<mmem::SegmentId, int> active_ops_;
   std::uint64_t next_req_id_ = 1;
 
   std::deque<ClockOpBody> worker_queue_;
@@ -315,7 +320,7 @@ class Engine : public mmem::DsmBackend {
 
   // ---- Failover state ----
   // Highest epoch seen per segment (all roles); messages below it are fenced.
-  std::map<mmem::SegmentId, std::uint32_t> seg_epochs_;
+  msim::FlatMap<mmem::SegmentId, std::uint32_t> seg_epochs_;
   // Segments this site is currently reconstructing (it is their library).
   std::set<mmem::SegmentId> recovering_;
   std::deque<RecoveryItem> recovery_queue_;

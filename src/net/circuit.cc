@@ -6,11 +6,12 @@ void CircuitLayer::Transmit(Packet pkt) {
   if (!Active()) {
     // Lossless medium: pure propagation, no sequencing state. Reachability
     // is evaluated at arrival time by Network::Release.
-    sim_->Schedule(opts_.propagation_us, [this, pkt = std::move(pkt)] { release_(pkt); });
+    sim_->Schedule(opts_.propagation_us,
+                   [this, pkt = std::move(pkt)]() mutable { release_(std::move(pkt)); });
     return;
   }
   Key key{pkt.src, pkt.dst};
-  SendCircuit& sc = send_[key];
+  SendCircuit& sc = send_.At(key.src, key.dst);
   if (sc.failed) {
     // The circuit was declared down; the peer is gone as far as this site's
     // topology is concerned. Refuse the frame (the upper layer's timeout and
@@ -49,7 +50,7 @@ void CircuitLayer::OnFrameArrival(const Key& key, std::uint64_t seq, Packet pkt)
     ++stats_.down_drops;
     return;
   }
-  RecvCircuit& rc = recv_[key];
+  RecvCircuit& rc = recv_.At(key.src, key.dst);
   if (seq < rc.next_expected || rc.out_of_order.count(seq) != 0) {
     ++stats_.duplicates_suppressed;
     SendAck(key, rc.next_expected - 1);  // re-ack so the sender can advance
@@ -62,11 +63,11 @@ void CircuitLayer::OnFrameArrival(const Key& key, std::uint64_t seq, Packet pkt)
     return;
   }
   // In sequence: release it and any buffered successors.
-  release_(pkt);
+  release_(std::move(pkt));
   ++rc.next_expected;
   auto it = rc.out_of_order.begin();
   while (it != rc.out_of_order.end() && it->first == rc.next_expected) {
-    release_(it->second);
+    release_(std::move(it->second));
     ++rc.next_expected;
     it = rc.out_of_order.erase(it);
   }
@@ -89,11 +90,11 @@ void CircuitLayer::OnAck(const Key& data_key, std::uint64_t cumulative) {
     ++stats_.acks_dropped;
     return;
   }
-  auto it = send_.find(data_key);
-  if (it == send_.end()) {
+  SendCircuit* scp = send_.Find(data_key.src, data_key.dst);
+  if (scp == nullptr) {
     return;
   }
-  SendCircuit& sc = it->second;
+  SendCircuit& sc = *scp;
   while (!sc.unacked.empty() && sc.unacked.begin()->first <= cumulative) {
     sc.unacked.erase(sc.unacked.begin());
   }
@@ -104,7 +105,7 @@ void CircuitLayer::OnAck(const Key& data_key, std::uint64_t cumulative) {
 }
 
 void CircuitLayer::ArmTimer(const Key& key) {
-  SendCircuit& sc = send_[key];
+  SendCircuit& sc = send_.At(key.src, key.dst);
   if (sc.timer != 0 || sc.unacked.empty()) {
     return;
   }
@@ -112,7 +113,7 @@ void CircuitLayer::ArmTimer(const Key& key) {
 }
 
 void CircuitLayer::OnTimer(const Key& key) {
-  SendCircuit& sc = send_[key];
+  SendCircuit& sc = send_.At(key.src, key.dst);
   sc.timer = 0;
   if (sc.unacked.empty() || sc.failed) {
     return;
@@ -134,7 +135,7 @@ void CircuitLayer::FailCircuit(const Key& key) {
   // Retransmit budget exhausted: the peer is unreachable for good as far as
   // this circuit is concerned. Drop the window, count it, and report the
   // topology change — never throw from a timer event.
-  SendCircuit& sc = send_[key];
+  SendCircuit& sc = send_.At(key.src, key.dst);
   sc.failed = true;
   stats_.down_drops += sc.unacked.size();
   sc.unacked.clear();
@@ -145,8 +146,8 @@ void CircuitLayer::FailCircuit(const Key& key) {
 }
 
 bool CircuitLayer::CircuitDown(SiteId src, SiteId dst) const {
-  auto it = send_.find(Key{src, dst});
-  return it != send_.end() && it->second.failed;
+  const SendCircuit* sc = send_.Find(src, dst);
+  return sc != nullptr && sc->failed;
 }
 
 }  // namespace mnet

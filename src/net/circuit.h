@@ -27,10 +27,13 @@
 #ifndef SRC_NET_CIRCUIT_H_
 #define SRC_NET_CIRCUIT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "src/net/packet.h"
 #include "src/sim/random.h"
@@ -81,7 +84,7 @@ struct CircuitStats {
 // releases, exactly once and in order.
 class CircuitLayer {
  public:
-  using Release = std::function<void(const Packet&)>;
+  using Release = std::function<void(Packet)>;
   // Directed reachability: can a frame leaving `from` arrive at `to` right
   // now? Installed by the fault layer; absent = always reachable.
   using Reachability = std::function<bool(SiteId from, SiteId to)>;
@@ -118,9 +121,52 @@ class CircuitLayer {
   struct Key {
     SiteId src;
     SiteId dst;
-    bool operator<(const Key& o) const {
-      return src != o.src ? src < o.src : dst < o.dst;
+  };
+
+  // Dense per-(src,dst) state table. Sites are small dense integers, so a
+  // two-level vector indexed [src][dst] replaces the old std::map<Key, T>:
+  // every frame, ack, and timer event resolves its circuit with two array
+  // indexings instead of a tree walk. Entries are created on first use and
+  // live behind unique_ptr so their addresses are stable as the table grows.
+  template <typename T>
+  class PairTable {
+   public:
+    T& At(SiteId src, SiteId dst) {
+      auto s = static_cast<std::size_t>(src);
+      auto d = static_cast<std::size_t>(dst);
+      if (s >= rows_.size()) {
+        rows_.resize(s + 1);
+      }
+      auto& row = rows_[s];
+      if (d >= row.size()) {
+        row.resize(d + 1);
+      }
+      if (!row[d]) {
+        row[d] = std::make_unique<T>();
+      }
+      return *row[d];
     }
+
+    T* Find(SiteId src, SiteId dst) {
+      auto s = static_cast<std::size_t>(src);
+      auto d = static_cast<std::size_t>(dst);
+      if (s >= rows_.size() || d >= rows_[s].size()) {
+        return nullptr;
+      }
+      return rows_[s][d].get();
+    }
+
+    const T* Find(SiteId src, SiteId dst) const {
+      auto s = static_cast<std::size_t>(src);
+      auto d = static_cast<std::size_t>(dst);
+      if (s >= rows_.size() || d >= rows_[s].size()) {
+        return nullptr;
+      }
+      return rows_[s][d].get();
+    }
+
+   private:
+    std::vector<std::vector<std::unique_ptr<T>>> rows_;
   };
   struct SendCircuit {
     std::uint64_t next_seq = 1;
@@ -157,8 +203,8 @@ class CircuitLayer {
   Release release_;
   Reachability reachable_;
   DownHandler down_;
-  std::map<Key, SendCircuit> send_;
-  std::map<Key, RecvCircuit> recv_;
+  PairTable<SendCircuit> send_;
+  PairTable<RecvCircuit> recv_;
   CircuitStats stats_;
 };
 

@@ -7,15 +7,23 @@
 namespace mnet {
 
 void Network::RegisterSite(SiteId site, Sink sink) {
-  if (sinks_.count(site) != 0) {
+  if (Registered(site)) {
     throw std::logic_error("net: site " + std::to_string(site) + " registered twice");
   }
+  if (site < 0) {
+    throw std::logic_error("net: negative site id");
+  }
+  if (static_cast<std::size_t>(site) >= sinks_.size()) {
+    sinks_.resize(site + 1);
+    held_.resize(site + 1);
+  }
   sinks_[site] = std::move(sink);
+  ++registered_sites_;
 }
 
 void Network::SetCircuitOptions(CircuitOptions opts) {
   circuits_ = std::make_unique<CircuitLayer>(sim_, opts,
-                                             [this](const Packet& pkt) { Release(pkt); });
+                                             [this](Packet pkt) { Release(std::move(pkt)); });
   // Re-apply fault wiring if it was installed before the circuit layer.
   if (site_up_ || link_up_) {
     circuits_->SetReachability(
@@ -45,7 +53,7 @@ void Network::SetCircuitDownHandler(CircuitDownHandler h) {
 }
 
 void Network::Deliver(Packet pkt) {
-  if (sinks_.count(pkt.dst) == 0) {
+  if (!Registered(pkt.dst)) {
     throw std::logic_error("net: delivery to unregistered site " + std::to_string(pkt.dst));
   }
   if (!SiteUp(pkt.src)) {
@@ -58,7 +66,7 @@ void Network::Deliver(Packet pkt) {
   if (circuits_) {
     circuits_->Transmit(std::move(pkt));
   } else {
-    Release(pkt);
+    Release(std::move(pkt));
   }
 }
 
@@ -68,9 +76,8 @@ void Network::Deliver(Packet pkt) {
 // evaluated here — arrival time — not at transmit time: a packet in flight
 // when its destination crashes is lost, one in flight when the destination
 // pauses waits.
-void Network::Release(const Packet& pkt) {
-  auto it = sinks_.find(pkt.dst);
-  if (it == sinks_.end()) {
+void Network::Release(Packet pkt) {
+  if (!Registered(pkt.dst)) {
     // Site vanished mid-flight (teardown). Historically swallowed silently;
     // now counted so lost traffic is always visible in reports.
     ++stats_.dropped_no_sink;
@@ -89,7 +96,14 @@ void Network::Release(const Packet& pkt) {
   }
   if (paused_ && paused_(pkt.dst)) {
     ++stats_.packets_held;
-    held_[pkt.dst].push_back(pkt);
+    std::vector<Packet>& q = held_[pkt.dst];
+    if (q.capacity() == 0) {
+      q.reserve(16);
+    }
+    q.push_back(std::move(pkt));
+    if (q.size() > stats_.held_peak_depth) {
+      stats_.held_peak_depth = q.size();
+    }
     return;
   }
   ++stats_.packets;
@@ -99,34 +113,51 @@ void Network::Release(const Packet& pkt) {
     ++stats_.short_packets;
   }
   stats_.payload_bytes += pkt.size_bytes;
-  ++stats_.packets_by_type[pkt.type];
+  if (pkt.type >= by_type_counts_.size()) {
+    by_type_counts_.resize(pkt.type + 1, 0);
+  }
+  ++by_type_counts_[pkt.type];
   for (const Observer& obs : observers_) {
     obs(pkt, sim_->Now());
   }
-  it->second(pkt);
+  sinks_[pkt.dst](pkt);
+}
+
+const NetworkStats& Network::stats() const {
+  // Fold the flat counters into the map view. Only types actually seen get
+  // an entry, matching the old map-per-increment behaviour exactly.
+  for (std::uint32_t t = 0; t < by_type_counts_.size(); ++t) {
+    if (by_type_counts_[t] != 0) {
+      stats_.packets_by_type[t] = by_type_counts_[t];
+    }
+  }
+  return stats_;
+}
+
+void Network::ResetStats() {
+  stats_ = NetworkStats{};
+  by_type_counts_.clear();
 }
 
 void Network::FlushHeld(SiteId site) {
-  auto it = held_.find(site);
-  if (it == held_.end()) {
+  if (site < 0 || static_cast<std::size_t>(site) >= held_.size() || held_[site].empty()) {
     return;
   }
-  std::deque<Packet> pending = std::move(it->second);
-  held_.erase(it);
+  std::vector<Packet> pending = std::move(held_[site]);
+  held_[site].clear();  // moved-from: make the empty state explicit
   // Redeliver in arrival order. Each packet re-runs the full Release checks:
   // the site may have crashed (or been re-paused) between resume events.
   for (Packet& pkt : pending) {
-    Release(pkt);
+    Release(std::move(pkt));
   }
 }
 
 std::uint64_t Network::DropHeld(SiteId site) {
-  auto it = held_.find(site);
-  if (it == held_.end()) {
+  if (site < 0 || static_cast<std::size_t>(site) >= held_.size() || held_[site].empty()) {
     return 0;
   }
-  std::deque<Packet> pending = std::move(it->second);
-  held_.erase(it);
+  std::vector<Packet> pending = std::move(held_[site]);
+  held_[site].clear();
   for (const Packet& pkt : pending) {
     ++stats_.dropped_site_down;
     Drop(pkt, "crashed-while-held");

@@ -17,11 +17,15 @@
 // (inbound delivery to a paused site is held, in order, and released by
 // FlushHeld at resume). Every dropped or held packet is counted — nothing
 // vanishes silently.
+//
+// Hot-path layout (DESIGN.md §10): sites are dense small integers, so the
+// per-site tables (sinks, held queues) are vectors indexed by SiteId rather
+// than trees, and the per-type packet counters accumulate in a flat array
+// that is folded into the stats map only when stats() is read.
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -44,8 +48,10 @@ struct NetworkStats {
   std::uint64_t dropped_no_sink = 0;
   std::uint64_t dropped_site_down = 0;
   std::uint64_t dropped_partitioned = 0;
-  // Packets held for a paused site (delivered later by FlushHeld).
+  // Packets held for a paused site (delivered later by FlushHeld), and the
+  // deepest any one site's held queue ever grew (pause-window sizing).
   std::uint64_t packets_held = 0;
+  std::uint64_t held_peak_depth = 0;
   std::map<std::uint32_t, std::uint64_t> packets_by_type;
 };
 
@@ -113,27 +119,42 @@ class Network {
 
   const CostModel& costs() const { return *costs_; }
   msim::Simulator* sim() const { return sim_; }
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
+  // Folds the flat per-type counters into the stats map before returning.
+  const NetworkStats& stats() const;
+  void ResetStats();
 
-  std::size_t SiteCount() const { return sinks_.size(); }
+  std::size_t SiteCount() const { return registered_sites_; }
 
  private:
-  void Release(const Packet& pkt);
+  void Release(Packet pkt);
   void Drop(const Packet& pkt, const char* reason);
+  bool Registered(SiteId s) const {
+    return s >= 0 && static_cast<std::size_t>(s) < sinks_.size() &&
+           static_cast<bool>(sinks_[s]);
+  }
 
   msim::Simulator* sim_;
   const CostModel* costs_;
-  std::map<SiteId, Sink> sinks_;
+  // Indexed by SiteId (sites are dense small integers); an empty Sink marks
+  // an unregistered slot.
+  std::vector<Sink> sinks_;
+  std::size_t registered_sites_ = 0;
   std::vector<Observer> observers_;
-  NetworkStats stats_;
+  // stats_ is the caller-visible snapshot; the per-type counts accumulate
+  // in by_type_counts_ (flat, indexed by packet type) and are folded into
+  // stats_.packets_by_type lazily by stats().
+  mutable NetworkStats stats_;
+  std::vector<std::uint64_t> by_type_counts_;
   std::unique_ptr<CircuitLayer> circuits_;
   SitePredicate site_up_;
   LinkPredicate link_up_;
   SitePredicate paused_;
   DropHook drop_hook_;
   CircuitDownHandler circuit_down_;
-  std::map<SiteId, std::deque<Packet>> held_;
+  // held_[site] is the pause queue, in arrival order. Packets are moved in
+  // on hold and the whole vector is moved out on flush/drop — never copied;
+  // capacity is reserved when a pause starts filling the queue.
+  std::vector<std::vector<Packet>> held_;
 };
 
 }  // namespace mnet

@@ -1,0 +1,103 @@
+// A sorted-vector map: the small-collection fast path for hot lookups.
+//
+// The engine keeps a handful of per-segment tables (directory, active-op
+// counts, epochs) that every fault and every protocol message consults. The
+// population is tiny — a few segments per site — so a contiguous sorted
+// vector beats a red-black tree on every operation that matters: lookups are
+// a cache-resident binary search over a few pairs instead of a pointer chase,
+// and iteration is linear memory.
+//
+// The interface mirrors the std::map subset the callers use (find / count /
+// operator[] / emplace / erase / ordered iteration), so it is a drop-in
+// replacement. Iteration order is ascending by key, exactly like std::map —
+// this keeps every report and golden trace bit-identical to the tree-based
+// implementation it replaced. Values may be move-only (unique_ptr payloads).
+//
+// Not provided (unneeded here): iterator stability across mutation, hints,
+// allocators, comparators other than operator<.
+#ifndef SRC_SIM_FLAT_MAP_H_
+#define SRC_SIM_FLAT_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace msim {
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return data_.begin(); }
+  iterator end() { return data_.end(); }
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+
+  iterator find(const K& key) {
+    iterator it = LowerBound(key);
+    return it != data_.end() && it->first == key ? it : data_.end();
+  }
+
+  const_iterator find(const K& key) const {
+    const_iterator it = LowerBound(key);
+    return it != data_.end() && it->first == key ? it : data_.end();
+  }
+
+  std::size_t count(const K& key) const { return find(key) != end() ? 1 : 0; }
+
+  V& operator[](const K& key) {
+    iterator it = LowerBound(key);
+    if (it == data_.end() || it->first != key) {
+      it = data_.emplace(it, key, V{});
+    }
+    return it->second;
+  }
+
+  // Inserts (key, value) if absent; returns (position, inserted).
+  template <typename U>
+  std::pair<iterator, bool> emplace(const K& key, U&& value) {
+    iterator it = LowerBound(key);
+    if (it != data_.end() && it->first == key) {
+      return {it, false};
+    }
+    it = data_.emplace(it, key, std::forward<U>(value));
+    return {it, true};
+  }
+
+  std::size_t erase(const K& key) {
+    iterator it = find(key);
+    if (it == data_.end()) {
+      return 0;
+    }
+    data_.erase(it);
+    return 1;
+  }
+
+  iterator erase(iterator it) { return data_.erase(it); }
+
+  void clear() { data_.clear(); }
+
+ private:
+  iterator LowerBound(const K& key) {
+    return std::lower_bound(data_.begin(), data_.end(), key,
+                            [](const value_type& v, const K& k) { return v.first < k; });
+  }
+
+  const_iterator LowerBound(const K& key) const {
+    return std::lower_bound(data_.begin(), data_.end(), key,
+                            [](const value_type& v, const K& k) { return v.first < k; });
+  }
+
+  std::vector<value_type> data_;
+};
+
+}  // namespace msim
+
+#endif  // SRC_SIM_FLAT_MAP_H_

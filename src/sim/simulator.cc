@@ -3,32 +3,142 @@
 namespace msim {
 
 bool Simulator::Cancel(EventId id) {
-  // Linear in queue size only in the worst case of many same-time events;
-  // cancellation is rare (timer races) so a scan keyed by id suffices.
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (it->first.id == id) {
-      queue_.erase(it);
-      return true;
-    }
+  if (id == 0) {
+    return false;
   }
-  return false;
+  std::uint32_t slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
+  std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) {
+    return false;  // already fired, already cancelled, or never existed
+  }
+  // Lazy cancellation: free the slot now (bumping its generation turns the
+  // queue entry into a tombstone) and let the entry surface and be skipped
+  // whenever it reaches the heap top.
+  ReleaseSlot(slot);
+  --live_;
+  // Cancellation-heavy phases (timer races under fault injection) can leave
+  // many far-future tombstones that won't surface for a while; compact once
+  // dead entries dominate so heap memory stays proportional to live events.
+  if (heap_.size() >= 64 && heap_.size() > 4 * live_) {
+    Compact();
+  }
+  return true;
 }
 
-bool Simulator::PopAndFire() {
-  auto it = queue_.begin();
-  now_ = it->first.time;
-  std::function<void()> fn = std::move(it->second);
-  queue_.erase(it);
+void Simulator::Compact() {
+  std::size_t out = 0;
+  for (const Entry& e : heap_) {
+    if (IsLive(e)) {
+      heap_[out++] = e;
+    }
+  }
+  heap_.resize(out);
+  // Floyd heapify: rebuilding changes only the heap's internal layout, never
+  // the pop order — (time, seq) is a total order, so firing order is
+  // determined by the comparator alone.
+  if (out > 1) {
+    for (std::size_t i = (out - 2) / 2 + 1; i-- > 0;) {
+      SiftDown(i);
+    }
+  }
+}
+
+// Bottom-up pop: push the root hole down along the min-child path (one
+// comparison per level — no check against a sifting element), drop the last
+// entry into the leaf hole, and sift it up. The displaced entry came from
+// the bottom, so it almost never climbs more than a level; total comparisons
+// are ~log2(n) instead of the ~2*log2(n) of the textbook sift-down pop.
+void Simulator::PopHeapTop() {
+  const std::size_t n = heap_.size() - 1;  // size after the pop
+  if (n == 0) {
+    heap_.pop_back();
+    return;
+  }
+  std::size_t hole = 0;
+  for (;;) {
+    std::size_t left = 2 * hole + 1;
+    if (left >= n) {
+      break;
+    }
+    std::size_t right = left + 1;
+    std::size_t min_c = (right < n && heap_[right].Before(heap_[left])) ? right : left;
+    heap_[hole] = heap_[min_c];
+    hole = min_c;
+  }
+  Entry e = heap_[n];
+  heap_.pop_back();
+  while (hole > 0) {
+    std::size_t parent = (hole - 1) / 2;
+    if (!e.Before(heap_[parent])) {
+      break;
+    }
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = e;
+}
+
+void Simulator::SiftUp(std::size_t i) {
+  Entry e = heap_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!e.Before(heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::SiftDown(std::size_t i) {
+  Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t left = 2 * i + 1;
+    if (left >= n) {
+      break;
+    }
+    std::size_t best = left;
+    std::size_t right = left + 1;
+    if (right < n && heap_[right].Before(heap_[left])) {
+      best = right;
+    }
+    if (!heap_[best].Before(e)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+bool Simulator::SelectNext() {
+  while (!heap_.empty() && !IsLive(heap_.front())) {
+    PopHeapTop();
+  }
+  return !heap_.empty();
+}
+
+void Simulator::FireTop() {
+  Entry e = heap_.front();
+  PopHeapTop();
+  now_ = e.time;
+  EventFn fn = std::move(slots_[e.slot].fn);
+  ReleaseSlot(e.slot);
+  --live_;
   ++processed_;
   fn();
-  return true;
 }
 
 std::uint64_t Simulator::Run(std::uint64_t max_events) {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  while (!queue_.empty() && !stop_requested_ && n < max_events) {
-    PopAndFire();
+  while (live_ > 0 && !stop_requested_ && n < max_events) {
+    if (!SelectNext()) {
+      break;  // unreachable while live_ > 0; defensive
+    }
+    FireTop();
     ++n;
   }
   return n;
@@ -37,9 +147,14 @@ std::uint64_t Simulator::Run(std::uint64_t max_events) {
 std::uint64_t Simulator::RunUntil(Time deadline, std::uint64_t max_events) {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  while (!queue_.empty() && !stop_requested_ && n < max_events &&
-         queue_.begin()->first.time <= deadline) {
-    PopAndFire();
+  while (live_ > 0 && !stop_requested_ && n < max_events) {
+    if (!SelectNext()) {
+      break;
+    }
+    if (heap_.front().time > deadline) {
+      break;
+    }
+    FireTop();
     ++n;
   }
   if (!stop_requested_ && now_ < deadline) {

@@ -3,19 +3,36 @@
 // The simulator owns a virtual clock and an event queue. Events scheduled for
 // the same instant fire in the order they were scheduled (FIFO), which makes
 // every run bit-for-bit reproducible.
+//
+// Hot-path design (DESIGN.md §10): the queue is an array-backed binary
+// min-heap ordered by (time, seq) — seq is a monotonic per-schedule counter,
+// so equal-time FIFO is preserved exactly as the earlier std::map keyed on
+// (time, id) did it. A push at the current instant (the kernel's Schedule(0)
+// storms: rescheds, channel wakeups) costs a single parent comparison,
+// because the new entry's seq is the largest so far and never sifts past an
+// equal-time parent. Event callables live in a pooled slot array (free-list
+// recycled, so steady-state scheduling performs zero allocations once the
+// pools warm up) and are InlineFunction rather than std::function, which
+// removes the per-event closure heap allocation. Cancel is O(1) lazy
+// tombstoning: the slot's generation is bumped and the queue entry left
+// behind; the dispatcher skips dead entries, so cancelling an already-fired
+// or unknown id stays a harmless no-op and PendingEvents() never counts
+// tombstones.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <utility>
+#include <vector>
 
+#include "src/sim/inline_fn.h"
 #include "src/sim/time.h"
 
 namespace msim {
 
 // Identifies a scheduled event so it can be cancelled. Id 0 is never used.
+// Internally encoded as (generation << 32 | slot + 1); opaque to callers.
 using EventId = std::uint64_t;
 
 // The event-driven heart of the simulation. Single-threaded by design: the
@@ -31,22 +48,23 @@ class Simulator {
 
   // Schedules `fn` to run `delay` microseconds from now. A negative delay is
   // treated as zero. Returns an id usable with Cancel().
-  EventId Schedule(Duration delay, std::function<void()> fn) {
+  EventId Schedule(Duration delay, EventFn fn) {
     return ScheduleAt(now_ + (delay > 0 ? delay : 0), std::move(fn));
   }
 
   // Schedules `fn` at absolute time `t` (clamped to now).
-  EventId ScheduleAt(Time t, std::function<void()> fn) {
-    if (t < now_) {
-      t = now_;
-    }
-    EventId id = next_id_++;
-    queue_.emplace(Key{t, id}, std::move(fn));
-    return id;
+  EventId ScheduleAt(Time t, EventFn fn) {
+    std::uint32_t slot = AcquireSlot(std::move(fn));
+    const std::uint32_t gen = slots_[slot].gen;
+    ++live_;
+    heap_.push_back(Entry{now_ < t ? t : now_, next_seq_++, slot, gen});
+    SiftUp(heap_.size() - 1);
+    return MakeId(slot, gen);
   }
 
-  // Cancels a pending event. Returns true if the event was still pending.
-  // Cancelling an already-fired (or unknown) id is a harmless no-op.
+  // Cancels a pending event in O(1). Returns true if the event was still
+  // pending. Cancelling an already-fired (or unknown) id is a harmless
+  // no-op: the id's generation no longer matches any live slot.
   bool Cancel(EventId id);
 
   // Runs events until the queue drains, Stop() is called, or `max_events`
@@ -61,31 +79,86 @@ class Simulator {
   // Makes Run()/RunUntil() return after the current event completes.
   void Stop() { stop_requested_ = true; }
 
-  // True if no events are pending.
-  bool Empty() const { return queue_.empty(); }
+  // True if no live events are pending (tombstones don't count).
+  bool Empty() const { return live_ == 0; }
 
-  // Number of pending events.
-  std::size_t PendingEvents() const { return queue_.size(); }
+  // Number of pending (non-cancelled) events.
+  std::size_t PendingEvents() const { return live_; }
 
   // Total events processed since construction.
   std::uint64_t ProcessedEvents() const { return processed_; }
 
  private:
-  struct Key {
+  // One heap entry. (time, seq) is the global total firing order; (slot, gen)
+  // locates the callable and detects cancellation (gen mismatch = tombstone,
+  // skip).
+  struct Entry {
     Time time;
-    EventId id;
-    bool operator<(const Key& o) const {
-      return time != o.time ? time < o.time : id < o.id;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+
+    bool Before(const Entry& o) const {
+      return time != o.time ? time < o.time : seq < o.seq;
     }
   };
 
-  bool PopAndFire();
+  // One pooled event record. `gen` counts reuses of the slot: every fire,
+  // cancel, or reacquire bumps it, which invalidates any EventId or queue
+  // entry still pointing here.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoFree;
+  };
+
+  static constexpr std::uint32_t kNoFree = UINT32_MAX;
+
+  static EventId MakeId(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | (slot + 1);
+  }
+
+  std::uint32_t AcquireSlot(EventFn fn) {
+    if (free_head_ != kNoFree) {
+      std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      slots_[slot].fn = std::move(fn);
+      return slot;
+    }
+    slots_.push_back(Slot{std::move(fn), 0, kNoFree});
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  // Bumps the generation (invalidating ids and queue tombstones) and returns
+  // the slot to the free list. The callable is destroyed here, not at pop
+  // time, so cancelled closures release their captures promptly.
+  void ReleaseSlot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.fn = EventFn();
+    ++s.gen;
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  bool IsLive(const Entry& e) const { return slots_[e.slot].gen == e.gen; }
+
+  // Prunes tombstones off the heap top; true if a live entry remains.
+  bool SelectNext();
+  void FireTop();
+  void PopHeapTop();
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  void Compact();
 
   Time now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  std::size_t live_ = 0;
   bool stop_requested_ = false;
-  std::map<Key, std::function<void()>> queue_;
+  // Binary min-heap on Entry::Before.
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFree;
 };
 
 }  // namespace msim

@@ -2,13 +2,18 @@
 // cancellation, coroutine tasks, and synchronization primitives.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "src/net/network.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
+#include "src/sysv/world.h"
+#include "src/workload/readwriters.h"
 
 namespace {
 
@@ -250,6 +255,270 @@ TEST(Rng, BetweenStaysInRange) {
     EXPECT_GE(v, -3);
     EXPECT_LE(v, 9);
   }
+}
+
+
+// ---------------------------------------------------------------------------
+// Golden event-order determinism tests.
+//
+// These literals were captured from the pre-heap std::map event queue (keyed
+// (time, id)) running the exact workloads below. The heap-based queue must
+// reproduce them byte-for-byte: (time, seq)-ordered dispatch with FIFO at
+// equal timestamps is the simulator's determinism contract, and every
+// experiment report in EXPERIMENTS.md depends on it. If either test fails
+// after a queue change, the change reordered events — fix the queue, never
+// the literals.
+
+struct GoldenPacket {
+  Time at;
+  int src;
+  int dst;
+  unsigned type;
+};
+
+static const std::pair<msim::Time, int> kGoldenSimOrder[] = {
+    {1, 177},     {7, 229},     {8, 148},     {14, 108},
+    {20, 132},     {31, 300},     {36, 52},     {42, 166},
+    {46, 12},     {46, 288},     {50, 161},     {51, 59},
+    {51, 301},     {55, 198},     {56, 13},     {56, 226},
+    {57, 137},     {62, 305},     {64, 100},     {67, 302},
+    {70, 263},     {72, 303},     {75, 306},     {78, 71},
+    {79, 308},     {82, 203},     {83, 135},     {86, 260},
+    {87, 212},     {89, 235},     {90, 98},     {94, 276},
+    {95, 307},     {98, 120},     {98, 304},     {106, 66},
+    {110, 218},     {111, 271},     {119, 46},     {119, 311},
+    {122, 197},     {123, 42},     {125, 309},     {126, 310},
+    {129, 171},     {131, 63},     {133, 313},     {135, 283},
+    {139, 96},     {153, 102},     {153, 314},     {158, 147},
+    {161, 312},     {163, 315},     {164, 111},     {169, 294},
+    {171, 27},     {171, 291},     {173, 125},     {179, 87},
+    {182, 316},     {186, 130},     {186, 239},     {187, 122},
+    {188, 11},     {189, 214},     {192, 192},     {195, 107},
+    {195, 202},     {199, 184},     {200, 318},     {201, 174},
+    {202, 317},     {203, 252},     {206, 266},     {209, 321},
+    {211, 320},     {212, 323},     {213, 319},     {215, 261},
+    {218, 325},     {222, 204},     {231, 88},     {234, 322},
+    {239, 167},     {241, 124},     {247, 190},     {248, 1},
+    {249, 67},     {250, 324},     {252, 61},     {252, 329},
+    {257, 227},     {257, 328},     {258, 208},     {259, 326},
+    {259, 327},     {260, 97},     {263, 121},     {264, 188},
+    {270, 25},     {271, 163},     {274, 160},     {275, 195},
+    {281, 139},     {282, 54},     {284, 86},     {286, 330},
+    {287, 199},     {296, 133},     {297, 251},     {298, 48},
+    {298, 154},     {300, 272},     {303, 75},     {307, 18},
+    {308, 22},     {310, 32},     {311, 26},     {312, 332},
+    {314, 55},     {318, 228},     {320, 333},     {322, 140},
+    {325, 3},     {326, 79},     {327, 234},     {331, 36},
+    {336, 331},     {347, 126},     {353, 237},     {354, 119},
+    {355, 158},     {357, 104},     {358, 19},     {360, 335},
+    {363, 336},     {364, 176},     {365, 243},     {366, 338},
+    {367, 215},     {367, 339},     {368, 334},     {373, 6},
+    {374, 35},     {375, 299},     {376, 216},     {379, 14},
+    {381, 241},     {383, 60},     {383, 150},     {384, 180},
+    {385, 62},     {390, 201},     {399, 337},     {400, 344},
+    {403, 342},     {408, 183},     {416, 340},     {418, 144},
+    {418, 153},     {420, 343},     {421, 72},     {422, 175},
+    {425, 123},     {430, 84},     {430, 341},     {431, 281},
+    {433, 37},     {434, 244},     {434, 296},     {436, 53},
+    {436, 287},     {440, 78},     {449, 345},     {453, 7},
+    {454, 44},     {458, 20},     {460, 282},     {461, 128},
+    {470, 349},     {477, 346},     {482, 347},     {489, 350},
+    {490, 274},     {497, 145},     {500, 348},     {503, 149},
+    {503, 191},     {513, 194},     {515, 39},     {519, 134},
+    {520, 351},     {527, 264},     {532, 179},     {535, 173},
+    {536, 193},     {538, 353},     {541, 354},     {542, 231},
+
+};
+
+static const GoldenPacket kGoldenPacketOrder[] = {
+    {10525, 1, 0, 1},
+    {31892, 0, 1, 6},
+    {44617, 1, 0, 8},
+    {55567, 0, 1, 2},
+    {79893, 1, 0, 6},
+    {89033, 1, 0, 1},
+    {104118, 0, 1, 6},
+    {116843, 1, 0, 8},
+    {127793, 0, 1, 2},
+    {146561, 1, 0, 6},
+    {155707, 1, 0, 1},
+    {170786, 0, 1, 6},
+    {183511, 1, 0, 8},
+    {194461, 0, 1, 2},
+    {213229, 1, 0, 6},
+    {222375, 1, 0, 1},
+    {237454, 0, 1, 6},
+    {250179, 1, 0, 8},
+    {261129, 0, 1, 2},
+    {279897, 1, 0, 6},
+    {289043, 1, 0, 1},
+    {304122, 0, 1, 6},
+    {316847, 1, 0, 8},
+    {327797, 0, 1, 2},
+    {341022, 1, 0, 6},
+};
+
+TEST(SimulatorGolden, EventOrderMatchesPreHeapQueue) {
+  Simulator sim;
+  Rng rng(0xF16E8);
+  std::vector<std::pair<Time, int>> fired;
+  std::vector<msim::EventId> live;
+  int next_k = 0;
+  // A seeded mix of schedules, nested reschedules from inside events, and
+  // random cancellations; k is the closure's creation index, so the record
+  // is independent of queue internals.
+  auto schedule = [&](auto&& self, Duration d) -> void {
+    int k = next_k++;
+    live.push_back(sim.Schedule(d, [&, k, self]() {
+      fired.emplace_back(sim.Now(), k);
+      if (rng.Below(4) == 0) {
+        self(self, static_cast<Duration>(rng.Below(50)));
+      }
+    }));
+  };
+  for (int i = 0; i < 300; ++i) {
+    schedule(schedule, static_cast<Duration>(rng.Below(1000)));
+    if (i % 7 == 3 && !live.empty()) {
+      sim.Cancel(live[rng.Below(live.size())]);
+    }
+  }
+  sim.Run(400);
+  const std::size_t n = sizeof(kGoldenSimOrder) / sizeof(kGoldenSimOrder[0]);
+  ASSERT_GE(fired.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(fired[i].first, kGoldenSimOrder[i].first) << "firing " << i;
+    EXPECT_EQ(fired[i].second, kGoldenSimOrder[i].second) << "firing " << i;
+  }
+}
+
+TEST(SimulatorGolden, ProtocolPacketOrderMatchesPreHeapQueue) {
+  msysv::WorldOptions opts;
+  opts.protocol.default_window_us = 0;  // maximize cross-site transfers
+  msysv::World world(2, opts);
+  std::vector<GoldenPacket> seen;
+  world.network().AddObserver([&](const mnet::Packet& p, Time t) {
+    if (seen.size() < 160) {
+      seen.push_back(GoldenPacket{t, static_cast<int>(p.src), static_cast<int>(p.dst), p.type});
+    }
+  });
+  mwork::ReadWritersParams prm;
+  prm.iterations = 4000;
+  auto r = mwork::LaunchReadWriters(world, prm);
+  world.RunUntil([&] { return r->completed; }, 60 * msim::kSecond);
+  // The fingerprint pins the full interleaving, not just the packet list:
+  // final virtual time and total event count catch any divergence the first
+  // 160 deliveries miss.
+  EXPECT_EQ(world.sim().Now(), 416675);
+  EXPECT_EQ(world.sim().ProcessedEvents(), 8283u);
+  const std::size_t n = sizeof(kGoldenPacketOrder) / sizeof(kGoldenPacketOrder[0]);
+  ASSERT_EQ(seen.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(seen[i].at, kGoldenPacketOrder[i].at) << "packet " << i;
+    EXPECT_EQ(seen[i].src, kGoldenPacketOrder[i].src) << "packet " << i;
+    EXPECT_EQ(seen[i].dst, kGoldenPacketOrder[i].dst) << "packet " << i;
+    EXPECT_EQ(seen[i].type, kGoldenPacketOrder[i].type) << "packet " << i;
+  }
+}
+
+// ------------------------------------------------------------------------
+// Cancel semantics under lazy tombstoning.
+
+TEST(SimulatorCancel, CancelAfterFireIsHarmlessNoOp) {
+  Simulator sim;
+  int fired = 0;
+  msim::EventId id = sim.Schedule(5, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Cancel(id));  // already fired: no effect, no crash
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorCancel, StaleIdNeverCancelsASlotReuse) {
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  msim::EventId id = sim.Schedule(1, [&] { ++first; });
+  sim.Run();
+  // The pooled slot is recycled for the next event; the old id's generation
+  // no longer matches and must not cancel the newcomer.
+  sim.Schedule(1, [&] { ++second; });
+  EXPECT_FALSE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SimulatorCancel, UnknownIdIsRejected) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(0));
+  EXPECT_FALSE(sim.Cancel(0xDEADBEEFCAFEULL));
+  sim.Schedule(1, [] {});
+  EXPECT_FALSE(sim.Cancel(0));  // id 0 is never a live event
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+TEST(SimulatorCancel, PendingEventsExcludesTombstones) {
+  Simulator sim;
+  std::vector<msim::EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.Schedule(100 + i, [] {}));
+  }
+  EXPECT_EQ(sim.PendingEvents(), 10u);
+  for (int i = 0; i < 10; i += 2) {
+    EXPECT_TRUE(sim.Cancel(ids[i]));
+  }
+  // The five tombstones still sit in the queue internally, but they are not
+  // pending events.
+  EXPECT_EQ(sim.PendingEvents(), 5u);
+  EXPECT_FALSE(sim.Empty());
+  EXPECT_EQ(sim.Run(), 5u);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SimulatorCancel, EmptyWithOnlyTombstonesLeft) {
+  Simulator sim;
+  msim::EventId a = sim.Schedule(10, [] {});
+  msim::EventId b = sim.Schedule(20, [] {});
+  EXPECT_TRUE(sim.Cancel(a));
+  EXPECT_TRUE(sim.Cancel(b));
+  EXPECT_TRUE(sim.Empty());
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_EQ(sim.Run(), 0u);
+  EXPECT_EQ(sim.Now(), 0);  // nothing fired, clock never moved
+}
+
+TEST(SimulatorCancel, RunUntilWithTombstoneAtQueueHead) {
+  Simulator sim;
+  int fired_at = -1;
+  msim::EventId head = sim.Schedule(5, [] {});
+  sim.Schedule(15, [&] { fired_at = static_cast<int>(sim.Now()); });
+  EXPECT_TRUE(sim.Cancel(head));
+  // The tombstone at the head must be skipped, not treated as the next
+  // event time.
+  EXPECT_EQ(sim.RunUntil(10), 0u);
+  EXPECT_EQ(sim.Now(), 10);
+  EXPECT_EQ(sim.RunUntil(20), 1u);
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(SimulatorCancel, MassCancellationCompactsAndStaysCorrect) {
+  Simulator sim;
+  std::vector<msim::EventId> ids;
+  int fired = 0;
+  // Far-future events that all get cancelled exercise the heap compaction
+  // path; the survivors must still fire in exact order.
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(sim.Schedule(1000 + i, [&] { ++fired; }));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 100 != 0) {
+      EXPECT_TRUE(sim.Cancel(ids[i]));
+    }
+  }
+  EXPECT_EQ(sim.PendingEvents(), 20u);
+  EXPECT_EQ(sim.Run(), 20u);
+  EXPECT_EQ(fired, 20);
+  EXPECT_EQ(sim.Now(), 1000 + 1900);
 }
 
 }  // namespace
