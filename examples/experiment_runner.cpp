@@ -13,9 +13,12 @@
 //                (bench_scalability's sweep, widened with a loss axis)
 //   availability library-site failover sweep: ping-pong with the segment
 //                homed on a pure-controller site (--lib=2), with and
-//                without crashing it mid-run, across site counts — the
-//                fraction of runs that keep completing measures how well
-//                segments survive controller loss
+//                without crashing it mid-run, across site counts and
+//                replication degrees k=1..3 — the fraction of runs that
+//                keep completing measures how well segments survive
+//                controller loss, pages_lost measures what a data-holder
+//                crash destroys at each k, and the fault-free plan prices
+//                the quorum-write latency cost of k
 //
 // Axis/override options (comma-separated lists make a grid):
 //   --workload=W             readwriters|pingpong|spinlock|scalability|matrix|dot|tsp
@@ -24,6 +27,7 @@
 //   --quantum=6              scheduling-quantum axis (ticks)
 //   --segbytes=512           segment-size axis (bytes)
 //   --loss=0,0.02            frame-loss axis (probability)
+//   --replicas=1,2,3         page-replication-degree axis (1 = single copy)
 //   --reps=5                 repetitions per grid point
 //   --offsets=0,170,410      per-repetition start phases (ms)
 //   --seed=N                 spec seed (per-run seeds derive from it)
@@ -131,6 +135,11 @@ mexp::ExperimentSpec AvailabilitySpec() {
   // (sites 0 and 1) hold every copy, so crashing the library tests failover
   // alone, not data loss.
   spec.library_site = 2;
+  // Replication axis: k=1 is the paper's single-copy protocol, k=2..3 add
+  // quorum-replicated standbys. The fault-free plan prices the quorum-write
+  // latency of each k; crash_holder shows what a data-holder crash destroys
+  // (pages_lost > 0 only at k=1).
+  spec.replicas = {1, 2, 3};
   mexp::FaultPlanSpec none;
   none.name = "none";
   spec.fault_plans.push_back(std::move(none));
@@ -138,6 +147,13 @@ mexp::ExperimentSpec AvailabilitySpec() {
   crash.name = "crash_library";
   crash.plan.CrashAt(50 * msim::kMillisecond, 2);
   spec.fault_plans.push_back(std::move(crash));
+  // Crash a ping-pong player (site 1) mid-run: it holds page copies, so this
+  // plan measures data survival, not just controller failover. The run can't
+  // complete (a player died) — pages_lost is the metric of interest.
+  mexp::FaultPlanSpec holder;
+  holder.name = "crash_holder";
+  holder.plan.CrashAt(50 * msim::kMillisecond, 1);
+  spec.fault_plans.push_back(std::move(holder));
   spec.max_time_s = 60;
   return spec;
 }
@@ -165,8 +181,8 @@ bool LoadSpecFile(const std::string& path, mexp::ExperimentSpec* spec) {
 
 // Console summary: one row per grid point with the headline metrics.
 void PrintSummary(const mexp::ExperimentReport& report) {
-  mtrace::TextTable t({"point", "sites", "Delta (ms)", "loss", "faults", "metric", "mean",
-                       "min", "max", "ci95"});
+  mtrace::TextTable t({"point", "sites", "Delta (ms)", "loss", "repl", "faults", "metric",
+                       "mean", "min", "max", "ci95"});
   int index = 0;
   for (const mexp::PointResult& pt : report.points) {
     // The headline metric: throughput when present, else the workload's
@@ -182,7 +198,8 @@ void PrintSummary(const mexp::ExperimentReport& report) {
     const mexp::StatsAccumulator& acc = it->second;
     t.AddRow({mtrace::TextTable::Int(index++), mtrace::TextTable::Int(pt.params.sites),
               mtrace::TextTable::Int(static_cast<int>(pt.params.delta_ms)),
-              mtrace::TextTable::Num(pt.params.loss, 3), pt.params.fault_plan, headline,
+              mtrace::TextTable::Num(pt.params.loss, 3),
+              mtrace::TextTable::Int(pt.params.replicas), pt.params.fault_plan, headline,
               mtrace::TextTable::Num(acc.Mean(), 1), mtrace::TextTable::Num(acc.Min(), 1),
               mtrace::TextTable::Num(acc.Max(), 1),
               mtrace::TextTable::Num(acc.Ci95HalfWidth(), 1)});
@@ -242,6 +259,9 @@ int main(int argc, char** argv) {
     } else if (s.rfind("--loss=", 0) == 0) {
       ok = ParseList<double>(value(), &spec.loss,
                              [](const std::string& v) { return std::atof(v.c_str()); });
+    } else if (s.rfind("--replicas=", 0) == 0) {
+      ok = ParseList<int>(value(), &spec.replicas,
+                          [](const std::string& v) { return std::atoi(v.c_str()); });
     } else if (s.rfind("--offsets=", 0) == 0) {
       ok = ParseList<std::int64_t>(value(), &spec.phase_offsets_ms,
                                    [](const std::string& v) { return std::atol(v.c_str()); });

@@ -9,10 +9,12 @@
 //     delta_ms:  window in ms     (default 0)
 //   options:
 //     --no-yield      busy-wait instead of yield() in spin loops
-//     --json          emit a mirage-exp-v1 JSON report (single point) to
+//     --json          emit a mirage-exp-v2 JSON report (single point) to
 //                     stdout instead of the human-readable report, so fault
 //                     scenarios feed the same aggregation pipeline as
 //                     experiment_runner sweeps
+//     --replicas=K    keep K quorum-replicated copies of every page (cold
+//                     standbys of the last committed version); 1 = off
 //     --trace         print the protocol event trace
 //     --parallel-lib  enable concurrent library service of distinct pages
 //     --baseline      run over the Li/Hudak protocol instead of Mirage
@@ -60,6 +62,7 @@ struct Args {
   bool parallel_lib = false;
   bool baseline = false;
   double loss = 0.0;
+  int replicas = 1;
   bool json = false;
   int library_site = 0;
   mfault::FaultPlan faults;
@@ -83,6 +86,12 @@ Args Parse(int argc, char** argv) {
       a.baseline = true;
     } else if (s.rfind("--loss=", 0) == 0) {
       a.loss = std::atof(s.c_str() + 7);
+    } else if (s.rfind("--replicas=", 0) == 0) {
+      a.replicas = std::atoi(s.c_str() + 11);
+      if (a.replicas < 1 || a.replicas > 12) {
+        std::fprintf(stderr, "--replicas must be in 1..12\n");
+        std::exit(2);
+      }
     } else if (s.rfind("--lib=", 0) == 0) {
       a.library_site = std::atoi(s.c_str() + 6);
     } else if (s.rfind("--crash=", 0) == 0) {
@@ -139,7 +148,7 @@ int main(int argc, char** argv) {
 
   if (args.json) {
     // Machine-readable mode: run the identical scenario through the
-    // experiment harness and emit a single-point mirage-exp-v1 report, so a
+    // experiment harness and emit a single-point mirage-exp-v2 report, so a
     // fault scenario lands in the same aggregation/diff pipeline as a sweep.
     if (!mexp::KnownWorkload(args.workload)) {
       std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());
@@ -151,6 +160,7 @@ int main(int argc, char** argv) {
     spec.sites = {args.sites};
     spec.delta_ms = {args.delta_ms};
     spec.loss = {args.loss};
+    spec.replicas = {args.replicas};
     spec.use_yield = args.yield;
     spec.parallel_lib = args.parallel_lib;
     spec.baseline = args.baseline;
@@ -174,6 +184,7 @@ int main(int argc, char** argv) {
   opts.protocol.default_window_us =
       static_cast<msim::Duration>(args.delta_ms) * msim::kMillisecond;
   opts.protocol.parallel_page_ops = args.parallel_lib;
+  opts.protocol.replicas = args.replicas;
   if (args.loss > 0.0) {
     opts.circuit = mnet::CircuitOptions{};
     opts.circuit->loss_probability = args.loss;
@@ -204,6 +215,9 @@ int main(int argc, char** argv) {
               args.baseline ? ", Li/Hudak baseline" : "");
   if (args.loss > 0.0) {
     std::printf(", %.0f%% frame loss", args.loss * 100.0);
+  }
+  if (args.replicas > 1) {
+    std::printf(", %d replicas", args.replicas);
   }
   if (args.faulted) {
     std::printf(", %zu fault events", args.faults.events().size());

@@ -15,6 +15,12 @@ Json ParamsToJson(const RunConfig& p) {
   j.Set("quantum_ticks", Json(p.quantum_ticks));
   j.Set("segment_bytes", Json(static_cast<double>(p.segment_bytes)));
   j.Set("loss", Json(p.loss));
+  // replicas=1 (the single-copy protocol) is omitted so that PointKey — and
+  // therefore regression diffs — match reports written before the replication
+  // axis existed.
+  if (p.replicas != 1) {
+    j.Set("replicas", Json(p.replicas));
+  }
   j.Set("fault_plan", Json(p.fault_plan));
   return j;
 }
@@ -53,7 +59,12 @@ std::string PointKey(const Json& params) {
 
 Json ReportToJson(const ExperimentReport& report) {
   Json root = Json::Object();
-  root.Set("schema", Json("mirage-exp-v1"));
+  // v2: failover counters (fail_notices_*, elections, recoveries, pages_*,
+  // stale_epoch_drops, recovery_replies) and replication counters
+  // (replica_writes, quorum_waits, degraded_reads, replica_respreads) appear
+  // in run metrics; params carry "replicas" when != 1. v1 readers that
+  // ignore unknown members parse v2 reports unchanged.
+  root.Set("schema", Json("mirage-exp-v2"));
   root.Set("name", Json(report.spec.name));
   root.Set("workload", Json(report.spec.workload));
   root.Set("spec", report.spec.ToJson());
@@ -110,7 +121,7 @@ Json ReportToJson(const ExperimentReport& report) {
 }
 
 void WriteCsv(const ExperimentReport& report, std::ostream& os) {
-  os << "point,workload,sites,delta_ms,quantum_ticks,segment_bytes,loss,fault_plan,"
+  os << "point,workload,sites,delta_ms,quantum_ticks,segment_bytes,loss,replicas,fault_plan,"
         "metric,n,mean,min,max,stddev,ci95\n";
   int index = 0;
   for (const PointResult& pt : report.points) {
@@ -119,7 +130,8 @@ void WriteCsv(const ExperimentReport& report, std::ostream& os) {
                          std::to_string(p.sites) + "," + std::to_string(p.delta_ms) + "," +
                          std::to_string(p.quantum_ticks) + "," +
                          std::to_string(p.segment_bytes) + "," +
-                         Json::NumberToString(p.loss) + "," + p.fault_plan + ",";
+                         Json::NumberToString(p.loss) + "," + std::to_string(p.replicas) +
+                         "," + p.fault_plan + ",";
     for (const auto& [name, acc] : pt.metrics) {
       os << prefix << name << "," << acc.count() << "," << Json::NumberToString(acc.Mean())
          << "," << Json::NumberToString(acc.Min()) << "," << Json::NumberToString(acc.Max())
@@ -158,7 +170,8 @@ MetricSense SenseOf(const std::string& metric) {
   }
   if (contains("latency") || contains("elapsed") || contains("failed") ||
       contains("timeouts") || contains("aborted") || contains("_p50") || contains("_p99") ||
-      contains("refusals")) {
+      contains("refusals") || contains("lost") || contains("degraded") ||
+      contains("stale_epoch")) {
     return MetricSense::kLowerIsBetter;
   }
   return MetricSense::kNeutral;

@@ -1,6 +1,6 @@
 // Report emission (JSON + CSV) and baseline regression diffing.
 //
-// The JSON schema ("mirage-exp-v1", documented in DESIGN.md) is the
+// The JSON schema ("mirage-exp-v2", documented in DESIGN.md) is the
 // interchange format of the whole measurement pipeline: experiment_runner
 // writes it, scenario_runner --json writes single-point instances of it,
 // tests byte-compare it across thread counts, and the diff mode re-reads it
@@ -38,7 +38,7 @@ struct DiffEntry {
   bool regression = false;
 };
 
-// Compares two mirage-exp-v1 documents point-by-point (points are matched on
+// Compares two mirage-exp documents (v1 or v2) point-by-point (points are matched on
 // their parameter values). Entries are emitted for every metric whose
 // relative change exceeds `tolerance`; points present in only one report are
 // skipped. Metrics measured as better-when-higher (throughput, ops, units)

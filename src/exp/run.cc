@@ -24,6 +24,7 @@ msysv::WorldOptions BuildWorldOptions(const RunConfig& cfg) {
   opts.sched.quantum_ticks = cfg.quantum_ticks;
   opts.protocol.default_window_us = cfg.delta_ms * msim::kMillisecond;
   opts.protocol.parallel_page_ops = cfg.parallel_lib;
+  opts.protocol.replicas = cfg.replicas;
   if (cfg.loss > 0.0) {
     opts.circuit = mnet::CircuitOptions{};
     opts.circuit->loss_probability = cfg.loss;
@@ -91,6 +92,12 @@ void CollectCommon(msysv::World& world, RunResult* out) {
     sum.pages_lost_in_recovery += es.pages_lost_in_recovery;
     sum.stale_epoch_drops += es.stale_epoch_drops;
     sum.recovery_replies_sent += es.recovery_replies_sent;
+    sum.fail_notices_sent += es.fail_notices_sent;
+    sum.fail_notices_received += es.fail_notices_received;
+    sum.replica_writes += es.replica_writes;
+    sum.quorum_waits += es.quorum_waits;
+    sum.degraded_reads += es.degraded_reads;
+    sum.replica_respreads += es.replica_respreads;
     out->read_latency.Merge(e->read_fault_latency());
     out->write_latency.Merge(e->write_fault_latency());
   }
@@ -113,6 +120,12 @@ void CollectCommon(msysv::World& world, RunResult* out) {
     out->metrics["pages_lost"] = static_cast<double>(sum.pages_lost_in_recovery);
     out->metrics["stale_epoch_drops"] = static_cast<double>(sum.stale_epoch_drops);
     out->metrics["recovery_replies"] = static_cast<double>(sum.recovery_replies_sent);
+    out->metrics["fail_notices_sent"] = static_cast<double>(sum.fail_notices_sent);
+    out->metrics["fail_notices_received"] = static_cast<double>(sum.fail_notices_received);
+    out->metrics["replica_writes"] = static_cast<double>(sum.replica_writes);
+    out->metrics["quorum_waits"] = static_cast<double>(sum.quorum_waits);
+    out->metrics["degraded_reads"] = static_cast<double>(sum.degraded_reads);
+    out->metrics["replica_respreads"] = static_cast<double>(sum.replica_respreads);
   }
 }
 

@@ -51,7 +51,7 @@ bool ReadNumArray(const Json& j, const std::string& key, std::vector<T>* out) {
 int ExperimentSpec::PointCount() const {
   std::size_t plans = fault_plans.empty() ? 1 : fault_plans.size();
   return static_cast<int>(sites.size() * delta_ms.size() * quantum_ticks.size() *
-                          segment_bytes.size() * loss.size() * plans);
+                          segment_bytes.size() * loss.size() * replicas.size() * plans);
 }
 
 std::uint64_t ExperimentSpec::DeriveSeed(std::uint64_t base, int run_index) {
@@ -76,40 +76,43 @@ std::vector<RunConfig> ExperimentSpec::Expand() const {
       for (int q : quantum_ticks) {
         for (std::uint32_t sb : segment_bytes) {
           for (double l : loss) {
-            for (const FaultPlanSpec& fp : plans) {
-              for (int r = 0; r < reps; ++r) {
-                RunConfig cfg;
-                cfg.point = point;
-                cfg.rep = r;
-                cfg.run_index = run_index;
-                cfg.workload = workload;
-                cfg.sites = s;
-                cfg.delta_ms = d;
-                cfg.quantum_ticks = q;
-                cfg.segment_bytes = sb;
-                cfg.loss = l;
-                cfg.fault_plan = fp.name;
-                cfg.faults = fp.plan;
-                cfg.seed = DeriveSeed(seed, run_index);
-                if (!phase_offsets_ms.empty()) {
-                  cfg.start_offset_us =
-                      phase_offsets_ms[r % phase_offsets_ms.size()] * msim::kMillisecond;
+            for (int k : replicas) {
+              for (const FaultPlanSpec& fp : plans) {
+                for (int r = 0; r < reps; ++r) {
+                  RunConfig cfg;
+                  cfg.point = point;
+                  cfg.rep = r;
+                  cfg.run_index = run_index;
+                  cfg.workload = workload;
+                  cfg.sites = s;
+                  cfg.delta_ms = d;
+                  cfg.quantum_ticks = q;
+                  cfg.segment_bytes = sb;
+                  cfg.loss = l;
+                  cfg.replicas = k;
+                  cfg.fault_plan = fp.name;
+                  cfg.faults = fp.plan;
+                  cfg.seed = DeriveSeed(seed, run_index);
+                  if (!phase_offsets_ms.empty()) {
+                    cfg.start_offset_us =
+                        phase_offsets_ms[r % phase_offsets_ms.size()] * msim::kMillisecond;
+                  }
+                  cfg.library_site = library_site;
+                  cfg.iterations = iterations;
+                  cfg.rounds = rounds;
+                  cfg.matrix_n = matrix_n;
+                  cfg.dot_length = dot_length;
+                  cfg.tsp_cities = tsp_cities;
+                  cfg.with_background = with_background;
+                  cfg.use_yield = use_yield;
+                  cfg.parallel_lib = parallel_lib;
+                  cfg.baseline = baseline;
+                  cfg.max_time_us = max_time_s * msim::kSecond;
+                  out.push_back(std::move(cfg));
+                  ++run_index;
                 }
-                cfg.library_site = library_site;
-                cfg.iterations = iterations;
-                cfg.rounds = rounds;
-                cfg.matrix_n = matrix_n;
-                cfg.dot_length = dot_length;
-                cfg.tsp_cities = tsp_cities;
-                cfg.with_background = with_background;
-                cfg.use_yield = use_yield;
-                cfg.parallel_lib = parallel_lib;
-                cfg.baseline = baseline;
-                cfg.max_time_us = max_time_s * msim::kSecond;
-                out.push_back(std::move(cfg));
-                ++run_index;
+                ++point;
               }
-              ++point;
             }
           }
         }
@@ -191,6 +194,7 @@ Json ExperimentSpec::ToJson() const {
   j.Set("quantum_ticks", NumArray(quantum_ticks));
   j.Set("segment_bytes", NumArray(segment_bytes));
   j.Set("loss", NumArray(loss));
+  j.Set("replicas", NumArray(replicas));
   if (!fault_plans.empty()) {
     Json plans = Json::Array();
     for (const FaultPlanSpec& fp : fault_plans) {
@@ -229,6 +233,7 @@ bool ExperimentSpec::FromJson(const Json& j, ExperimentSpec* out, std::string* e
       !ReadNumArray(j, "quantum_ticks", &spec.quantum_ticks) ||
       !ReadNumArray(j, "segment_bytes", &spec.segment_bytes) ||
       !ReadNumArray(j, "loss", &spec.loss) ||
+      !ReadNumArray(j, "replicas", &spec.replicas) ||
       !ReadNumArray(j, "phase_offsets_ms", &spec.phase_offsets_ms)) {
     *error = "axis members must be non-empty arrays of numbers";
     return false;
@@ -276,6 +281,12 @@ bool ExperimentSpec::FromJson(const Json& j, ExperimentSpec* out, std::string* e
   for (int s : spec.sites) {
     if (s < 1 || s > 12) {
       *error = "sites values must be in 1..12";
+      return false;
+    }
+  }
+  for (int k : spec.replicas) {
+    if (k < 1 || k > 12) {
+      *error = "replicas values must be in 1..12";
       return false;
     }
   }

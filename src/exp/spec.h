@@ -43,6 +43,9 @@ struct RunConfig {
   int quantum_ticks = 6;
   std::uint32_t segment_bytes = 512;
   double loss = 0.0;
+  // Page replication degree k (ProtocolOptions::replicas); 1 = the paper's
+  // single-copy protocol.
+  int replicas = 1;
   std::string fault_plan = "none";
   mfault::FaultPlan faults;
 
@@ -78,6 +81,9 @@ struct ExperimentSpec {
   std::vector<int> quantum_ticks{6};
   std::vector<std::uint32_t> segment_bytes{512};
   std::vector<double> loss{0.0};
+  // Replication degree axis; {1} (the default) reproduces the pre-replication
+  // grid byte-for-byte: point order, run order, and derived seeds all match.
+  std::vector<int> replicas{1};
   // Empty = one implicit fault-free plan named "none".
   std::vector<FaultPlanSpec> fault_plans;
 
@@ -104,7 +110,8 @@ struct ExperimentSpec {
   // Grid points (product of the axis sizes, without repetitions).
   int PointCount() const;
   // Flattens the grid in nesting order sites > delta > quantum >
-  // segment_bytes > loss > fault_plan, repetitions innermost. Deterministic.
+  // segment_bytes > loss > replicas > fault_plan, repetitions innermost.
+  // Deterministic.
   std::vector<RunConfig> Expand() const;
 
   // The seed for global run `run_index`, splitmix-derived from the spec seed.

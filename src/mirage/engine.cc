@@ -50,6 +50,12 @@ const char* MsgKindName(MsgKind k) {
       return "RECOVERY_QUERY";
     case MsgKind::kRecoveryReply:
       return "RECOVERY_REPLY";
+    case MsgKind::kReplicate:
+      return "REPLICATE";
+    case MsgKind::kReplicateAck:
+      return "REPLICATE_ACK";
+    case MsgKind::kPromoteReplica:
+      return "PROMOTE_REPLICA";
   }
   return "UNKNOWN";
 }
@@ -66,6 +72,8 @@ const char* ClockActionName(ClockAction a) {
       return "DOWNGRADE_FOR_READERS";
     case ClockAction::kInvalidateForReaders:
       return "INVALIDATE_FOR_READERS";
+    case ClockAction::kReplicateOnly:
+      return "REPLICATE_ONLY";
   }
   return "UNKNOWN";
 }
@@ -165,6 +173,13 @@ void Engine::ReallyDrop(mmem::SegmentId seg) {
   for (auto it = waits_.begin(); it != waits_.end();) {
     if (static_cast<mmem::SegmentId>(it->first >> 32) == seg) {
       it = waits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = replicas_.begin(); it != replicas_.end();) {
+    if (static_cast<mmem::SegmentId>(it->first >> 32) == seg) {
+      it = replicas_.erase(it);
     } else {
       ++it;
     }
@@ -461,6 +476,44 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
       kernel_->Wakeup(it->second->chan);
       break;
     }
+    case MsgKind::kReplicate: {
+      const auto& b = mnet::PacketBody<ReplicateBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        // A stale replicate must not overwrite a standby the reconstructed
+        // directory may promote. No ack: the stale commit is fenced at its
+        // origin too and abandons itself.
+        break;
+      }
+      ApplyReplicate(b);
+      ReplicateAckBody a{b.seg, b.page, b.req_id, b.version, site(), b.epoch};
+      co_await kernel_->Send(
+          self, mnet::MakePacket(site(), b.from,
+                                 static_cast<std::uint32_t>(MsgKind::kReplicateAck),
+                                 kShortMsgBytes, a));
+      break;
+    }
+    case MsgKind::kReplicateAck: {
+      const auto& b = mnet::PacketBody<ReplicateAckBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        break;  // fenced: a pre-crash ack must not credit a successor's quorum
+      }
+      CreditReplicateAck(b);
+      break;
+    }
+    case MsgKind::kPromoteReplica: {
+      const auto& b = mnet::PacketBody<PromoteReplicaBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        break;
+      }
+      AdoptEpoch(b.seg, b.epoch);
+      ApplyPromoteReplica(b);
+      InstallAckBody a{b.seg, b.page, b.req_id, site(), b.epoch};
+      co_await kernel_->Send(
+          self, mnet::MakePacket(site(), b.library_site,
+                                 static_cast<std::uint32_t>(MsgKind::kInstallAck),
+                                 kShortMsgBytes, a));
+      break;
+    }
   }
 }
 
@@ -631,6 +684,47 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
   const mnet::SiteId requester = req.body.requester;
   PageDir& pd = dit->second->pages.at(page);
 
+  if (req.respread) {
+    // Membership-change re-spread: re-replicate the page's committed
+    // contents onto a refreshed standby set. Best-effort — no requester is
+    // waiting, so a failure never condemns the page (but a dead clock site
+    // still escalates to reconstruction, which re-homes and re-spreads).
+    if (opts_.replicas < 2 || pd.lost || pd.mode == PageMode::kEmpty) {
+      co_return;
+    }
+    mmem::SiteMask rset = ChooseReplicaSet(seg);
+    if (rset == 0) {
+      co_return;
+    }
+    ClockOpBody op;
+    op.seg = seg;
+    op.page = page;
+    op.req_id = next_req_id_++;
+    op.action = ClockAction::kReplicateOnly;
+    op.targets = 0;
+    op.invalidate_set = 0;
+    op.resulting_readers = pd.readers;
+    op.new_window_us = pd.window_us;
+    op.clock_check = false;
+    op.library_site = site();
+    op.epoch = KnownEpoch(seg);
+    op.replicate_set = rset;
+    op.commit_version = pd.version + 1;
+    slot.op_deadline = opts_.op_timeout_us > 0 ? kernel_->Now() + opts_.op_timeout_us : 0;
+    Trace("replicate", "re-spread page " + std::to_string(page) + " of seg " +
+                           std::to_string(seg) + " to mask " + std::to_string(rset));
+    bool rok = co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
+    if (rok) {
+      pd.version = op.commit_version;
+      pd.replica_set = rset;
+      ++stats_.replica_respreads;
+    } else if (recovering_.count(seg) == 0 && !StaleEpoch(seg, req.body.epoch) &&
+               pd.clock_site != site() && !kernel_->net()->SiteUp(pd.clock_site)) {
+      StartRecovery(seg, /*elected=*/false);
+    }
+    co_return;
+  }
+
   if (pd.lost) {
     // A previous operation on this page failed and its contents are
     // unrecoverable. Refuse immediately — no request for a lost page ever
@@ -692,6 +786,22 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
                        std::to_string(page) + " mode " + PageModeName(pd.mode));
 
   slot.op_deadline = opts_.op_timeout_us > 0 ? kernel_->Now() + opts_.op_timeout_us : 0;
+  // Replication: every clock op that moves page contents is a commit point —
+  // the data-holding site quorum-replicates the captured page before the
+  // grant goes out. kSendCopy and kUpgradeWriter move no new contents, so
+  // the standing committed version (and its standby set) stays valid.
+  auto arm_commit = [&](ClockOpBody& op) {
+    if (opts_.replicas >= 2) {
+      op.replicate_set = ChooseReplicaSet(seg);
+      op.commit_version = pd.version + 1;
+    }
+  };
+  auto apply_commit = [&](const ClockOpBody& op) {
+    if (op.replicate_set != 0) {
+      pd.version = op.commit_version;
+      pd.replica_set = op.replicate_set;
+    }
+  };
   // Directory transitions are applied only when the operation succeeds; on
   // failure the page is marked lost and the waiting requesters are told.
   bool ok = true;
@@ -737,8 +847,12 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
         op.clock_check = true;
         op.library_site = site();
         op.epoch = KnownEpoch(seg);
+        if (!upgrade) {
+          arm_commit(op);
+        }
         ok = co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
         if (ok) {
+          apply_commit(op);
           pd.mode = PageMode::kWriter;
           pd.writer = requester;
           pd.clock_site = requester;
@@ -762,8 +876,10 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
         op.clock_check = true;
         op.library_site = site();
         op.epoch = KnownEpoch(seg);
+        arm_commit(op);
         ok = co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
         if (ok) {
+          apply_commit(op);
           pd.writer = requester;
           pd.clock_site = requester;
         }
@@ -783,8 +899,10 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
           op.targets = batch & ~mmem::MaskOf(pd.writer);
           op.invalidate_set = 0;
           op.resulting_readers = batch | mmem::MaskOf(pd.writer);
+          arm_commit(op);
           ok = co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(op.targets), slot);
           if (ok) {
+            apply_commit(op);
             pd.mode = PageMode::kReaders;
             pd.readers = op.resulting_readers;
             pd.writer = mnet::kNoSite;
@@ -795,8 +913,10 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
           op.targets = batch;
           op.invalidate_set = 0;
           op.resulting_readers = batch;
+          arm_commit(op);
           ok = co_await IssueClockOp(self, pd.clock_site, op, mmem::MaskCount(batch), slot);
           if (ok) {
+            apply_commit(op);
             pd.mode = PageMode::kReaders;
             pd.readers = batch;
             pd.writer = mnet::kNoSite;
@@ -849,6 +969,27 @@ msim::Task<bool> Engine::GrantFromEmpty(mos::Process* self, PageDir& pd, const R
   slot.clock_site = mnet::kNoSite;  // no clock site involved: library grant
   lib_pending_map_[req_id] = &slot;
 
+  // Replication: commit the page's initial (zero-filled) version to a write
+  // quorum of standbys before the first grant leaves the library — from the
+  // very first checkout, a sub-quorum crash can never erase the page.
+  std::uint64_t new_version = pd.version;
+  mmem::SiteMask new_replicas = pd.replica_set;
+  if (opts_.replicas >= 2) {
+    mmem::SiteMask rset = ChooseReplicaSet(req.body.seg);
+    if (rset != 0) {
+      mmem::PageBytes zero(mmem::kPageSize, 0);
+      bool committed =
+          co_await ReplicateAndWait(self, req.body.seg, req.body.page, req_id, pd.version + 1,
+                                    KnownEpoch(req.body.seg), rset, zero, slot.op_deadline);
+      if (!committed) {
+        lib_pending_map_.erase(req_id);
+        co_return false;
+      }
+      new_version = pd.version + 1;
+      new_replicas = rset;
+    }
+  }
+
   // First checkout: the page has never left the library; it is zero-filled.
   std::vector<mnet::SiteId> remote;
   ForEachSite(targets, [&](mnet::SiteId s) {
@@ -892,6 +1033,8 @@ msim::Task<bool> Engine::GrantFromEmpty(mos::Process* self, PageDir& pd, const R
   if (r != SlotWait::kComplete) {
     co_return false;
   }
+  pd.version = new_version;
+  pd.replica_set = new_replicas;
   if (write) {
     pd.mode = PageMode::kWriter;
     pd.writer = requester;
@@ -1032,6 +1175,176 @@ msim::Task<> Engine::NotifyRequestFailed(mos::Process* self, mmem::SegmentId seg
   }
 }
 
+// ------------------------------------------------------------- replication --
+
+mmem::SiteMask Engine::ChooseReplicaSet(mmem::SegmentId seg) const {
+  if (opts_.replicas < 2) {
+    return 0;
+  }
+  // Deterministic placement: the k lowest live sites among the attached set
+  // plus this library. ForEachSite walks ascending, so every library makes
+  // the same choice from the same membership — no coordination needed.
+  mmem::SiteMask candidates = registry_->AttachedSites(seg) | mmem::MaskOf(site());
+  mmem::SiteMask out = 0;
+  int n = 0;
+  ForEachSite(candidates, [&](mnet::SiteId s) {
+    if (n < opts_.replicas && kernel_->net()->SiteUp(s)) {
+      out |= mmem::MaskOf(s);
+      ++n;
+    }
+  });
+  return out;
+}
+
+msim::Task<bool> Engine::ReplicateAndWait(mos::Process* self, mmem::SegmentId seg,
+                                          mmem::PageNum page, std::uint64_t req_id,
+                                          std::uint64_t version, std::uint32_t epoch,
+                                          mmem::SiteMask replicate_set,
+                                          const mmem::PageBytes& data, msim::Time op_deadline) {
+  ++stats_.quorum_waits;
+  RepAckCollector col;
+  col.expected = mmem::MaskCount(replicate_set);
+  col.awaiting = replicate_set;
+  rep_collectors_[req_id] = &col;
+  // A local standby costs no wire traffic and acks immediately.
+  if (mmem::MaskHas(replicate_set, site())) {
+    ReplicateBody b;
+    b.seg = seg;
+    b.page = page;
+    b.req_id = req_id;
+    b.version = version;
+    b.from = site();
+    b.epoch = epoch;
+    b.data = data;
+    ApplyReplicate(b);
+    ++col.got;
+    col.awaiting &= ~mmem::MaskOf(site());
+  }
+  std::vector<mnet::SiteId> remote;
+  ForEachSite(replicate_set & ~mmem::MaskOf(site()), [&](mnet::SiteId s) { remote.push_back(s); });
+  for (mnet::SiteId s : remote) {
+    ++stats_.replica_writes;
+    ReplicateBody b;
+    b.seg = seg;
+    b.page = page;
+    b.req_id = req_id;
+    b.version = version;
+    b.from = site();
+    b.epoch = epoch;
+    b.data = data;
+    co_await kernel_->Send(
+        self, mnet::MakePacket(site(), s, static_cast<std::uint32_t>(MsgKind::kReplicate),
+                               kPageMsgBytes, std::move(b)));
+  }
+  // Wait for a write quorum of ceil((k_eff + 1) / 2) acks. A standby that
+  // crashes mid-wait holds nothing: it shrinks the effective replica set
+  // (and the quorum with it) rather than counting as an ack — unlike the
+  // install-ack forgiveness, a forgiven standby is NOT progress.
+  bool ok = true;
+  for (;;) {
+    if (StaleEpoch(seg, epoch)) {
+      ok = false;
+      break;
+    }
+    mmem::SiteMask down = 0;
+    ForEachSite(col.awaiting, [&](mnet::SiteId s) {
+      if (!kernel_->net()->SiteUp(s)) {
+        down |= mmem::MaskOf(s);
+      }
+    });
+    if (down != 0) {
+      col.awaiting &= ~down;
+      Trace("replicate", "standby site(s) died mid-commit; quorum shrinks to the survivors");
+      continue;
+    }
+    int k_eff = col.got + mmem::MaskCount(col.awaiting);
+    int quorum = (k_eff + 2) / 2;  // ceil((k_eff + 1) / 2)
+    if (col.got > 0 && col.got >= quorum) {
+      break;
+    }
+    if (col.awaiting == 0) {
+      ok = false;  // every standby died before acking
+      break;
+    }
+    bool timeouts_on = opts_.ack_timeout_us > 0 || op_deadline != 0;
+    if (!timeouts_on) {
+      co_await kernel_->SleepOn(self, col.chan);
+      continue;
+    }
+    msim::Duration wait = opts_.ack_timeout_us;
+    if (op_deadline != 0) {
+      msim::Duration to_deadline = op_deadline - kernel_->Now();
+      if (to_deadline <= 0) {
+        ok = false;
+        break;
+      }
+      if (wait <= 0 || wait > to_deadline) {
+        wait = to_deadline;
+      }
+    }
+    co_await kernel_->SleepOnFor(self, col.chan, wait);
+  }
+  rep_collectors_.erase(req_id);
+  co_return ok;
+}
+
+void Engine::ApplyReplicate(const ReplicateBody& body) {
+  std::uint64_t key = WaitKey(body.seg, body.page);
+  ReplicaCopy& rc = replicas_[key];
+  if (body.version >= rc.version) {
+    rc.data = body.data;
+    rc.version = body.version;
+    rc.epoch = body.epoch;
+  }
+}
+
+void Engine::CreditReplicateAck(const ReplicateAckBody& body) {
+  auto it = rep_collectors_.find(body.req_id);
+  if (it != rep_collectors_.end()) {
+    ++it->second->got;
+    if (body.from != mnet::kNoSite) {
+      it->second->awaiting &= ~mmem::MaskOf(body.from);
+    }
+    kernel_->Wakeup(it->second->chan);
+  }
+}
+
+void Engine::ApplyPromoteReplica(const PromoteReplicaBody& body) {
+  auto it = images_.find(body.seg);
+  if (it == images_.end()) {
+    return;  // destroyed while the promotion was in flight
+  }
+  auto rit = replicas_.find(WaitKey(body.seg, body.page));
+  mmem::PageBytes data;
+  if (rit != replicas_.end()) {
+    data = rit->second.data;
+  } else {
+    data.assign(mmem::kPageSize, 0);  // defensive; the library saw our report
+  }
+  mmem::SegmentImage& img = *it->second;
+  img.InstallPage(body.page, data, /*writable=*/false, kernel_->Now(), body.window_us);
+  mmem::AuxPte& aux = img.aux(body.page);
+  aux.reader_mask = mmem::MaskOf(site());
+  aux.writer = mnet::kNoSite;
+  ++stats_.pages_installed;
+  ++stats_.degraded_reads;
+  Trace("replicate", "promoted standby of page " + std::to_string(body.page) + " seg " +
+                         std::to_string(body.seg) + " to live copy, version " +
+                         std::to_string(body.version));
+  PageWait& w = WaitFor(body.seg, body.page);
+  w.pending_read = false;
+  w.failed = false;
+  kernel_->Wakeup(w.chan);
+}
+
+std::optional<ReplicaView> Engine::Replica(mmem::SegmentId seg, mmem::PageNum page) const {
+  auto it = replicas_.find(WaitKey(seg, page));
+  if (it == replicas_.end()) {
+    return std::nullopt;
+  }
+  return ReplicaView{it->second.version, it->second.epoch};
+}
+
 // ---------------------------------------------------- library-site failover --
 
 std::uint32_t Engine::KnownEpoch(mmem::SegmentId seg) const {
@@ -1083,10 +1396,41 @@ void Engine::OnSiteCrashed(mnet::SiteId crashed) {
       if (dit == dirs_.end()) {
         continue;
       }
+      bool needs_recovery = false;
       for (const PageDir& pd : dit->second->pages) {
         if (!pd.lost && pd.mode != PageMode::kEmpty && pd.clock_site == crashed) {
-          StartRecovery(meta.id, /*elected=*/false);
+          needs_recovery = true;
           break;
+        }
+      }
+      if (needs_recovery) {
+        // Reconstruction re-spreads every surviving page itself.
+        StartRecovery(meta.id, /*elected=*/false);
+        continue;
+      }
+      if (opts_.replicas >= 2) {
+        // Membership changed under the standby sets: queue a re-spread for
+        // every page that just lost a standby, so the replica population is
+        // rebuilt to k before a second crash can reach a quorum.
+        bool queued = false;
+        int page = 0;
+        for (const PageDir& pd : dit->second->pages) {
+          if (!pd.lost && pd.mode != PageMode::kEmpty &&
+              mmem::MaskHas(pd.replica_set, crashed)) {
+            Request r;
+            r.respread = true;
+            r.body.seg = meta.id;
+            r.body.page = page;
+            r.body.requester = site();
+            r.body.epoch = KnownEpoch(meta.id);
+            r.queued_at = kernel_->Now();
+            lib_queue_.push_back(std::move(r));
+            queued = true;
+          }
+          ++page;
+        }
+        if (queued) {
+          kernel_->Wakeup(lib_chan_);
         }
       }
     }
@@ -1247,6 +1591,16 @@ msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
   dir->pages.resize(page_count);
   std::uint64_t recovered = 0;
   std::uint64_t lost = 0;
+  // Pages with no surviving primary copy but a surviving standby: the
+  // freshest standby (highest committed version, ties to the lowest site) is
+  // promoted to a live read-only copy below.
+  struct Promotion {
+    mmem::PageNum page = 0;
+    mnet::SiteId at = mnet::kNoSite;
+    std::uint64_t version = 0;
+    msim::Duration window_us = 0;
+  };
+  std::vector<Promotion> promotions;
   for (int p = 0; p < page_count; ++p) {
     PageDir& pd = dir->pages[p];
     pd.window_us = had_dir ? old_pages[p].window_us : opts_.default_window_us;
@@ -1254,8 +1608,22 @@ msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
     mmem::SiteMask readers = 0;
     mnet::SiteId freshest = mnet::kNoSite;
     msim::Time freshest_at = -1;
+    mnet::SiteId best_rep = mnet::kNoSite;
+    std::uint64_t best_rep_ver = 0;
+    mmem::SiteMask rep_holders = 0;
     for (const auto& [s, states] : col.replies) {
-      if (p >= static_cast<int>(states.size()) || !states[p].present) {
+      if (p >= static_cast<int>(states.size())) {
+        continue;
+      }
+      if (states[p].replica_present) {
+        rep_holders |= mmem::MaskOf(s);
+        // Strictly-greater keeps the lowest site on ties (map order).
+        if (best_rep == mnet::kNoSite || states[p].replica_version > best_rep_ver) {
+          best_rep = s;
+          best_rep_ver = states[p].replica_version;
+        }
+      }
+      if (!states[p].present) {
         continue;
       }
       if (states[p].writable && writer == mnet::kNoSite) {
@@ -1268,42 +1636,144 @@ msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
         freshest = s;
       }
     }
+    // Committed-version bookkeeping survives the rebuild: never fall below
+    // the highest version any survivor stored (a commit fenced mid-flight
+    // may have parked version N+1 at a standby).
+    const std::uint64_t known_version =
+        std::max(had_dir ? old_pages[p].version : 0, best_rep_ver);
+    const bool condemned_before = had_dir && old_pages[p].lost;
     if (writer != mnet::kNoSite) {
       pd.mode = PageMode::kWriter;
       pd.writer = writer;
       pd.clock_site = writer;
       pd.readers = 0;
+      pd.version = known_version;
+      pd.replica_set = rep_holders;
       ++recovered;
     } else if (readers != 0) {
       pd.mode = PageMode::kReaders;
       pd.readers = readers;
       pd.writer = mnet::kNoSite;
       pd.clock_site = freshest;
+      pd.version = known_version;
+      pd.replica_set = rep_holders;
       ++recovered;
     } else if (had_dir && !old_pages[p].lost && old_pages[p].mode == PageMode::kEmpty) {
       pd.mode = PageMode::kEmpty;
+    } else if (opts_.replicas >= 2 && !condemned_before && best_rep != mnet::kNoSite) {
+      // Every primary copy died, but a standby survived: promote the
+      // freshest one to a live read-only copy (the degraded read path).
+      // Nothing is lost — the page reverts to its last committed version.
+      pd.mode = PageMode::kReaders;
+      pd.readers = mmem::MaskOf(best_rep);
+      pd.writer = mnet::kNoSite;
+      pd.clock_site = best_rep;
+      pd.version = best_rep_ver;
+      pd.replica_set = rep_holders;
+      promotions.push_back(Promotion{p, best_rep, best_rep_ver, pd.window_us});
+      ++recovered;
+    } else if (opts_.replicas >= 2 && !had_dir && !condemned_before) {
+      // Replication invariant: every granted page was quorum-committed to
+      // standbys, so "no copy and no standby anywhere" means the page was
+      // never granted — it stays Empty (zero-fill on first use) instead of
+      // being condemned with the dead library's directory.
+      pd.mode = PageMode::kEmpty;
     } else {
       pd.lost = true;
-      if (!had_dir || !old_pages[p].lost) {
+      if (!condemned_before) {
         ++lost;  // newly lost; pages already condemned are not re-counted
       }
     }
   }
   dirs_[seg] = std::move(dir);
+
+  // Execute the promotions under one request id and wait for the install
+  // acks: the new clock sites must actually hold their copy before the
+  // library serves requests against the rebuilt directory.
+  if (!promotions.empty()) {
+    std::uint64_t req_id = next_req_id_++;
+    LibPending slot;
+    slot.req_id = req_id;
+    slot.expected_acks = static_cast<int>(promotions.size());
+    slot.got_acks = 0;
+    slot.clock_site = mnet::kNoSite;
+    slot.op_deadline = opts_.op_timeout_us > 0 ? kernel_->Now() + opts_.op_timeout_us : 0;
+    for (const Promotion& pr : promotions) {
+      if (pr.at != site()) {
+        slot.awaiting |= mmem::MaskOf(pr.at);
+      }
+    }
+    lib_pending_map_[req_id] = &slot;
+    for (const Promotion& pr : promotions) {
+      PromoteReplicaBody b;
+      b.seg = seg;
+      b.page = pr.page;
+      b.req_id = req_id;
+      b.version = pr.version;
+      b.window_us = pr.window_us;
+      b.library_site = site();
+      b.epoch = epoch;
+      if (pr.at == site()) {
+        ApplyPromoteReplica(b);
+        CreditInstallAck(req_id, site());
+      } else {
+        co_await kernel_->Send(
+            self, mnet::MakePacket(site(), pr.at,
+                                   static_cast<std::uint32_t>(MsgKind::kPromoteReplica),
+                                   kShortMsgBytes, b));
+      }
+    }
+    (void)co_await AwaitSlot(self, slot, /*stop_on_wait_reply=*/false);
+    lib_pending_map_.erase(req_id);
+  }
+
   stats_.pages_recovered += recovered;
   stats_.pages_lost_in_recovery += lost;
   ++stats_.recoveries_completed;
   recovering_.erase(seg);
+
+  // Membership changed (that is why we are here): refresh every surviving
+  // page's standby set back to k before the next crash can reach a quorum.
+  if (opts_.replicas >= 2) {
+    auto dit = dirs_.find(seg);
+    bool queued = false;
+    for (int p = 0; p < page_count; ++p) {
+      const PageDir& pd = dit->second->pages[p];
+      if (!pd.lost && pd.mode != PageMode::kEmpty) {
+        Request r;
+        r.respread = true;
+        r.body.seg = seg;
+        r.body.page = p;
+        r.body.requester = site();
+        r.body.epoch = epoch;
+        r.queued_at = kernel_->Now();
+        lib_queue_.push_back(std::move(r));
+        queued = true;
+      }
+    }
+    if (queued) {
+      kernel_->Wakeup(lib_chan_);
+    }
+  }
+
   Trace("recovery", "seg " + std::to_string(seg) + " reconstructed under epoch " +
                         std::to_string(epoch) + ": " + std::to_string(recovered) +
-                        " page(s) recovered, " + std::to_string(lost) + " lost");
+                        " page(s) recovered (" + std::to_string(promotions.size()) +
+                        " promoted from standbys), " + std::to_string(lost) + " lost");
 }
 
 std::vector<PageCopyState> Engine::LocalCopyState(mmem::SegmentId seg, int page_count) const {
   std::vector<PageCopyState> out(page_count);
+  for (int p = 0; p < page_count; ++p) {
+    auto rit = replicas_.find(WaitKey(seg, p));
+    if (rit != replicas_.end()) {
+      out[p].replica_present = true;
+      out[p].replica_version = rit->second.version;
+    }
+  }
   auto it = images_.find(seg);
   if (it == images_.end()) {
-    return out;  // no local image: all absent
+    return out;  // no local image: primaries all absent
   }
   const mmem::SegmentImage& img = *it->second;
   int n = std::min(page_count, img.page_count());
@@ -1435,6 +1905,41 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
       img.InvalidatePage(op.page);
       ++stats_.local_invalidations;
       break;
+    case ClockAction::kReplicateOnly:
+      // Membership-change re-spread: capture the current contents (this
+      // commits a writer's outstanding stores) and distribute nothing — the
+      // replication step below is the whole operation.
+      data = img.CopyPage(op.page);
+      send_data = false;
+      break;
+  }
+
+  // 2.5 Replication commit point: ship the captured contents to the standby
+  //     set and wait for a write quorum of acks before any grant leaves this
+  //     site. A failed quorum abandons the op exactly like a missing
+  //     invalidate ack — the library's deadline path takes over.
+  if (op.replicate_set != 0 && opts_.replicas >= 2) {
+    bool committed = co_await ReplicateAndWait(self, op.seg, op.page, op.req_id,
+                                               op.commit_version, op.epoch, op.replicate_set,
+                                               data, deadline);
+    if (!committed) {
+      Trace("failure", "clock op abandoned: write quorum not reached for page " +
+                           std::to_string(op.page));
+      co_return false;
+    }
+  }
+  if (op.action == ClockAction::kReplicateOnly) {
+    // No new holders; tell the library the re-spread committed.
+    if (op.library_site == me) {
+      CreditInstallAck(op.req_id, me);
+    } else {
+      InstallAckBody a{op.seg, op.page, op.req_id, me, op.epoch};
+      co_await kernel_->Send(
+          self, mnet::MakePacket(me, op.library_site,
+                                 static_cast<std::uint32_t>(MsgKind::kInstallAck),
+                                 kShortMsgBytes, a));
+    }
+    co_return true;
   }
 
   // 3. Distribute the page (or the upgrade notification) to the new holders.
@@ -1590,6 +2095,8 @@ std::optional<DirectoryView> Engine::Directory(mmem::SegmentId seg, mmem::PageNu
   v.clock_site = pd.clock_site;
   v.window_us = pd.window_us;
   v.lost = pd.lost;
+  v.version = pd.version;
+  v.replica_set = pd.replica_set;
   return v;
 }
 

@@ -71,6 +71,11 @@ struct EngineStats {
   std::uint64_t pages_lost_in_recovery = 0;  // pages whose every copy died
   std::uint64_t recovery_replies_sent = 0;   // kRecoveryQuery answered by this site
   std::uint64_t stale_epoch_drops = 0;       // pre-crash messages fenced by epoch
+  // ---- Replication (opt-in, replicas >= 2): all zero when replicas == 1 ----
+  std::uint64_t replica_writes = 0;      // kReplicate messages sent by this site
+  std::uint64_t quorum_waits = 0;        // commit points that waited on a write quorum
+  std::uint64_t degraded_reads = 0;      // pages served by promoting a standby replica
+  std::uint64_t replica_respreads = 0;   // re-spread ops completed after membership change
 };
 
 // Library-side page directory state (Table 1 "Current" column).
@@ -86,6 +91,15 @@ struct DirectoryView {
   mnet::SiteId clock_site = mnet::kNoSite;
   msim::Duration window_us = 0;
   bool lost = false;  // an operation on this page failed; no further grants
+  // Replication (replicas >= 2): committed version and standby holder set.
+  std::uint64_t version = 0;
+  mmem::SiteMask replica_set = 0;
+};
+
+// A standby replica's state at one site, for tests and the invariant checker.
+struct ReplicaView {
+  std::uint64_t version = 0;
+  std::uint32_t epoch = 0;
 };
 
 class Engine : public mmem::DsmBackend {
@@ -145,6 +159,9 @@ class Engine : public mmem::DsmBackend {
   void OnSiteCrashed(mnet::SiteId crashed);
   // The highest epoch this site has seen for `seg` (0 until a recovery).
   std::uint32_t KnownEpoch(mmem::SegmentId seg) const;
+  // The standby replica this site holds for (seg, page), if any. For the
+  // invariant checker and tests; empty unless replicas >= 2.
+  std::optional<ReplicaView> Replica(mmem::SegmentId seg, mmem::PageNum page) const;
 
  private:
   struct PageDir {
@@ -158,6 +175,11 @@ class Engine : public mmem::DsmBackend {
     // deadline expired). A lost page is never granted again: the library
     // answers every subsequent request with kRequestFailed.
     bool lost = false;
+    // Replication (replicas >= 2): version of the last committed contents
+    // and the sites holding a standby copy of that version. version 0 =
+    // nothing committed yet (page never granted).
+    std::uint64_t version = 0;
+    mmem::SiteMask replica_set = 0;
   };
   struct SegDir {
     std::vector<PageDir> pages;
@@ -217,6 +239,22 @@ class Engine : public mmem::DsmBackend {
   struct Request {
     PageRequestBody body;
     msim::Time queued_at = 0;
+    // Local-only: a membership-change re-spread (kReplicateOnly clock op)
+    // rather than an application page request. Never crosses the wire.
+    bool respread = false;
+  };
+  // One site's cold-standby copy of a page's last committed version.
+  struct ReplicaCopy {
+    mmem::PageBytes data;
+    std::uint64_t version = 0;
+    std::uint32_t epoch = 0;
+  };
+  // Collects kReplicateAck messages for one commit's write quorum.
+  struct RepAckCollector {
+    int expected = 0;
+    int got = 0;
+    mmem::SiteMask awaiting = 0;  // replica sites whose ack is still owed
+    mos::Channel chan;
   };
 
   static std::uint64_t WaitKey(mmem::SegmentId seg, mmem::PageNum page) {
@@ -251,6 +289,27 @@ class Engine : public mmem::DsmBackend {
   // Tells every waiting requester the operation failed (kRequestFailed).
   msim::Task<> NotifyRequestFailed(mos::Process* self, mmem::SegmentId seg, mmem::PageNum page,
                                    std::uint64_t req_id, mmem::SiteMask requesters);
+
+  // ---- Replication (quorum commit / standby store / promotion) ----
+  // Library: the replica placement for a segment — the opts_.replicas lowest
+  // live sites among (attached sites ∪ this library). May return fewer than
+  // k sites when membership has shrunk (the quorum shrinks with it).
+  mmem::SiteMask ChooseReplicaSet(mmem::SegmentId seg) const;
+  // Commit point: ship `data` at `version` to every site in `replicate_set`
+  // and wait for a write quorum of ceil((k_eff+1)/2) acks, forgiving sites
+  // that crash mid-wait. Returns false if the quorum cannot be met before
+  // `op_deadline` (0 = wait forever).
+  msim::Task<bool> ReplicateAndWait(mos::Process* self, mmem::SegmentId seg, mmem::PageNum page,
+                                    std::uint64_t req_id, std::uint64_t version,
+                                    std::uint32_t epoch, mmem::SiteMask replicate_set,
+                                    const mmem::PageBytes& data, msim::Time op_deadline);
+  // Receive side: store / refresh the standby copy (kReplicate).
+  void ApplyReplicate(const ReplicateBody& body);
+  // Receive side: credit a quorum collector (kReplicateAck).
+  void CreditReplicateAck(const ReplicateAckBody& body);
+  // Receive side: install this site's standby copy as a live read-only
+  // primary (kPromoteReplica), then ack the library with kInstallAck.
+  void ApplyPromoteReplica(const PromoteReplicaBody& body);
 
   // Receive-side helpers.
   void EnqueueLibraryRequest(const PageRequestBody& body);
@@ -317,6 +376,13 @@ class Engine : public mmem::DsmBackend {
   mos::Channel worker_chan_;
   mos::Process* worker_proc_ = nullptr;
   std::map<std::uint64_t, InvAckCollector*> inv_collectors_;
+
+  // ---- Replication state (empty unless replicas >= 2) ----
+  // Standby copies held at this site, keyed by WaitKey(seg, page). Never in
+  // the SegmentImage: a replica is not a readable copy and must stay
+  // invisible to the directory invariants until promoted.
+  msim::FlatMap<std::uint64_t, ReplicaCopy> replicas_;
+  std::map<std::uint64_t, RepAckCollector*> rep_collectors_;
 
   // ---- Failover state ----
   // Highest epoch seen per segment (all roles); messages below it are fenced.

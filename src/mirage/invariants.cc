@@ -23,6 +23,7 @@ InvariantReport InvariantChecker::CheckFull(const SegmentRegistry& registry) con
   for (const mmem::SegmentMeta& meta : registry.All()) {
     CheckSegmentPhysical(meta, &report);
     CheckSegmentDirectory(meta, &report);
+    CheckSegmentReplication(meta, &report);
   }
   return report;
 }
@@ -124,6 +125,69 @@ void InvariantChecker::CheckSegmentDirectory(const mmem::SegmentMeta& meta,
                                        ": clock site is not in the reader set");
         }
         break;
+    }
+  }
+}
+
+void InvariantChecker::CheckSegmentReplication(const mmem::SegmentMeta& meta,
+                                               InvariantReport* report) const {
+  if (!Live(meta.library_site)) {
+    return;
+  }
+  Engine* library = nullptr;
+  for (Engine* e : engines_) {
+    if (e->site() == meta.library_site) {
+      library = e;
+      break;
+    }
+  }
+  if (library == nullptr || !library->IsLibraryFor(meta.id) ||
+      library->options().replicas < 2) {
+    return;  // replication disabled (or no directory: reported elsewhere)
+  }
+  for (mmem::PageNum page = 0; page < meta.PageCount(); ++page) {
+    auto dv = library->Directory(meta.id, page);
+    if (!dv.has_value() || dv->lost || dv->mode == PageMode::kEmpty || dv->version == 0) {
+      continue;  // nothing committed (or condemned: no durability promises)
+    }
+    int live_fresh = 0;
+    for (Engine* e : engines_) {
+      if (!Live(e->site())) {
+        continue;  // a crashed standby's copy left the system
+      }
+      auto rep = e->Replica(meta.id, page);
+      if (rep.has_value() && rep->version > dv->version) {
+        report->violations.push_back(Where(meta, page) + ": site " +
+                                     std::to_string(e->site()) +
+                                     " holds a standby from the future (version " +
+                                     std::to_string(rep->version) + " > directory " +
+                                     std::to_string(dv->version) + ")");
+      }
+      if (rep.has_value() && rep->epoch > library->KnownEpoch(meta.id)) {
+        report->violations.push_back(Where(meta, page) + ": site " +
+                                     std::to_string(e->site()) +
+                                     " holds a standby from a newer epoch than the library");
+      }
+      if (mmem::MaskHas(dv->replica_set, e->site())) {
+        if (rep.has_value() && rep->version == dv->version) {
+          ++live_fresh;
+        } else if (rep.has_value() && rep->version > dv->version) {
+          // already reported above
+        } else if (rep.has_value()) {
+          report->violations.push_back(
+              Where(meta, page) + ": standby at site " + std::to_string(e->site()) +
+              " is stale (version " + std::to_string(rep->version) + " < directory " +
+              std::to_string(dv->version) + ")");
+        }
+      }
+    }
+    // Zero-loss witness: every committed page must keep at least one live
+    // standby at the committed version — otherwise the next crash of its
+    // primary holder would lose data the quorum write promised to keep.
+    if (live_fresh == 0) {
+      report->violations.push_back(Where(meta, page) +
+                                   ": no live standby holds committed version " +
+                                   std::to_string(dv->version));
     }
   }
 }

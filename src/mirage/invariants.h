@@ -52,6 +52,11 @@ class InvariantChecker {
   bool Live(mnet::SiteId s) const { return !live_ || live_(s); }
   void CheckSegmentPhysical(const mmem::SegmentMeta& meta, InvariantReport* report) const;
   void CheckSegmentDirectory(const mmem::SegmentMeta& meta, InvariantReport* report) const;
+  // Replication invariants (only when the library runs with replicas >= 2):
+  // the directory's standby set is real (live members hold the committed
+  // version at a current epoch), at least one live standby exists for every
+  // committed page, and no live site holds a standby from the future.
+  void CheckSegmentReplication(const mmem::SegmentMeta& meta, InvariantReport* report) const;
 
   std::vector<Engine*> engines_;
   LivenessFn live_;

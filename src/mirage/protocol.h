@@ -46,6 +46,15 @@ enum class MsgKind : std::uint32_t {
   // ...and each survivor answers with one PageCopyState per page. The
   // successor reconstructs the page directory from these answers.
   kRecoveryReply = 11,
+  // Replication (opt-in, ProtocolOptions::replicas >= 2): the committing
+  // site ships a page's committed bytes to a replica site...
+  kReplicate = 12,
+  // ...which stores them as a cold standby and acknowledges. A write quorum
+  // of these acks gates the grant (commit-before-grant).
+  kReplicateAck = 13,
+  // Recovery: the rebuilding library asks a replica holder to promote its
+  // standby copy to a live read-only primary (degraded read path).
+  kPromoteReplica = 14,
 };
 
 const char* MsgKindName(MsgKind k);
@@ -81,6 +90,10 @@ enum class ClockAction : std::uint32_t {
   // Writer -> Readers with optimization 2 disabled: the writer's copy is
   // invalidated outright.
   kInvalidateForReaders,
+  // Replication re-spread: no grant, no invalidation, no clock check — the
+  // clock site just re-replicates its committed copy to a refreshed replica
+  // set (membership changed underneath the page).
+  kReplicateOnly,
 };
 
 const char* ClockActionName(ClockAction a);
@@ -103,6 +116,11 @@ struct ClockOpBody {
   bool clock_check = true;
   mnet::SiteId library_site = mnet::kNoSite;
   std::uint32_t epoch = 0;
+  // Replication (replicas >= 2): sites that must hold a standby copy of the
+  // committed page before the grant may proceed, and the version number this
+  // commit establishes. Empty mask = replication disabled for this op.
+  mmem::SiteMask replicate_set = 0;
+  std::uint64_t commit_version = 0;
 };
 
 struct WaitReplyBody {
@@ -178,11 +196,14 @@ struct RecoveryQueryBody {
 
 // One surviving site's view of one page: whether it holds a copy, whether
 // that copy is writable, and when it was installed (freshness for clock-site
-// reassignment).
+// reassignment). With replication, also whether the site holds a standby
+// replica and at what committed version (promotion candidate selection).
 struct PageCopyState {
   bool present = false;
   bool writable = false;
   msim::Time install_time = 0;
+  bool replica_present = false;
+  std::uint64_t replica_version = 0;
 };
 
 struct RecoveryReplyBody {
@@ -190,6 +211,39 @@ struct RecoveryReplyBody {
   std::uint32_t epoch = 0;
   mnet::SiteId from = mnet::kNoSite;
   std::vector<PageCopyState> pages;
+};
+
+// Replication: carries the committed page bytes to a replica site. Carries
+// page data, so it costs kPageMsgBytes on the wire.
+struct ReplicateBody {
+  mmem::SegmentId seg = -1;
+  mmem::PageNum page = 0;
+  std::uint64_t req_id = 0;
+  std::uint64_t version = 0;
+  mnet::SiteId from = mnet::kNoSite;
+  std::uint32_t epoch = 0;
+  mmem::PageBytes data;
+};
+
+struct ReplicateAckBody {
+  mmem::SegmentId seg = -1;
+  mmem::PageNum page = 0;
+  std::uint64_t req_id = 0;
+  std::uint64_t version = 0;
+  mnet::SiteId from = mnet::kNoSite;
+  std::uint32_t epoch = 0;
+};
+
+// Recovery: the rebuilding library instructs a replica holder to install its
+// standby copy as a live read-only primary. Acknowledged with kInstallAck.
+struct PromoteReplicaBody {
+  mmem::SegmentId seg = -1;
+  mmem::PageNum page = 0;
+  std::uint64_t req_id = 0;
+  std::uint64_t version = 0;
+  msim::Duration window_us = 0;
+  mnet::SiteId library_site = mnet::kNoSite;
+  std::uint32_t epoch = 0;
 };
 
 // Tunables and the paper's optional mechanisms.
@@ -250,6 +304,14 @@ struct ProtocolOptions {
   // kRequestFailed. Guards against alive-but-partitioned holders (we choose
   // consistency over availability: never fabricate page contents).
   msim::Duration op_timeout_us = 0;
+
+  // ---- Replication (extension; DESIGN.md §8). 1 = off, the paper's
+  // single-copy protocol, byte-identical to pre-replication builds. k >= 2
+  // keeps k cold-standby replicas of every page's last *committed* version
+  // (placement chosen by the library), and every commit point waits for a
+  // write quorum of ceil((k+1)/2) replica acks before granting — so a crash
+  // of fewer than a quorum of replica holders can never lose a page. ----
+  int replicas = 1;
 
   // Dynamic window tuning hook ("currently ... disabled" in the paper).
   // Called when the library forwards an invalidation; the returned value is

@@ -130,6 +130,21 @@ void World::PrintReport(std::ostream& os) {
          << " pages lost, " << fenced << " stale-epoch packets fenced\n";
     }
   }
+  std::uint64_t rep_writes = 0, quorum_waits = 0, degraded_reads = 0, respreads = 0;
+  for (int s = 0; s < site_count(); ++s) {
+    if (const mirage::Engine* e = engine(s)) {
+      const mirage::EngineStats& es = e->stats();
+      rep_writes += es.replica_writes;
+      quorum_waits += es.quorum_waits;
+      degraded_reads += es.degraded_reads;
+      respreads += es.replica_respreads;
+    }
+  }
+  if (rep_writes + quorum_waits + degraded_reads + respreads > 0) {
+    os << "replication: " << rep_writes << " replica writes, " << quorum_waits
+       << " quorum waits, " << degraded_reads << " degraded reads, " << respreads
+       << " re-spreads\n";
+  }
   os << "\n";
   mtrace::TextTable t({"site", "cpu busy (ms)", "idle (ms)", "remap (ms)", "ctx switches",
                        "faults r/w", "installs", "upgrades", "downgrades", "invalidations",

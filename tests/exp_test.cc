@@ -268,6 +268,53 @@ TEST(ExperimentRunner, RecoveryHeavyReportIdenticalAcrossThreadCounts) {
   EXPECT_NE(one.find("crash_library_then_successor"), std::string::npos);
 }
 
+TEST(ExperimentRunner, ReplicatedReportIdenticalAcrossThreadCounts) {
+  mexp::ExperimentSpec spec;
+  spec.name = "replication-determinism";
+  spec.workload = "pingpong";
+  spec.sites = {3};
+  spec.delta_ms = {0};
+  spec.replicas = {1, 2};
+  spec.rounds = 10;
+  spec.repetitions = 2;
+  spec.max_time_s = 5;
+  spec.library_site = 2;
+  mexp::FaultPlanSpec none;
+  none.name = "none";
+  spec.fault_plans.push_back(none);
+  mexp::FaultPlanSpec lib;
+  lib.name = "crash_library";
+  lib.plan.CrashAt(50 * msim::kMillisecond, 2);
+  spec.fault_plans.push_back(lib);
+
+  std::string one = mexp::ReportToJson(mexp::ExperimentRunner(1).Run(spec)).ToString();
+  std::string four = mexp::ReportToJson(mexp::ExperimentRunner(4).Run(spec)).ToString();
+  EXPECT_EQ(one, four);
+  EXPECT_NE(one.find("replica_writes"), std::string::npos);
+  EXPECT_NE(one.find("quorum_waits"), std::string::npos);
+}
+
+// The "replicas" param is omitted at k=1 so point keys — and therefore
+// regression diffs — line up against baseline reports written before the
+// replication axis existed (schema v1).
+TEST(Report, ReplicasParamOmittedAtOneForBaselineCompat) {
+  mexp::ExperimentSpec spec;
+  spec.workload = "pingpong";
+  spec.rounds = 4;
+  spec.replicas = {1, 2};
+  mexp::ExperimentReport report = mexp::ExperimentRunner(1).Run(spec);
+  mexp::Json doc = mexp::ReportToJson(report);
+  EXPECT_NE(doc.Find("schema"), nullptr);
+  EXPECT_EQ(doc.Find("schema")->AsString(), "mirage-exp-v2");
+  const mexp::Json* points = doc.Find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->items().size(), 2u);
+  EXPECT_EQ(points->items()[0].Find("params")->Find("replicas"), nullptr);
+  const mexp::Json* k2 = points->items()[1].Find("params")->Find("replicas");
+  ASSERT_NE(k2, nullptr);
+  EXPECT_EQ(k2->AsInt(), 2);
+}
+
 TEST(ReportDiff, FlagsDirectionalRegressionsBeyondTolerance) {
   auto make_report = [](double throughput, double latency) {
     mexp::ExperimentSpec spec;
