@@ -19,15 +19,25 @@
 //                controller loss, pages_lost measures what a data-holder
 //                crash destroys at each k, and the fault-free plan prices
 //                the quorum-write latency cost of k
+//   kvstore      open-loop KV serving over dsmlib's DistHashMap: zipf
+//                skew x get/set mix x Delta x data replicas — hot-key
+//                throughput degrades as zipf-s rises and kv_replicas=2
+//                recovers it for read-heavy mixes
 //
 // Axis/override options (comma-separated lists make a grid):
-//   --workload=W             readwriters|pingpong|spinlock|scalability|matrix|dot|tsp
+//   --workload=W             readwriters|pingpong|spinlock|scalability|matrix|dot|tsp|kvstore
 //   --sites=2,4,8            site-count axis
 //   --delta=0,120,600        time-window axis (ms)
 //   --quantum=6              scheduling-quantum axis (ticks)
 //   --segbytes=512           segment-size axis (bytes)
 //   --loss=0,0.02            frame-loss axis (probability)
 //   --replicas=1,2,3         page-replication-degree axis (1 = single copy)
+//   --zipf=0,0.9,1.3         kvstore key-popularity-skew axis
+//   --mix=0.5,0.95           kvstore get-fraction axis
+//   --kvreplicas=1,2         kvstore data-replication axis (table copies)
+//   --keys=N --rate=R --kvops=N
+//                            kvstore key space, per-site arrival rate (/s),
+//                            and generated ops per site
 //   --reps=5                 repetitions per grid point
 //   --offsets=0,170,410      per-repetition start phases (ms)
 //   --seed=N                 spec seed (per-run seeds derive from it)
@@ -158,6 +168,31 @@ mexp::ExperimentSpec AvailabilitySpec() {
   return spec;
 }
 
+mexp::ExperimentSpec KvStoreSpec() {
+  mexp::ExperimentSpec spec;
+  spec.name = "kvstore";
+  spec.workload = "kvstore";
+  spec.sites = {4};
+  spec.delta_ms = {0, 30};
+  // The skew sensitivity story in one CI-sized grid. At kv_replicas=1 and
+  // the read-heavy mix, rising zipf-s concentrates traffic on one shard's
+  // home: throughput falls, get latency climbs, and lib_load_max_share
+  // shows the pile-up. A second data replica recovers the read side — get
+  // latency and library balance go flat across the whole sweep — at a flat
+  // write-amplification cost in throughput; the write-heavy mix pays double
+  // for every set and shows the replication tax undiluted.
+  spec.zipf_s = {0.0, 0.9, 1.3};
+  spec.get_mix = {0.5, 0.95};
+  spec.kv_replicas = {1, 2};
+  // 3 reps x 400 ops/site: enough load past warm-up for the trends above to
+  // be monotone rather than seed noise, still ~seconds of wall time.
+  spec.repetitions = 3;
+  spec.kv_ops_per_site = 400;
+  spec.kv_arrival_per_s = 240.0;
+  spec.max_time_s = 120;
+  return spec;
+}
+
 bool LoadSpecFile(const std::string& path, mexp::ExperimentSpec* spec) {
   std::ifstream in(path);
   if (!in) {
@@ -236,6 +271,9 @@ int main(int argc, char** argv) {
     } else if (s == "availability") {
       spec = AvailabilitySpec();
       have_spec = true;
+    } else if (s == "kvstore") {
+      spec = KvStoreSpec();
+      have_spec = true;
     } else if (s.rfind("--spec=", 0) == 0) {
       if (!LoadSpecFile(value(), &spec)) {
         return 2;
@@ -262,6 +300,21 @@ int main(int argc, char** argv) {
     } else if (s.rfind("--replicas=", 0) == 0) {
       ok = ParseList<int>(value(), &spec.replicas,
                           [](const std::string& v) { return std::atoi(v.c_str()); });
+    } else if (s.rfind("--zipf=", 0) == 0) {
+      ok = ParseList<double>(value(), &spec.zipf_s,
+                             [](const std::string& v) { return std::atof(v.c_str()); });
+    } else if (s.rfind("--mix=", 0) == 0) {
+      ok = ParseList<double>(value(), &spec.get_mix,
+                             [](const std::string& v) { return std::atof(v.c_str()); });
+    } else if (s.rfind("--kvreplicas=", 0) == 0) {
+      ok = ParseList<int>(value(), &spec.kv_replicas,
+                          [](const std::string& v) { return std::atoi(v.c_str()); });
+    } else if (s.rfind("--keys=", 0) == 0) {
+      spec.kv_keys = static_cast<std::uint32_t>(std::atol(value().c_str()));
+    } else if (s.rfind("--rate=", 0) == 0) {
+      spec.kv_arrival_per_s = std::atof(value().c_str());
+    } else if (s.rfind("--kvops=", 0) == 0) {
+      spec.kv_ops_per_site = static_cast<std::uint32_t>(std::atol(value().c_str()));
     } else if (s.rfind("--offsets=", 0) == 0) {
       ok = ParseList<std::int64_t>(value(), &spec.phase_offsets_ms,
                                    [](const std::string& v) { return std::atol(v.c_str()); });

@@ -4,11 +4,17 @@
 //
 // Usage:
 //   scenario_runner [workload] [sites] [delta_ms] [options]
-//     workload:  pingpong | readwriters | spinlock | matrix | dot | tsp
+//     workload:  pingpong | readwriters | spinlock | matrix | dot | tsp | kvstore
 //     sites:     2..12            (default 2)
 //     delta_ms:  window in ms     (default 0)
 //   options:
 //     --no-yield      busy-wait instead of yield() in spin loops
+//     --zipf=S        kvstore key-popularity skew (0 = uniform)
+//     --mix=G         kvstore get fraction (default 0.95)
+//     --kvreplicas=R  kvstore data-level table copies (default 1)
+//     --keys=N --rate=R --kvops=N
+//                     kvstore key space, per-site arrival rate (/s), and
+//                     generated ops per site
 //     --json          emit a mirage-exp-v2 JSON report (single point) to
 //                     stdout instead of the human-readable report, so fault
 //                     scenarios feed the same aggregation pipeline as
@@ -43,8 +49,10 @@
 
 #include "src/baseline/li_engine.h"
 #include "src/exp/report.h"
+#include "src/trace/histogram.h"
 #include "src/mirage/invariants.h"
 #include "src/workload/dotproduct.h"
+#include "src/workload/kvstore.h"
 #include "src/workload/matrix.h"
 #include "src/workload/pingpong.h"
 #include "src/workload/readwriters.h"
@@ -65,6 +73,12 @@ struct Args {
   int replicas = 1;
   bool json = false;
   int library_site = 0;
+  double zipf_s = 0.0;
+  double get_mix = 0.95;
+  int kv_replicas = 1;
+  std::uint32_t kv_keys = 192;
+  double kv_rate = 120.0;
+  std::uint32_t kv_ops = 200;
   mfault::FaultPlan faults;
   bool faulted = false;
 };
@@ -94,6 +108,26 @@ Args Parse(int argc, char** argv) {
       }
     } else if (s.rfind("--lib=", 0) == 0) {
       a.library_site = std::atoi(s.c_str() + 6);
+    } else if (s.rfind("--zipf=", 0) == 0) {
+      a.zipf_s = std::atof(s.c_str() + 7);
+    } else if (s.rfind("--mix=", 0) == 0) {
+      a.get_mix = std::atof(s.c_str() + 6);
+      if (a.get_mix < 0.0 || a.get_mix > 1.0) {
+        std::fprintf(stderr, "--mix must be in [0, 1]\n");
+        std::exit(2);
+      }
+    } else if (s.rfind("--kvreplicas=", 0) == 0) {
+      a.kv_replicas = std::atoi(s.c_str() + 13);
+      if (a.kv_replicas < 1 || a.kv_replicas > 12) {
+        std::fprintf(stderr, "--kvreplicas must be in 1..12\n");
+        std::exit(2);
+      }
+    } else if (s.rfind("--keys=", 0) == 0) {
+      a.kv_keys = static_cast<std::uint32_t>(std::atol(s.c_str() + 7));
+    } else if (s.rfind("--rate=", 0) == 0) {
+      a.kv_rate = std::atof(s.c_str() + 7);
+    } else if (s.rfind("--kvops=", 0) == 0) {
+      a.kv_ops = static_cast<std::uint32_t>(std::atol(s.c_str() + 8));
     } else if (s.rfind("--crash=", 0) == 0) {
       int site = 0;
       long t = 0;
@@ -167,6 +201,12 @@ int main(int argc, char** argv) {
     spec.rounds = 40;  // the human-readable path's ping-pong round count
     spec.max_time_s = 900;
     spec.library_site = args.library_site;
+    spec.zipf_s = {args.zipf_s};
+    spec.get_mix = {args.get_mix};
+    spec.kv_replicas = {args.kv_replicas};
+    spec.kv_keys = args.kv_keys;
+    spec.kv_arrival_per_s = args.kv_rate;
+    spec.kv_ops_per_site = args.kv_ops;
     if (args.faulted) {
       mexp::FaultPlanSpec fp;
       fp.name = "scenario";
@@ -294,12 +334,51 @@ int main(int argc, char** argv) {
     std::printf("elapsed: %.3f s, best tour %u (%s), %llu nodes\n\n", r->ElapsedSeconds(),
                 r->best_cost, r->verified ? "optimal" : "SUBOPTIMAL",
                 static_cast<unsigned long long>(r->nodes_expanded));
+  } else if (args.workload == "kvstore") {
+    mwork::KvStoreParams prm;
+    prm.zipf_s = args.zipf_s;
+    prm.get_mix = args.get_mix;
+    prm.kv_replicas = static_cast<std::uint32_t>(args.kv_replicas);
+    prm.keys = args.kv_keys;
+    prm.arrival_per_s = args.kv_rate;
+    prm.ops_per_site = args.kv_ops;
+    auto r = mwork::LaunchKvStore(world, prm);
+    ok = run_workload([&] { return r->completed; });
+    std::printf("throughput: %.1f ops/s (%llu gets, %llu sets; %llu misses, "
+                "%llu torn, %llu integrity failures)\n",
+                r->OpsPerSecond(), static_cast<unsigned long long>(r->gets),
+                static_cast<unsigned long long>(r->sets),
+                static_cast<unsigned long long>(r->misses),
+                static_cast<unsigned long long>(r->torn_reads),
+                static_cast<unsigned long long>(r->integrity_failures));
+    std::printf("request queues: peak %llu, mean depth %.2f\n",
+                static_cast<unsigned long long>(r->queue_peak), r->MeanQueueDepth());
+    r->get_latency.Print(std::cout, "get latency (arrival to completion)");
+    r->set_latency.Print(std::cout, "set latency (arrival to completion)");
+    std::printf("\n");
   } else {
     std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());
     return 2;
   }
 
   world.PrintReport(std::cout);
+  // Cross-site op-fault latency with percentiles, not just the per-site
+  // means: merge every engine's histograms before printing.
+  {
+    mtrace::LatencyHistogram all_reads, all_writes;
+    for (int s = 0; s < world.site_count(); ++s) {
+      if (const mirage::Engine* e = world.engine(s)) {
+        all_reads.Merge(e->read_fault_latency());
+        all_writes.Merge(e->write_fault_latency());
+      }
+    }
+    if (all_reads.count() > 0) {
+      all_reads.Print(std::cout, "all-site read-fault latency");
+    }
+    if (all_writes.count() > 0) {
+      all_writes.Print(std::cout, "all-site write-fault latency");
+    }
+  }
   if (!args.baseline) {
     // dsm doctor: validate the global protocol invariants post-run. Under
     // faults the checker is scoped to live sites — a crashed site's frozen

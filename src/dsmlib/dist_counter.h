@@ -1,0 +1,65 @@
+// A striped distributed counter over Mirage shared memory.
+//
+// One stripe word per writer (typically per site). Each writer only ever
+// touches its own stripe, so an Add is a plain read-modify-write with no
+// lock and no test&set — single-writer page exclusivity makes it atomic.
+// With the padded layout every stripe lives on its own page and writers
+// never invalidate each other; compact packs all stripes on one page and
+// exhibits the §7.2 ping-pong instead (measurable, like RingBuffer's
+// layouts). Read() sums the stripes — exact once writers quiesce, a live
+// lower bound while they run.
+#ifndef SRC_DSMLIB_DIST_COUNTER_H_
+#define SRC_DSMLIB_DIST_COUNTER_H_
+
+#include <cstdint>
+
+#include "src/mem/page.h"
+#include "src/os/kernel.h"
+#include "src/sim/task.h"
+#include "src/sysv/shm.h"
+
+namespace mdsm {
+
+class DistCounter {
+ public:
+  DistCounter(msysv::ShmSystem* shm, mos::Kernel* kernel, mmem::VAddr base,
+              std::uint32_t stripes, bool padded_layout = true)
+      : shm_(shm), kernel_(kernel), base_(base), stripes_(stripes), padded_(padded_layout) {}
+
+  static std::uint32_t FootprintBytes(std::uint32_t stripes, bool padded_layout = true) {
+    return padded_layout ? stripes * mmem::kPageSize : stripes * 4;
+  }
+
+  // Caller contract: at most one concurrent writer per stripe index.
+  msim::Task<> Add(mos::Process* p, std::uint32_t stripe, std::uint32_t delta) {
+    const mmem::VAddr a = StripeAddr(stripe);
+    const std::uint32_t v = co_await shm_->ReadWord(p, a);
+    co_await shm_->WriteWord(p, a, v + delta);
+  }
+
+  msim::Task<std::uint64_t> Read(mos::Process* p) {
+    std::uint64_t sum = 0;
+    for (std::uint32_t s = 0; s < stripes_; ++s) {
+      sum += co_await shm_->ReadWord(p, StripeAddr(s));
+    }
+    co_return sum;
+  }
+
+  std::uint32_t stripes() const { return stripes_; }
+
+ private:
+  mmem::VAddr StripeAddr(std::uint32_t s) const {
+    return padded_ ? base_ + static_cast<mmem::VAddr>(s) * mmem::kPageSize
+                   : base_ + static_cast<mmem::VAddr>(s) * 4;
+  }
+
+  msysv::ShmSystem* shm_;
+  mos::Kernel* kernel_;
+  mmem::VAddr base_;
+  std::uint32_t stripes_;
+  bool padded_;
+};
+
+}  // namespace mdsm
+
+#endif  // SRC_DSMLIB_DIST_COUNTER_H_

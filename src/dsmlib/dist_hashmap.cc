@@ -1,0 +1,146 @@
+#include "src/dsmlib/dist_hashmap.h"
+
+#include <cassert>
+
+#include "src/dsmlib/sync.h"
+
+namespace mdsm {
+
+DistHashMap::DistHashMap(msysv::ShmSystem* shm, mos::Kernel* kernel,
+                         const HashMapLayout& layout, std::vector<mmem::VAddr> shard_bases)
+    : shm_(shm), kernel_(kernel), layout_(layout), bases_(std::move(shard_bases)) {
+  assert(bases_.size() == layout_.shards);
+  assert(layout_.slots_per_shard > 0 && layout_.value_words > 0);
+  assert(layout_.SlotStrideBytes() <= mmem::kPageSize);
+}
+
+std::uint64_t DistHashMap::Mix(std::uint64_t x) {
+  // splitmix64 finalizer (same family as msim::Rng).
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+msim::Task<GetStatus> DistHashMap::Get(mos::Process* p, std::uint32_t key, std::uint32_t* out) {
+  const std::uint64_t h = Mix(key);
+  const std::uint32_t shard = static_cast<std::uint32_t>(h % layout_.shards);
+  const std::uint32_t start =
+      static_cast<std::uint32_t>((h >> 16) % layout_.slots_per_shard);
+  for (std::uint32_t i = 0; i < layout_.slots_per_shard; ++i) {
+    const std::uint32_t slot = (start + i) % layout_.slots_per_shard;
+    const mmem::VAddr sa = SlotAddr(shard, slot);
+    const std::uint32_t slot_key = co_await shm_->ReadWord(p, sa);
+    if (slot_key == 0) {
+      co_return GetStatus::kMiss;  // no deletion: empty terminates the probe
+    }
+    if (slot_key != key) {
+      continue;
+    }
+    // Seqlock read of the value words.
+    for (int attempt = 0; attempt < kSeqlockRetries; ++attempt) {
+      const std::uint32_t v1 = co_await shm_->ReadWord(p, sa + 4);
+      if ((v1 & 1u) == 0) {
+        for (std::uint32_t w = 0; w < layout_.value_words; ++w) {
+          out[w] = co_await shm_->ReadWord(p, sa + 8 + 4 * w);
+        }
+        const std::uint32_t v2 = co_await shm_->ReadWord(p, sa + 4);
+        if (v2 == v1) {
+          co_return GetStatus::kFound;
+        }
+      }
+      ++torn_retries_;
+      co_await kernel_->Compute(p, kRetryCost);
+      co_await kernel_->Yield(p);
+    }
+    ++torn_failures_;
+    co_return GetStatus::kTorn;
+  }
+  co_return GetStatus::kMiss;  // probed the whole (full) shard
+}
+
+msim::Task<> DistHashMap::UpdateSlot(mos::Process* p, mmem::VAddr sa,
+                                     const std::uint32_t* value) {
+  // The version word doubles as a writer latch: TestAndSet stores 1 (odd, so
+  // readers retry) and returns the prior value. Even means we latched a
+  // stable slot; odd means another writer is mid-update. The TAS write fault
+  // brings the slot's page here with write ownership, so the value words and
+  // the release below are local — one page transfer per update instead of a
+  // lock-page ping-pong.
+  std::uint32_t v;
+  for (;;) {
+    v = co_await shm_->TestAndSet(p, sa + 4);
+    if ((v & 1u) == 0) {
+      break;
+    }
+    ++latch_retries_;
+    co_await kernel_->Compute(p, kRetryCost);
+    co_await kernel_->Yield(p);
+  }
+  for (std::uint32_t w = 0; w < layout_.value_words; ++w) {
+    co_await shm_->WriteWord(p, sa + 8 + 4 * w, value[w]);
+  }
+  // Strictly increasing even version: readers that saw v (or the transient 1)
+  // compare unequal and retry, so no ABA window exists.
+  co_await shm_->WriteWord(p, sa + 4, v + 2);
+}
+
+msim::Task<PutStatus> DistHashMap::Put(mos::Process* p, std::uint32_t key,
+                                       const std::uint32_t* value) {
+  const std::uint64_t h = Mix(key);
+  const std::uint32_t shard = static_cast<std::uint32_t>(h % layout_.shards);
+  const std::uint32_t start =
+      static_cast<std::uint32_t>((h >> 16) % layout_.slots_per_shard);
+  // Fast path: update an existing key latch-free. The shard lock only
+  // serializes slot *claiming*, and a published key's slot is fixed forever
+  // (no deletion), so updates need no shard-wide exclusion.
+  for (std::uint32_t i = 0; i < layout_.slots_per_shard; ++i) {
+    const std::uint32_t slot = (start + i) % layout_.slots_per_shard;
+    const mmem::VAddr sa = SlotAddr(shard, slot);
+    const std::uint32_t slot_key = co_await shm_->ReadWord(p, sa);
+    if (slot_key == 0) {
+      break;  // key absent: fall through to the locked insert path
+    }
+    if (slot_key != key) {
+      continue;
+    }
+    co_await UpdateSlot(p, sa, value);
+    co_return PutStatus::kUpdated;
+  }
+  SpinLock lock(shm_, kernel_, LockAddr(shard));
+  co_await lock.Acquire(p);
+  PutStatus status = PutStatus::kFull;
+  for (std::uint32_t i = 0; i < layout_.slots_per_shard; ++i) {
+    const std::uint32_t slot = (start + i) % layout_.slots_per_shard;
+    const mmem::VAddr sa = SlotAddr(shard, slot);
+    const std::uint32_t slot_key = co_await shm_->ReadWord(p, sa);
+    if (slot_key != 0 && slot_key != key) {
+      continue;
+    }
+    if (slot_key == key) {
+      // A racing inserter published the key between the optimistic probe and
+      // lock acquisition. Latch-free updaters may also be active, so go
+      // through the same latch even though we hold the shard lock.
+      co_await UpdateSlot(p, sa, value);
+      status = PutStatus::kUpdated;
+      break;
+    }
+    // Claim the empty slot. Its key is unpublished, so no updater can reach
+    // it; the shard lock excludes other inserters.
+    const std::uint32_t v = co_await shm_->ReadWord(p, sa + 4);
+    co_await shm_->WriteWord(p, sa + 4, v + 1);  // odd: write in progress
+    for (std::uint32_t w = 0; w < layout_.value_words; ++w) {
+      co_await shm_->WriteWord(p, sa + 8 + 4 * w, value[w]);
+    }
+    // Publish the key only after the value words: a concurrent reader either
+    // misses the slot entirely or sees the odd version and retries.
+    co_await shm_->WriteWord(p, sa, key);
+    co_await shm_->WriteWord(p, sa + 4, v + 2);  // even: committed
+    status = PutStatus::kInserted;
+    break;
+  }
+  co_await lock.Release(p);
+  co_return status;
+}
+
+}  // namespace mdsm

@@ -1,0 +1,146 @@
+// A distributed open-addressed hash map laid out over Mirage pages.
+//
+// The map is sharded: each shard is its own System V segment, so shard
+// ownership is placement — whichever site Shmgets a shard's key first
+// becomes its library site, and a caller can home shards (and therefore
+// request traffic) across sites with any policy it likes. ShardKey() below
+// is the naming convention the kvstore workload uses for that.
+//
+// Per-shard layout (DESIGN.md "page-layout conventions"):
+//
+//   page 0            [writer lock][unused ...]          — metadata page
+//   pages 1..P        slot, slot, ...                    — bucket pages
+//
+// A slot is [key][version][value word 0..W-1]; slots never straddle a page
+// boundary (a straddling slot would cost two faults per touch). key 0 means
+// empty — user keys must be nonzero — and there is no deletion, so an empty
+// slot terminates a probe.
+//
+// Concurrency follows the paper's §8 layout advice twice over:
+//  * readers are lock-free via a per-slot seqlock: the writer holds the
+//    version odd while it writes the value words (and, for an insert,
+//    publishes the key last), then stores a larger even version. A reader
+//    that sees an odd version or a version change re-reads; page coherence
+//    makes each word read individually consistent, the seqlock makes the
+//    value vector consistent as a whole.
+//  * updates of an existing key are latch-free: TestAndSet on the version
+//    word (stores 1 = odd, returns the prior value) both latches the slot
+//    against concurrent writers and takes write ownership of the bucket
+//    page, so the whole update is one page transfer. Only *inserts* take
+//    the per-shard SpinLock — it serializes slot claiming and lives alone
+//    on the metadata page, so neither readers nor updaters ever touch
+//    (or ping-pong) the lock page.
+//
+// Each DistHashMap object belongs to one process (like RingBuffer): every
+// participant constructs its own over the same attached shard bases.
+#ifndef SRC_DSMLIB_DIST_HASHMAP_H_
+#define SRC_DSMLIB_DIST_HASHMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/page.h"
+#include "src/os/kernel.h"
+#include "src/sim/task.h"
+#include "src/sysv/shm.h"
+
+namespace mdsm {
+
+struct HashMapLayout {
+  std::uint32_t shards = 1;           // independently homed segments
+  std::uint32_t slots_per_shard = 64; // open-addressing table size per shard
+  std::uint32_t value_words = 4;      // 32-bit words per value
+
+  // [key][version][value...] in words, padded to a power-of-two-friendly
+  // stride is unnecessary — only page straddling matters (see SlotAddr).
+  std::uint32_t SlotStrideBytes() const { return (2 + value_words) * 4; }
+  std::uint32_t SlotsPerPage() const { return mmem::kPageSize / SlotStrideBytes(); }
+
+  // Bytes of shared memory one shard segment needs: the metadata page plus
+  // enough whole bucket pages for slots_per_shard slots.
+  std::uint32_t ShardFootprintBytes() const {
+    const std::uint32_t per_page = SlotsPerPage();
+    const std::uint32_t pages = (slots_per_shard + per_page - 1) / per_page;
+    return (1 + pages) * mmem::kPageSize;
+  }
+};
+
+enum class GetStatus {
+  kFound,    // value filled in
+  kMiss,     // key not present
+  kTorn,     // seqlock retries exhausted under write pressure (counted, rare)
+};
+
+enum class PutStatus {
+  kInserted,
+  kUpdated,
+  kFull,     // probe visited every slot; shard table is full
+};
+
+class DistHashMap {
+ public:
+  // `shard_bases[i]` is this process's attach address for shard i; size must
+  // equal layout.shards.
+  DistHashMap(msysv::ShmSystem* shm, mos::Kernel* kernel, const HashMapLayout& layout,
+              std::vector<mmem::VAddr> shard_bases);
+
+  // Lock-free read. On kFound writes layout.value_words words into `out`.
+  msim::Task<GetStatus> Get(mos::Process* p, std::uint32_t key, std::uint32_t* out);
+
+  // Insert-or-update of layout.value_words words. Updates are latch-free
+  // (per-slot TestAndSet); inserts serialize on the shard lock.
+  msim::Task<PutStatus> Put(mos::Process* p, std::uint32_t key, const std::uint32_t* value);
+
+  // Which shard a key lives in — callers use this to pick the right replica
+  // or to report per-shard load.
+  std::uint32_t ShardOf(std::uint32_t key) const {
+    return static_cast<std::uint32_t>(Mix(key) % layout_.shards);
+  }
+
+  // Naming convention for shard segments: one key per (map, replica, shard).
+  // Whoever Shmgets it first homes the shard there.
+  static std::uint64_t ShardKey(std::uint64_t map_key, std::uint32_t replica,
+                                std::uint32_t shard) {
+    return map_key + static_cast<std::uint64_t>(replica) * 1000 + shard;
+  }
+
+  // splitmix64 finalizer — the hash behind shard and slot choice, exposed so
+  // workloads can build self-verifying values from it.
+  static std::uint64_t Mix(std::uint64_t x);
+
+  // Seqlock pressure observed by this process's reads.
+  std::uint64_t torn_retries() const { return torn_retries_; }
+  std::uint64_t torn_failures() const { return torn_failures_; }
+  // Writer-side latch contention observed by this process's updates.
+  std::uint64_t latch_retries() const { return latch_retries_; }
+
+ private:
+  static constexpr int kSeqlockRetries = 16;
+  static constexpr msim::Duration kRetryCost = 25;
+
+  // Latches the slot at `sa` (TAS on its version word), writes the value
+  // words, and releases with the next even version.
+  msim::Task<> UpdateSlot(mos::Process* p, mmem::VAddr sa, const std::uint32_t* value);
+
+  mmem::VAddr LockAddr(std::uint32_t shard) const { return bases_[shard]; }
+  // Slot s of a shard: bucket pages start after the metadata page; slots
+  // pack per page without straddling.
+  mmem::VAddr SlotAddr(std::uint32_t shard, std::uint32_t slot) const {
+    const std::uint32_t per_page = layout_.SlotsPerPage();
+    return bases_[shard] + mmem::kPageSize +
+           static_cast<mmem::VAddr>(slot / per_page) * mmem::kPageSize +
+           static_cast<mmem::VAddr>(slot % per_page) * layout_.SlotStrideBytes();
+  }
+
+  msysv::ShmSystem* shm_;
+  mos::Kernel* kernel_;
+  HashMapLayout layout_;
+  std::vector<mmem::VAddr> bases_;
+  std::uint64_t torn_retries_ = 0;
+  std::uint64_t torn_failures_ = 0;
+  std::uint64_t latch_retries_ = 0;
+};
+
+}  // namespace mdsm
+
+#endif  // SRC_DSMLIB_DIST_HASHMAP_H_

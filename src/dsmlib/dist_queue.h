@@ -1,0 +1,71 @@
+// A multi-producer/multi-consumer queue over Mirage shared memory: the
+// two-lock queue (Michael & Scott's blocking variant) composed from the
+// existing SPSC RingBuffer plus two SpinLocks.
+//
+// Layout, following the §8 advice that hot lock words get pages of their
+// own so lock traffic and data traffic never share a page:
+//
+//   page 0               [producer lock]
+//   page 1               [consumer lock]
+//   page 2 ...           RingBuffer region (its own compact/padded layout)
+//
+// Producers serialize on the producer lock, consumers on the consumer lock;
+// the two sides never share a lock, so a Push blocked on a full buffer
+// cannot deadlock the Pops that will drain it. Because several processes
+// take turns being "the" producer (or consumer), each operation first
+// discards the RingBuffer's privately cached indices — another holder may
+// have advanced the shared words since we last looked.
+#ifndef SRC_DSMLIB_DIST_QUEUE_H_
+#define SRC_DSMLIB_DIST_QUEUE_H_
+
+#include <cstdint>
+
+#include "src/dsmlib/ring_buffer.h"
+#include "src/dsmlib/sync.h"
+#include "src/mem/page.h"
+#include "src/os/kernel.h"
+#include "src/sim/task.h"
+#include "src/sysv/shm.h"
+
+namespace mdsm {
+
+class DistQueue {
+ public:
+  DistQueue(msysv::ShmSystem* shm, mos::Kernel* kernel, mmem::VAddr base,
+            std::uint32_t capacity, bool padded_layout = true)
+      : producer_lock_(shm, kernel, base),
+        consumer_lock_(shm, kernel, base + mmem::kPageSize),
+        rb_(shm, kernel, base + 2 * mmem::kPageSize, capacity, padded_layout) {}
+
+  static std::uint32_t FootprintBytes(std::uint32_t capacity, bool padded_layout = true) {
+    return 2 * mmem::kPageSize + RingBuffer::FootprintBytes(capacity, padded_layout);
+  }
+
+  // Blocks (yielding) while the buffer is full.
+  msim::Task<> Push(mos::Process* p, std::uint32_t value) {
+    co_await producer_lock_.Acquire(p);
+    rb_.ReloadIndices();
+    co_await rb_.Push(p, value);
+    co_await producer_lock_.Release(p);
+  }
+
+  // Blocks (yielding) while the buffer is empty.
+  msim::Task<std::uint32_t> Pop(mos::Process* p) {
+    co_await consumer_lock_.Acquire(p);
+    rb_.ReloadIndices();
+    std::uint32_t value = co_await rb_.Pop(p);
+    co_await consumer_lock_.Release(p);
+    co_return value;
+  }
+
+  std::uint32_t capacity() const { return rb_.capacity(); }
+
+ private:
+  SpinLock producer_lock_;
+  SpinLock consumer_lock_;
+  RingBuffer rb_;
+};
+
+}  // namespace mdsm
+
+#endif  // SRC_DSMLIB_DIST_QUEUE_H_

@@ -68,6 +68,9 @@ class RingBuffer {
     if (!head_known_) {
       my_head_ = co_await shm_->ReadWord(p, HeadAddr());
       head_known_ = true;
+      // A freshly loaded head invalidates any tail estimate: force a refresh
+      // so a nonzero head never falsely compares unequal to a stale tail.
+      cached_tail_ = my_head_;
     }
     for (;;) {
       if (cached_tail_ != my_head_) {
@@ -87,6 +90,18 @@ class RingBuffer {
   }
 
   std::uint32_t capacity() const { return capacity_; }
+
+  // Forget all privately cached indices. Required when a side is shared by
+  // several processes under an external lock (DistQueue): the next Push/Pop
+  // re-reads both shared words instead of trusting another holder's stale
+  // view. A stale *peer* index is merely conservative; a stale *own* index
+  // would corrupt the buffer, hence the full reload.
+  void ReloadIndices() {
+    tail_known_ = false;
+    head_known_ = false;
+    cached_head_ = 0;
+    cached_tail_ = 0;
+  }
 
  private:
   static constexpr msim::Duration kSpinIterationCost = 25;

@@ -21,6 +21,14 @@ Json ParamsToJson(const RunConfig& p) {
   if (p.replicas != 1) {
     j.Set("replicas", Json(p.replicas));
   }
+  // kvstore axes only exist for the kvstore workload; emitting them there
+  // unconditionally (defaults included) keeps every other workload's
+  // PointKey — and all pre-kvstore baselines — unchanged.
+  if (p.workload == "kvstore") {
+    j.Set("zipf_s", Json(p.zipf_s));
+    j.Set("get_mix", Json(p.get_mix));
+    j.Set("kv_replicas", Json(p.kv_replicas));
+  }
   j.Set("fault_plan", Json(p.fault_plan));
   return j;
 }
@@ -31,6 +39,7 @@ Json HistogramToJson(const mtrace::LatencyHistogram& h) {
   j.Set("mean_ms", Json(h.MeanMs()));
   j.Set("p50_ms", Json(h.PercentileMs(0.50)));
   j.Set("p90_ms", Json(h.PercentileMs(0.90)));
+  j.Set("p95_ms", Json(h.PercentileMs(0.95)));
   j.Set("p99_ms", Json(h.PercentileMs(0.99)));
   j.Set("max_ms", Json(h.MaxMs()));
   return j;
@@ -121,8 +130,8 @@ Json ReportToJson(const ExperimentReport& report) {
 }
 
 void WriteCsv(const ExperimentReport& report, std::ostream& os) {
-  os << "point,workload,sites,delta_ms,quantum_ticks,segment_bytes,loss,replicas,fault_plan,"
-        "metric,n,mean,min,max,stddev,ci95\n";
+  os << "point,workload,sites,delta_ms,quantum_ticks,segment_bytes,loss,replicas,zipf_s,"
+        "get_mix,kv_replicas,fault_plan,metric,n,mean,min,max,stddev,ci95\n";
   int index = 0;
   for (const PointResult& pt : report.points) {
     const RunConfig& p = pt.params;
@@ -131,7 +140,9 @@ void WriteCsv(const ExperimentReport& report, std::ostream& os) {
                          std::to_string(p.quantum_ticks) + "," +
                          std::to_string(p.segment_bytes) + "," +
                          Json::NumberToString(p.loss) + "," + std::to_string(p.replicas) +
-                         "," + p.fault_plan + ",";
+                         "," + Json::NumberToString(p.zipf_s) + "," +
+                         Json::NumberToString(p.get_mix) + "," +
+                         std::to_string(p.kv_replicas) + "," + p.fault_plan + ",";
     for (const auto& [name, acc] : pt.metrics) {
       os << prefix << name << "," << acc.count() << "," << Json::NumberToString(acc.Mean())
          << "," << Json::NumberToString(acc.Min()) << "," << Json::NumberToString(acc.Max())
@@ -169,9 +180,10 @@ MetricSense SenseOf(const std::string& metric) {
     return MetricSense::kHigherIsBetter;
   }
   if (contains("latency") || contains("elapsed") || contains("failed") ||
-      contains("timeouts") || contains("aborted") || contains("_p50") || contains("_p99") ||
-      contains("refusals") || contains("lost") || contains("degraded") ||
-      contains("stale_epoch")) {
+      contains("timeouts") || contains("aborted") || contains("_p50") || contains("_p95") ||
+      contains("_p99") || contains("refusals") || contains("lost") || contains("degraded") ||
+      contains("stale_epoch") || contains("torn") || contains("misses") ||
+      contains("integrity") || contains("queue")) {
     return MetricSense::kLowerIsBetter;
   }
   return MetricSense::kNeutral;

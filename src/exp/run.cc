@@ -8,6 +8,7 @@
 #include "src/sysv/world.h"
 #include "src/workload/background.h"
 #include "src/workload/dotproduct.h"
+#include "src/workload/kvstore.h"
 #include "src/workload/matrix.h"
 #include "src/workload/pingpong.h"
 #include "src/workload/readwriters.h"
@@ -67,6 +68,7 @@ void CollectCommon(msysv::World& world, RunResult* out) {
   }
   mirage::EngineStats sum;
   bool any_engine = false;
+  std::uint64_t busiest_lib = 0;  // most library requests processed by one site
   for (int s = 0; s < world.site_count(); ++s) {
     const mirage::Engine* e = world.engine(s);
     if (e == nullptr) {
@@ -98,6 +100,15 @@ void CollectCommon(msysv::World& world, RunResult* out) {
     sum.quorum_waits += es.quorum_waits;
     sum.degraded_reads += es.degraded_reads;
     sum.replica_respreads += es.replica_respreads;
+    sum.requests_processed += es.requests_processed;
+    sum.lib_enqueues += es.lib_enqueues;
+    sum.lib_queue_depth_sum += es.lib_queue_depth_sum;
+    if (es.lib_queue_peak > sum.lib_queue_peak) {
+      sum.lib_queue_peak = es.lib_queue_peak;  // peak is a max across sites
+    }
+    if (es.requests_processed > busiest_lib) {
+      busiest_lib = es.requests_processed;
+    }
     out->read_latency.Merge(e->read_fault_latency());
     out->write_latency.Merge(e->write_fault_latency());
   }
@@ -126,6 +137,17 @@ void CollectCommon(msysv::World& world, RunResult* out) {
     out->metrics["quorum_waits"] = static_cast<double>(sum.quorum_waits);
     out->metrics["degraded_reads"] = static_cast<double>(sum.degraded_reads);
     out->metrics["replica_respreads"] = static_cast<double>(sum.replica_respreads);
+    // Library load: the centralized-controller bottleneck (ROADMAP scale-out).
+    out->metrics["lib_requests"] = static_cast<double>(sum.requests_processed);
+    out->metrics["lib_queue_peak"] = static_cast<double>(sum.lib_queue_peak);
+    out->metrics["lib_queue_mean_depth"] =
+        sum.lib_enqueues > 0 ? static_cast<double>(sum.lib_queue_depth_sum) /
+                                   static_cast<double>(sum.lib_enqueues)
+                             : 0.0;
+    out->metrics["lib_load_max_share"] =
+        sum.requests_processed > 0 ? static_cast<double>(busiest_lib) /
+                                         static_cast<double>(sum.requests_processed)
+                                   : 0.0;
   }
 }
 
@@ -133,7 +155,8 @@ void CollectCommon(msysv::World& world, RunResult* out) {
 
 bool KnownWorkload(const std::string& name) {
   return name == "readwriters" || name == "pingpong" || name == "spinlock" ||
-         name == "scalability" || name == "matrix" || name == "dot" || name == "tsp";
+         name == "scalability" || name == "matrix" || name == "dot" || name == "tsp" ||
+         name == "kvstore";
 }
 
 RunResult ExecuteRun(const RunConfig& cfg) {
@@ -247,6 +270,36 @@ RunResult ExecuteRun(const RunConfig& cfg) {
       out.metrics["elapsed_s"] = r->ElapsedSeconds();
       out.metrics["verified"] = r->verified ? 1.0 : 0.0;
       out.metrics["nodes_expanded"] = static_cast<double>(r->nodes_expanded);
+    } else if (cfg.workload == "kvstore") {
+      mwork::KvStoreParams prm;
+      prm.keys = cfg.kv_keys;
+      prm.value_words = cfg.kv_value_words;
+      prm.zipf_s = cfg.zipf_s;
+      prm.get_mix = cfg.get_mix;
+      prm.arrival_per_s = cfg.kv_arrival_per_s;
+      prm.ops_per_site = cfg.kv_ops_per_site;
+      prm.workers_per_site = cfg.kv_workers;
+      prm.shards = cfg.kv_shards;
+      prm.kv_replicas = static_cast<std::uint32_t>(cfg.kv_replicas);
+      prm.seed = cfg.seed;
+      auto r = mwork::LaunchKvStore(world, prm);
+      completed = run_until([&] { return r->completed; });
+      out.metrics["throughput"] = r->OpsPerSecond();
+      out.metrics["kv_gets"] = static_cast<double>(r->gets);
+      out.metrics["kv_sets"] = static_cast<double>(r->sets);
+      out.metrics["kv_misses"] = static_cast<double>(r->misses);
+      out.metrics["kv_torn_reads"] = static_cast<double>(r->torn_reads);
+      out.metrics["kv_integrity_failures"] = static_cast<double>(r->integrity_failures);
+      out.metrics["kv_queue_peak"] = static_cast<double>(r->queue_peak);
+      out.metrics["kv_queue_mean_depth"] = r->MeanQueueDepth();
+      out.metrics["kv_get_mean_ms"] = r->get_latency.MeanMs();
+      out.metrics["kv_get_p50_ms"] = r->get_latency.PercentileMs(0.50);
+      out.metrics["kv_get_p95_ms"] = r->get_latency.PercentileMs(0.95);
+      out.metrics["kv_get_p99_ms"] = r->get_latency.PercentileMs(0.99);
+      out.metrics["kv_set_mean_ms"] = r->set_latency.MeanMs();
+      out.metrics["kv_set_p50_ms"] = r->set_latency.PercentileMs(0.50);
+      out.metrics["kv_set_p95_ms"] = r->set_latency.PercentileMs(0.95);
+      out.metrics["kv_set_p99_ms"] = r->set_latency.PercentileMs(0.99);
     }
 
     out.metrics["completed"] = completed ? 1.0 : 0.0;

@@ -51,7 +51,8 @@ bool ReadNumArray(const Json& j, const std::string& key, std::vector<T>* out) {
 int ExperimentSpec::PointCount() const {
   std::size_t plans = fault_plans.empty() ? 1 : fault_plans.size();
   return static_cast<int>(sites.size() * delta_ms.size() * quantum_ticks.size() *
-                          segment_bytes.size() * loss.size() * replicas.size() * plans);
+                          segment_bytes.size() * loss.size() * replicas.size() *
+                          zipf_s.size() * get_mix.size() * kv_replicas.size() * plans);
 }
 
 std::uint64_t ExperimentSpec::DeriveSeed(std::uint64_t base, int run_index) {
@@ -77,41 +78,56 @@ std::vector<RunConfig> ExperimentSpec::Expand() const {
         for (std::uint32_t sb : segment_bytes) {
           for (double l : loss) {
             for (int k : replicas) {
-              for (const FaultPlanSpec& fp : plans) {
-                for (int r = 0; r < reps; ++r) {
-                  RunConfig cfg;
-                  cfg.point = point;
-                  cfg.rep = r;
-                  cfg.run_index = run_index;
-                  cfg.workload = workload;
-                  cfg.sites = s;
-                  cfg.delta_ms = d;
-                  cfg.quantum_ticks = q;
-                  cfg.segment_bytes = sb;
-                  cfg.loss = l;
-                  cfg.replicas = k;
-                  cfg.fault_plan = fp.name;
-                  cfg.faults = fp.plan;
-                  cfg.seed = DeriveSeed(seed, run_index);
-                  if (!phase_offsets_ms.empty()) {
-                    cfg.start_offset_us =
-                        phase_offsets_ms[r % phase_offsets_ms.size()] * msim::kMillisecond;
+              for (double zs : zipf_s) {
+                for (double gm : get_mix) {
+                  for (int kvr : kv_replicas) {
+                    for (const FaultPlanSpec& fp : plans) {
+                      for (int r = 0; r < reps; ++r) {
+                        RunConfig cfg;
+                        cfg.point = point;
+                        cfg.rep = r;
+                        cfg.run_index = run_index;
+                        cfg.workload = workload;
+                        cfg.sites = s;
+                        cfg.delta_ms = d;
+                        cfg.quantum_ticks = q;
+                        cfg.segment_bytes = sb;
+                        cfg.loss = l;
+                        cfg.replicas = k;
+                        cfg.zipf_s = zs;
+                        cfg.get_mix = gm;
+                        cfg.kv_replicas = kvr;
+                        cfg.fault_plan = fp.name;
+                        cfg.faults = fp.plan;
+                        cfg.seed = DeriveSeed(seed, run_index);
+                        if (!phase_offsets_ms.empty()) {
+                          cfg.start_offset_us = phase_offsets_ms[r % phase_offsets_ms.size()] *
+                                                msim::kMillisecond;
+                        }
+                        cfg.library_site = library_site;
+                        cfg.iterations = iterations;
+                        cfg.rounds = rounds;
+                        cfg.matrix_n = matrix_n;
+                        cfg.dot_length = dot_length;
+                        cfg.tsp_cities = tsp_cities;
+                        cfg.with_background = with_background;
+                        cfg.use_yield = use_yield;
+                        cfg.parallel_lib = parallel_lib;
+                        cfg.baseline = baseline;
+                        cfg.max_time_us = max_time_s * msim::kSecond;
+                        cfg.kv_keys = kv_keys;
+                        cfg.kv_value_words = kv_value_words;
+                        cfg.kv_arrival_per_s = kv_arrival_per_s;
+                        cfg.kv_ops_per_site = kv_ops_per_site;
+                        cfg.kv_workers = kv_workers;
+                        cfg.kv_shards = kv_shards;
+                        out.push_back(std::move(cfg));
+                        ++run_index;
+                      }
+                      ++point;
+                    }
                   }
-                  cfg.library_site = library_site;
-                  cfg.iterations = iterations;
-                  cfg.rounds = rounds;
-                  cfg.matrix_n = matrix_n;
-                  cfg.dot_length = dot_length;
-                  cfg.tsp_cities = tsp_cities;
-                  cfg.with_background = with_background;
-                  cfg.use_yield = use_yield;
-                  cfg.parallel_lib = parallel_lib;
-                  cfg.baseline = baseline;
-                  cfg.max_time_us = max_time_s * msim::kSecond;
-                  out.push_back(std::move(cfg));
-                  ++run_index;
                 }
-                ++point;
               }
             }
           }
@@ -195,6 +211,9 @@ Json ExperimentSpec::ToJson() const {
   j.Set("segment_bytes", NumArray(segment_bytes));
   j.Set("loss", NumArray(loss));
   j.Set("replicas", NumArray(replicas));
+  j.Set("zipf_s", NumArray(zipf_s));
+  j.Set("get_mix", NumArray(get_mix));
+  j.Set("kv_replicas", NumArray(kv_replicas));
   if (!fault_plans.empty()) {
     Json plans = Json::Array();
     for (const FaultPlanSpec& fp : fault_plans) {
@@ -218,6 +237,12 @@ Json ExperimentSpec::ToJson() const {
   j.Set("parallel_lib", Json(parallel_lib));
   j.Set("baseline", Json(baseline));
   j.Set("max_time_s", Json(max_time_s));
+  j.Set("kv_keys", Json(static_cast<std::int64_t>(kv_keys)));
+  j.Set("kv_value_words", Json(static_cast<std::int64_t>(kv_value_words)));
+  j.Set("kv_arrival_per_s", Json(kv_arrival_per_s));
+  j.Set("kv_ops_per_site", Json(static_cast<std::int64_t>(kv_ops_per_site)));
+  j.Set("kv_workers", Json(kv_workers));
+  j.Set("kv_shards", Json(static_cast<std::int64_t>(kv_shards)));
   return j;
 }
 
@@ -234,6 +259,9 @@ bool ExperimentSpec::FromJson(const Json& j, ExperimentSpec* out, std::string* e
       !ReadNumArray(j, "segment_bytes", &spec.segment_bytes) ||
       !ReadNumArray(j, "loss", &spec.loss) ||
       !ReadNumArray(j, "replicas", &spec.replicas) ||
+      !ReadNumArray(j, "zipf_s", &spec.zipf_s) ||
+      !ReadNumArray(j, "get_mix", &spec.get_mix) ||
+      !ReadNumArray(j, "kv_replicas", &spec.kv_replicas) ||
       !ReadNumArray(j, "phase_offsets_ms", &spec.phase_offsets_ms)) {
     *error = "axis members must be non-empty arrays of numbers";
     return false;
@@ -274,6 +302,14 @@ bool ExperimentSpec::FromJson(const Json& j, ExperimentSpec* out, std::string* e
   spec.parallel_lib = j.GetBool("parallel_lib", spec.parallel_lib);
   spec.baseline = j.GetBool("baseline", spec.baseline);
   spec.max_time_s = j.GetInt("max_time_s", spec.max_time_s);
+  spec.kv_keys = static_cast<std::uint32_t>(j.GetInt("kv_keys", spec.kv_keys));
+  spec.kv_value_words =
+      static_cast<std::uint32_t>(j.GetInt("kv_value_words", spec.kv_value_words));
+  spec.kv_arrival_per_s = j.GetDouble("kv_arrival_per_s", spec.kv_arrival_per_s);
+  spec.kv_ops_per_site =
+      static_cast<std::uint32_t>(j.GetInt("kv_ops_per_site", spec.kv_ops_per_site));
+  spec.kv_workers = static_cast<int>(j.GetInt("kv_workers", spec.kv_workers));
+  spec.kv_shards = static_cast<std::uint32_t>(j.GetInt("kv_shards", spec.kv_shards));
   if (spec.repetitions < 1) {
     *error = "repetitions must be >= 1";
     return false;
@@ -287,6 +323,24 @@ bool ExperimentSpec::FromJson(const Json& j, ExperimentSpec* out, std::string* e
   for (int k : spec.replicas) {
     if (k < 1 || k > 12) {
       *error = "replicas values must be in 1..12";
+      return false;
+    }
+  }
+  for (int k : spec.kv_replicas) {
+    if (k < 1 || k > 12) {
+      *error = "kv_replicas values must be in 1..12";
+      return false;
+    }
+  }
+  for (double g : spec.get_mix) {
+    if (g < 0.0 || g > 1.0) {
+      *error = "get_mix values must be in [0, 1]";
+      return false;
+    }
+  }
+  for (double z : spec.zipf_s) {
+    if (z < 0.0) {
+      *error = "zipf_s values must be >= 0";
       return false;
     }
   }

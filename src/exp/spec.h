@@ -49,6 +49,13 @@ struct RunConfig {
   std::string fault_plan = "none";
   mfault::FaultPlan faults;
 
+  // kvstore workload point values. kv_replicas is data-level replication
+  // (complete table copies, spreads read + library load) — distinct from
+  // `replicas` above, whose quorum standbys are crash insurance only.
+  double zipf_s = 0.0;
+  double get_mix = 0.95;
+  int kv_replicas = 1;
+
   // Derived per-run values.
   std::uint64_t seed = 0;
   msim::Duration start_offset_us = 0;
@@ -69,6 +76,13 @@ struct RunConfig {
   bool parallel_lib = false;
   bool baseline = false;
   msim::Duration max_time_us = 600 * msim::kSecond;
+  // kvstore scalar tunables (see mwork::KvStoreParams).
+  std::uint32_t kv_keys = 192;
+  std::uint32_t kv_value_words = 4;
+  double kv_arrival_per_s = 120.0;
+  std::uint32_t kv_ops_per_site = 200;
+  int kv_workers = 3;
+  std::uint32_t kv_shards = 0;
 };
 
 struct ExperimentSpec {
@@ -84,6 +98,11 @@ struct ExperimentSpec {
   // Replication degree axis; {1} (the default) reproduces the pre-replication
   // grid byte-for-byte: point order, run order, and derived seeds all match.
   std::vector<int> replicas{1};
+  // kvstore axes; singletons at the defaults leave every other workload's
+  // expansion (point order, run order, seeds) byte-identical to before.
+  std::vector<double> zipf_s{0.0};
+  std::vector<double> get_mix{0.95};
+  std::vector<int> kv_replicas{1};
   // Empty = one implicit fault-free plan named "none".
   std::vector<FaultPlanSpec> fault_plans;
 
@@ -106,12 +125,19 @@ struct ExperimentSpec {
   bool parallel_lib = false;
   bool baseline = false;
   std::int64_t max_time_s = 600;
+  // kvstore scalar tunables (see mwork::KvStoreParams).
+  std::uint32_t kv_keys = 192;
+  std::uint32_t kv_value_words = 4;
+  double kv_arrival_per_s = 120.0;
+  std::uint32_t kv_ops_per_site = 200;
+  int kv_workers = 3;
+  std::uint32_t kv_shards = 0;  // 0: one shard per site
 
   // Grid points (product of the axis sizes, without repetitions).
   int PointCount() const;
   // Flattens the grid in nesting order sites > delta > quantum >
-  // segment_bytes > loss > replicas > fault_plan, repetitions innermost.
-  // Deterministic.
+  // segment_bytes > loss > replicas > zipf_s > get_mix > kv_replicas >
+  // fault_plan, repetitions innermost. Deterministic.
   std::vector<RunConfig> Expand() const;
 
   // The seed for global run `run_index`, splitmix-derived from the spec seed.

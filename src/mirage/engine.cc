@@ -535,6 +535,7 @@ void Engine::EnqueueLibraryRequest(const PageRequestBody& body) {
                        std::to_string(body.requester) + " seg " + std::to_string(body.seg) +
                        " page " + std::to_string(body.page));
   lib_queue_.push_back(Request{body, kernel_->Now()});
+  NoteLibEnqueue();
   kernel_->Wakeup(lib_chan_);
 }
 
@@ -1425,6 +1426,7 @@ void Engine::OnSiteCrashed(mnet::SiteId crashed) {
             r.body.epoch = KnownEpoch(meta.id);
             r.queued_at = kernel_->Now();
             lib_queue_.push_back(std::move(r));
+            NoteLibEnqueue();
             queued = true;
           }
           ++page;
@@ -1748,6 +1750,7 @@ msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
         r.body.epoch = epoch;
         r.queued_at = kernel_->Now();
         lib_queue_.push_back(std::move(r));
+        NoteLibEnqueue();
         queued = true;
       }
     }

@@ -76,6 +76,12 @@ struct EngineStats {
   std::uint64_t quorum_waits = 0;        // commit points that waited on a write quorum
   std::uint64_t degraded_reads = 0;      // pages served by promoting a standby replica
   std::uint64_t replica_respreads = 0;   // re-spread ops completed after membership change
+  // ---- Library load (scale-out observability): how hard this site works as
+  // a segment controller. The paper's library is centralized per segment;
+  // these counters are the first measurement of that bottleneck. ----
+  std::uint64_t lib_enqueues = 0;         // requests queued at this library
+  std::uint64_t lib_queue_peak = 0;       // deepest the request queue has been
+  std::uint64_t lib_queue_depth_sum = 0;  // sum of depths seen by arriving requests
 };
 
 // Library-side page directory state (Table 1 "Current" column).
@@ -359,6 +365,15 @@ class Engine : public mmem::DsmBackend {
   msim::FlatMap<mmem::SegmentId, std::unique_ptr<mmem::SegmentImage>> images_;
   msim::FlatMap<mmem::SegmentId, std::unique_ptr<SegDir>> dirs_;
   msim::FlatMap<std::uint64_t, std::unique_ptr<PageWait>> waits_;
+
+  // Call immediately after every lib_queue_.push_back so the load counters
+  // (lib_enqueues / peak / depth_sum) see each arrival exactly once.
+  void NoteLibEnqueue() {
+    ++stats_.lib_enqueues;
+    const std::uint64_t depth = lib_queue_.size();
+    stats_.lib_queue_depth_sum += depth;
+    if (depth > stats_.lib_queue_peak) stats_.lib_queue_peak = depth;
+  }
 
   std::deque<Request> lib_queue_;
   mos::Channel lib_chan_;

@@ -145,6 +145,23 @@ void World::PrintReport(std::ostream& os) {
        << " quorum waits, " << degraded_reads << " degraded reads, " << respreads
        << " re-spreads\n";
   }
+  // Library load: one line per site that acted as a segment controller. The
+  // mean queue depth is as seen by arriving requests (a load-weighted view).
+  for (int s = 0; s < site_count(); ++s) {
+    const mirage::Engine* e = engine(s);
+    if (e == nullptr) {
+      continue;
+    }
+    const mirage::EngineStats& es = e->stats();
+    if (es.lib_enqueues == 0) {
+      continue;
+    }
+    const double mean_depth =
+        static_cast<double>(es.lib_queue_depth_sum) / static_cast<double>(es.lib_enqueues);
+    os << "library site " << s << ": " << es.requests_processed << " requests processed, "
+       << es.lib_enqueues << " enqueued, queue peak " << es.lib_queue_peak << ", mean depth "
+       << mtrace::TextTable::Num(mean_depth, 2) << "\n";
+  }
   os << "\n";
   mtrace::TextTable t({"site", "cpu busy (ms)", "idle (ms)", "remap (ms)", "ctx switches",
                        "faults r/w", "installs", "upgrades", "downgrades", "invalidations",

@@ -73,8 +73,9 @@ class LatencyHistogram {
 
   void Print(std::ostream& os, const std::string& label) const {
     os << label << ": n=" << count_ << " mean=" << MeanMs() << "ms p50="
-       << PercentileMs(0.50) << "ms p90=" << PercentileMs(0.90) << "ms p99="
-       << PercentileMs(0.99) << "ms max=" << MaxMs() << "ms\n";
+       << PercentileMs(0.50) << "ms p90=" << PercentileMs(0.90) << "ms p95="
+       << PercentileMs(0.95) << "ms p99=" << PercentileMs(0.99) << "ms max=" << MaxMs()
+       << "ms\n";
   }
 
   void Reset() {

@@ -1,0 +1,347 @@
+#include "src/workload/kvstore.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "src/dsmlib/dist_hashmap.h"
+#include "src/sim/random.h"
+
+namespace mwork {
+
+namespace {
+
+// One client request, parked in a site-local queue until a worker takes it.
+struct Op {
+  std::uint32_t key = 0;
+  bool is_set = false;
+  std::uint32_t nonce = 0;   // sets only: value word 0
+  msim::Time arrival = 0;
+};
+
+// A set fans out to one writer per data replica; the writer that applies
+// the last copy completes the op. Host memory, like the queues.
+struct SetJob {
+  Op op;
+  std::uint32_t remaining = 0;
+};
+
+// Host-side coordination state shared by this workload's coroutines. The
+// request queues model site-local kernel work queues, not DSM traffic, so
+// plain memory (single-threaded simulation) is the right substrate.
+struct State {
+  KvStoreParams prm;
+  std::uint32_t shards = 0;
+  std::uint32_t slots = 0;
+  std::vector<double> zipf_cdf;            // over ranks 0..keys-1
+  std::vector<std::deque<Op>> get_queues;  // per site, drained by readers
+  // Per (site, replica): site * kv_replicas + r. Each set is pushed to all
+  // of its site's replica queues and the writers apply the copies in
+  // parallel.
+  std::vector<std::deque<std::shared_ptr<SetJob>>> set_queues;
+  std::vector<std::unique_ptr<mos::Channel>> get_ready;   // per site
+  std::vector<std::unique_ptr<mos::Channel>> set_ready;   // per (site, replica)
+  int setup_done = 0;                      // replicas prepopulated so far
+  int generators_done = 0;
+  int parties_remaining = 0;               // all processes, for `completed`
+  std::shared_ptr<KvStoreResult> result;
+};
+
+// Value convention: word 0 is the nonce, words 1.. are derived from
+// (key, nonce) — any snapshot mixing two writes fails the check.
+std::uint32_t ValueWord(std::uint32_t key, std::uint32_t nonce, std::uint32_t w) {
+  return static_cast<std::uint32_t>(
+      mdsm::DistHashMap::Mix((static_cast<std::uint64_t>(key) << 32) | nonce) + w * 0x9E3779B9u);
+}
+
+void FillValue(const State& st, std::uint32_t key, std::uint32_t nonce, std::uint32_t* out) {
+  out[0] = nonce;
+  for (std::uint32_t w = 1; w < st.prm.value_words; ++w) {
+    out[w] = ValueWord(key, nonce, w);
+  }
+}
+
+bool ValueIntact(const State& st, std::uint32_t key, const std::uint32_t* v) {
+  for (std::uint32_t w = 1; w < st.prm.value_words; ++w) {
+    if (v[w] != ValueWord(key, v[0], w)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// rank 0 (key 1) is the hottest key.
+std::uint32_t SampleKey(const State& st, msim::Rng& rng) {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(st.zipf_cdf.begin(), st.zipf_cdf.end(), u);
+  const auto last = static_cast<std::ptrdiff_t>(st.zipf_cdf.size()) - 1;
+  const std::uint32_t rank =
+      static_cast<std::uint32_t>(std::min<std::ptrdiff_t>(it - st.zipf_cdf.begin(), last));
+  return rank + 1;
+}
+
+// Attach every shard of replica `r` in this process and build its map.
+// Attaching is not free here: the kernel charges a lazy-remap cost per
+// attached shared page at every schedule-in, so each process attaches only
+// the replicas it will actually touch (the paper's §8 advice — keep the
+// shared footprint of a process minimal).
+std::unique_ptr<mdsm::DistHashMap> AttachReplica(msysv::World& world, int site,
+                                                 mos::Process* p, const State& st,
+                                                 std::uint32_t r) {
+  auto& shm = world.shm(site);
+  mdsm::HashMapLayout layout;
+  layout.shards = st.shards;
+  layout.slots_per_shard = st.slots;
+  layout.value_words = st.prm.value_words;
+  std::vector<mmem::VAddr> bases;
+  for (std::uint32_t s = 0; s < st.shards; ++s) {
+    const std::uint64_t key = mdsm::DistHashMap::ShardKey(st.prm.base_key, r, s);
+    const int id = shm.Shmget(key, layout.ShardFootprintBytes(), /*create=*/true).value();
+    bases.push_back(shm.Shmat(p, id).value());
+  }
+  return std::make_unique<mdsm::DistHashMap>(&shm, &world.kernel(site), layout,
+                                             std::move(bases));
+}
+
+void NoteDone(State& st) {
+  if (--st.parties_remaining == 0) {
+    st.result->completed = true;
+  }
+}
+
+// Inserts every key into replica `r` (run at that replica's first home).
+msim::Task<> SetupProc(msysv::World& world, int site, mos::Process* p,
+                       std::shared_ptr<State> st, std::uint32_t r) {
+  auto map = AttachReplica(world, site, p, *st, r);
+  std::vector<std::uint32_t> value(st->prm.value_words);
+  for (std::uint32_t key = 1; key <= st->prm.keys; ++key) {
+    FillValue(*st, key, /*nonce=*/0, value.data());
+    co_await map->Put(p, key, value.data());
+  }
+  ++st->setup_done;
+  NoteDone(*st);
+}
+
+msim::Task<> GeneratorProc(msysv::World& world, int site, mos::Process* p,
+                           std::shared_ptr<State> st) {
+  auto& kernel = world.kernel(site);
+  // Hold arrivals until every replica is fully prepopulated, so a miss is a
+  // bug rather than a race with setup.
+  while (st->setup_done < static_cast<int>(st->prm.kv_replicas)) {
+    co_await kernel.SleepFor(p, 1000);
+  }
+  KvStoreResult& res = *st->result;
+  if (res.start_time == 0) {
+    res.start_time = world.sim().Now();
+  }
+  msim::Rng rng(st->prm.seed + 0x9E3779B97F4A7C15ULL * (site + 1));
+  const double rate_us = st->prm.arrival_per_s / 1e6;
+  for (std::uint32_t i = 0; i < st->prm.ops_per_site; ++i) {
+    const double u = rng.NextDouble();
+    const auto gap = static_cast<msim::Duration>(-std::log(1.0 - u) / rate_us);
+    co_await kernel.SleepFor(p, std::max<msim::Duration>(1, gap));
+    Op op;
+    op.key = SampleKey(*st, rng);
+    op.is_set = !rng.Chance(st->prm.get_mix);
+    if (op.is_set) {
+      op.nonce = static_cast<std::uint32_t>(rng.Next() | 1u);  // nonzero, != setup's 0
+    }
+    op.arrival = world.sim().Now();
+    const std::uint32_t kvr = st->prm.kv_replicas;
+    if (op.is_set) {
+      auto job = std::make_shared<SetJob>();
+      job->op = op;
+      job->remaining = kvr;
+      for (std::uint32_t r = 0; r < kvr; ++r) {
+        st->set_queues[static_cast<std::uint32_t>(site) * kvr + r].push_back(job);
+        kernel.Wakeup(*st->set_ready[static_cast<std::uint32_t>(site) * kvr + r]);
+      }
+    } else {
+      st->get_queues[site].push_back(op);
+      kernel.Wakeup(*st->get_ready[site]);
+    }
+    // Depth counts client requests, not fan-out copies: replica 0's set
+    // queue holds exactly one entry per outstanding set.
+    const std::uint64_t depth = st->get_queues[site].size() +
+                                st->set_queues[static_cast<std::uint32_t>(site) * kvr].size();
+    res.queue_depth_sum += depth;
+    ++res.queue_samples;
+    if (depth > res.queue_peak) {
+      res.queue_peak = depth;
+    }
+  }
+  ++st->generators_done;
+  // Let idle readers and writers observe the end of arrivals.
+  kernel.Wakeup(*st->get_ready[site]);
+  for (std::uint32_t r = 0; r < st->prm.kv_replicas; ++r) {
+    kernel.Wakeup(*st->set_ready[static_cast<std::uint32_t>(site) * st->prm.kv_replicas + r]);
+  }
+  NoteDone(*st);
+}
+
+// Readers attach exactly one data replica — site % kv_replicas — so their
+// per-schedule remap bill is the same no matter how many copies exist, and
+// skewed read traffic fans out across the copies' (distinct) home sites.
+msim::Task<> ReaderProc(msysv::World& world, int site, mos::Process* p,
+                        std::shared_ptr<State> st, int sites) {
+  auto& kernel = world.kernel(site);
+  const std::uint32_t r = static_cast<std::uint32_t>(site) % st->prm.kv_replicas;
+  auto map = AttachReplica(world, site, p, *st, r);
+  KvStoreResult& res = *st->result;
+  std::vector<std::uint32_t> value(st->prm.value_words);
+  auto& q = st->get_queues[site];
+  for (;;) {
+    if (q.empty()) {
+      if (st->generators_done >= sites) {
+        break;  // no more arrivals anywhere; this site's queue is drained
+      }
+      // The generator wakes this channel on every push (and at the end), so
+      // the timeout is only a safety net — keep it long: every idle wake
+      // costs a context switch plus the remap of every attached page.
+      co_await kernel.SleepOnFor(p, *st->get_ready[site], 50000);
+      continue;
+    }
+    const Op op = q.front();
+    q.pop_front();
+    co_await kernel.Compute(p, st->prm.op_service_cpu_us);
+    const mdsm::GetStatus gs = co_await map->Get(p, op.key, value.data());
+    if (gs == mdsm::GetStatus::kMiss) {
+      ++res.misses;
+    } else if (gs == mdsm::GetStatus::kTorn) {
+      ++res.torn_reads;
+    } else if (!ValueIntact(*st, op.key, value.data())) {
+      ++res.integrity_failures;
+    }
+    ++res.gets;
+    res.get_latency.Record(world.sim().Now() - op.arrival);
+    res.end_time = world.sim().Now();
+  }
+  NoteDone(*st);
+}
+
+// One writer per (site, replica): each attaches a single replica — like the
+// readers, its remap bill does not grow with kv_replicas — and the copies
+// of a set are applied in parallel across the writers, so set latency is
+// one Put, not kv_replicas of them back to back. Per-site per-replica FIFO
+// keeps one site's sets ordered; sets racing from different sites can land
+// in either order (each copy is internally consistent either way — the
+// seqlock guarantees that — and the next set of the key converges all
+// copies again).
+msim::Task<> WriterProc(msysv::World& world, int site, mos::Process* p,
+                        std::shared_ptr<State> st, std::uint32_t r, int sites) {
+  auto& kernel = world.kernel(site);
+  auto map = AttachReplica(world, site, p, *st, r);
+  KvStoreResult& res = *st->result;
+  std::vector<std::uint32_t> value(st->prm.value_words);
+  const std::uint32_t qi = static_cast<std::uint32_t>(site) * st->prm.kv_replicas + r;
+  auto& q = st->set_queues[qi];
+  for (;;) {
+    if (q.empty()) {
+      if (st->generators_done >= sites) {
+        break;
+      }
+      // Same long-timeout rationale as the readers.
+      co_await kernel.SleepOnFor(p, *st->set_ready[qi], 50000);
+      continue;
+    }
+    const std::shared_ptr<SetJob> job = q.front();
+    q.pop_front();
+    co_await kernel.Compute(p, st->prm.op_service_cpu_us);
+    FillValue(*st, job->op.key, job->op.nonce, value.data());
+    co_await map->Put(p, job->op.key, value.data());
+    if (--job->remaining == 0) {
+      ++res.sets;
+      res.set_latency.Record(world.sim().Now() - job->op.arrival);
+      res.end_time = world.sim().Now();
+    }
+  }
+  NoteDone(*st);
+}
+
+}  // namespace
+
+std::shared_ptr<KvStoreResult> LaunchKvStore(msysv::World& world, KvStoreParams params) {
+  const int sites = world.site_count();
+  auto st = std::make_shared<State>();
+  st->prm = params;
+  st->result = std::make_shared<KvStoreResult>();
+  st->shards = params.shards != 0 ? params.shards : static_cast<std::uint32_t>(sites);
+  // Default table size: 2x the expected keys per shard keeps open-addressing
+  // probes short (load factor ~0.5) without doubling the page footprint that
+  // every attached process pays remap for.
+  st->slots = params.slots_per_shard != 0
+                  ? params.slots_per_shard
+                  : std::max<std::uint32_t>(16, 2 * params.keys / st->shards);
+  // Zipf CDF over ranks: weight(rank) = 1 / (rank+1)^s.
+  st->zipf_cdf.resize(params.keys);
+  double total = 0.0;
+  for (std::uint32_t rank = 0; rank < params.keys; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), params.zipf_s);
+  }
+  double acc = 0.0;
+  for (std::uint32_t rank = 0; rank < params.keys; ++rank) {
+    acc += 1.0 / std::pow(static_cast<double>(rank + 1), params.zipf_s) / total;
+    st->zipf_cdf[rank] = acc;
+  }
+  st->zipf_cdf[params.keys - 1] = 1.0;  // close the top against rounding
+  st->get_queues.resize(sites);
+  st->set_queues.resize(static_cast<std::size_t>(sites) * params.kv_replicas);
+  for (int s = 0; s < sites; ++s) {
+    st->get_ready.push_back(std::make_unique<mos::Channel>());
+  }
+  for (std::size_t i = 0; i < st->set_queues.size(); ++i) {
+    st->set_ready.push_back(std::make_unique<mos::Channel>());
+  }
+
+  // Placement: home shard s of replica r at site (s + r) % sites. The first
+  // Shmget creates the segment and makes that site its library site; every
+  // later attach (any process, any site) finds it by key.
+  mdsm::HashMapLayout layout;
+  layout.shards = st->shards;
+  layout.slots_per_shard = st->slots;
+  layout.value_words = params.value_words;
+  for (std::uint32_t r = 0; r < params.kv_replicas; ++r) {
+    for (std::uint32_t s = 0; s < st->shards; ++s) {
+      const int home = static_cast<int>((s + r) % static_cast<std::uint32_t>(sites));
+      world.shm(home)
+          .Shmget(mdsm::DistHashMap::ShardKey(params.base_key, r, s),
+                  layout.ShardFootprintBytes(), /*create=*/true)
+          .value();
+    }
+  }
+
+  // Per site: one generator, one writer per replica, workers_per_site
+  // readers; plus one setup process per replica.
+  st->parties_remaining =
+      static_cast<int>(params.kv_replicas) +
+      sites * (1 + static_cast<int>(params.kv_replicas) + params.workers_per_site);
+  for (std::uint32_t r = 0; r < params.kv_replicas; ++r) {
+    const int site = static_cast<int>(r % static_cast<std::uint32_t>(sites));
+    world.kernel(site).Spawn(
+        "kv-setup-" + std::to_string(r), mos::Priority::kUser,
+        [&world, site, st, r](mos::Process* p) { return SetupProc(world, site, p, st, r); });
+  }
+  for (int site = 0; site < sites; ++site) {
+    world.kernel(site).Spawn(
+        "kv-gen-" + std::to_string(site), mos::Priority::kUser,
+        [&world, site, st](mos::Process* p) { return GeneratorProc(world, site, p, st); });
+    for (std::uint32_t r = 0; r < params.kv_replicas; ++r) {
+      world.kernel(site).Spawn(
+          "kv-writer-" + std::to_string(site) + "-" + std::to_string(r),
+          mos::Priority::kUser, [&world, site, st, r, sites](mos::Process* p) {
+            return WriterProc(world, site, p, st, r, sites);
+          });
+    }
+    for (int w = 0; w < params.workers_per_site; ++w) {
+      world.kernel(site).Spawn(
+          "kv-reader-" + std::to_string(site) + "-" + std::to_string(w), mos::Priority::kUser,
+          [&world, site, st, sites](mos::Process* p) {
+            return ReaderProc(world, site, p, st, sites);
+          });
+    }
+  }
+  return st->result;
+}
+
+}  // namespace mwork

@@ -1,0 +1,97 @@
+// An open-loop key-value serving workload over dsmlib's DistHashMap — the
+// ROADMAP's "realistic heavy traffic" scenario. Each site runs a traffic
+// generator modelling many independent clients (Poisson arrivals, zipfian
+// key popularity, a configurable get/set mix) feeding site-local request
+// queues, a pool of reader processes serving gets, and one writer process
+// per data replica serving sets. Open loop means arrivals do not wait for
+// completions: when the table (or its library site) cannot keep up, the
+// request queue grows and op latency — measured arrival-to-completion —
+// shows it.
+//
+// Placement: the table is sharded, shard s of data replica r is homed at
+// site (s + r) % sites (the creating site becomes the shard segment's
+// library site). With kv_replicas = 1 every hot shard has a single home and
+// skewed load concentrates there; with kv_replicas >= 2 gets fan out across
+// the copies (each reader uses replica site % kv_replicas) while sets pay
+// for writing every copy: a set fans out to one writer per replica and
+// completes when the last copy lands. This is data-level replication for
+// load spreading — orthogonal to ProtocolOptions::replicas, whose quorum
+// standbys are crash insurance and serve no reads.
+//
+// The reader/writer split is the paper's §8 advice applied to processes:
+// the kernel re-maps every attached shared page when a process schedules
+// in, so every worker — reader or writer — attaches exactly one replica
+// and the per-process remap bill does not grow with kv_replicas.
+//
+// Consistency: one site's sets reach each replica in arrival order (per-site
+// per-replica FIFO queues); sets racing from different sites can land on
+// the copies in either order. Each copy is always internally consistent
+// (per-slot seqlock) and the next set of a key converges the copies, so a
+// get may briefly observe an older complete value — regular serving-cache
+// semantics, not linearizability.
+//
+// Values are self-verifying: word 0 carries a nonce and the remaining words
+// are Mix(key, nonce, w), so a torn read that slipped past the seqlock
+// would be caught as an integrity failure (expected count: zero).
+#ifndef SRC_WORKLOAD_KVSTORE_H_
+#define SRC_WORKLOAD_KVSTORE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/time.h"
+#include "src/sysv/world.h"
+#include "src/trace/histogram.h"
+
+namespace mwork {
+
+struct KvStoreParams {
+  std::uint32_t keys = 192;        // key space is 1..keys (0 is the empty marker)
+  std::uint32_t value_words = 4;   // 32-bit words per value
+  double zipf_s = 0.0;             // popularity skew; 0 = uniform
+  double get_mix = 0.95;           // probability an op is a get
+  double arrival_per_s = 120.0;    // per-site Poisson arrival rate
+  std::uint32_t ops_per_site = 200;  // generated ops per site (bounds the run)
+  int workers_per_site = 3;        // reader pool size per site (+1 writer)
+  std::uint32_t shards = 0;        // 0: one shard per site
+  std::uint32_t kv_replicas = 1;   // complete table copies (load spreading)
+  std::uint32_t slots_per_shard = 0;  // 0: 2x expected keys per shard
+  msim::Duration op_service_cpu_us = 200;  // CPU per op (parse + hash + copy)
+  std::uint64_t seed = 1;
+  std::uint64_t base_key = 7000;   // shard segments are named from here up
+};
+
+struct KvStoreResult {
+  bool completed = false;
+  msim::Time start_time = 0;  // generators released (after prepopulation)
+  msim::Time end_time = 0;    // last op completed
+  std::uint64_t gets = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t misses = 0;              // expected zero: table is prepopulated
+  std::uint64_t torn_reads = 0;          // seqlock retries exhausted
+  std::uint64_t integrity_failures = 0;  // value failed its checksum (must be 0)
+  mtrace::LatencyHistogram get_latency;  // arrival-to-completion, per op kind
+  mtrace::LatencyHistogram set_latency;
+  // Client-side request queues (the open-loop overload signal).
+  std::uint64_t queue_peak = 0;
+  std::uint64_t queue_depth_sum = 0;  // summed at each arrival, across sites
+  std::uint64_t queue_samples = 0;
+
+  double OpsPerSecond() const {
+    if (end_time <= start_time) {
+      return 0.0;
+    }
+    return static_cast<double>(gets + sets) / msim::ToSeconds(end_time - start_time);
+  }
+  double MeanQueueDepth() const {
+    return queue_samples == 0
+               ? 0.0
+               : static_cast<double>(queue_depth_sum) / static_cast<double>(queue_samples);
+  }
+};
+
+std::shared_ptr<KvStoreResult> LaunchKvStore(msysv::World& world, KvStoreParams params);
+
+}  // namespace mwork
+
+#endif  // SRC_WORKLOAD_KVSTORE_H_

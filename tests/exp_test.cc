@@ -188,6 +188,29 @@ TEST(ExperimentRunner, ReportBytesIdenticalAcrossThreadCounts) {
   EXPECT_FALSE(one.empty());
 }
 
+// Same property for the kvstore workload, whose runs thread kv-specific axes
+// (zipf_s, get_mix, kv_replicas) through point keys and metrics.
+TEST(ExperimentRunner, KvstoreReportBytesIdenticalAcrossThreadCounts) {
+  mexp::ExperimentSpec spec;
+  spec.name = "kv-determinism";
+  spec.workload = "kvstore";
+  spec.sites = {2};
+  spec.delta_ms = {0};
+  spec.zipf_s = {1.3};
+  spec.get_mix = {0.9};
+  spec.kv_replicas = {1, 2};
+  spec.repetitions = 2;
+  spec.kv_keys = 64;
+  spec.kv_ops_per_site = 60;
+  spec.kv_arrival_per_s = 240.0;
+  spec.max_time_s = 300;
+
+  std::string one = mexp::ReportToJson(mexp::ExperimentRunner(1).Run(spec)).ToString();
+  std::string eight = mexp::ReportToJson(mexp::ExperimentRunner(8).Run(spec)).ToString();
+  EXPECT_EQ(one, eight);
+  EXPECT_FALSE(one.empty());
+}
+
 TEST(ExperimentRunner, AggregatesAcrossRepetitionsInSpecOrder) {
   mexp::ExperimentSpec spec;
   spec.workload = "pingpong";
