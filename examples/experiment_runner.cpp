@@ -48,6 +48,9 @@
 //   --crash=S@T --pause=S@T1:T2 --cut=A-B@T1:T2
 //                            add one fault plan (repeatable; scenario_runner
 //                            syntax, times in ms)
+//   --recover=T:SITE         revive a crashed site at T ms (appends to the
+//                            most recent fault plan, so place it after the
+//                            --crash it undoes)
 //   --max-time-s=600         per-run simulated-time cap
 //
 // Execution and output:
@@ -164,6 +167,16 @@ mexp::ExperimentSpec AvailabilitySpec() {
   holder.name = "crash_holder";
   holder.plan.CrashAt(50 * msim::kMillisecond, 1);
   spec.fault_plans.push_back(std::move(holder));
+  // The full crash-recovery lifecycle: the dead player rejoins at 150 ms
+  // with amnesia, re-admits through the epoch-fenced handshake, and is
+  // pulled back into the standby set. The report gains mttr_ms /
+  // resurrected_pages (only this plan emits them); at k>=2 the rejoin
+  // re-attains full k-replica coverage and pages_lost stays 0.
+  mexp::FaultPlanSpec rejoin;
+  rejoin.name = "crash_holder_rejoin";
+  rejoin.plan.CrashAt(50 * msim::kMillisecond, 1);
+  rejoin.plan.RecoverAt(150 * msim::kMillisecond, 1);
+  spec.fault_plans.push_back(std::move(rejoin));
   spec.max_time_s = 60;
   return spec;
 }
@@ -341,6 +354,18 @@ int main(int argc, char** argv) {
       fp.name = "crash" + std::to_string(next_plan++);
       fp.plan.CrashAt(t * msim::kMillisecond, site);
       spec.fault_plans.push_back(std::move(fp));
+    } else if (s.rfind("--recover=", 0) == 0) {
+      long t = 0;
+      int site = 0;
+      if (std::sscanf(s.c_str() + 10, "%ld:%d", &t, &site) != 2) {
+        std::fprintf(stderr, "bad --recover, want Tms:SITE\n");
+        return 2;
+      }
+      if (spec.fault_plans.empty()) {
+        std::fprintf(stderr, "--recover needs a preceding --crash plan to extend\n");
+        return 2;
+      }
+      spec.fault_plans.back().plan.RecoverAt(t * msim::kMillisecond, site);
     } else if (s.rfind("--pause=", 0) == 0) {
       int site = 0;
       long t1 = 0, t2 = 0;

@@ -30,7 +30,13 @@
 //                     the library site (pingpong/readwriters); lets a crash
 //                     plan kill a pure-controller library while every
 //                     workload process survives and fails over
-//     --crash=S@T     crash site S at T ms (permanent)
+//     --crash=S@T     crash site S at T ms (permanent unless recovered)
+//     --recover=T:SITE
+//                     revive crashed site SITE at T ms with amnesia; it
+//                     rejoins through the epoch-fenced re-admission
+//                     handshake and is pulled back into the standby set
+//                     (the report gains a rejoin line: downtime/MTTR,
+//                     re-spreads, resurrected pages)
 //     --pause=S@T1:T2 pause site S's inbound delivery from T1 to T2 ms
 //     --cut=A-B@T1:T2 partition the A<->B link from T1 to T2 ms
 //
@@ -137,6 +143,15 @@ Args Parse(int argc, char** argv) {
       }
       a.faults.CrashAt(t * msim::kMillisecond, site);
       a.faulted = true;
+    } else if (s.rfind("--recover=", 0) == 0) {
+      long t = 0;
+      int site = 0;
+      if (std::sscanf(s.c_str() + 10, "%ld:%d", &t, &site) != 2) {
+        std::fprintf(stderr, "bad --recover, want Tms:SITE: %s\n", s.c_str());
+        std::exit(2);
+      }
+      a.faults.RecoverAt(t * msim::kMillisecond, site);
+      a.faulted = true;
     } else if (s.rfind("--pause=", 0) == 0) {
       int site = 0;
       long t1 = 0, t2 = 0;
@@ -177,6 +192,10 @@ int main(int argc, char** argv) {
   Args args = Parse(argc, argv);
   if (args.sites < 1 || args.sites > 12) {
     std::fprintf(stderr, "sites must be in 1..12\n");
+    return 2;
+  }
+  if (std::string err; !args.faults.Validate(&err)) {
+    std::fprintf(stderr, "invalid fault plan: %s\n", err.c_str());
     return 2;
   }
 

@@ -2,8 +2,6 @@
 
 #include <cassert>
 
-#include "src/dsmlib/sync.h"
-
 namespace mdsm {
 
 DistHashMap::DistHashMap(msysv::ShmSystem* shm, mos::Kernel* kernel,
@@ -59,8 +57,28 @@ msim::Task<GetStatus> DistHashMap::Get(mos::Process* p, std::uint32_t key, std::
   co_return GetStatus::kMiss;  // probed the whole (full) shard
 }
 
-msim::Task<> DistHashMap::UpdateSlot(mos::Process* p, mmem::VAddr sa,
-                                     const std::uint32_t* value) {
+msim::Task<> DistHashMap::AcquireShardLock(mos::Process* p, std::uint32_t shard) {
+  int spins = 0;
+  for (;;) {
+    const std::uint32_t v = co_await shm_->TestAndSet(p, LockAddr(shard));
+    if (v == 0) {
+      co_return;
+    }
+    co_await kernel_->Compute(p, kRetryCost);
+    co_await kernel_->Yield(p);
+    if (RepairArmed() && ++spins >= kLatchBreakRetries) {
+      // The holder died with the lock (crash fault). Force the word open and
+      // re-contend from scratch: exactly one waiting TAS wins the release.
+      co_await shm_->WriteWord(p, LockAddr(shard), 0);
+      ++lock_breaks_;
+      spins = 0;
+    }
+  }
+}
+
+msim::Task<> DistHashMap::UpdateSlot(mos::Process* p, std::uint32_t shard,
+                                     mmem::VAddr sa, const std::uint32_t* value,
+                                     bool shard_locked) {
   // The version word doubles as a writer latch: TestAndSet stores 1 (odd, so
   // readers retry) and returns the prior value. Even means we latched a
   // stable slot; odd means another writer is mid-update. The TAS write fault
@@ -68,6 +86,7 @@ msim::Task<> DistHashMap::UpdateSlot(mos::Process* p, mmem::VAddr sa,
   // the release below are local — one page transfer per update instead of a
   // lock-page ping-pong.
   std::uint32_t v;
+  int spins = 0;
   for (;;) {
     v = co_await shm_->TestAndSet(p, sa + 4);
     if ((v & 1u) == 0) {
@@ -76,12 +95,40 @@ msim::Task<> DistHashMap::UpdateSlot(mos::Process* p, mmem::VAddr sa,
     ++latch_retries_;
     co_await kernel_->Compute(p, kRetryCost);
     co_await kernel_->Yield(p);
+    if (!RepairArmed() || ++spins < kLatchBreakRetries) {
+      continue;
+    }
+    // The holder died mid-update (crash fault) and the word will stay odd
+    // forever. Repair under the shard lock (it serializes repairers): after
+    // one more grab attempt — the holder may have released, or another
+    // repairer beaten us to it, while we waited for the lock — force-release
+    // the latch with a fresh even version from the next repair regime. The
+    // dead writer's partial value stays visible until the update below
+    // overwrites it; the workload-level integrity check owns that window.
+    if (!shard_locked) {
+      co_await AcquireShardLock(p, shard);
+    }
+    v = co_await shm_->TestAndSet(p, sa + 4);
+    if ((v & 1u) != 0) {
+      const std::uint32_t repairs = co_await shm_->ReadWord(p, RepairAddr(shard));
+      co_await shm_->WriteWord(p, RepairAddr(shard), repairs + 1);
+      co_await shm_->WriteWord(p, sa + 4, kRepairVersionStride * (repairs + 1));
+      ++latch_breaks_;
+    }
+    if (!shard_locked) {
+      co_await shm_->WriteWord(p, LockAddr(shard), 0);
+    }
+    if ((v & 1u) == 0) {
+      break;  // the re-grab latched the slot for us
+    }
+    spins = 0;  // repaired: re-contend for the now-even word
   }
   for (std::uint32_t w = 0; w < layout_.value_words; ++w) {
     co_await shm_->WriteWord(p, sa + 8 + 4 * w, value[w]);
   }
   // Strictly increasing even version: readers that saw v (or the transient 1)
-  // compare unequal and retry, so no ABA window exists.
+  // compare unequal and retry, so no ABA window exists. Repair regimes keep
+  // the property across crashes — each restarts far above the last.
   co_await shm_->WriteWord(p, sa + 4, v + 2);
 }
 
@@ -104,11 +151,10 @@ msim::Task<PutStatus> DistHashMap::Put(mos::Process* p, std::uint32_t key,
     if (slot_key != key) {
       continue;
     }
-    co_await UpdateSlot(p, sa, value);
+    co_await UpdateSlot(p, shard, sa, value, /*shard_locked=*/false);
     co_return PutStatus::kUpdated;
   }
-  SpinLock lock(shm_, kernel_, LockAddr(shard));
-  co_await lock.Acquire(p);
+  co_await AcquireShardLock(p, shard);
   PutStatus status = PutStatus::kFull;
   for (std::uint32_t i = 0; i < layout_.slots_per_shard; ++i) {
     const std::uint32_t slot = (start + i) % layout_.slots_per_shard;
@@ -121,7 +167,7 @@ msim::Task<PutStatus> DistHashMap::Put(mos::Process* p, std::uint32_t key,
       // A racing inserter published the key between the optimistic probe and
       // lock acquisition. Latch-free updaters may also be active, so go
       // through the same latch even though we hold the shard lock.
-      co_await UpdateSlot(p, sa, value);
+      co_await UpdateSlot(p, shard, sa, value, /*shard_locked=*/true);
       status = PutStatus::kUpdated;
       break;
     }
@@ -139,7 +185,7 @@ msim::Task<PutStatus> DistHashMap::Put(mos::Process* p, std::uint32_t key,
     status = PutStatus::kInserted;
     break;
   }
-  co_await lock.Release(p);
+  co_await shm_->WriteWord(p, LockAddr(shard), 0);
   co_return status;
 }
 

@@ -27,9 +27,22 @@
 //    word (stores 1 = odd, returns the prior value) both latches the slot
 //    against concurrent writers and takes write ownership of the bucket
 //    page, so the whole update is one page transfer. Only *inserts* take
-//    the per-shard SpinLock — it serializes slot claiming and lives alone
+//    the per-shard lock word — it serializes slot claiming and lives alone
 //    on the metadata page, so neither readers nor updaters ever touch
 //    (or ping-pong) the lock page.
+//
+// Both the slot latch and the shard lock survive site crashes: a holder
+// zombified mid-critical-section (crash faults kill processes
+// non-cooperatively) would otherwise leave the word latched forever and
+// every later writer spinning — an infinite page ping-pong. After a bounded
+// number of failed grabs a waiter presumes the holder dead and repairs the
+// primitive (see kLatchBreakRetries); repairs are counted via
+// latch_breaks() / lock_breaks(). Repair is only *armed* once the workload
+// reports that a crash has actually happened (SetCrashRepair): under heavy
+// fault-free contention a live holder can legitimately stall past any spin
+// bound (its value writes page-fault cross-site), and breaking a live
+// writer's latch would both race the slot and perturb fault-free runs that
+// the benchmark baselines pin byte-for-byte.
 //
 // Each DistHashMap object belongs to one process (like RingBuffer): every
 // participant constructs its own over the same attached shard bases.
@@ -113,16 +126,53 @@ class DistHashMap {
   std::uint64_t torn_failures() const { return torn_failures_; }
   // Writer-side latch contention observed by this process's updates.
   std::uint64_t latch_retries() const { return latch_retries_; }
+  // Crash repairs: slot latches and shard locks forced open after their
+  // holder was zombified by a site crash mid-critical-section.
+  std::uint64_t latch_breaks() const { return latch_breaks_; }
+  std::uint64_t lock_breaks() const { return lock_breaks_; }
+
+  // Arms the crash-repair path: `crashed` must stay valid for the map's
+  // lifetime and become true once any site has crashed (the kvstore workload
+  // points it at run state flipped by its FaultInjector crash observer).
+  // Unarmed (or while *crashed is false), waiters spin politely forever —
+  // the pre-crash-lifecycle behavior the fault-free baselines pin.
+  void SetCrashRepair(const bool* crashed) { crash_repair_armed_ = crashed; }
 
  private:
   static constexpr int kSeqlockRetries = 16;
   static constexpr msim::Duration kRetryCost = 25;
+  // A live latch/lock holder has only a handful of word writes left, so it
+  // cannot stay away for this many failed grabs (each one a cross-site page
+  // round trip). Past the bound the holder is presumed dead — a crash fault
+  // zombifies processes non-cooperatively, leaving latches stuck forever —
+  // and the waiter repairs the primitive instead of spinning eternally.
+  static constexpr int kLatchBreakRetries = 64;
+  // Repaired slots restart their version sequence at stride * (repair count):
+  // far above any version an intact slot reaches (16M updates per regime), so
+  // a reader snapshot can never match versions across a repair (no ABA).
+  static constexpr std::uint32_t kRepairVersionStride = 0x01000000u;
 
   // Latches the slot at `sa` (TAS on its version word), writes the value
-  // words, and releases with the next even version.
-  msim::Task<> UpdateSlot(mos::Process* p, mmem::VAddr sa, const std::uint32_t* value);
+  // words, and releases with the next even version. `shard_locked` says the
+  // caller already holds the shard lock (Put's insert path), so the crash
+  // repair path must not re-acquire it.
+  msim::Task<> UpdateSlot(mos::Process* p, std::uint32_t shard, mmem::VAddr sa,
+                          const std::uint32_t* value, bool shard_locked);
+
+  // SpinLock-equivalent TAS acquisition of the shard lock (same spin cost and
+  // yield backoff), plus the crash repair: after kLatchBreakRetries the dead
+  // holder's word is forced open and the waiters re-contend normally, so
+  // exactly one of them wins the released lock.
+  msim::Task<> AcquireShardLock(mos::Process* p, std::uint32_t shard);
+
+  bool RepairArmed() const {
+    return crash_repair_armed_ != nullptr && *crash_repair_armed_;
+  }
 
   mmem::VAddr LockAddr(std::uint32_t shard) const { return bases_[shard]; }
+  // Per-shard repair counter, on the otherwise lock-only metadata page. Only
+  // ever touched under the shard lock, and only by the crash repair path.
+  mmem::VAddr RepairAddr(std::uint32_t shard) const { return bases_[shard] + 4; }
   // Slot s of a shard: bucket pages start after the metadata page; slots
   // pack per page without straddling.
   mmem::VAddr SlotAddr(std::uint32_t shard, std::uint32_t slot) const {
@@ -134,11 +184,14 @@ class DistHashMap {
 
   msysv::ShmSystem* shm_;
   mos::Kernel* kernel_;
+  const bool* crash_repair_armed_ = nullptr;
   HashMapLayout layout_;
   std::vector<mmem::VAddr> bases_;
   std::uint64_t torn_retries_ = 0;
   std::uint64_t torn_failures_ = 0;
   std::uint64_t latch_retries_ = 0;
+  std::uint64_t latch_breaks_ = 0;
+  std::uint64_t lock_breaks_ = 0;
 };
 
 }  // namespace mdsm

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/baseline/li_engine.h"
+#include "src/mirage/invariants.h"
 #include "src/sysv/world.h"
 #include "src/workload/background.h"
 #include "src/workload/dotproduct.h"
@@ -68,13 +69,15 @@ void CollectCommon(msysv::World& world, RunResult* out) {
   }
   mirage::EngineStats sum;
   bool any_engine = false;
+  std::vector<mirage::Engine*> engines;
   std::uint64_t busiest_lib = 0;  // most library requests processed by one site
   for (int s = 0; s < world.site_count(); ++s) {
-    const mirage::Engine* e = world.engine(s);
+    mirage::Engine* e = world.engine(s);
     if (e == nullptr) {
       continue;
     }
     any_engine = true;
+    engines.push_back(e);
     const mirage::EngineStats& es = e->stats();
     sum.read_faults += es.read_faults;
     sum.write_faults += es.write_faults;
@@ -100,6 +103,9 @@ void CollectCommon(msysv::World& world, RunResult* out) {
     sum.quorum_waits += es.quorum_waits;
     sum.degraded_reads += es.degraded_reads;
     sum.replica_respreads += es.replica_respreads;
+    sum.rejoins += es.rejoins;
+    sum.rejoin_welcomes += es.rejoin_welcomes;
+    sum.pages_resurrected += es.pages_resurrected;
     sum.requests_processed += es.requests_processed;
     sum.lib_enqueues += es.lib_enqueues;
     sum.lib_queue_depth_sum += es.lib_queue_depth_sum;
@@ -148,6 +154,28 @@ void CollectCommon(msysv::World& world, RunResult* out) {
         sum.requests_processed > 0 ? static_cast<double>(busiest_lib) /
                                          static_cast<double>(sum.requests_processed)
                                    : 0.0;
+  }
+  // Site rejoin (MTTR/downtime): emitted only when a rejoin actually
+  // occurred, so reports from fault plans without RecoverAt events stay
+  // byte-identical to pre-rejoin v2 reports.
+  if (mfault::FaultInjector* inj = world.faults()) {
+    const mfault::FaultInjectorStats& fs = inj->stats();
+    if (fs.recoveries > 0) {
+      out->metrics["site_rejoins"] = static_cast<double>(fs.recoveries);
+      out->metrics["mttr_ms"] =
+          msim::ToMilliseconds(fs.downtime_us) / static_cast<double>(fs.recoveries);
+      out->metrics["resurrected_pages"] = static_cast<double>(sum.pages_resurrected);
+      out->metrics["rejoin_welcomes"] = static_cast<double>(sum.rejoin_welcomes);
+      // Post-rejoin acceptance: every surviving page must be back at full
+      // k-standby coverage and the coherence/directory invariants must hold
+      // at quiescence. Violations gate the run like any other regression.
+      mirage::InvariantChecker checker(engines);
+      checker.SetLiveness([inj](mnet::SiteId s) { return inj->SiteUp(s); });
+      const mirage::InvariantReport full = checker.CheckFull(world.registry());
+      const mirage::InvariantReport cov = checker.CheckReplicaCoverage(world.registry());
+      out->metrics["rejoin_invariant_violations"] =
+          static_cast<double>(full.violations.size() + cov.violations.size());
+    }
   }
 }
 

@@ -150,6 +150,7 @@ Json FaultPlanToJson(const FaultPlanSpec& fp) {
       case mfault::FaultKind::kResumeSite: e.Set("kind", Json("resume")); break;
       case mfault::FaultKind::kPartitionLink: e.Set("kind", Json("cut")); break;
       case mfault::FaultKind::kHealLink: e.Set("kind", Json("heal")); break;
+      case mfault::FaultKind::kRecoverSite: e.Set("kind", Json("recover")); break;
     }
     e.Set("at_ms", Json(static_cast<double>(ev.at_us) / 1000.0));
     e.Set("site", Json(ev.site));
@@ -193,6 +194,8 @@ bool FaultPlanFromJson(const Json& j, FaultPlanSpec* out, std::string* error) {
       out->plan.PartitionAt(at, site, peer);
     } else if (kind == "heal") {
       out->plan.HealAt(at, site, peer);
+    } else if (kind == "recover") {
+      out->plan.RecoverAt(at, site);
     } else {
       *error = "unknown fault kind '" + kind + "'";
       return false;

@@ -1,5 +1,7 @@
 #include "src/fault/fault.h"
 
+#include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -17,8 +19,41 @@ const char* FaultKindName(FaultKind k) {
       return "PARTITION";
     case FaultKind::kHealLink:
       return "HEAL";
+    case FaultKind::kRecoverSite:
+      return "RECOVER";
   }
   return "?";
+}
+
+bool FaultPlan::Validate(std::string* error) const {
+  // Replay the schedule in firing order: ScheduleAt breaks time ties by
+  // insertion order, so a stable sort by time reproduces it exactly.
+  std::vector<FaultEvent> ordered = events_;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at_us < b.at_us; });
+  std::set<mnet::SiteId> down;
+  for (const FaultEvent& ev : ordered) {
+    switch (ev.kind) {
+      case FaultKind::kCrashSite:
+        down.insert(ev.site);
+        break;
+      case FaultKind::kRecoverSite:
+        if (down.erase(ev.site) == 0) {
+          if (error != nullptr) {
+            *error = "RecoverAt(" + std::to_string(ev.at_us) + "us, site " +
+                     std::to_string(ev.site) + ") targets a site that is not crashed at that time";
+          }
+          return false;
+        }
+        break;
+      case FaultKind::kPauseSite:
+      case FaultKind::kResumeSite:
+      case FaultKind::kPartitionLink:
+      case FaultKind::kHealLink:
+        break;
+    }
+  }
+  return true;
 }
 
 FaultInjector::FaultInjector(msim::Simulator* sim, mnet::Network* net,
@@ -35,6 +70,10 @@ FaultInjector::FaultInjector(msim::Simulator* sim, mnet::Network* net,
 }
 
 void FaultInjector::Schedule(const FaultPlan& plan) {
+  std::string error;
+  if (!plan.Validate(&error)) {
+    throw std::invalid_argument("invalid fault plan: " + error);
+  }
   for (const FaultEvent& ev : plan.events()) {
     sim_->ScheduleAt(ev.at_us, [this, ev] { Apply(ev); });
   }
@@ -45,6 +84,8 @@ void FaultInjector::Apply(const FaultEvent& ev) {
     case FaultKind::kCrashSite: {
       if (crashed_.insert(ev.site).second) {
         ++stats_.crashes;
+        crashed_at_[ev.site] = sim_->Now();
+        net_->NoteSiteCrash(ev.site);
         if (ev.site >= 0 && ev.site < static_cast<int>(kernels_.size())) {
           kernels_[ev.site]->Halt();
         }
@@ -90,6 +131,28 @@ void FaultInjector::Apply(const FaultEvent& ev) {
       if (cut_links_.erase(LinkKey(ev.site, ev.peer)) != 0) {
         ++stats_.heals;
         Trace(ev.site, "link to site " + std::to_string(ev.peer) + " healed");
+      }
+      break;
+    }
+    case FaultKind::kRecoverSite: {
+      if (crashed_.erase(ev.site) != 0) {
+        ++stats_.recoveries;
+        auto it = crashed_at_.find(ev.site);
+        if (it != crashed_at_.end()) {
+          stats_.downtime_us += sim_->Now() - it->second;
+          crashed_at_.erase(it);
+        }
+        if (ev.site >= 0 && ev.site < static_cast<int>(kernels_.size())) {
+          kernels_[ev.site]->Revive();
+        }
+        // Both directions of every circuit touching the site carry state
+        // from before the crash (unacked windows, give-up flags); reset them
+        // so the revived site starts from clean transport state.
+        net_->ResetCircuits(ev.site);
+        Trace(ev.site, "site rejoined");
+        for (const RecoverObserver& obs : recover_observers_) {
+          obs(ev.site);
+        }
       }
       break;
     }

@@ -6,8 +6,11 @@
 // timeout/backoff/degraded-mode paths (DESIGN.md "Failure model") can be
 // exercised reproducibly:
 //
-//  * crash(site)        — the site halts permanently: its kernel stops
-//    executing and every packet to or from it is dropped (counted);
+//  * crash(site)        — the site halts: its kernel stops executing and
+//    every packet to or from it is dropped (counted);
+//  * recover(site)      — a crashed site reboots with amnesia: fresh kernel
+//    state, empty page tables, reset virtual circuits. The DSM layer runs an
+//    epoch-fenced re-admission handshake on top of this (DESIGN.md §8);
 //  * pause/resume(site) — a transient stall of the site's inbound packet
 //    delivery (a wedged network server / long GC-like stall): packets are
 //    held in order and released at resume;
@@ -22,7 +25,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/net/network.h"
@@ -39,6 +44,7 @@ enum class FaultKind {
   kResumeSite,
   kPartitionLink,
   kHealLink,
+  kRecoverSite,
 };
 
 const char* FaultKindName(FaultKind k);
@@ -74,6 +80,20 @@ class FaultPlan {
     events_.push_back({t, FaultKind::kHealLink, a, b});
     return *this;
   }
+  // Revives a crashed site with amnesia at time t. The target must be
+  // crashed at t (Validate rejects the plan otherwise — a recover that
+  // silently no-ops almost certainly means a typo in the schedule).
+  FaultPlan& RecoverAt(msim::Time t, mnet::SiteId site) {
+    events_.push_back({t, FaultKind::kRecoverSite, site, mnet::kNoSite});
+    return *this;
+  }
+
+  // Simulates the plan's timeline (events ordered by time, plan order on
+  // ties — the order the simulator fires them) and rejects schedules whose
+  // RecoverAt targets a site that is not crashed at that moment. Returns
+  // false and fills `error` on rejection. FaultInjector::Schedule calls this
+  // and throws std::invalid_argument on failure.
+  bool Validate(std::string* error) const;
 
   bool empty() const { return events_.empty(); }
   const std::vector<FaultEvent>& events() const { return events_; }
@@ -92,6 +112,11 @@ struct FaultInjectorStats {
   // Packets that were held for a paused site when that site crashed: the
   // held queue dies with the site instead of replaying at a later resume.
   std::uint64_t held_dropped_on_crash = 0;
+  // ---- Crash-recovery lifecycle (DESIGN.md §8 rejoin) ----
+  std::uint64_t recoveries = 0;  // crashed sites revived (with amnesia)
+  // Summed crash-to-recover downtime of every revived site; MTTR for a run
+  // is downtime_us / recoveries.
+  msim::Duration downtime_us = 0;
 };
 
 // Executes a FaultPlan against a simulated world: halts crashed kernels,
@@ -106,7 +131,8 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   // Schedules every event in the plan. Call before (or during) the run;
-  // events in the past fire immediately, in plan order.
+  // events in the past fire immediately, in plan order. Throws
+  // std::invalid_argument when FaultPlan::Validate rejects the plan.
   void Schedule(const FaultPlan& plan);
 
   // Applies a single fault right now (tests drive these directly).
@@ -117,6 +143,16 @@ class FaultInjector {
   // start library-site failover elections deterministically.
   using CrashObserver = std::function<void(mnet::SiteId)>;
   void AddCrashObserver(CrashObserver obs) { crash_observers_.push_back(std::move(obs)); }
+
+  // Registers a callback fired (synchronously, registration order) right
+  // after a crashed site is revived — its kernel has restarted and its
+  // circuits are reset by the time observers run. The DSM layer uses this to
+  // run the epoch-fenced re-admission handshake; workloads use it to respawn
+  // the site's workers.
+  using RecoverObserver = std::function<void(mnet::SiteId)>;
+  void AddRecoverObserver(RecoverObserver obs) {
+    recover_observers_.push_back(std::move(obs));
+  }
 
   // ---- Liveness oracle ----
   bool SiteUp(mnet::SiteId s) const { return crashed_.count(s) == 0; }
@@ -142,7 +178,10 @@ class FaultInjector {
   std::set<mnet::SiteId> crashed_;
   std::set<mnet::SiteId> paused_;
   std::set<std::uint64_t> cut_links_;
+  // When each currently-crashed site went down (feeds downtime accounting).
+  std::map<mnet::SiteId, msim::Time> crashed_at_;
   std::vector<CrashObserver> crash_observers_;
+  std::vector<RecoverObserver> recover_observers_;
   FaultInjectorStats stats_;
 };
 

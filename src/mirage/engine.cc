@@ -56,6 +56,10 @@ const char* MsgKindName(MsgKind k) {
       return "REPLICATE_ACK";
     case MsgKind::kPromoteReplica:
       return "PROMOTE_REPLICA";
+    case MsgKind::kRejoinAnnounce:
+      return "REJOIN_ANNOUNCE";
+    case MsgKind::kRejoinWelcome:
+      return "REJOIN_WELCOME";
   }
   return "UNKNOWN";
 }
@@ -117,7 +121,9 @@ mmem::SegmentImage* Engine::EnsureImage(const mmem::SegmentMeta& meta) {
   auto image = std::make_unique<mmem::SegmentImage>(meta, site());
   mmem::SegmentImage* raw = image.get();
   images_[meta.id] = std::move(image);
-  if (meta.library_site == site()) {
+  // A rejoined library may already have reconstructed a directory before the
+  // first local attach re-creates the image — never clobber it.
+  if (meta.library_site == site() && dirs_.count(meta.id) == 0) {
     auto dir = std::make_unique<SegDir>();
     dir->pages.resize(meta.PageCount());
     for (PageDir& pd : dir->pages) {
@@ -375,7 +381,7 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
         // ids restart at the new library, so collisions are possible).
         break;
       }
-      auto it = inv_collectors_.find(b.req_id);
+      auto it = inv_collectors_.find({b.seg, b.req_id});
       if (it != inv_collectors_.end()) {
         ++it->second->got;
         if (b.from != mnet::kNoSite) {
@@ -514,6 +520,118 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
                                  kShortMsgBytes, a));
       break;
     }
+    case MsgKind::kRejoinAnnounce: {
+      const auto& b = mnet::PacketBody<RejoinAnnounceBody>(pkt);
+      if (StaleEpoch(b.seg, b.epoch)) {
+        break;  // announce raced a failover; the rejoiner re-reads the registry
+      }
+      auto dit = dirs_.find(b.seg);
+      if (dit == dirs_.end() && recovering_.count(b.seg) == 0) {
+        break;  // not this site's segment (destroyed, or the registry moved on)
+      }
+      ++stats_.rejoin_welcomes;
+      Trace("rejoin", "re-admit site " + std::to_string(b.from) + " to seg " +
+                          std::to_string(b.seg));
+      if (dit != dirs_.end()) {
+        // Purge queued requests from the dead incarnation. They were issued
+        // before the crash (liveness checks kept them from being served
+        // during the outage), and serving one now would grant a page to the
+        // amnesiac reboot — which never asked for it and has no process left
+        // to consume it, so the grant starves and eventually condemns the
+        // page. The new incarnation re-faults with fresh requests after this
+        // announce, so dropping is always safe.
+        for (auto qit = lib_queue_.begin(); qit != lib_queue_.end();) {
+          if (!qit->respread && qit->body.seg == b.seg &&
+              qit->body.requester == b.from) {
+            ++stats_.requests_dropped;
+            Trace("rejoin", "drop pre-crash request from site " +
+                                std::to_string(b.from) + " page " +
+                                std::to_string(qit->body.page));
+            qit = lib_queue_.erase(qit);
+          } else {
+            ++qit;
+          }
+        }
+        bool any_lost = false;
+        bool needs_rebuild = false;
+        for (PageDir& pd : dit->second->pages) {
+          // Scrub pre-crash membership: the rejoiner reboots with amnesia, so
+          // any copy the directory still attributes to it is gone. (Pages
+          // whose writer or clock site crashed were already rebuilt at crash
+          // time, so only plain reader entries can linger.)
+          if (pd.mode == PageMode::kReaders && pd.clock_site != b.from) {
+            pd.readers &= ~mmem::MaskOf(b.from);
+          }
+          // Its standby copies died with it too: un-credit them so replica
+          // coverage is honest and the re-spread below sees the degradation
+          // (a page quiescent across the outage otherwise keeps a set that
+          // still names the rejoiner, masking the lost copy).
+          pd.replica_set &= ~mmem::MaskOf(b.from);
+          if (pd.lost) {
+            any_lost = true;
+          } else if (pd.mode != PageMode::kEmpty && pd.clock_site == b.from) {
+            // The authoritative copy (writer or clock site) died with the
+            // rejoiner, and no survivor has touched the page since — the
+            // timeout path never fired, so the directory still points at the
+            // amnesiac site. Rebuild now: reconstruction promotes the
+            // freshest surviving standby and re-homes the clock.
+            needs_rebuild = true;
+          }
+        }
+        if ((any_lost || needs_rebuild) && recovering_.count(b.seg) == 0) {
+          // Condemned pages may be resurrectable now that the membership
+          // changed, and pages homed at the rejoiner need a new clock site:
+          // both are reconstruction's job — re-query the survivors and
+          // rebuild. (The rebuild also re-spreads every page, so no separate
+          // re-spread pass is queued.)
+          Trace("rejoin", std::string(any_lost ? "condemned" : "orphaned") +
+                              " page(s) on seg " + std::to_string(b.seg) +
+                              "; reconstructing");
+          StartRecovery(b.seg, /*elected=*/false);
+        } else if (opts_.replicas >= 2) {
+          // Pull the rejoined site back into the k-standby set.
+          mmem::SiteMask rset = ChooseReplicaSet(b.seg);
+          bool queued = false;
+          int page = 0;
+          for (const PageDir& pd : dit->second->pages) {
+            // A page needs a re-spread if its (just-scrubbed) set differs
+            // from the refreshed choice — membership changed under it, or the
+            // scrub above removed the rejoiner's died-with-it standby.
+            if (!pd.lost && pd.mode != PageMode::kEmpty && pd.replica_set != rset) {
+              Request r;
+              r.respread = true;
+              r.body.seg = b.seg;
+              r.body.page = page;
+              r.body.requester = site();
+              r.body.epoch = KnownEpoch(b.seg);
+              r.queued_at = kernel_->Now();
+              lib_queue_.push_back(std::move(r));
+              NoteLibEnqueue();
+              queued = true;
+            }
+            ++page;
+          }
+          if (queued) {
+            kernel_->Wakeup(lib_chan_);
+          }
+        }
+      }
+      RejoinWelcomeBody w{b.seg, KnownEpoch(b.seg), site()};
+      co_await kernel_->Send(
+          self, mnet::MakePacket(site(), b.from,
+                                 static_cast<std::uint32_t>(MsgKind::kRejoinWelcome),
+                                 kShortMsgBytes, w));
+      break;
+    }
+    case MsgKind::kRejoinWelcome: {
+      const auto& b = mnet::PacketBody<RejoinWelcomeBody>(pkt);
+      // The re-admission fence: from here on this site acts only under the
+      // current epoch. (The reboot erased all pre-crash state; adopting the
+      // epoch additionally fences any stale in-flight message that slipped
+      // in before the welcome.)
+      AdoptEpoch(b.seg, b.epoch);
+      break;
+    }
   }
 }
 
@@ -542,7 +660,18 @@ void Engine::EnqueueLibraryRequest(const PageRequestBody& body) {
 void Engine::ApplyInstall(const PageInstallBody& body) {
   auto it = images_.find(body.seg);
   if (it == images_.end()) {
-    return;  // destroyed under us
+    // Either the segment was destroyed under us, or a grant raced this
+    // site's rejoin announce: the library served a pre-crash request before
+    // learning of the reboot, and this install may carry the page's only
+    // up-to-date copy. The site is still an attached member, so materialise
+    // the image rather than ack an install we silently dropped — the next
+    // clock op then finds real state here.
+    auto meta = registry_->FindById(body.seg);
+    if (!meta.has_value()) {
+      return;  // destroyed under us
+    }
+    EnsureImage(*meta);
+    it = images_.find(body.seg);
   }
   mmem::SegmentImage& img = *it->second;
   img.InstallPage(body.page, body.data, body.writable, kernel_->Now(), body.window_us);
@@ -697,6 +826,15 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
     if (rset == 0) {
       co_return;
     }
+    // Coverage before this re-spread: standbys still alive. Ending with more
+    // live standbys than that means a degraded page was restored toward full
+    // k membership — resurrected coverage.
+    int live_before = 0;
+    ForEachSite(pd.replica_set, [&](mnet::SiteId s) {
+      if (kernel_->net()->SiteUp(s)) {
+        ++live_before;
+      }
+    });
     ClockOpBody op;
     op.seg = seg;
     op.page = page;
@@ -711,6 +849,7 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
     op.epoch = KnownEpoch(seg);
     op.replicate_set = rset;
     op.commit_version = pd.version + 1;
+    slot.created_at = kernel_->Now();
     slot.op_deadline = opts_.op_timeout_us > 0 ? kernel_->Now() + opts_.op_timeout_us : 0;
     Trace("replicate", "re-spread page " + std::to_string(page) + " of seg " +
                            std::to_string(seg) + " to mask " + std::to_string(rset));
@@ -719,6 +858,9 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
       pd.version = op.commit_version;
       pd.replica_set = rset;
       ++stats_.replica_respreads;
+      if (mmem::MaskCount(rset) > live_before) {
+        ++stats_.pages_resurrected;
+      }
     } else if (recovering_.count(seg) == 0 && !StaleEpoch(seg, req.body.epoch) &&
                pd.clock_site != site() && !kernel_->net()->SiteUp(pd.clock_site)) {
       StartRecovery(seg, /*elected=*/false);
@@ -786,6 +928,7 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
                        " request site " + std::to_string(requester) + " page " +
                        std::to_string(page) + " mode " + PageModeName(pd.mode));
 
+  slot.created_at = kernel_->Now();
   slot.op_deadline = opts_.op_timeout_us > 0 ? kernel_->Now() + opts_.op_timeout_us : 0;
   // Replication: every clock op that moves page contents is a commit point —
   // the data-holding site quorum-replicates the captured page before the
@@ -1114,9 +1257,11 @@ msim::Task<Engine::SlotWait> Engine::AwaitSlot(mos::Process* self, LibPending& s
     // crashed site's copy is, by definition, no longer a copy. (Partitioned
     // sites are NOT forgiven: they may still hold a live copy, so the op
     // can only complete or fail by deadline — consistency over availability.)
+    // GoneSince also forgives a site that crashed after the op began and has
+    // already rejoined: the ack it owed died with the old incarnation.
     mmem::SiteMask down = 0;
     ForEachSite(slot.awaiting, [&](mnet::SiteId s) {
-      if (!kernel_->net()->SiteUp(s)) {
+      if (GoneSince(s, slot.created_at)) {
         down |= mmem::MaskOf(s);
       }
     });
@@ -1136,7 +1281,7 @@ msim::Task<Engine::SlotWait> Engine::AwaitSlot(mos::Process* self, LibPending& s
     // progress the in-flight installs may still complete it.)
     bool timeouts_on = opts_.ack_timeout_us > 0 || slot.op_deadline != 0;
     if (timeouts_on && slot.clock_site != mnet::kNoSite && slot.clock_site != site() &&
-        !kernel_->net()->SiteUp(slot.clock_site) && slot.got_acks == 0) {
+        GoneSince(slot.clock_site, slot.created_at) && slot.got_acks == 0) {
       co_return SlotWait::kFailed;
     }
     if (!timeouts_on) {
@@ -1206,7 +1351,8 @@ msim::Task<bool> Engine::ReplicateAndWait(mos::Process* self, mmem::SegmentId se
   RepAckCollector col;
   col.expected = mmem::MaskCount(replicate_set);
   col.awaiting = replicate_set;
-  rep_collectors_[req_id] = &col;
+  col.created_at = kernel_->Now();
+  rep_collectors_[{seg, req_id}] = &col;
   // A local standby costs no wire traffic and acks immediately.
   if (mmem::MaskHas(replicate_set, site())) {
     ReplicateBody b;
@@ -1249,7 +1395,7 @@ msim::Task<bool> Engine::ReplicateAndWait(mos::Process* self, mmem::SegmentId se
     }
     mmem::SiteMask down = 0;
     ForEachSite(col.awaiting, [&](mnet::SiteId s) {
-      if (!kernel_->net()->SiteUp(s)) {
+      if (GoneSince(s, col.created_at)) {
         down |= mmem::MaskOf(s);
       }
     });
@@ -1285,7 +1431,7 @@ msim::Task<bool> Engine::ReplicateAndWait(mos::Process* self, mmem::SegmentId se
     }
     co_await kernel_->SleepOnFor(self, col.chan, wait);
   }
-  rep_collectors_.erase(req_id);
+  rep_collectors_.erase({seg, req_id});
   co_return ok;
 }
 
@@ -1300,7 +1446,7 @@ void Engine::ApplyReplicate(const ReplicateBody& body) {
 }
 
 void Engine::CreditReplicateAck(const ReplicateAckBody& body) {
-  auto it = rep_collectors_.find(body.req_id);
+  auto it = rep_collectors_.find({body.seg, body.req_id});
   if (it != rep_collectors_.end()) {
     ++it->second->got;
     if (body.from != mnet::kNoSite) {
@@ -1439,6 +1585,69 @@ void Engine::OnSiteCrashed(mnet::SiteId crashed) {
   }
 }
 
+void Engine::Rejoin() {
+  // Reboot with amnesia: the kernel was just Revive()d, so every protocol
+  // coroutine of the pre-crash incarnation is a zombie. Erase all state it
+  // built. Zombies still hold references into the old maps' values, but they
+  // never resume, so destroying those values is safe.
+  images_.clear();
+  dirs_.clear();
+  waits_.clear();
+  replicas_.clear();
+  seg_epochs_.clear();
+  recovering_.clear();
+  lib_queue_.clear();
+  worker_queue_.clear();
+  recovery_queue_.clear();
+  lib_pending_map_.clear();
+  busy_pages_.clear();
+  dying_segments_.clear();
+  active_ops_.clear();
+  inv_collectors_.clear();
+  rep_collectors_.clear();
+  rec_collectors_.clear();
+  lib_procs_.clear();
+  worker_proc_ = nullptr;
+  recovery_proc_ = nullptr;
+  next_req_id_ = 1;
+  ++stats_.rejoins;
+  Trace("rejoin", "site rebooted with amnesia; starting re-admission");
+  // Fresh serving processes (the old ones are zombies of the old boot).
+  Start();
+  // Transient re-admission handshake: announce to every library whose
+  // segment this site was using, adopt the current epochs, and reclaim any
+  // library role no survivor took over.
+  kernel_->Spawn("dsm-rejoin", mos::Priority::kKernel,
+                 [this](mos::Process* self) { return RejoinMain(self); });
+}
+
+msim::Task<> Engine::RejoinMain(mos::Process* self) {
+  for (const mmem::SegmentMeta& meta : registry_->All()) {
+    if (!mmem::MaskHas(registry_->AttachedSites(meta.id), site())) {
+      continue;  // this site never used the segment
+    }
+    // The registry epoch is the floor; the welcome may raise it further.
+    AdoptEpoch(meta.id, meta.epoch);
+    if (meta.library_site == site()) {
+      // We crashed as this segment's library and no survivor took over (an
+      // election needs a live attached site holding state). Reclaim the role
+      // by rebuilding from whatever copies survive elsewhere, under a fresh
+      // epoch that fences everything from before the crash.
+      StartRecovery(meta.id, /*elected=*/true);
+    } else if (kernel_->net()->SiteUp(meta.library_site)) {
+      RejoinAnnounceBody b{meta.id, site(), meta.epoch};
+      Trace("rejoin", "announce rejoin for seg " + std::to_string(meta.id) +
+                          " to library " + std::to_string(meta.library_site));
+      co_await kernel_->Send(
+          self, mnet::MakePacket(site(), meta.library_site,
+                                 static_cast<std::uint32_t>(MsgKind::kRejoinAnnounce),
+                                 kShortMsgBytes, b));
+    }
+    // A down library with no successor is noticed later by the request
+    // timeout path (MaybeElect), exactly like a crash this site never saw.
+  }
+}
+
 void Engine::MaybeElect(mmem::SegmentId seg) {
   if (recovering_.count(seg) != 0) {
     return;
@@ -1547,6 +1756,7 @@ msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
   RecoveryCollector col;
   col.epoch = epoch;
   col.awaiting = live_peers;
+  col.created_at = kernel_->Now();
   rec_collectors_[seg] = &col;
   std::vector<mnet::SiteId> peers;
   ForEachSite(live_peers, [&](mnet::SiteId s) { peers.push_back(s); });
@@ -1558,10 +1768,12 @@ msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
   }
   // Collect the replies, forgiving peers that crash mid-collection (their
   // copies die with them; what they would have reported no longer exists).
+  // A peer that crashed and already rejoined is forgiven too: the query died
+  // with the old incarnation, and the amnesiac reboot holds no copies.
   for (;;) {
     mmem::SiteMask down = 0;
     ForEachSite(col.awaiting, [&](mnet::SiteId s) {
-      if (!kernel_->net()->SiteUp(s)) {
+      if (GoneSince(s, col.created_at)) {
         down |= mmem::MaskOf(s);
       }
     });
@@ -1652,6 +1864,9 @@ msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
       pd.version = known_version;
       pd.replica_set = rep_holders;
       ++recovered;
+      if (condemned_before) {
+        ++stats_.pages_resurrected;  // a primary copy outlived the condemnation
+      }
     } else if (readers != 0) {
       pd.mode = PageMode::kReaders;
       pd.readers = readers;
@@ -1660,6 +1875,9 @@ msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
       pd.version = known_version;
       pd.replica_set = rep_holders;
       ++recovered;
+      if (condemned_before) {
+        ++stats_.pages_resurrected;  // a primary copy outlived the condemnation
+      }
     } else if (had_dir && !old_pages[p].lost && old_pages[p].mode == PageMode::kEmpty) {
       pd.mode = PageMode::kEmpty;
     } else if (opts_.replicas >= 2 && !condemned_before && best_rep != mnet::kNoSite) {
@@ -1699,6 +1917,7 @@ msim::Task<> Engine::RecoverSegment(mos::Process* self, RecoveryItem item) {
     slot.expected_acks = static_cast<int>(promotions.size());
     slot.got_acks = 0;
     slot.clock_site = mnet::kNoSite;
+    slot.created_at = kernel_->Now();
     slot.op_deadline = opts_.op_timeout_us > 0 ? kernel_->Now() + opts_.op_timeout_us : 0;
     for (const Promotion& pr : promotions) {
       if (pr.at != site()) {
@@ -1794,6 +2013,15 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
   if (StaleEpoch(op.seg, op.epoch)) {
     co_return false;  // fenced: issued before a failover the queue outlived
   }
+  if (images_.count(op.seg) == 0) {
+    // This site rebooted with amnesia and a stale directory view routed a
+    // clock op here before its rejoin announce reached the library. There is
+    // no image to act on; drop the op — the announce triggers a rebuild that
+    // re-homes the clock and re-drives the work.
+    Trace("clock", "drop clock op for seg " + std::to_string(op.seg) +
+                       ": no image after rejoin");
+    co_return false;
+  }
   ++stats_.clock_ops_executed;
   mmem::SegmentImage& img = ImageRef(op.seg);
   const mnet::SiteId me = site();
@@ -1812,7 +2040,8 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
     InvAckCollector col;
     col.expected = mmem::MaskCount(inv);
     col.awaiting = inv;
-    inv_collectors_[op.req_id] = &col;
+    col.created_at = kernel_->Now();
+    inv_collectors_[{op.seg, op.req_id}] = &col;
     std::vector<mnet::SiteId> sites;
     ForEachSite(inv, [&](mnet::SiteId s) { sites.push_back(s); });
     for (mnet::SiteId s : sites) {
@@ -1825,12 +2054,12 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
       if (StaleEpoch(op.seg, op.epoch)) {
         // A reconstruction overtook this op mid-invalidation; the remaining
         // acks will never come (survivors fence the stale invalidates).
-        inv_collectors_.erase(op.req_id);
+        inv_collectors_.erase({op.seg, op.req_id});
         co_return false;
       }
       mmem::SiteMask down = 0;
       ForEachSite(col.awaiting, [&](mnet::SiteId s) {
-        if (!kernel_->net()->SiteUp(s)) {
+        if (GoneSince(s, col.created_at)) {
           down |= mmem::MaskOf(s);
         }
       });
@@ -1851,7 +2080,7 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
       if (deadline != 0) {
         msim::Duration to_deadline = deadline - kernel_->Now();
         if (to_deadline <= 0) {
-          inv_collectors_.erase(op.req_id);
+          inv_collectors_.erase({op.seg, op.req_id});
           Trace("failure", "clock op abandoned: invalidate ack(s) missing past deadline");
           co_return false;
         }
@@ -1861,7 +2090,7 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
       }
       co_await kernel_->SleepOnFor(self, col.chan, wait);
     }
-    inv_collectors_.erase(op.req_id);
+    inv_collectors_.erase({op.seg, op.req_id});
   }
 
   // 2. Local transform and data capture (copy before any local invalidation).

@@ -76,6 +76,13 @@ struct EngineStats {
   std::uint64_t quorum_waits = 0;        // commit points that waited on a write quorum
   std::uint64_t degraded_reads = 0;      // pages served by promoting a standby replica
   std::uint64_t replica_respreads = 0;   // re-spread ops completed after membership change
+  // ---- Site rejoin (crash-recovery lifecycle, DESIGN.md §8) ----
+  std::uint64_t rejoins = 0;             // times this site rebooted and re-admitted itself
+  std::uint64_t rejoin_welcomes = 0;     // rejoin announces this site answered as library
+  // Pages brought back to (or above) their pre-fault coverage: previously
+  // condemned pages re-homed from a copy that became reachable again, and
+  // degraded standby sets restored to full k membership by a re-spread.
+  std::uint64_t pages_resurrected = 0;
   // ---- Library load (scale-out observability): how hard this site works as
   // a segment controller. The paper's library is centralized per segment;
   // these counters are the first measurement of that bottleneck. ----
@@ -163,6 +170,13 @@ class Engine : public mmem::DsmBackend {
   // bumps the epoch, and queues a directory reconstruction. A live library
   // whose clock site died queues an in-place reconstruction instead.
   void OnSiteCrashed(mnet::SiteId crashed);
+  // Site-rejoin entry point, invoked from the FaultInjector's recover
+  // observer right after this site's kernel was Revive()d. Erases every
+  // local trace of the pre-crash incarnation (amnesia), restarts the
+  // protocol processes, and runs the epoch-fenced re-admission handshake:
+  // announce to each attached segment's library, adopt the current epochs,
+  // and reclaim any library role no survivor took over.
+  void Rejoin();
   // The highest epoch this site has seen for `seg` (0 until a recovery).
   std::uint32_t KnownEpoch(mmem::SegmentId seg) const;
   // The standby replica this site holds for (seg, page), if any. For the
@@ -215,6 +229,10 @@ class Engine : public mmem::DsmBackend {
     // Clock site driving this op (kNoSite when the library grants directly
     // from Empty); if it crashes before any ack arrives, the op fails fast.
     mnet::SiteId clock_site = mnet::kNoSite;
+    // When the op began — acks owed by a site that crashed at or after this
+    // moment are forgiven even if the site has since rejoined (the in-flight
+    // message died with the old incarnation; see Network::CrashedSince).
+    msim::Time created_at = 0;
     // Absolute failure deadline (0 = none) from ProtocolOptions::op_timeout_us.
     msim::Time op_deadline = 0;
     mos::Channel chan;
@@ -227,12 +245,14 @@ class Engine : public mmem::DsmBackend {
     int expected = 0;
     int got = 0;
     mmem::SiteMask awaiting = 0;  // sites whose invalidate ack is still owed
+    msim::Time created_at = 0;    // for rejoin-aware forgiveness (GoneSince)
     mos::Channel chan;
   };
   // Collects kRecoveryReply copy-states during a directory reconstruction.
   struct RecoveryCollector {
     std::uint32_t epoch = 0;
     mmem::SiteMask awaiting = 0;  // surviving sites still owing a reply
+    msim::Time created_at = 0;    // for rejoin-aware forgiveness (GoneSince)
     std::map<mnet::SiteId, std::vector<PageCopyState>> replies;
     mos::Channel chan;
   };
@@ -260,6 +280,7 @@ class Engine : public mmem::DsmBackend {
     int expected = 0;
     int got = 0;
     mmem::SiteMask awaiting = 0;  // replica sites whose ack is still owed
+    msim::Time created_at = 0;    // for rejoin-aware forgiveness (GoneSince)
     mos::Channel chan;
   };
 
@@ -272,6 +293,9 @@ class Engine : public mmem::DsmBackend {
   msim::Task<> LibraryMain(mos::Process* self);
   msim::Task<> WorkerMain(mos::Process* self);
   msim::Task<> RecoveryMain(mos::Process* self);
+  // Transient process spawned by Rejoin(): the announce half of the
+  // re-admission handshake.
+  msim::Task<> RejoinMain(mos::Process* self);
   msim::Task<> HandlePacket(mos::Process* self, mnet::Packet pkt);
 
   // Library-side request processing. The bool-returning stages report
@@ -292,6 +316,15 @@ class Engine : public mmem::DsmBackend {
   // (when stop_on_wait_reply), or the recovery policy declares the op
   // failed. Forgives acks owed by crashed sites along the way.
   msim::Task<SlotWait> AwaitSlot(mos::Process* self, LibPending& slot, bool stop_on_wait_reply);
+  // True when `s` cannot produce a reply for an op begun at `since`: it is
+  // down now, or it crashed at any point after the op started — even if it
+  // has since rejoined, the message the op awaits died with the old
+  // incarnation (the amnesiac reboot never saw it). The busy-page lock on
+  // the op guarantees the rejoined incarnation holds no copy of the op's
+  // page, so forgiving it never discards live state.
+  bool GoneSince(mnet::SiteId s, msim::Time since) const {
+    return !kernel_->net()->SiteUp(s) || kernel_->net()->CrashedSince(s, since);
+  }
   // Tells every waiting requester the operation failed (kRequestFailed).
   msim::Task<> NotifyRequestFailed(mos::Process* self, mmem::SegmentId seg, mmem::PageNum page,
                                    std::uint64_t req_id, mmem::SiteMask requesters);
@@ -390,14 +423,18 @@ class Engine : public mmem::DsmBackend {
   std::deque<ClockOpBody> worker_queue_;
   mos::Channel worker_chan_;
   mos::Process* worker_proc_ = nullptr;
-  std::map<std::uint64_t, InvAckCollector*> inv_collectors_;
+  // Keyed by (segment, request id): request ids are unique only within one
+  // library's counter, and a clock site can execute ops for several
+  // libraries (or a rejoined library restarting its counter) concurrently.
+  std::map<std::pair<mmem::SegmentId, std::uint64_t>, InvAckCollector*> inv_collectors_;
 
   // ---- Replication state (empty unless replicas >= 2) ----
   // Standby copies held at this site, keyed by WaitKey(seg, page). Never in
   // the SegmentImage: a replica is not a readable copy and must stay
   // invisible to the directory invariants until promoted.
   msim::FlatMap<std::uint64_t, ReplicaCopy> replicas_;
-  std::map<std::uint64_t, RepAckCollector*> rep_collectors_;
+  // (segment, request id), for the same reason as inv_collectors_.
+  std::map<std::pair<mmem::SegmentId, std::uint64_t>, RepAckCollector*> rep_collectors_;
 
   // ---- Failover state ----
   // Highest epoch seen per segment (all roles); messages below it are fenced.

@@ -1,5 +1,7 @@
 #include "src/mirage/invariants.h"
 
+#include <algorithm>
+
 namespace mirage {
 
 namespace {
@@ -24,6 +26,62 @@ InvariantReport InvariantChecker::CheckFull(const SegmentRegistry& registry) con
     CheckSegmentPhysical(meta, &report);
     CheckSegmentDirectory(meta, &report);
     CheckSegmentReplication(meta, &report);
+    CheckSegmentEpochs(meta, &report);
+  }
+  return report;
+}
+
+InvariantReport InvariantChecker::CheckReplicaCoverage(const SegmentRegistry& registry) const {
+  InvariantReport report;
+  for (const mmem::SegmentMeta& meta : registry.All()) {
+    if (!Live(meta.library_site)) {
+      continue;
+    }
+    Engine* library = nullptr;
+    for (Engine* e : engines_) {
+      if (e->site() == meta.library_site) {
+        library = e;
+        break;
+      }
+    }
+    if (library == nullptr || !library->IsLibraryFor(meta.id) ||
+        library->options().replicas < 2) {
+      continue;
+    }
+    // The re-spread target: the k lowest live sites among the attached set
+    // plus the library (ChooseReplicaSet's candidate pool). Coverage below
+    // min(k, live candidates) means a rejoin/crash left a page degraded.
+    mmem::SiteMask candidates =
+        registry.AttachedSites(meta.id) | mmem::MaskOf(meta.library_site);
+    int live_candidates = 0;
+    for (Engine* e : engines_) {
+      if (Live(e->site()) && mmem::MaskHas(candidates, e->site())) {
+        ++live_candidates;
+      }
+    }
+    const int expected = std::min(library->options().replicas, live_candidates);
+    for (mmem::PageNum page = 0; page < meta.PageCount(); ++page) {
+      ++report.pages_checked;
+      auto dv = library->Directory(meta.id, page);
+      if (!dv.has_value() || dv->lost || dv->mode == PageMode::kEmpty || dv->version == 0) {
+        continue;  // nothing committed (or condemned: no durability promises)
+      }
+      int live_fresh = 0;
+      for (Engine* e : engines_) {
+        if (!Live(e->site())) {
+          continue;
+        }
+        auto rep = e->Replica(meta.id, page);
+        if (rep.has_value() && rep->version == dv->version) {
+          ++live_fresh;
+        }
+      }
+      if (live_fresh < expected) {
+        report.violations.push_back(
+            Where(meta, page) + ": replica coverage " + std::to_string(live_fresh) +
+            " below full k coverage " + std::to_string(expected));
+      }
+    }
   }
   return report;
 }
@@ -188,6 +246,21 @@ void InvariantChecker::CheckSegmentReplication(const mmem::SegmentMeta& meta,
       report->violations.push_back(Where(meta, page) +
                                    ": no live standby holds committed version " +
                                    std::to_string(dv->version));
+    }
+  }
+}
+
+void InvariantChecker::CheckSegmentEpochs(const mmem::SegmentMeta& meta,
+                                          InvariantReport* report) const {
+  for (Engine* e : engines_) {
+    if (!Live(e->site())) {
+      continue;  // a crashed site's frozen epoch view left the system
+    }
+    if (e->KnownEpoch(meta.id) > meta.epoch) {
+      report->violations.push_back(
+          "seg " + std::to_string(meta.id) + ": site " + std::to_string(e->site()) +
+          " adopted epoch " + std::to_string(e->KnownEpoch(meta.id)) +
+          " beyond registry epoch " + std::to_string(meta.epoch));
     }
   }
 }

@@ -45,8 +45,16 @@ class InvariantChecker {
   InvariantReport CheckPhysical(const SegmentRegistry& registry) const;
 
   // Physical + directory invariants — call when the protocol is quiescent
-  // (no faults outstanding, queues drained).
+  // (no faults outstanding, queues drained). Also asserts epoch
+  // monotonicity: no live site believes in an epoch beyond the registry's.
   InvariantReport CheckFull(const SegmentRegistry& registry) const;
+
+  // Post-rejoin replica coverage (opt-in — call only once the protocol has
+  // quiesced after a crash/rejoin cycle): every committed page's live
+  // standbys at the committed version must number at least
+  // min(k, live candidate sites), i.e. re-spread pulled coverage back to
+  // full k wherever the membership allows it.
+  InvariantReport CheckReplicaCoverage(const SegmentRegistry& registry) const;
 
  private:
   bool Live(mnet::SiteId s) const { return !live_ || live_(s); }
@@ -57,6 +65,9 @@ class InvariantChecker {
   // version at a current epoch), at least one live standby exists for every
   // committed page, and no live site holds a standby from the future.
   void CheckSegmentReplication(const mmem::SegmentMeta& meta, InvariantReport* report) const;
+  // Epoch monotonicity: the registry's epoch is the global maximum; a live
+  // site that adopted a higher one could fence the authoritative library.
+  void CheckSegmentEpochs(const mmem::SegmentMeta& meta, InvariantReport* report) const;
 
   std::vector<Engine*> engines_;
   LivenessFn live_;

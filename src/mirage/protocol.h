@@ -55,6 +55,13 @@ enum class MsgKind : std::uint32_t {
   // Recovery: the rebuilding library asks a replica holder to promote its
   // standby copy to a live read-only primary (degraded read path).
   kPromoteReplica = 14,
+  // Site rejoin (crash-recovery lifecycle): a revived site announces itself
+  // to each segment's library...
+  kRejoinAnnounce = 15,
+  // ...and the library re-admits it: scrubs the rejoiner's pre-crash
+  // membership, answers with the current epoch (the fence), and re-spreads
+  // standby replicas back onto it.
+  kRejoinWelcome = 16,
 };
 
 const char* MsgKindName(MsgKind k);
@@ -244,6 +251,23 @@ struct PromoteReplicaBody {
   msim::Duration window_us = 0;
   mnet::SiteId library_site = mnet::kNoSite;
   std::uint32_t epoch = 0;
+};
+
+// Site rejoin: sent by a site revived with amnesia to the library of every
+// segment it was attached to before the crash. Carries the registry epoch
+// the rejoiner read, so a library that has since moved on fences it.
+struct RejoinAnnounceBody {
+  mmem::SegmentId seg = -1;
+  mnet::SiteId from = mnet::kNoSite;
+  std::uint32_t epoch = 0;
+};
+
+// The library's re-admission answer. The epoch is the fence: the rejoiner
+// adopts it and is thereby barred from acting on anything older.
+struct RejoinWelcomeBody {
+  mmem::SegmentId seg = -1;
+  std::uint32_t epoch = 0;
+  mnet::SiteId library_site = mnet::kNoSite;
 };
 
 // Tunables and the paper's optional mechanisms.

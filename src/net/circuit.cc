@@ -150,4 +150,35 @@ bool CircuitLayer::CircuitDown(SiteId src, SiteId dst) const {
   return sc != nullptr && sc->failed;
 }
 
+void CircuitLayer::ResetSite(SiteId site) {
+  if (!Active()) {
+    return;
+  }
+  // Every recv entry has a matching send entry (both live in this one
+  // layer), so walking the send table covers each direction of every
+  // circuit that touches the site exactly once.
+  send_.ForEach([&](SiteId src, SiteId dst, SendCircuit& sc) {
+    if (src != site && dst != site) {
+      return;
+    }
+    if (sc.timer != 0) {
+      sim_->Cancel(sc.timer);
+      sc.timer = 0;
+    }
+    // The window's frames belong to a conversation that died with the
+    // crash; drop them (counted like any other down loss).
+    stats_.down_drops += sc.unacked.size();
+    sc.unacked.clear();
+    sc.failed = false;
+    // Fast-forward the receiver past everything from before the reset.
+    // next_seq is kept, so stale in-flight frames dedup instead of being
+    // mistaken for fresh post-revive traffic.
+    RecvCircuit& rc = recv_.At(src, dst);
+    if (rc.next_expected < sc.next_seq) {
+      rc.next_expected = sc.next_seq;
+    }
+    rc.out_of_order.clear();
+  });
+}
+
 }  // namespace mnet

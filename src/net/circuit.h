@@ -115,6 +115,15 @@ class CircuitLayer {
   // True once the (src,dst) circuit has been declared down.
   bool CircuitDown(SiteId src, SiteId dst) const;
 
+  // Site-recovery hook: resets every circuit touching `site` (both
+  // directions) to a clean, un-failed state. Sequence counters are
+  // deliberately PRESERVED — the receiver is fast-forwarded past the old
+  // window instead, so frames still in flight from before the crash arrive
+  // as duplicates and are re-acked away rather than masquerading as (or
+  // blocking) post-revive traffic. Unacked windows, retransmit timers,
+  // out-of-order buffers, and DOWN declarations are dropped.
+  void ResetSite(SiteId site);
+
   const CircuitStats& stats() const { return stats_; }
 
  private:
@@ -163,6 +172,18 @@ class CircuitLayer {
         return nullptr;
       }
       return rows_[s][d].get();
+    }
+
+    // Visits every existing entry in (src, dst) index order.
+    template <typename F>
+    void ForEach(F&& f) {
+      for (std::size_t s = 0; s < rows_.size(); ++s) {
+        for (std::size_t d = 0; d < rows_[s].size(); ++d) {
+          if (rows_[s][d]) {
+            f(static_cast<SiteId>(s), static_cast<SiteId>(d), *rows_[s][d]);
+          }
+        }
+      }
     }
 
    private:

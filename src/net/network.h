@@ -109,10 +109,39 @@ class Network {
   // is counted in dropped_site_down and reported to the drop hook.
   std::uint64_t DropHeld(SiteId site);
 
+  // Site-recovery hook: resets every virtual circuit touching `site` (see
+  // CircuitLayer::ResetSite). No-op when no circuit layer is configured.
+  void ResetCircuits(SiteId site) {
+    if (circuits_) {
+      circuits_->ResetSite(site);
+    }
+  }
+
   // ---- Liveness queries (protocol-level graceful degradation) ----
   bool SiteUp(SiteId s) const { return !site_up_ || site_up_(s); }
   bool LinkUp(SiteId a, SiteId b) const { return !link_up_ || link_up_(a, b); }
   bool Reachable(SiteId from, SiteId to) const { return SiteUp(to) && LinkUp(from, to); }
+
+  // ---- Crash-incarnation tracking (DESIGN.md §8 site rejoin) ----
+  // NoteSiteCrash stamps the moment a site crashed; CrashedSince(s, t)
+  // answers "did s crash at or after t?" — true even after the site has
+  // rejoined. A waiter owed a reply for a message it sent at time t must
+  // treat a rejoined s as gone: the in-flight packet died with the old
+  // incarnation, and the amnesiac reboot will never produce the ack, so
+  // SiteUp alone would leave the waiter hanging until its deadline.
+  void NoteSiteCrash(SiteId s) {
+    if (s < 0) {
+      return;
+    }
+    if (static_cast<std::size_t>(s) >= last_crash_.size()) {
+      last_crash_.resize(static_cast<std::size_t>(s) + 1, kNeverCrashed);
+    }
+    last_crash_[s] = sim_->Now();
+  }
+  bool CrashedSince(SiteId s, msim::Time t) const {
+    return s >= 0 && static_cast<std::size_t>(s) < last_crash_.size() &&
+           last_crash_[s] != kNeverCrashed && last_crash_[s] >= t;
+  }
 
   // Adds a delivery observer (e.g. a message-sequence tracer).
   void AddObserver(Observer obs) { observers_.push_back(std::move(obs)); }
@@ -140,6 +169,9 @@ class Network {
   std::vector<Sink> sinks_;
   std::size_t registered_sites_ = 0;
   std::vector<Observer> observers_;
+  // Last crash time per SiteId (kNeverCrashed = never); see NoteSiteCrash.
+  static constexpr msim::Time kNeverCrashed = -1;
+  std::vector<msim::Time> last_crash_;
   // stats_ is the caller-visible snapshot; the per-type counts accumulate
   // in by_type_counts_ (flat, indexed by packet type) and are folded into
   // stats_.packets_by_type lazily by stats().

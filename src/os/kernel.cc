@@ -24,7 +24,8 @@ void Kernel::Start() {
                  [this](Process* self) { return IsrMain(self); });
   }
   msim::Time first_tick = (sim_->Now() / cfg_.tick_us + 1) * cfg_.tick_us;
-  sim_->ScheduleAt(first_tick, [this] { OnTick(); });
+  std::uint64_t gen = tick_gen_;
+  sim_->ScheduleAt(first_tick, [this, gen] { OnTick(gen); });
 }
 
 Process* Kernel::Spawn(std::string name, Priority prio, ProcessBody body) {
@@ -113,6 +114,12 @@ void Kernel::WakeupOne(Channel& ch) {
 }
 
 void Kernel::MakeReady(Process* p) {
+  if (p->state == ProcState::kExited) {
+    // Zombies — exited processes, including every process from a boot that
+    // ended in Halt+Revive — must never run again, even if a stale channel
+    // wakeup or timer still points at them.
+    return;
+  }
   p->state = ProcState::kReady;
   ready_[static_cast<int>(p->prio)].push_back(p);
   RequestResched();
@@ -146,6 +153,43 @@ void Kernel::Halt() {
   // Ready queues and blocked processes are left as-is: their coroutine
   // frames stay alive (destroying them mid-await is unnecessary — the
   // simulator simply never runs them again because Dispatch is gated).
+  // Revive zombifies them for good before rebooting.
+}
+
+void Kernel::Revive() {
+  if (!halted_) {
+    return;
+  }
+  halted_ = false;
+  // Reboot with amnesia: every pre-crash process is a zombie now. Process
+  // objects are never destroyed while the kernel lives, so Process*
+  // lingering in channel waiter queues or pending timers stay valid —
+  // MakeReady's kExited guard keeps them off the CPU forever.
+  for (auto& proc : procs_) {
+    proc->state = ProcState::kExited;
+  }
+  for (auto& q : ready_) {
+    q.clear();
+  }
+  nic_queue_.clear();
+  running_ = nullptr;
+  last_on_cpu_ = nullptr;
+  interrupt_resume_ = nullptr;
+  if (idle_since_ < 0) {
+    idle_since_ = sim_->Now();  // downtime accounts as idle from here on
+  }
+  // Keep the network registration (OnPacket was gated by halted_); only the
+  // serving processes reboot.
+  if (net_ != nullptr) {
+    isr_ = Spawn("netserver", Priority::kKernel,
+                 [this](Process* self) { return IsrMain(self); });
+  }
+  // Restart the clock on a fresh generation so a not-yet-fired tick from
+  // the previous boot cannot revive the old chain next to the new one.
+  ++tick_gen_;
+  std::uint64_t gen = tick_gen_;
+  msim::Time first_tick = (sim_->Now() / cfg_.tick_us + 1) * cfg_.tick_us;
+  sim_->ScheduleAt(first_tick, [this, gen] { OnTick(gen); });
 }
 
 void Kernel::Resched() {
@@ -378,12 +422,12 @@ void Kernel::ReleaseCpu() {
   Dispatch();
 }
 
-void Kernel::OnTick() {
-  if (halted_) {
+void Kernel::OnTick(std::uint64_t gen) {
+  if (halted_ || gen != tick_gen_) {
     return;  // the clock of a crashed site stops: no further ticks
   }
   ++stats_.ticks;
-  sim_->Schedule(cfg_.tick_us, [this] { OnTick(); });
+  sim_->Schedule(cfg_.tick_us, [this, gen] { OnTick(gen); });
   interrupt_resume_ = nullptr;  // the tick is a full rescheduling point
   if (running_ != nullptr) {
     Process* p = running_;

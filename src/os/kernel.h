@@ -154,12 +154,20 @@ class Kernel {
   void Wakeup(Channel& ch);     // wake all waiters
   void WakeupOne(Channel& ch);  // wake the longest waiter
 
-  // Crash fault: stops this site permanently. The running slice is
-  // cancelled, nothing is ever dispatched again, the tick chain ends, and
-  // every subsequently arriving packet is dropped (counted). There is no
-  // un-halt — Mirage has no site-recovery protocol (§7.1); a crashed site
-  // stays down for the rest of the run.
+  // Crash fault: stops this site. The running slice is cancelled, nothing
+  // is dispatched again, the tick chain ends, and every subsequently
+  // arriving packet is dropped (counted) — until Revive reboots the site.
   void Halt();
+
+  // Reboot-with-amnesia after a Halt: every pre-crash process becomes a
+  // zombie that will never run again (its frozen coroutine frame stays
+  // alive so stale Process* in channels and timers remain valid), the NIC
+  // queue and ready queues are cleared, a fresh network server is spawned,
+  // and the clock restarts at the next tick boundary. The network
+  // registration is kept — the site's sink was merely gated while halted.
+  // Callers are expected to respawn their own serving processes afterwards
+  // (the DSM engine does this in its rejoin handshake).
+  void Revive();
   bool halted() const { return halted_; }
 
   mnet::SiteId site() const { return site_; }
@@ -193,7 +201,9 @@ class Kernel {
   void HandleYield(Process* p);
   void HandleExit(Process* p);
   void ReleaseCpu();
-  void OnTick();
+  // `gen` identifies the boot this tick chain belongs to: a chain from
+  // before a Halt/Revive cycle dies instead of duplicating the new one.
+  void OnTick(std::uint64_t gen);
 
   bool AnyReady() const;
   bool ReadyAtOrBetter(Priority prio) const;
@@ -227,6 +237,7 @@ class Kernel {
   KernelStats stats_;
   bool started_ = false;
   bool halted_ = false;
+  std::uint64_t tick_gen_ = 0;  // bumped by Revive to retire the old chain
 };
 
 }  // namespace mos

@@ -61,6 +61,14 @@ World::World(int num_sites, WorldOptions opts)
         }
       }
     });
+    // Site rejoin: by the time this observer runs the injector has already
+    // rebooted the revived site's kernel and reset its circuits; re-admit
+    // its DSM engine (amnesia + epoch-fenced handshake, DESIGN.md §8).
+    injector_->AddRecoverObserver([this](mnet::SiteId revived) {
+      if (mirage::Engine* e = engine(revived)) {
+        e->Rejoin();
+      }
+    });
     if (opts.enable_trace) {
       net_->SetDropHook([this](const mnet::Packet& pkt, const char* reason) {
         tracer_.Record(sim_.Now(), pkt.dst, "drop",
@@ -128,6 +136,20 @@ void World::PrintReport(std::ostream& os) {
       os << "failover: " << elections << " elections, " << rebuilds
          << " directories reconstructed, " << pages_rec << " pages recovered, " << pages_lost
          << " pages lost, " << fenced << " stale-epoch packets fenced\n";
+    }
+    if (fs.recoveries > 0) {
+      std::uint64_t welcomes = 0, resurrected = 0;
+      for (int s = 0; s < site_count(); ++s) {
+        if (const mirage::Engine* e = engine(s)) {
+          welcomes += e->stats().rejoin_welcomes;
+          resurrected += e->stats().pages_resurrected;
+        }
+      }
+      const double mttr_ms = msim::ToMilliseconds(fs.downtime_us) /
+                             static_cast<double>(fs.recoveries);
+      os << "rejoin: " << fs.recoveries << " site(s) rejoined (MTTR "
+         << mtrace::TextTable::Num(mttr_ms, 1) << " ms), " << welcomes
+         << " re-admissions answered, " << resurrected << " pages resurrected\n";
     }
   }
   std::uint64_t rep_writes = 0, quorum_waits = 0, degraded_reads = 0, respreads = 0;

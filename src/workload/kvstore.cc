@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/dsmlib/dist_hashmap.h"
+#include "src/fault/fault.h"
 #include "src/sim/random.h"
 
 namespace mwork {
@@ -27,6 +28,15 @@ struct SetJob {
   std::uint32_t remaining = 0;
 };
 
+// Unfinished workload processes homed at one site, by category. A crash
+// zombifies them all mid-coroutine, so the completion accounting has to
+// write them off explicitly; a rejoin spawns a fresh generation.
+struct SiteParties {
+  int total = 0;       // all unfinished parties at this site
+  int generators = 0;  // of which generators (0 or 1)
+  int setups = 0;      // of which setup prepopulators
+};
+
 // Host-side coordination state shared by this workload's coroutines. The
 // request queues model site-local kernel work queues, not DSM traffic, so
 // plain memory (single-threaded simulation) is the right substrate.
@@ -44,7 +54,14 @@ struct State {
   std::vector<std::unique_ptr<mos::Channel>> set_ready;   // per (site, replica)
   int setup_done = 0;                      // replicas prepopulated so far
   int generators_done = 0;
+  int generators_expected = 0;             // grows when a rejoin respawns one
   int parties_remaining = 0;               // all processes, for `completed`
+  std::vector<SiteParties> site_parties;   // per site, for crash write-off
+  std::vector<int> generation;             // per site, rejoin respawn counter
+  // Arms DistHashMap's latch/lock crash repair (set by the crash observer):
+  // a zombified holder can only exist once a site has actually crashed, and
+  // fault-free runs must keep the pre-crash spin behavior byte-for-byte.
+  bool crash_seen = false;
   std::shared_ptr<KvStoreResult> result;
 };
 
@@ -100,11 +117,14 @@ std::unique_ptr<mdsm::DistHashMap> AttachReplica(msysv::World& world, int site,
     const int id = shm.Shmget(key, layout.ShardFootprintBytes(), /*create=*/true).value();
     bases.push_back(shm.Shmat(p, id).value());
   }
-  return std::make_unique<mdsm::DistHashMap>(&shm, &world.kernel(site), layout,
-                                             std::move(bases));
+  auto map = std::make_unique<mdsm::DistHashMap>(&shm, &world.kernel(site), layout,
+                                                 std::move(bases));
+  map->SetCrashRepair(&st.crash_seen);
+  return map;
 }
 
-void NoteDone(State& st) {
+void NoteDone(State& st, int site) {
+  --st.site_parties[site].total;
   if (--st.parties_remaining == 0) {
     st.result->completed = true;
   }
@@ -120,11 +140,12 @@ msim::Task<> SetupProc(msysv::World& world, int site, mos::Process* p,
     co_await map->Put(p, key, value.data());
   }
   ++st->setup_done;
-  NoteDone(*st);
+  --st->site_parties[site].setups;
+  NoteDone(*st, site);
 }
 
 msim::Task<> GeneratorProc(msysv::World& world, int site, mos::Process* p,
-                           std::shared_ptr<State> st) {
+                           std::shared_ptr<State> st, int generation) {
   auto& kernel = world.kernel(site);
   // Hold arrivals until every replica is fully prepopulated, so a miss is a
   // bug rather than a race with setup.
@@ -135,7 +156,10 @@ msim::Task<> GeneratorProc(msysv::World& world, int site, mos::Process* p,
   if (res.start_time == 0) {
     res.start_time = world.sim().Now();
   }
-  msim::Rng rng(st->prm.seed + 0x9E3779B97F4A7C15ULL * (site + 1));
+  // Generation salt: a rejoined site's respawned generator draws a fresh
+  // deterministic stream instead of replaying its pre-crash arrivals.
+  msim::Rng rng(st->prm.seed + 0x9E3779B97F4A7C15ULL * (site + 1) +
+                0xD1B54A32D192ED03ULL * static_cast<std::uint64_t>(generation));
   const double rate_us = st->prm.arrival_per_s / 1e6;
   for (std::uint32_t i = 0; i < st->prm.ops_per_site; ++i) {
     const double u = rng.NextDouble();
@@ -172,19 +196,20 @@ msim::Task<> GeneratorProc(msysv::World& world, int site, mos::Process* p,
     }
   }
   ++st->generators_done;
+  --st->site_parties[site].generators;
   // Let idle readers and writers observe the end of arrivals.
   kernel.Wakeup(*st->get_ready[site]);
   for (std::uint32_t r = 0; r < st->prm.kv_replicas; ++r) {
     kernel.Wakeup(*st->set_ready[static_cast<std::uint32_t>(site) * st->prm.kv_replicas + r]);
   }
-  NoteDone(*st);
+  NoteDone(*st, site);
 }
 
 // Readers attach exactly one data replica — site % kv_replicas — so their
 // per-schedule remap bill is the same no matter how many copies exist, and
 // skewed read traffic fans out across the copies' (distinct) home sites.
 msim::Task<> ReaderProc(msysv::World& world, int site, mos::Process* p,
-                        std::shared_ptr<State> st, int sites) {
+                        std::shared_ptr<State> st) {
   auto& kernel = world.kernel(site);
   const std::uint32_t r = static_cast<std::uint32_t>(site) % st->prm.kv_replicas;
   auto map = AttachReplica(world, site, p, *st, r);
@@ -193,7 +218,7 @@ msim::Task<> ReaderProc(msysv::World& world, int site, mos::Process* p,
   auto& q = st->get_queues[site];
   for (;;) {
     if (q.empty()) {
-      if (st->generators_done >= sites) {
+      if (st->generators_done >= st->generators_expected) {
         break;  // no more arrivals anywhere; this site's queue is drained
       }
       // The generator wakes this channel on every push (and at the end), so
@@ -217,7 +242,7 @@ msim::Task<> ReaderProc(msysv::World& world, int site, mos::Process* p,
     res.get_latency.Record(world.sim().Now() - op.arrival);
     res.end_time = world.sim().Now();
   }
-  NoteDone(*st);
+  NoteDone(*st, site);
 }
 
 // One writer per (site, replica): each attaches a single replica — like the
@@ -229,7 +254,7 @@ msim::Task<> ReaderProc(msysv::World& world, int site, mos::Process* p,
 // seqlock guarantees that — and the next set of the key converges all
 // copies again).
 msim::Task<> WriterProc(msysv::World& world, int site, mos::Process* p,
-                        std::shared_ptr<State> st, std::uint32_t r, int sites) {
+                        std::shared_ptr<State> st, std::uint32_t r) {
   auto& kernel = world.kernel(site);
   auto map = AttachReplica(world, site, p, *st, r);
   KvStoreResult& res = *st->result;
@@ -238,7 +263,7 @@ msim::Task<> WriterProc(msysv::World& world, int site, mos::Process* p,
   auto& q = st->set_queues[qi];
   for (;;) {
     if (q.empty()) {
-      if (st->generators_done >= sites) {
+      if (st->generators_done >= st->generators_expected) {
         break;
       }
       // Same long-timeout rationale as the readers.
@@ -256,7 +281,39 @@ msim::Task<> WriterProc(msysv::World& world, int site, mos::Process* p,
       res.end_time = world.sim().Now();
     }
   }
-  NoteDone(*st);
+  NoteDone(*st, site);
+}
+
+// Spawns one site's serving set — generator, writers, readers — and charges
+// them to the completion accounting. Used at launch (generation 0) and again
+// by the rejoin observer, with generation-suffixed names so traces tell the
+// respawned processes apart from their zombified predecessors.
+void SpawnSiteWorkers(msysv::World& world, int site, std::shared_ptr<State> st,
+                      int generation) {
+  const std::string suffix = generation > 0 ? ".g" + std::to_string(generation) : "";
+  SiteParties& sp = st->site_parties[site];
+  const int parties = 1 + static_cast<int>(st->prm.kv_replicas) + st->prm.workers_per_site;
+  sp.total += parties;
+  sp.generators += 1;
+  st->parties_remaining += parties;
+  ++st->generators_expected;
+  world.kernel(site).Spawn(
+      "kv-gen-" + std::to_string(site) + suffix, mos::Priority::kUser,
+      [&world, site, st, generation](mos::Process* p) {
+        return GeneratorProc(world, site, p, st, generation);
+      });
+  for (std::uint32_t r = 0; r < st->prm.kv_replicas; ++r) {
+    world.kernel(site).Spawn(
+        "kv-writer-" + std::to_string(site) + "-" + std::to_string(r) + suffix,
+        mos::Priority::kUser,
+        [&world, site, st, r](mos::Process* p) { return WriterProc(world, site, p, st, r); });
+  }
+  for (int w = 0; w < st->prm.workers_per_site; ++w) {
+    world.kernel(site).Spawn(
+        "kv-reader-" + std::to_string(site) + "-" + std::to_string(w) + suffix,
+        mos::Priority::kUser,
+        [&world, site, st](mos::Process* p) { return ReaderProc(world, site, p, st); });
+  }
 }
 
 }  // namespace
@@ -313,33 +370,59 @@ std::shared_ptr<KvStoreResult> LaunchKvStore(msysv::World& world, KvStoreParams 
 
   // Per site: one generator, one writer per replica, workers_per_site
   // readers; plus one setup process per replica.
-  st->parties_remaining =
-      static_cast<int>(params.kv_replicas) +
-      sites * (1 + static_cast<int>(params.kv_replicas) + params.workers_per_site);
+  st->site_parties.resize(sites);
+  st->generation.resize(sites, 0);
   for (std::uint32_t r = 0; r < params.kv_replicas; ++r) {
     const int site = static_cast<int>(r % static_cast<std::uint32_t>(sites));
+    ++st->site_parties[site].total;
+    ++st->site_parties[site].setups;
+    ++st->parties_remaining;
     world.kernel(site).Spawn(
         "kv-setup-" + std::to_string(r), mos::Priority::kUser,
         [&world, site, st, r](mos::Process* p) { return SetupProc(world, site, p, st, r); });
   }
   for (int site = 0; site < sites; ++site) {
-    world.kernel(site).Spawn(
-        "kv-gen-" + std::to_string(site), mos::Priority::kUser,
-        [&world, site, st](mos::Process* p) { return GeneratorProc(world, site, p, st); });
-    for (std::uint32_t r = 0; r < params.kv_replicas; ++r) {
-      world.kernel(site).Spawn(
-          "kv-writer-" + std::to_string(site) + "-" + std::to_string(r),
-          mos::Priority::kUser, [&world, site, st, r, sites](mos::Process* p) {
-            return WriterProc(world, site, p, st, r, sites);
-          });
-    }
-    for (int w = 0; w < params.workers_per_site; ++w) {
-      world.kernel(site).Spawn(
-          "kv-reader-" + std::to_string(site) + "-" + std::to_string(w), mos::Priority::kUser,
-          [&world, site, st, sites](mos::Process* p) {
-            return ReaderProc(world, site, p, st, sites);
-          });
-    }
+    SpawnSiteWorkers(world, site, st, /*generation=*/0);
+  }
+
+  // Crash/rejoin integration: a crash zombifies the site's coroutines
+  // mid-flight, so write off its unfinished parties (and drop its parked
+  // requests — they died with the site's kernel queues); a rejoin respawns
+  // a fresh serving set so the revived site resumes issuing requests.
+  if (mfault::FaultInjector* inj = world.faults()) {
+    inj->AddCrashObserver([&world, st](mnet::SiteId crashed) {
+      // Any crash can zombify a latch or lock holder: from here on, stuck
+      // writers may presume a dead holder and repair (see DistHashMap).
+      st->crash_seen = true;
+      const int site = static_cast<int>(crashed);
+      if (site < 0 || site >= static_cast<int>(st->site_parties.size())) {
+        return;
+      }
+      SiteParties& sp = st->site_parties[site];
+      // A generator or setup proc lost mid-run counts as done: the other
+      // sites' workers must not wait forever on arrivals (or prepopulation)
+      // that will never come. Missing keys simply read as misses.
+      st->generators_done += sp.generators;
+      st->setup_done += sp.setups;
+      st->parties_remaining -= sp.total;
+      sp = SiteParties{};
+      st->get_queues[site].clear();
+      for (std::uint32_t r = 0; r < st->prm.kv_replicas; ++r) {
+        st->set_queues[static_cast<std::uint32_t>(site) * st->prm.kv_replicas + r].clear();
+      }
+      if (st->parties_remaining == 0) {
+        st->result->completed = true;
+      }
+    });
+    inj->AddRecoverObserver([&world, st](mnet::SiteId revived) {
+      const int site = static_cast<int>(revived);
+      if (site < 0 || site >= static_cast<int>(st->site_parties.size())) {
+        return;
+      }
+      // The DSM engine has already rejoined (World's observer runs first);
+      // the fresh workers re-attach through Shmat like any new process.
+      SpawnSiteWorkers(world, site, st, ++st->generation[site]);
+    });
   }
   return st->result;
 }

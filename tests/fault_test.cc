@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "src/mirage/invariants.h"
 #include "src/sysv/world.h"
 
 namespace {
@@ -564,6 +566,319 @@ TEST_F(FaultTest, DeterministicAcrossIdenticalFaultedRuns) {
       out.push_back(es.ops_failed);
     }
     out.push_back(w.kernel(2).stats().packets_dropped_down);
+  };
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  run(a);
+  run(b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+// A fault plan whose RecoverAt targets a site that is not crashed at that
+// moment is rejected up front — by Validate, and by the world boot that
+// schedules it.
+TEST_F(FaultTest, RecoverAtTargetingLiveSiteThrows) {
+  FaultPlan no_crash;
+  no_crash.RecoverAt(100 * kMillisecond, 1);
+  std::string err;
+  EXPECT_FALSE(no_crash.Validate(&err));
+  EXPECT_NE(err.find("not crashed"), std::string::npos) << err;
+
+  FaultPlan too_early;  // the recover fires before the crash does
+  too_early.RecoverAt(50 * kMillisecond, 1).CrashAt(100 * kMillisecond, 1);
+  EXPECT_FALSE(too_early.Validate(&err));
+
+  FaultPlan double_recover;
+  double_recover.CrashAt(50 * kMillisecond, 1)
+      .RecoverAt(100 * kMillisecond, 1)
+      .RecoverAt(200 * kMillisecond, 1);
+  EXPECT_FALSE(double_recover.Validate(&err));
+
+  FaultPlan cycle;  // crash → recover → crash → recover is legal
+  cycle.CrashAt(50 * kMillisecond, 1)
+      .RecoverAt(100 * kMillisecond, 1)
+      .CrashAt(200 * kMillisecond, 1)
+      .RecoverAt(300 * kMillisecond, 1);
+  EXPECT_TRUE(cycle.Validate(&err)) << err;
+
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.faults.RecoverAt(100 * kMillisecond, 1);
+  EXPECT_THROW(World(2, std::move(opts)), std::invalid_argument);
+}
+
+// Tentpole acceptance: k = 3 replication, a standby site crashes (degrading
+// coverage) and later rejoins with amnesia. The rejoin announce triggers a
+// re-spread that pulls the revived site back into the standby set, zero
+// pages are lost, at least one page is resurrected to full coverage, and
+// the invariant checker signs off on both coherence and k-replica coverage.
+TEST_F(FaultTest, CrashThenRecoverRejoinsAndResurrects) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.protocol.replicas = 3;
+  opts.faults.CrashAt(60 * kMillisecond, 1).RecoverAt(250 * kMillisecond, 1);
+  Boot(3, opts);
+  bool done = false;
+  // Site 1 attaches before its crash — the rejoin announce covers segments
+  // the site was using, so it must be on the attach list. The reader itself
+  // dies with the site; only the attachment matters.
+  w->kernel(1).Spawn("doomed-reader", Priority::kUser, [this](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    co_await w->kernel(1).SleepFor(p, 10 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    (void)co_await shm.ReadWord(p, base);
+    co_await w->kernel(1).SleepFor(p, 10 * kSecond);  // crashed at 60 ms
+  });
+  // Site 0 writes forever-ish: every committed version must re-spread to the
+  // standby set, so traffic keeps flowing across the crash and the rejoin.
+  w->kernel(0).Spawn("writer", Priority::kUser, [this, &done](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    for (std::uint32_t i = 1; i <= 40; ++i) {
+      co_await shm.WriteWord(p, base, i);
+      co_await w->kernel(0).SleepFor(p, 20 * kMillisecond);
+    }
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 40u);
+    done = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return done; }, 120 * kSecond));
+  w->RunFor(2 * kSecond);  // quiesce: let the rejoin re-spread settle
+
+  const mfault::FaultInjectorStats& fs = w->faults()->stats();
+  EXPECT_EQ(fs.crashes, 1u);
+  EXPECT_EQ(fs.recoveries, 1u);
+  EXPECT_EQ(fs.downtime_us, static_cast<msim::Duration>(190 * kMillisecond));
+  EXPECT_FALSE(w->kernel(1).halted());
+
+  std::uint64_t lost = 0;
+  std::uint64_t respreads = 0;
+  std::uint64_t resurrected = 0;
+  std::uint64_t welcomes = 0;
+  std::vector<mirage::Engine*> engines;
+  for (int s = 0; s < 3; ++s) {
+    const mirage::EngineStats& es = w->engine(s)->stats();
+    lost += es.pages_lost_in_recovery;
+    respreads += es.replica_respreads;
+    resurrected += es.pages_resurrected;
+    welcomes += es.rejoin_welcomes;
+    engines.push_back(w->engine(s));
+  }
+  EXPECT_EQ(lost, 0u);
+  EXPECT_GE(respreads, 1u);
+  EXPECT_GE(resurrected, 1u);
+  EXPECT_GE(welcomes, 1u);
+  EXPECT_EQ(w->engine(1)->stats().rejoins, 1u);
+
+  mirage::InvariantChecker checker(engines);
+  checker.SetLiveness([this](mnet::SiteId s) { return w->faults()->SiteUp(s); });
+  mirage::InvariantReport full = checker.CheckFull(w->registry());
+  EXPECT_TRUE(full.ok()) << (full.violations.empty() ? "" : full.violations[0]);
+  mirage::InvariantReport coverage = checker.CheckReplicaCoverage(w->registry());
+  EXPECT_TRUE(coverage.ok())
+      << (coverage.violations.empty() ? "" : coverage.violations[0]);
+}
+
+// A standby that crashes mid-quorum-wait and rejoins BEFORE the ack-timeout
+// re-examination fires must still be forgiven: the REPLICATE it owed an ack
+// for died with the old incarnation, and the amnesiac reboot never saw it.
+// A current-liveness check alone sees the site up again and waits until the
+// op deadline — condemning the page and starving every requester behind the
+// stuck commit. The crash-incarnation fence (Network::CrashedSince) shrinks
+// the quorum to the survivors at the first re-exam instead.
+TEST_F(FaultTest, RejoinBeforeAckTimeoutUnsticksQuorumWait) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.protocol.replicas = 2;
+  // Stretch the re-exam period past the outage so the first ack-timeout
+  // check lands AFTER the rejoin, when the standby is up but amnesiac.
+  opts.protocol.ack_timeout_us = 300 * kMillisecond;
+  opts.protocol.op_timeout_us = 2 * kSecond;
+  opts.faults.CrashAt(45 * kMillisecond, 1).RecoverAt(145 * kMillisecond, 1);
+  Boot(3, opts);
+  bool done = false;
+  // Site 1's first read triggers the grant-from-empty, whose commit
+  // replicates to standbys {0, 1} (the library's local standby acks
+  // immediately). The crash lands between the REPLICATE send and site 1's
+  // ack, so the quorum wait straddles the outage.
+  w->kernel(1).Spawn("doomed-reader", Priority::kUser, [this](Process* p) -> Task<> {
+    auto& shm = w->shm(1);
+    co_await w->kernel(1).SleepFor(p, 10 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    (void)co_await shm.ReadWord(p, base);
+    co_await w->kernel(1).SleepFor(p, 10 * kSecond);  // crashed at 45 ms
+  });
+  // Site 0's writes queue behind the stuck commit (the page is busy under
+  // it); their completion is the witness that the quorum wait unstuck.
+  w->kernel(0).Spawn("writer", Priority::kUser, [this, &done](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    co_await w->kernel(0).SleepFor(p, 30 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    for (std::uint32_t i = 1; i <= 10; ++i) {
+      co_await shm.WriteWord(p, base, i);
+      co_await w->kernel(0).SleepFor(p, 10 * kMillisecond);
+    }
+    EXPECT_EQ(co_await shm.ReadWord(p, base), 10u);
+    done = true;
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return done; }, 120 * kSecond));
+  w->RunFor(2 * kSecond);  // quiesce
+
+  EXPECT_EQ(w->faults()->stats().recoveries, 1u);
+  EXPECT_EQ(w->engine(1)->stats().rejoins, 1u);
+  std::uint64_t ops_failed = 0;
+  std::uint64_t faults_failed = 0;
+  std::uint64_t lost = 0;
+  std::vector<mirage::Engine*> engines;
+  for (int s = 0; s < 3; ++s) {
+    const mirage::EngineStats& es = w->engine(s)->stats();
+    ops_failed += es.ops_failed;
+    faults_failed += es.faults_failed;
+    lost += es.pages_lost_in_recovery;
+    engines.push_back(w->engine(s));
+  }
+  EXPECT_EQ(ops_failed, 0u) << "the quorum wait never unstuck; the op deadline condemned the page";
+  EXPECT_EQ(faults_failed, 0u);
+  EXPECT_EQ(lost, 0u);
+
+  mirage::InvariantChecker checker(engines);
+  checker.SetLiveness([this](mnet::SiteId s) { return w->faults()->SiteUp(s); });
+  mirage::InvariantReport full = checker.CheckFull(w->registry());
+  EXPECT_TRUE(full.ok()) << (full.violations.empty() ? "" : full.violations[0]);
+}
+
+// Revive after a partition: the site is cut off, crashes while partitioned,
+// and rejoins after the link heals. The revived site's circuits were reset,
+// so post-rejoin traffic flows without retransmit poisoning from the dead
+// regime, and the run completes with the rejoined site serving again.
+TEST_F(FaultTest, ReviveAfterPartition) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.protocol.replicas = 2;
+  opts.faults.PartitionAt(30 * kMillisecond, 0, 1)
+      .CrashAt(80 * kMillisecond, 1)
+      .HealAt(120 * kMillisecond, 0, 1)
+      .RecoverAt(300 * kMillisecond, 1);
+  Boot(3, opts);
+  bool done = false;
+  bool revived_read = false;
+  w->kernel(0).Spawn("writer", Priority::kUser, [this, &done](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    for (std::uint32_t i = 1; i <= 30; ++i) {
+      co_await shm.WriteWord(p, base, i);
+      co_await w->kernel(0).SleepFor(p, 25 * kMillisecond);
+    }
+    done = true;
+  });
+  // A reader spawned into the revived kernel: rejoined sites must serve
+  // fresh processes (the pre-crash ones died with the site).
+  w->faults()->AddRecoverObserver([this, &revived_read](mnet::SiteId site) {
+    if (site != 1) {
+      return;
+    }
+    w->kernel(1).Spawn("reborn-reader", Priority::kUser,
+                       [this, &revived_read](Process* p) -> Task<> {
+      auto& shm = w->shm(1);
+      co_await w->kernel(1).SleepFor(p, 50 * kMillisecond);
+      mmem::VAddr base = shm.Shmat(p, shmid).value();
+      EXPECT_GE(co_await shm.ReadWord(p, base), 1u);
+      revived_read = true;
+    });
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return done && revived_read; }, 120 * kSecond));
+  const mfault::FaultInjectorStats& fs = w->faults()->stats();
+  EXPECT_EQ(fs.partitions, 1u);
+  EXPECT_EQ(fs.heals, 1u);
+  EXPECT_EQ(fs.crashes, 1u);
+  EXPECT_EQ(fs.recoveries, 1u);
+  EXPECT_EQ(w->engine(1)->stats().rejoins, 1u);
+}
+
+// Revive while another site is paused: the held-packet machinery and the
+// rejoin handshake do not interfere. The paused site's packets replay at
+// resume under a valid epoch, and the revived site re-admits cleanly.
+TEST_F(FaultTest, ReviveWhileBystanderPaused) {
+  WorldOptions opts;
+  EnableRecovery(opts);
+  opts.protocol.replicas = 2;
+  opts.faults.CrashAt(60 * kMillisecond, 1)
+      .PauseAt(100 * kMillisecond, 2)
+      .RecoverAt(200 * kMillisecond, 1)
+      .ResumeAt(400 * kMillisecond, 2);
+  Boot(3, opts);
+  bool done = false;
+  w->kernel(0).Spawn("writer", Priority::kUser, [this, &done](Process* p) -> Task<> {
+    auto& shm = w->shm(0);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    for (std::uint32_t i = 1; i <= 30; ++i) {
+      co_await shm.WriteWord(p, base, i);
+      co_await w->kernel(0).SleepFor(p, 25 * kMillisecond);
+    }
+    done = true;
+  });
+  w->kernel(2).Spawn("paused-reader", Priority::kUser, [this](Process* p) -> Task<> {
+    auto& shm = w->shm(2);
+    co_await w->kernel(2).SleepFor(p, 20 * kMillisecond);
+    mmem::VAddr base = shm.Shmat(p, shmid).value();
+    for (int i = 0; i < 20; ++i) {
+      (void)co_await shm.ReadWord(p, base);
+      co_await w->kernel(2).SleepFor(p, 40 * kMillisecond);
+    }
+  });
+  ASSERT_TRUE(w->RunUntil([&] { return done; }, 120 * kSecond));
+  w->RunFor(1 * kSecond);
+  const mfault::FaultInjectorStats& fs = w->faults()->stats();
+  EXPECT_EQ(fs.crashes, 1u);
+  EXPECT_EQ(fs.recoveries, 1u);
+  EXPECT_EQ(fs.pauses, 1u);
+  EXPECT_EQ(fs.resumes, 1u);
+  EXPECT_EQ(w->engine(1)->stats().rejoins, 1u);
+  std::vector<mirage::Engine*> engines;
+  for (int s = 0; s < 3; ++s) {
+    engines.push_back(w->engine(s));
+  }
+  mirage::InvariantChecker checker(engines);
+  checker.SetLiveness([this](mnet::SiteId s) { return w->faults()->SiteUp(s); });
+  mirage::InvariantReport report = checker.CheckFull(w->registry());
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+// A crash → rejoin run is bit-deterministic, including every rejoin counter
+// and the summed downtime.
+TEST_F(FaultTest, DeterministicAcrossIdenticalRejoinRuns) {
+  auto run = [](std::vector<std::uint64_t>& out) {
+    WorldOptions opts;
+    EnableRecovery(opts);
+    opts.protocol.replicas = 2;
+    opts.faults.CrashAt(60 * kMillisecond, 1).RecoverAt(250 * kMillisecond, 1);
+    World w(3, opts);
+    int shmid = w.shm(0).Shmget(1, 2048, true).value();
+    bool done = false;
+    w.kernel(0).Spawn("writer", Priority::kUser, [&w, shmid, &done](Process* p) -> Task<> {
+      auto& shm = w.shm(0);
+      mmem::VAddr base = shm.Shmat(p, shmid).value();
+      for (std::uint32_t i = 1; i <= 25; ++i) {
+        co_await shm.WriteWord(p, base, i);
+        co_await w.kernel(0).SleepFor(p, 20 * kMillisecond);
+      }
+      done = true;
+    });
+    ASSERT_TRUE(w.RunUntil([&] { return done; }, 120 * kSecond));
+    w.RunFor(1 * kSecond);
+    out.push_back(static_cast<std::uint64_t>(w.sim().Now()));
+    out.push_back(w.faults()->stats().recoveries);
+    out.push_back(static_cast<std::uint64_t>(w.faults()->stats().downtime_us));
+    out.push_back(w.network().stats().packets);
+    out.push_back(w.network().stats().payload_bytes);
+    for (int s = 0; s < 3; ++s) {
+      const mirage::EngineStats& es = w.engine(s)->stats();
+      out.push_back(es.rejoins);
+      out.push_back(es.rejoin_welcomes);
+      out.push_back(es.replica_respreads);
+      out.push_back(es.pages_resurrected);
+      out.push_back(es.replica_writes);
+    }
   };
   std::vector<std::uint64_t> a;
   std::vector<std::uint64_t> b;

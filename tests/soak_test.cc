@@ -9,6 +9,11 @@
 // pattern from its seed via SplitMix64, so the 32 seeds cover library
 // crashes, clock-site crashes, standby crashes, and bystander crashes at
 // varying points of the run — every case is reproducible from its index.
+// Odd-numbered cases extend the crash into a full crash → rejoin cycle:
+// the site revives with amnesia at a random later time, re-admits itself
+// through the epoch-fenced handshake, and the re-spread must restore full
+// k-replica coverage (checked by CheckReplicaCoverage) on top of the
+// no-loss property.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -39,6 +44,14 @@ TEST_P(ReplicationSoak, RandomSingleCrashNeverLosesPages) {
   const int crash_site = static_cast<int>(rng.Below(static_cast<std::uint64_t>(sites)));
   const msim::Time crash_at =
       static_cast<msim::Time>(rng.Between(10, 400)) * kMillisecond;
+  const bool rejoin = (GetParam() % 2) == 1;
+  const msim::Time recover_at =
+      crash_at + static_cast<msim::Time>(rng.Between(50, 300)) * kMillisecond;
+  SCOPED_TRACE(::testing::Message()
+               << "sites=" << sites << " crash_site=" << crash_site
+               << " crash_at=" << crash_at / kMillisecond << "ms"
+               << (rejoin ? " recover_at=" : " (no rejoin, would recover at ")
+               << recover_at / kMillisecond << (rejoin ? "ms" : "ms)"));
 
   WorldOptions opts;
   opts.protocol.replicas = 2;
@@ -47,6 +60,9 @@ TEST_P(ReplicationSoak, RandomSingleCrashNeverLosesPages) {
   opts.protocol.ack_timeout_us = 100 * kMillisecond;
   opts.protocol.op_timeout_us = 2 * kSecond;
   opts.faults.CrashAt(crash_at, crash_site);
+  if (rejoin) {
+    opts.faults.RecoverAt(recover_at, crash_site);
+  }
   World w(sites, opts);
   const int shmid = w.shm(0).Shmget(1, 2048, true).value();
 
@@ -77,7 +93,11 @@ TEST_P(ReplicationSoak, RandomSingleCrashNeverLosesPages) {
       }
     });
   }
-  w.RunFor(5 * kSecond);
+  // High-contention seeds (5 sites, write-heavy draws) serialize every write
+  // through the library and need ~7 s of simulated time to drain all 60 ops
+  // per site; the horizon leaves headroom so the checker below never observes
+  // a mid-flight operation as a directory/image mismatch.
+  w.RunFor(10 * kSecond);
   w.RunFor(2 * kSecond);  // quiesce: retries, failover, re-spread all settle
 
   std::uint64_t lost = 0;
@@ -92,6 +112,17 @@ TEST_P(ReplicationSoak, RandomSingleCrashNeverLosesPages) {
   checker.SetLiveness([&w](mnet::SiteId s) { return w.faults()->SiteUp(s); });
   mirage::InvariantReport report = checker.CheckFull(w.registry());
   EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations[0]);
+
+  if (rejoin) {
+    // The revived site re-admitted itself and the re-spread restored every
+    // page to its full k-standby set — degraded coverage may not outlive
+    // the rejoin quiescence.
+    EXPECT_EQ(w.faults()->stats().recoveries, 1u);
+    EXPECT_EQ(w.engine(crash_site)->stats().rejoins, 1u);
+    mirage::InvariantReport coverage = checker.CheckReplicaCoverage(w.registry());
+    EXPECT_TRUE(coverage.ok())
+        << (coverage.violations.empty() ? "" : coverage.violations[0]);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReplicationSoak, ::testing::Range(0, 32));
