@@ -1,0 +1,278 @@
+// mcheck — exhaustive small-world checking of the Mirage protocol
+// (DESIGN.md §11; EXPERIMENTS.md "Model checking").
+//
+// Modes:
+//   mcheck suite                 per-PR gate: every scenario × variant,
+//                                bounded DFS over delivery schedules
+//   mcheck deep                  nightly sweep: bigger budgets + latency
+//                                perturbation
+//   mcheck explore <scenario>    focus the DFS on one scenario
+//   mcheck replay <schedule>     re-run one recorded execution verbatim
+//   mcheck mutation              seeded-bug smoke: assert each documented
+//                                protocol mutation is caught
+//   mcheck list                  print the scenario registry
+//
+// Exit status: 0 = clean (or every mutation caught), 1 = violation found
+// (or a mutation slipped through), 2 = usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/check/explorer.h"
+#include "src/check/scenario.h"
+
+namespace {
+
+using mcheck::ExploreOptions;
+using mcheck::ExploreResult;
+using mcheck::FindScenario;
+using mcheck::ScenarioInfo;
+using mcheck::ScenarioResult;
+using mcheck::Scenarios;
+
+struct Cli {
+  std::string mode;
+  std::string target;              // scenario name or schedule string
+  int variant = -1;                // -1 = all
+  msim::Duration eps_us = 0;
+  int max_runs = -1;               // -1 = mode default
+  int max_depth = -1;
+  std::string mutation;            // mutation mode: restrict to one
+  bool verbose = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mcheck <suite|deep|explore|replay|mutation|list> [args]\n"
+               "  mcheck suite   [--eps=US] [--runs=N] [--depth=D] [-v]\n"
+               "  mcheck deep    [--eps=US] [--runs=N] [--depth=D] [-v]\n"
+               "  mcheck explore <scenario> [--variant=K] [--eps=US] [--runs=N] "
+               "[--depth=D]\n"
+               "  mcheck replay  <scenario>/v<K>/e<US>/<pos>.<choice>,... "
+               "[--mutate=NAME]\n"
+               "  mcheck mutation [--name=NAME] [-v]\n"
+               "  mcheck list\n");
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, long long* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *out = std::atoll(arg.c_str() + prefix.size());
+  return true;
+}
+
+mirage::MutationOptions MutationByName(const std::string& name, bool* ok) {
+  mirage::MutationOptions m;
+  *ok = true;
+  if (name == "quorum_off_by_one") {
+    m.quorum_off_by_one = true;
+  } else if (name == "skip_epoch_fence") {
+    m.skip_epoch_fence = true;
+  } else if (name == "drop_invalidate_ack") {
+    m.drop_invalidate_ack = true;
+  } else if (!name.empty() && name != "none") {
+    *ok = false;
+  }
+  return m;
+}
+
+void PrintViolations(const std::vector<std::string>& violations) {
+  for (const std::string& v : violations) {
+    std::printf("    %s\n", v.c_str());
+  }
+}
+
+// Explores every requested (scenario, variant); returns the failure count.
+int RunSweep(const Cli& cli, const ExploreOptions& base) {
+  int failures = 0;
+  int total_runs = 0;
+  for (const ScenarioInfo& info : Scenarios()) {
+    if (!cli.target.empty() && cli.target != info.name) {
+      continue;
+    }
+    for (int v = 0; v < info.variants; ++v) {
+      if (cli.variant >= 0 && v != cli.variant) {
+        continue;
+      }
+      ExploreResult r = mcheck::Explore(info, v, base);
+      total_runs += r.runs;
+      if (r.found_violation) {
+        ++failures;
+        std::printf("FAIL %s/v%d: %d schedules, violation found\n", info.name, v,
+                    r.runs);
+        std::printf("  replay: mcheck replay '%s'\n", r.schedule.c_str());
+        PrintViolations(r.violations);
+      } else if (cli.verbose) {
+        std::printf("ok   %s/v%d: %d schedules, %llu choice points\n", info.name, v,
+                    r.runs, static_cast<unsigned long long>(r.choice_points));
+      }
+    }
+  }
+  std::printf("%s: %d schedules explored, %d failing (scenario,variant) pairs\n",
+              failures == 0 ? "CLEAN" : "VIOLATIONS", total_runs, failures);
+  return failures;
+}
+
+int CmdSuiteOrDeep(const Cli& cli, bool deep) {
+  ExploreOptions opts;
+  // Message latencies are milliseconds (the paper's cost model), so the
+  // perturbation window must be hundreds of microseconds before events
+  // actually collide into choice points.
+  opts.eps_us = cli.eps_us > 0 ? cli.eps_us : (deep ? 500 : 300);
+  opts.max_runs = cli.max_runs > 0 ? cli.max_runs : (deep ? 400 : 48);
+  opts.max_depth = cli.max_depth > 0 ? cli.max_depth : (deep ? 4 : 2);
+  return RunSweep(cli, opts) == 0 ? 0 : 1;
+}
+
+int CmdReplay(const Cli& cli) {
+  bool ok = false;
+  mirage::MutationOptions mut = MutationByName(cli.mutation, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "mcheck: unknown mutation '%s'\n", cli.mutation.c_str());
+    return 2;
+  }
+  ScenarioResult r;
+  if (!mcheck::Replay(cli.target, mut, &r)) {
+    std::fprintf(stderr, "mcheck: bad schedule string '%s'\n", cli.target.c_str());
+    return 2;
+  }
+  std::printf("replay %s: %s (%llu accesses, %llu messages)\n", cli.target.c_str(),
+              r.failed() ? "VIOLATION" : "clean",
+              static_cast<unsigned long long>(r.accesses),
+              static_cast<unsigned long long>(r.messages));
+  PrintViolations(r.violations);
+  return r.failed() ? 1 : 0;
+}
+
+struct MutationCase {
+  const char* name;
+  // Scenarios most likely to catch it, tried in order; the sweep stops at
+  // the first (scenario, variant, schedule) that reports a violation.
+  std::vector<const char*> scenarios;
+};
+
+int CmdMutation(const Cli& cli) {
+  const std::vector<MutationCase> cases = {
+      {"drop_invalidate_ack", {"rw2", "wrw3"}},
+      {"quorum_off_by_one", {"quorum3", "rejoin3"}},
+      {"skip_epoch_fence", {"failover3"}},
+  };
+  int missed = 0;
+  for (const MutationCase& mc : cases) {
+    if (!cli.mutation.empty() && cli.mutation != mc.name) {
+      continue;
+    }
+    bool ok = false;
+    mirage::MutationOptions mut = MutationByName(mc.name, &ok);
+    ExploreOptions opts;
+    opts.eps_us = cli.eps_us > 0 ? cli.eps_us : 200;
+    opts.max_runs = cli.max_runs > 0 ? cli.max_runs : 64;
+    opts.max_depth = cli.max_depth > 0 ? cli.max_depth : 2;
+    opts.mutations = mut;
+    bool caught = false;
+    for (const char* name : mc.scenarios) {
+      const ScenarioInfo* info = FindScenario(name);
+      if (info == nullptr) {
+        continue;
+      }
+      for (int v = 0; v < info->variants && !caught; ++v) {
+        ExploreResult r = mcheck::Explore(*info, v, opts);
+        if (r.found_violation) {
+          caught = true;
+          std::printf("CAUGHT %s by %s/v%d after %d schedules\n", mc.name, name, v,
+                      r.runs);
+          std::printf("  replay: mcheck replay '%s' --mutate=%s\n",
+                      r.schedule.c_str(), mc.name);
+          if (cli.verbose) {
+            PrintViolations(r.violations);
+          }
+        }
+      }
+      if (caught) {
+        break;
+      }
+    }
+    if (!caught) {
+      ++missed;
+      std::printf("MISSED %s: no scenario/schedule flagged it\n", mc.name);
+    }
+  }
+  std::printf("%s\n", missed == 0 ? "all mutations caught" : "MUTATIONS MISSED");
+  return missed == 0 ? 0 : 1;
+}
+
+int CmdList() {
+  for (const ScenarioInfo& info : Scenarios()) {
+    std::printf("%-10s %d sites, %2d variants — %s\n", info.name, info.sites,
+                info.variants, info.description);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  Cli cli;
+  cli.mode = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long n = 0;
+    if (arg == "-v" || arg == "--verbose") {
+      cli.verbose = true;
+    } else if (ParseFlag(arg, "variant", &n)) {
+      cli.variant = static_cast<int>(n);
+    } else if (ParseFlag(arg, "eps", &n)) {
+      cli.eps_us = static_cast<msim::Duration>(n);
+    } else if (ParseFlag(arg, "runs", &n)) {
+      cli.max_runs = static_cast<int>(n);
+    } else if (ParseFlag(arg, "depth", &n)) {
+      cli.max_depth = static_cast<int>(n);
+    } else if (arg.rfind("--mutate=", 0) == 0) {
+      cli.mutation = arg.substr(std::strlen("--mutate="));
+    } else if (arg.rfind("--name=", 0) == 0) {
+      cli.mutation = arg.substr(std::strlen("--name="));
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      cli.target = arg;
+    }
+  }
+  if (cli.mode == "suite") {
+    return CmdSuiteOrDeep(cli, false);
+  }
+  if (cli.mode == "deep") {
+    return CmdSuiteOrDeep(cli, true);
+  }
+  if (cli.mode == "explore") {
+    if (cli.target.empty() || FindScenario(cli.target) == nullptr) {
+      std::fprintf(stderr, "mcheck: unknown scenario '%s'\n", cli.target.c_str());
+      return 2;
+    }
+    ExploreOptions opts;
+    opts.eps_us = cli.eps_us;
+    opts.max_runs = cli.max_runs > 0 ? cli.max_runs : 128;
+    opts.max_depth = cli.max_depth > 0 ? cli.max_depth : 3;
+    return RunSweep(cli, opts) == 0 ? 0 : 1;
+  }
+  if (cli.mode == "replay") {
+    if (cli.target.empty()) {
+      return Usage();
+    }
+    return CmdReplay(cli);
+  }
+  if (cli.mode == "mutation") {
+    return CmdMutation(cli);
+  }
+  if (cli.mode == "list") {
+    return CmdList();
+  }
+  return Usage();
+}

@@ -1,0 +1,140 @@
+#include "src/check/explorer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mcheck {
+
+namespace {
+
+int Depth(const std::vector<int>& choices) {
+  int d = 0;
+  for (int c : choices) {
+    if (c != 0) {
+      ++d;
+    }
+  }
+  return d;
+}
+
+void StripTrailingZeros(std::vector<int>* v) {
+  while (!v->empty() && v->back() == 0) {
+    v->pop_back();
+  }
+}
+
+}  // namespace
+
+ScenarioResult RunOnce(const ScenarioInfo& info, int variant,
+                       const std::vector<int>& forced, msim::Duration eps_us,
+                       const mirage::MutationOptions& mutations,
+                       std::vector<std::size_t>* arities_out,
+                       std::vector<int>* chosen_out) {
+  ReplayController controller(forced);
+  ScenarioOptions so;
+  so.controller = &controller;
+  so.eps_us = eps_us;
+  so.variant = variant;
+  so.mutations = mutations;
+  ScenarioResult result = info.run(so);
+  if (arities_out != nullptr) {
+    *arities_out = controller.arities();
+  }
+  if (chosen_out != nullptr) {
+    *chosen_out = controller.chosen();
+  }
+  return result;
+}
+
+ExploreResult Explore(const ScenarioInfo& info, int variant,
+                      const ExploreOptions& opts) {
+  ExploreResult out;
+  // DFS stack of forced prefixes; {} is the all-default schedule.
+  std::vector<std::vector<int>> stack;
+  stack.push_back({});
+  while (!stack.empty() && out.runs < opts.max_runs) {
+    std::vector<int> prefix = std::move(stack.back());
+    stack.pop_back();
+    std::vector<std::size_t> arities;
+    std::vector<int> chosen;
+    ScenarioResult r =
+        RunOnce(info, variant, prefix, opts.eps_us, opts.mutations, &arities, &chosen);
+    ++out.runs;
+    out.choice_points += arities.size();
+    if (r.failed()) {
+      ++out.failures;
+      if (!out.found_violation) {
+        out.found_violation = true;
+        out.violations = r.violations;
+        std::vector<int> minimal =
+            Minimize(info, variant, opts.eps_us, opts.mutations, chosen);
+        ScheduleKey key;
+        key.scenario = info.name;
+        key.variant = variant;
+        key.eps_us = opts.eps_us;
+        key.choices = std::move(minimal);
+        out.schedule = EncodeSchedule(key);
+      }
+      if (opts.stop_on_failure) {
+        return out;
+      }
+      continue;  // don't extend a failing schedule — it's already terminal
+    }
+    // Branch into the untaken alternatives of this run's suffix. Extending
+    // only positions >= |prefix| enumerates each schedule exactly once:
+    // the prefix region was branched by an ancestor.
+    if (Depth(prefix) >= opts.max_depth) {
+      continue;
+    }
+    // Push in reverse position order so the DFS visits earlier (shallower)
+    // deviations first.
+    for (std::size_t pos = arities.size(); pos-- > prefix.size();) {
+      for (std::size_t c = arities[pos] - 1; c >= 1; --c) {
+        std::vector<int> next(chosen.begin(),
+                              chosen.begin() + static_cast<std::ptrdiff_t>(pos));
+        next.push_back(static_cast<int>(c));
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> Minimize(const ScenarioInfo& info, int variant, msim::Duration eps_us,
+                          const mirage::MutationOptions& mutations,
+                          std::vector<int> failing) {
+  StripTrailingZeros(&failing);
+  // Greedy delta-debugging, last deviation first: resetting a later choice
+  // keeps the earlier (already-validated) prefix meaningful.
+  for (std::size_t i = failing.size(); i-- > 0;) {
+    if (failing[i] == 0) {
+      continue;
+    }
+    std::vector<int> trial = failing;
+    trial[i] = 0;
+    ScenarioResult r =
+        RunOnce(info, variant, trial, eps_us, mutations, nullptr, nullptr);
+    if (r.failed()) {
+      failing = std::move(trial);
+    }
+  }
+  StripTrailingZeros(&failing);
+  return failing;
+}
+
+bool Replay(const std::string& schedule, const mirage::MutationOptions& mutations,
+            ScenarioResult* out) {
+  ScheduleKey key;
+  if (!DecodeSchedule(schedule, &key)) {
+    return false;
+  }
+  const ScenarioInfo* info = FindScenario(key.scenario);
+  if (info == nullptr || key.variant < 0 || key.variant >= info->variants) {
+    return false;
+  }
+  *out = RunOnce(*info, key.variant, key.choices, key.eps_us, mutations, nullptr,
+                 nullptr);
+  return true;
+}
+
+}  // namespace mcheck

@@ -1,0 +1,85 @@
+// Systematic schedule exploration (DESIGN.md §11, analysis 1).
+//
+// Stateless model checking in the Verisoft tradition: the system under test
+// is re-executed from scratch for every schedule, so no state capture is
+// needed — a schedule IS the vector of choices made at each controlled
+// dispatch (ReplayController). The explorer walks the choice tree by
+// depth-first prefix extension:
+//
+//   run the all-default schedule, recording each choice point's arity;
+//   for every point p with arity k > 1, branch into choices 1..k-1 by
+//   re-running with the forced prefix chosen[0..p) + [c];
+//   repeat on each new run's suffix (only positions >= the prefix length
+//   are extended, so every schedule is generated exactly once).
+//
+// Depth = number of non-default choices along a prefix; bounding it yields
+// iterative-deepening-style coverage of "few reorderings" first, which is
+// where protocol bugs live (most need only 1–2 adversarial swaps).
+//
+// A failing schedule is shrunk by greedily re-running with each non-default
+// choice reset to 0 (last first) and keeping the reset when the failure
+// persists — the survivor is the minimal replayable counterexample, printed
+// as an EncodeSchedule string.
+#ifndef SRC_CHECK_EXPLORER_H_
+#define SRC_CHECK_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/scenario.h"
+#include "src/check/schedule.h"
+#include "src/mirage/protocol.h"
+
+namespace mcheck {
+
+struct ExploreOptions {
+  // Bounded latency perturbation window handed to the simulator (µs): 0
+  // explores only same-instant reorderings, > 0 also delays deliveries past
+  // later-stamped events within the window.
+  msim::Duration eps_us = 0;
+  // Exploration budget in runs (re-executions), per variant.
+  int max_runs = 256;
+  // Maximum non-default choices along any one schedule.
+  int max_depth = 4;
+  mirage::MutationOptions mutations;
+  // Stop at the first failing schedule (the default) or keep counting.
+  bool stop_on_failure = true;
+};
+
+struct ExploreResult {
+  int runs = 0;
+  int failures = 0;
+  std::uint64_t choice_points = 0;  // total across all runs
+  // First failure, minimized: its replayable coordinates and violations.
+  bool found_violation = false;
+  std::string schedule;
+  std::vector<std::string> violations;
+};
+
+// One controlled execution of `info` with the given forced choices.
+// `arities_out` / `chosen_out` (optional) receive the run's branching
+// structure for the explorer.
+ScenarioResult RunOnce(const ScenarioInfo& info, int variant,
+                       const std::vector<int>& forced, msim::Duration eps_us,
+                       const mirage::MutationOptions& mutations,
+                       std::vector<std::size_t>* arities_out,
+                       std::vector<int>* chosen_out);
+
+// DFS over the schedule tree of one (scenario, variant).
+ExploreResult Explore(const ScenarioInfo& info, int variant, const ExploreOptions& opts);
+
+// Greedy counterexample shrinking; returns the minimal still-failing choices.
+std::vector<int> Minimize(const ScenarioInfo& info, int variant, msim::Duration eps_us,
+                          const mirage::MutationOptions& mutations,
+                          std::vector<int> failing);
+
+// Re-runs the execution a schedule string denotes. Returns false when the
+// string is malformed or names an unknown scenario; otherwise `*out` holds
+// the (deterministic) result of that exact execution.
+bool Replay(const std::string& schedule, const mirage::MutationOptions& mutations,
+            ScenarioResult* out);
+
+}  // namespace mcheck
+
+#endif  // SRC_CHECK_EXPLORER_H_

@@ -1,0 +1,126 @@
+#include "src/check/hb.h"
+
+#include <string_view>
+
+namespace mcheck {
+
+namespace {
+
+std::uint64_t LocKey(const msysv::ShmSystem::AccessEvent& ev) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.seg)) << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(ev.page)) << 16) |
+         static_cast<std::uint16_t>(ev.offset);
+}
+
+const char* KindName(msysv::ShmSystem::AccessKind k) {
+  switch (k) {
+    case msysv::ShmSystem::AccessKind::kRead:
+      return "read";
+    case msysv::ShmSystem::AccessKind::kWrite:
+      return "write";
+    case msysv::ShmSystem::AccessKind::kRmw:
+      return "rmw";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void HbRecorder::Attach(msysv::World* w) {
+  num_sites_ = w->site_count();
+  site_clocks_.assign(num_sites_, VClock(num_sites_));
+  traces_.assign(num_sites_, {});
+  w->network().AddSendObserver(
+      [this](const mnet::Packet& pkt, msim::Time) { OnSend(pkt); });
+  w->network().AddObserver(
+      [this](const mnet::Packet& pkt, msim::Time) { OnDeliver(pkt); });
+  w->network().SetDropHook(
+      [this](const mnet::Packet& pkt, const char* reason) { OnDrop(pkt, reason); });
+  for (int s = 0; s < num_sites_; ++s) {
+    w->shm(s).SetAccessHook(
+        [this](const msysv::ShmSystem::AccessEvent& ev) { OnAccess(ev); });
+  }
+}
+
+void HbRecorder::OnSend(const mnet::Packet& pkt) {
+  if (pkt.src < 0 || pkt.src >= num_sites_) {
+    return;
+  }
+  ++messages_;
+  site_clocks_[pkt.src].Tick(pkt.src);
+  in_flight_[{pkt.src, pkt.dst}].push_back(PendingMsg{site_clocks_[pkt.src]});
+}
+
+void HbRecorder::OnDeliver(const mnet::Packet& pkt) {
+  auto it = in_flight_.find({pkt.src, pkt.dst});
+  if (it == in_flight_.end() || it->second.empty()) {
+    return;  // a packet synthesized below the send observer (none today)
+  }
+  if (pkt.dst >= 0 && pkt.dst < num_sites_) {
+    site_clocks_[pkt.dst].Join(it->second.front().clock);
+    site_clocks_[pkt.dst].Tick(pkt.dst);
+  }
+  it->second.pop_front();
+}
+
+void HbRecorder::OnDrop(const mnet::Packet& pkt, const char* reason) {
+  // The network consumes per-pair traffic in send order whether it delivers
+  // or drops, so a drop discards exactly the front snapshot — except the
+  // src-site-down drop, which happens in Deliver() before the send observer
+  // ever ran, so there is no snapshot to discard.
+  if (std::string_view(reason) == "src-site-down") {
+    return;
+  }
+  auto it = in_flight_.find({pkt.src, pkt.dst});
+  if (it != in_flight_.end() && !it->second.empty()) {
+    it->second.pop_front();
+  }
+}
+
+void HbRecorder::OnAccess(const msysv::ShmSystem::AccessEvent& ev) {
+  if (ev.site < 0 || ev.site >= num_sites_) {
+    return;
+  }
+  ++accesses_;
+  VClock& clock = site_clocks_[ev.site];
+  clock.Tick(ev.site);
+
+  // SC trace: program order per site, dense word ids.
+  auto [lit, inserted] = locs_.try_emplace(LocKey(ev), static_cast<int>(locs_.size()));
+  ScOp op;
+  op.loc = lit->second;
+  op.value = ev.value;
+  op.kind = ev.kind == msysv::ShmSystem::AccessKind::kRead    ? ScKind::kRead
+            : ev.kind == msysv::ShmSystem::AccessKind::kWrite ? ScKind::kWrite
+                                                              : ScKind::kRmw;
+  traces_[ev.site].push_back(op);
+
+  // Race detection at page granularity: the protocol's unit of exclusivity.
+  PageState& ps = pages_[{ev.seg, ev.page}];
+  const bool is_write = ev.kind != msysv::ShmSystem::AccessKind::kRead;
+  auto flag = [&](const char* what, int other_site) {
+    races_.push_back("race: seg " + std::to_string(ev.seg) + " page " +
+                     std::to_string(ev.page) + ": " + KindName(ev.kind) + " at site " +
+                     std::to_string(ev.site) + " unordered with " + what + " at site " +
+                     std::to_string(other_site) + " (clock " + clock.ToString() + ")");
+  };
+  if (ps.has_writer && ps.writer_site != ev.site &&
+      !ps.writer_clock.LessEq(clock)) {
+    flag("prior write", ps.writer_site);
+  }
+  if (is_write) {
+    for (const auto& [site, rclock] : ps.reads_since) {
+      if (site != ev.site && !rclock.LessEq(clock)) {
+        flag("prior read", site);
+      }
+    }
+    ps.has_writer = true;
+    ps.writer_site = ev.site;
+    ps.writer_clock = clock;
+    ps.reads_since.clear();
+  } else {
+    ps.reads_since[ev.site] = clock;
+  }
+}
+
+}  // namespace mcheck

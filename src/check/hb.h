@@ -1,0 +1,90 @@
+// Happens-before race/coherence detector (DESIGN.md §11, analysis 2).
+//
+// The recorder taps three event streams of a running World:
+//  * message sends  (Network send observer)  — snapshot the sender's clock;
+//  * message deliveries (Network delivery observer) — join that snapshot
+//    into the receiver's clock (the only cross-site edges);
+//  * word accesses (ShmSystem access hook) — the events being ordered.
+//
+// Every grant, invalidate, ack, install, and replicate message is a wire
+// packet, so the protocol's ordering mechanics — Δ-window handoffs, epoch
+// fences, quorum commits — all materialize as send→deliver clock joins.
+// Two accesses to the same page from different sites, at least one a write,
+// that are NOT ordered by those joins are exactly the coherence failure
+// Mirage's clock-site serialization is supposed to make impossible.
+//
+// Dropped packets (crash/partition faults) are consumed from the per-pair
+// FIFO via the network drop hook, so queues stay aligned with deliveries.
+//
+// The recorder also accumulates per-site word-access traces (program order,
+// with values) which feed the sequential-consistency witness checker
+// (src/check/sc.h): the HB detector certifies the protocol's ordering, the
+// SC checker certifies the values that ordering produced.
+#ifndef SRC_CHECK_HB_H_
+#define SRC_CHECK_HB_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/check/sc.h"
+#include "src/check/vclock.h"
+#include "src/sysv/world.h"
+
+namespace mcheck {
+
+class HbRecorder {
+ public:
+  // Installs the observers and per-site access hooks. The recorder must
+  // outlive the world's run (the hooks hold a pointer to it). Claims the
+  // world's drop-hook slot and every site's access-hook slot.
+  void Attach(msysv::World* w);
+
+  // Races found so far, as human-readable violation strings.
+  const std::vector<std::string>& races() const { return races_; }
+
+  // Per-site word-access traces in program order, for the SC checker.
+  const std::vector<std::vector<ScOp>>& traces() const { return traces_; }
+
+  // Distinct (seg, page, offset) words seen, indexed by ScOp::loc.
+  std::size_t LocCount() const { return locs_.size(); }
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t messages() const { return messages_; }
+
+ private:
+  struct PendingMsg {
+    VClock clock;
+  };
+  // Per-page ordering frontier: the last write and the reads since it.
+  struct PageState {
+    bool has_writer = false;
+    int writer_site = -1;
+    VClock writer_clock;
+    std::map<int, VClock> reads_since;  // site -> clock of its latest read
+  };
+
+  void OnSend(const mnet::Packet& pkt);
+  void OnDeliver(const mnet::Packet& pkt);
+  void OnDrop(const mnet::Packet& pkt, const char* reason);
+  void OnAccess(const msysv::ShmSystem::AccessEvent& ev);
+
+  int num_sites_ = 0;
+  std::vector<VClock> site_clocks_;
+  // In-flight clock snapshots, FIFO per (src, dst) — mirrors the network's
+  // per-circuit delivery order exactly (deliver or drop, in send order).
+  std::map<std::pair<int, int>, std::deque<PendingMsg>> in_flight_;
+  std::map<std::pair<std::int64_t, std::int64_t>, PageState> pages_;  // (seg, page)
+  std::map<std::uint64_t, int> locs_;  // (seg,page,offset) key -> dense loc id
+  std::vector<std::vector<ScOp>> traces_;
+  std::vector<std::string> races_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace mcheck
+
+#endif  // SRC_CHECK_HB_H_

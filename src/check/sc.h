@@ -1,0 +1,52 @@
+// Sequential-consistency witness checker (DESIGN.md §11, analysis 3).
+//
+// Input: per-site traces of word operations in program order, each with the
+// value it observed or wrote. Question: does a single total order over all
+// operations exist that (a) respects every site's program order and (b) has
+// every read return the latest earlier write to its word (initial value 0)?
+// If yes, the recorded history is sequentially consistent and the witness
+// order proves it; if no, the protocol let some site observe values no
+// interleaving can explain.
+//
+// Scope and limits: exponential in principle, so meant for mcheck's small
+// worlds (a handful of sites, ≤ a few ops each — the regime where schedule
+// exploration is exhaustive anyway). The search memoizes on (per-site
+// progress, memory contents): two prefixes that consumed the same ops and
+// left memory identical are interchangeable, which prunes the factorial
+// blowup to something instant at mcheck scale. Word granularity only —
+// byte/block accesses are outside the recorded model.
+#ifndef SRC_CHECK_SC_H_
+#define SRC_CHECK_SC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcheck {
+
+enum class ScKind { kRead, kWrite, kRmw };
+
+struct ScOp {
+  ScKind kind = ScKind::kRead;
+  int loc = 0;             // dense word id (see HbRecorder::LocCount)
+  std::uint32_t value = 0;  // read: value seen; write: value stored;
+                            // rmw (test-and-set): value seen (stores 1)
+};
+
+struct ScResult {
+  bool consistent = false;
+  std::uint64_t states_explored = 0;
+  // On success, one witness total order as (site, index-within-site) pairs.
+  std::vector<std::pair<int, int>> witness;
+  // On failure, a description of the stuck frontier.
+  std::string failure;
+};
+
+// Checks the traces for sequential consistency. `num_locs` bounds ScOp::loc.
+ScResult CheckSequentialConsistency(const std::vector<std::vector<ScOp>>& traces,
+                                    int num_locs);
+
+}  // namespace mcheck
+
+#endif  // SRC_CHECK_SC_H_

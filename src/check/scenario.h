@@ -1,0 +1,74 @@
+// Small-world checking scenarios (DESIGN.md §11).
+//
+// A scenario is a tiny, fully deterministic Mirage world — 2–4 sites, one
+// segment, a handful of shared-memory operations — built so that every
+// protocol-relevant interleaving is within reach of exhaustive exploration.
+// Each run wires up the full verification stack:
+//
+//  * deferred network delivery, so every message arrival is its own
+//    reorderable simulator event (mnet::Network::SetDeferredDelivery);
+//  * an optional ReplayController that forces a choice prefix and records
+//    the branching structure for the explorer (src/check/explorer.h);
+//  * per-event physical invariant sampling through the controller's
+//    AfterEvent hook — transient two-writable-copies windows (e.g. the
+//    drop_invalidate_ack mutation) heal by quiescence and are only visible
+//    mid-flight;
+//  * the happens-before recorder and, for scenarios with small traces, the
+//    sequential-consistency witness checker;
+//  * final quiescent CheckFull / CheckReplicaCoverage.
+//
+// The `variant` axis sweeps scenario-defined parameters that are not
+// schedule choices — workload stagger offsets, crash instants — so the
+// (variant × schedule) product covers timing races the event reordering
+// alone cannot reach (a crash event is kNoDomain: the controller never
+// reorders it, the variant sweep moves it instead).
+#ifndef SRC_CHECK_SCENARIO_H_
+#define SRC_CHECK_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/schedule.h"
+#include "src/mirage/protocol.h"
+#include "src/sim/simulator.h"
+
+namespace mcheck {
+
+struct ScenarioOptions {
+  // Installed on the world's simulator before the first event fires; null
+  // runs the plain FIFO order (still with deferred delivery and all checks).
+  ReplayController* controller = nullptr;
+  // Bounded latency perturbation window (Simulator::SetController).
+  msim::Duration eps_us = 0;
+  // Scenario-defined parameter sweep, 0 .. ScenarioInfo::variants-1.
+  int variant = 0;
+  // Seeded protocol bugs (mutation smoke); default = none.
+  mirage::MutationOptions mutations;
+};
+
+struct ScenarioResult {
+  std::vector<std::string> violations;
+  bool completed = false;  // workload reached quiescence before the deadline
+  std::uint64_t accesses = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t sc_states = 0;  // SC witness search size (0 = not checked)
+  bool failed() const { return !violations.empty(); }
+};
+
+struct ScenarioInfo {
+  const char* name;
+  const char* description;
+  int sites = 0;
+  int variants = 1;
+  ScenarioResult (*run)(const ScenarioOptions&) = nullptr;
+};
+
+// The registry, in suite order (cheapest first).
+const std::vector<ScenarioInfo>& Scenarios();
+// nullptr when no scenario has that name.
+const ScenarioInfo* FindScenario(const std::string& name);
+
+}  // namespace mcheck
+
+#endif  // SRC_CHECK_SCENARIO_H_

@@ -1,0 +1,94 @@
+#include "src/check/schedule.h"
+
+#include <cstdlib>
+
+namespace mcheck {
+
+std::string EncodeSchedule(const ScheduleKey& key) {
+  std::string s = key.scenario + "/v" + std::to_string(key.variant) + "/e" +
+                  std::to_string(key.eps_us) + "/";
+  bool any = false;
+  for (std::size_t i = 0; i < key.choices.size(); ++i) {
+    if (key.choices[i] != 0) {
+      if (any) {
+        s += ",";
+      }
+      s += std::to_string(i) + "." + std::to_string(key.choices[i]);
+      any = true;
+    }
+  }
+  if (!any) {
+    s += "-";
+  }
+  return s;
+}
+
+namespace {
+
+bool ParseInt(const std::string& s, long long* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+bool DecodeSchedule(const std::string& text, ScheduleKey* out) {
+  // scenario / v<variant> / e<eps> / choices
+  std::size_t p1 = text.find('/');
+  if (p1 == std::string::npos) {
+    return false;
+  }
+  std::size_t p2 = text.find('/', p1 + 1);
+  if (p2 == std::string::npos) {
+    return false;
+  }
+  std::size_t p3 = text.find('/', p2 + 1);
+  if (p3 == std::string::npos) {
+    return false;
+  }
+  out->scenario = text.substr(0, p1);
+  std::string vpart = text.substr(p1 + 1, p2 - p1 - 1);
+  std::string epart = text.substr(p2 + 1, p3 - p2 - 1);
+  std::string cpart = text.substr(p3 + 1);
+  long long v = 0;
+  long long e = 0;
+  if (vpart.size() < 2 || vpart[0] != 'v' || !ParseInt(vpart.substr(1), &v) ||
+      epart.size() < 2 || epart[0] != 'e' || !ParseInt(epart.substr(1), &e)) {
+    return false;
+  }
+  out->variant = static_cast<int>(v);
+  out->eps_us = static_cast<msim::Duration>(e);
+  out->choices.clear();
+  if (cpart == "-" || cpart.empty()) {
+    return true;
+  }
+  std::size_t start = 0;
+  while (start < cpart.size()) {
+    std::size_t comma = cpart.find(',', start);
+    std::string item =
+        cpart.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    std::size_t dot = item.find('.');
+    long long pos = 0;
+    long long choice = 0;
+    if (dot == std::string::npos || !ParseInt(item.substr(0, dot), &pos) ||
+        !ParseInt(item.substr(dot + 1), &choice) || pos < 0 || choice <= 0 ||
+        pos > 1'000'000) {
+      return false;
+    }
+    if (static_cast<std::size_t>(pos) >= out->choices.size()) {
+      out->choices.resize(pos + 1, 0);
+    }
+    out->choices[pos] = static_cast<int>(choice);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace mcheck

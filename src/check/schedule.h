@@ -1,0 +1,103 @@
+// Schedule traces: the replayable coordinates of one explored execution
+// (DESIGN.md §11, analysis 1).
+//
+// A controlled run is fully determined by (scenario, variant, perturbation
+// window, choice string): the simulator consults the controller at every
+// dispatch with >= 2 eligible events, and the choice string lists the picked
+// index at each such choice point in encounter order. Index 0 is always the
+// default FIFO pick, so the string is stored sparsely — only the non-zero
+// choices — and the all-default run encodes as an empty suffix.
+//
+// Wire format (one line, shell-safe):
+//   <scenario>/v<variant>/e<eps_us>/<pos>.<choice>,<pos>.<choice>,...
+//   <scenario>/v<variant>/e<eps_us>/-        (no non-default choices)
+// Example: failover/v3/e500/12.1,40.2
+//
+// Feeding such a string back through Replay() re-runs the identical
+// execution — that's what turns an exploration counterexample into a
+// deterministic regression test.
+#ifndef SRC_CHECK_SCHEDULE_H_
+#define SRC_CHECK_SCHEDULE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace mcheck {
+
+struct ScheduleKey {
+  std::string scenario;
+  int variant = 0;
+  msim::Duration eps_us = 0;
+  std::vector<int> choices;  // dense, index per choice point; 0 = FIFO
+};
+
+std::string EncodeSchedule(const ScheduleKey& key);
+// Returns false on malformed input.
+bool DecodeSchedule(const std::string& text, ScheduleKey* out);
+
+// The controller used for both exploration and replay: forces a choice
+// prefix, picks the FIFO default beyond it, and records what it saw — the
+// arity (eligible count) of every choice point and the choice made — so the
+// explorer can branch into the untaken alternatives afterwards.
+class ReplayController : public msim::ScheduleController {
+ public:
+  explicit ReplayController(std::vector<int> forced) : forced_(std::move(forced)) {}
+
+  std::size_t ChooseNext(const std::vector<msim::SchedCandidate>& eligible) override {
+    // Only a dispatch involving at least one network delivery is a real
+    // choice point: reordering which site's local tick fires first changes
+    // nothing observable (sites are independent sequential machines), and
+    // counting those dispatches would bury the protocol-relevant branches
+    // under thousands of tick permutations. Non-delivery dispatches take the
+    // FIFO default and are not recorded, so choice-point positions number
+    // only the branchable dispatches.
+    bool has_delivery = false;
+    for (const msim::SchedCandidate& c : eligible) {
+      if (c.domain >= mnet::Network::kPairDomainBase) {
+        has_delivery = true;
+        break;
+      }
+    }
+    if (!has_delivery) {
+      return 0;
+    }
+    const std::size_t pos = arities_.size();
+    arities_.push_back(eligible.size());
+    std::size_t pick = 0;
+    if (pos < forced_.size() && forced_[pos] >= 0 &&
+        static_cast<std::size_t>(forced_[pos]) < eligible.size()) {
+      pick = static_cast<std::size_t>(forced_[pos]);
+    }
+    chosen_.push_back(static_cast<int>(pick));
+    return pick;
+  }
+
+  void AfterEvent(msim::Time now) override {
+    if (after_event_) {
+      after_event_(now);
+    }
+  }
+
+  // Invariant-sampling hook, called after every controlled dispatch.
+  void SetAfterEvent(std::function<void(msim::Time)> fn) { after_event_ = std::move(fn); }
+
+  // Choice-point arities observed this run (branching structure).
+  const std::vector<std::size_t>& arities() const { return arities_; }
+  // Choices actually made (forced prefix + FIFO defaults).
+  const std::vector<int>& chosen() const { return chosen_; }
+
+ private:
+  std::vector<int> forced_;
+  std::vector<std::size_t> arities_;
+  std::vector<int> chosen_;
+  std::function<void(msim::Time)> after_event_;
+};
+
+}  // namespace mcheck
+
+#endif  // SRC_CHECK_SCHEDULE_H_

@@ -1,0 +1,65 @@
+// Vector clocks for the happens-before analyses (DESIGN.md §11).
+//
+// One component per site. A site's protocol engine, kernel, and application
+// processes are all serialized on its single CPU, so one clock per *site*
+// (not per process) linearizes everything local; cross-site edges come only
+// from message delivery. This is exactly the granularity at which Mirage
+// promises ordering: the protocol serializes conflicting page access between
+// sites, and anything it fails to serialize is a coherence race.
+#ifndef SRC_CHECK_VCLOCK_H_
+#define SRC_CHECK_VCLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcheck {
+
+class VClock {
+ public:
+  VClock() = default;
+  explicit VClock(std::size_t sites) : c_(sites, 0) {}
+
+  std::size_t size() const { return c_.size(); }
+  std::uint64_t at(std::size_t i) const { return c_[i]; }
+
+  // Advances component `i` (a local step at site i).
+  void Tick(std::size_t i) { ++c_[i]; }
+
+  // Component-wise maximum (message receive: merge the sender's knowledge).
+  void Join(const VClock& o) {
+    for (std::size_t i = 0; i < c_.size() && i < o.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], o.c_[i]);
+    }
+  }
+
+  // True iff this clock is <= `o` component-wise: the event that stamped
+  // this clock happened-before (or equals) the one that stamped `o`.
+  bool LessEq(const VClock& o) const {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > (i < o.c_.size() ? o.c_[i] : 0)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string ToString() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (i != 0) {
+        s += ",";
+      }
+      s += std::to_string(c_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace mcheck
+
+#endif  // SRC_CHECK_VCLOCK_H_

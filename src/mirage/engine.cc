@@ -325,7 +325,8 @@ msim::Task<> Engine::HandlePacket(mos::Process* self, mnet::Packet pkt) {
             // optimization the paper names but did not implement.
             ++stats_.queued_invalidations;
             Trace("clock", "queued invalidation, " + std::to_string(remaining) + " us left");
-            kernel_->sim()->Schedule(remaining, [this, b] {
+            kernel_->sim()->Schedule(remaining, static_cast<msim::EventDomain>(site()),
+                                     [this, b] {
               worker_queue_.push_back(b);
               kernel_->Wakeup(worker_chan_);
             });
@@ -1333,8 +1334,11 @@ mmem::SiteMask Engine::ChooseReplicaSet(mmem::SegmentId seg) const {
   mmem::SiteMask candidates = registry_->AttachedSites(seg) | mmem::MaskOf(site());
   mmem::SiteMask out = 0;
   int n = 0;
+  // Seeded bug (mutation smoke): the classic off-by-one in the placement
+  // loop leaves the page one standby short of the configured count.
+  const int want = opts_.mutations.quorum_off_by_one ? opts_.replicas - 1 : opts_.replicas;
   ForEachSite(candidates, [&](mnet::SiteId s) {
-    if (n < opts_.replicas && kernel_->net()->SiteUp(s)) {
+    if (n < want && kernel_->net()->SiteUp(s)) {
       out |= mmem::MaskOf(s);
       ++n;
     }
@@ -1500,6 +1504,11 @@ std::uint32_t Engine::KnownEpoch(mmem::SegmentId seg) const {
 }
 
 bool Engine::StaleEpoch(mmem::SegmentId seg, std::uint32_t epoch) {
+  if (opts_.mutations.skip_epoch_fence) {
+    // Seeded bug (mutation smoke): accept messages from dead epochs — the
+    // exact hazard the fence exists to stop.
+    return false;
+  }
   if (epoch >= KnownEpoch(seg)) {
     return false;
   }
@@ -2050,7 +2059,10 @@ msim::Task<bool> Engine::ExecuteClockOp(mos::Process* self, ClockOpBody op) {
           self, mnet::MakePacket(me, s, static_cast<std::uint32_t>(MsgKind::kInvalidatePage),
                                  kShortMsgBytes, b));
     }
-    while (col.got < col.expected) {
+    // Seeded bug (mutation smoke): fire the invalidates but proceed to the
+    // grant without waiting for acknowledgements — a window where stale
+    // reader copies coexist with the new writable copy.
+    while (!opts_.mutations.drop_invalidate_ack && col.got < col.expected) {
       if (StaleEpoch(op.seg, op.epoch)) {
         // A reconstruction overtook this op mid-invalidation; the remaining
         // acks will never come (survivors fence the stale invalidates).
@@ -2330,6 +2342,32 @@ std::optional<DirectoryView> Engine::Directory(mmem::SegmentId seg, mmem::PageNu
   v.version = pd.version;
   v.replica_set = pd.replica_set;
   return v;
+}
+
+bool Engine::TestOnlySetDirectory(mmem::SegmentId seg, mmem::PageNum page,
+                                  const DirectoryView& v) {
+  auto it = dirs_.find(seg);
+  if (it == dirs_.end() || static_cast<std::size_t>(page) >= it->second->pages.size()) {
+    return false;
+  }
+  PageDir& pd = it->second->pages[page];
+  pd.mode = v.mode;
+  pd.readers = v.readers;
+  pd.writer = v.writer;
+  pd.clock_site = v.clock_site;
+  pd.window_us = v.window_us;
+  pd.lost = v.lost;
+  pd.version = v.version;
+  pd.replica_set = v.replica_set;
+  return true;
+}
+
+void Engine::TestOnlyInjectReplica(mmem::SegmentId seg, mmem::PageNum page,
+                                   std::uint64_t version, std::uint32_t epoch) {
+  ReplicaCopy& rc = replicas_[WaitKey(seg, page)];
+  rc.data.assign(mmem::kPageSize, 0);
+  rc.version = version;
+  rc.epoch = epoch;
 }
 
 }  // namespace mirage

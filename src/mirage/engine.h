@@ -183,6 +183,18 @@ class Engine : public mmem::DsmBackend {
   // invariant checker and tests; empty unless replicas >= 2.
   std::optional<ReplicaView> Replica(mmem::SegmentId seg, mmem::PageNum page) const;
 
+  // ---- Test backdoors (invariant corruption tests only) ----
+  // Overwrites (seg, page)'s directory entry wholesale at this library site.
+  // Returns false (and does nothing) when this site is not the segment's
+  // library or the page is out of range. Exists so tests can fabricate
+  // states the protocol never produces (two writers, dangling clock site)
+  // and prove the matching InvariantChecker clause fires.
+  bool TestOnlySetDirectory(mmem::SegmentId seg, mmem::PageNum page, const DirectoryView& v);
+  // Plants a zero-filled standby replica record at this site (an "orphan"
+  // when no directory lists this site in the page's replica set).
+  void TestOnlyInjectReplica(mmem::SegmentId seg, mmem::PageNum page, std::uint64_t version,
+                             std::uint32_t epoch);
+
  private:
   struct PageDir {
     PageMode mode = PageMode::kEmpty;

@@ -247,20 +247,77 @@ void InvariantChecker::CheckSegmentReplication(const mmem::SegmentMeta& meta,
                                    ": no live standby holds committed version " +
                                    std::to_string(dv->version));
     }
+    // Replica-set ⊆ live sites: the library scrubs dead members and
+    // re-spreads on every membership change, so a quiescent directory that
+    // still names a dead (or nonexistent) standby has lost a scrub.
+    mmem::SiteMask rs = dv->replica_set;
+    for (mnet::SiteId s = 0; rs != 0; ++s, rs >>= 1) {
+      if ((rs & 1) == 0) {
+        continue;
+      }
+      Engine* member = EngineAt(s);
+      if (member == nullptr || !Live(s)) {
+        report->violations.push_back(Where(meta, page) + ": replica set names " +
+                                     (member == nullptr ? "unknown" : "dead") + " site " +
+                                     std::to_string(s));
+      }
+    }
+    // Quorum-intersection witness: the live members of the declared standby
+    // set holding the committed version must form a write quorum of that
+    // set. Then any future commit's quorum necessarily intersects the
+    // current version's holders, which is the whole zero-loss argument.
+    const int k_set = mmem::MaskCount(dv->replica_set);
+    if (k_set > 0) {
+      const int quorum = (k_set + 2) / 2;  // ceil((k_set + 1) / 2)
+      if (live_fresh < quorum) {
+        report->violations.push_back(
+            Where(meta, page) + ": only " + std::to_string(live_fresh) + " of " +
+            std::to_string(k_set) + " declared standbys hold committed version " +
+            std::to_string(dv->version) + " (quorum intersection needs " +
+            std::to_string(quorum) + ")");
+      }
+    }
   }
 }
 
 void InvariantChecker::CheckSegmentEpochs(const mmem::SegmentMeta& meta,
                                           InvariantReport* report) const {
+  // Registry epochs only ever ratchet up (each failover election bumps).
+  auto [rit, fresh] = last_registry_epoch_.try_emplace(meta.id, meta.epoch);
+  if (!fresh) {
+    if (meta.epoch < rit->second) {
+      report->violations.push_back("seg " + std::to_string(meta.id) +
+                                   ": registry epoch went backwards (" +
+                                   std::to_string(rit->second) + " -> " +
+                                   std::to_string(meta.epoch) + ")");
+    }
+    rit->second = std::max(rit->second, meta.epoch);
+  }
   for (Engine* e : engines_) {
     if (!Live(e->site())) {
-      continue;  // a crashed site's frozen epoch view left the system
+      // A crashed site's frozen epoch view left the system — and its
+      // monotonic history restarts if it rejoins (amnesia).
+      last_site_epoch_.erase({e->site(), meta.id});
+      continue;
     }
-    if (e->KnownEpoch(meta.id) > meta.epoch) {
+    const std::uint32_t epoch = e->KnownEpoch(meta.id);
+    if (epoch > meta.epoch) {
       report->violations.push_back(
           "seg " + std::to_string(meta.id) + ": site " + std::to_string(e->site()) +
-          " adopted epoch " + std::to_string(e->KnownEpoch(meta.id)) +
+          " adopted epoch " + std::to_string(epoch) +
           " beyond registry epoch " + std::to_string(meta.epoch));
+    }
+    // Per-site monotonicity while continuously live: adopting an older epoch
+    // would re-open the fence that failover closed.
+    auto [sit, first] = last_site_epoch_.try_emplace({e->site(), meta.id}, epoch);
+    if (!first) {
+      if (epoch < sit->second) {
+        report->violations.push_back(
+            "seg " + std::to_string(meta.id) + ": site " + std::to_string(e->site()) +
+            " epoch went backwards (" + std::to_string(sit->second) + " -> " +
+            std::to_string(epoch) + ")");
+      }
+      sit->second = std::max(sit->second, epoch);
     }
   }
 }

@@ -15,6 +15,7 @@
 #define SRC_MIRAGE_INVARIANTS_H_
 
 #include <functional>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,7 +47,10 @@ class InvariantChecker {
 
   // Physical + directory invariants — call when the protocol is quiescent
   // (no faults outstanding, queues drained). Also asserts epoch
-  // monotonicity: no live site believes in an epoch beyond the registry's.
+  // monotonicity: no live site believes in an epoch beyond the registry's,
+  // and — statefully, across successive CheckFull calls on this checker —
+  // no segment's registry epoch and no continuously-live site's adopted
+  // epoch ever goes backwards.
   InvariantReport CheckFull(const SegmentRegistry& registry) const;
 
   // Post-rejoin replica coverage (opt-in — call only once the protocol has
@@ -69,8 +73,23 @@ class InvariantChecker {
   // site that adopted a higher one could fence the authoritative library.
   void CheckSegmentEpochs(const mmem::SegmentMeta& meta, InvariantReport* report) const;
 
+  Engine* EngineAt(mnet::SiteId s) const {
+    for (Engine* e : engines_) {
+      if (e->site() == s) {
+        return e;
+      }
+    }
+    return nullptr;
+  }
+
   std::vector<Engine*> engines_;
   LivenessFn live_;
+  // Stateful epoch-monotonicity baselines (mutable: the Check* interface is
+  // const; these record observations, not system state). A site's entry is
+  // dropped while it is down — a rejoiner restarts its monotonic history,
+  // because amnesia legitimately resets what it "knows".
+  mutable std::map<mmem::SegmentId, std::uint32_t> last_registry_epoch_;
+  mutable std::map<std::pair<mnet::SiteId, mmem::SegmentId>, std::uint32_t> last_site_epoch_;
 };
 
 }  // namespace mirage

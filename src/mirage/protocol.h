@@ -270,6 +270,33 @@ struct RejoinWelcomeBody {
   mnet::SiteId library_site = mnet::kNoSite;
 };
 
+// Seeded protocol bugs for mutation smoke-testing the checker (mcheck,
+// DESIGN.md §11). Each flag re-creates a realistic implementation slip; the
+// mutation suite asserts that mcheck's invariants or schedule exploration
+// catch every one, which is the evidence the checker has teeth. All default
+// off; production code paths are byte-identical with the struct untouched.
+struct MutationOptions {
+  // Replica fan-out/wait off by one: the library targets one fewer standby
+  // than ProtocolOptions::replicas asks for (the classic `n - 1` slip in the
+  // replica-set loop). Detected by CheckReplicaCoverage: live fresh copies
+  // fall short of the achievable replica count.
+  bool quorum_off_by_one = false;
+  // The epoch fence is skipped: a site accepts protocol messages stamped
+  // with an older epoch instead of discarding them. Detected by schedule
+  // exploration of failover worlds — a stale pre-election clock op executing
+  // after the successor rebuilt the directory corrupts coherence.
+  bool skip_epoch_fence = false;
+  // The clock site distributes installs/upgrades without waiting for
+  // invalidate acks, so a new writable copy can coexist with not-yet-dead
+  // reader copies. Detected by CheckPhysical (writer/reader overlap) and by
+  // the SC witness checker on same-page litmus tests.
+  bool drop_invalidate_ack = false;
+
+  bool AnyEnabled() const {
+    return quorum_off_by_one || skip_epoch_fence || drop_invalidate_ack;
+  }
+};
+
 // Tunables and the paper's optional mechanisms.
 struct ProtocolOptions {
   // The time window Delta, per segment by default; pages inherit it and can
@@ -341,6 +368,9 @@ struct ProtocolOptions {
   // Called when the library forwards an invalidation; the returned value is
   // installed as the page's window at the new holder.
   std::function<msim::Duration(mmem::SegmentId, mmem::PageNum, msim::Duration)> dynamic_window;
+
+  // Seeded bugs for checker mutation testing; all off in real runs.
+  MutationOptions mutations;
 };
 
 }  // namespace mirage

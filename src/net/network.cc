@@ -63,8 +63,16 @@ void Network::Deliver(Packet pkt) {
     Drop(pkt, "src-site-down");
     return;
   }
+  for (const Observer& obs : send_observers_) {
+    obs(pkt, sim_->Now());
+  }
   if (circuits_) {
     circuits_->Transmit(std::move(pkt));
+  } else if (deferred_) {
+    // Each delivery is its own event in the (src,dst) pair domain: FIFO per
+    // circuit direction, reorderable across circuits by a controller.
+    sim_->Schedule(0, PairDomain(pkt.src, pkt.dst),
+                   [this, p = std::move(pkt)]() mutable { Release(std::move(p)); });
   } else {
     Release(std::move(pkt));
   }

@@ -146,6 +146,32 @@ class Network {
   // Adds a delivery observer (e.g. a message-sequence tracer).
   void AddObserver(Observer obs) { observers_.push_back(std::move(obs)); }
 
+  // Adds a send-side observer, fired inside Deliver() before the packet
+  // leaves the sender (mcheck's happens-before recorder snapshots the
+  // sender's vector clock here; with deferred delivery the arrival-side
+  // observer may fire much later and out of cross-pair order).
+  void AddSendObserver(Observer obs) { send_observers_.push_back(std::move(obs)); }
+
+  // ---- Deferred delivery (mcheck schedule exploration, DESIGN.md §11) ----
+  // Normally a lossless Deliver() hands the packet to the destination sink
+  // synchronously, which welds the send and the receive into one simulator
+  // event and leaves a schedule controller nothing to reorder. In deferred
+  // mode each delivery becomes its own zero-delay event tagged with the
+  // (src,dst) pair domain: per-circuit FIFO is preserved (same domain ⇒
+  // schedule order), while deliveries on different circuits become genuine
+  // reorder candidates. Only meaningful without a circuit layer (the circuit
+  // layer already decouples via its own timers).
+  void SetDeferredDelivery(bool on) { deferred_ = on; }
+  bool deferred_delivery() const { return deferred_; }
+
+  // Event domain for one direction of a virtual circuit. Distinct from every
+  // kernel site domain (those are the small site ids) by the offset, which
+  // also lets a controller recognize delivery events by domain range.
+  static constexpr msim::EventDomain kPairDomainBase = 0x10000;
+  static msim::EventDomain PairDomain(SiteId src, SiteId dst) {
+    return kPairDomainBase + (static_cast<msim::EventDomain>(src) << 8) + dst;
+  }
+
   const CostModel& costs() const { return *costs_; }
   msim::Simulator* sim() const { return sim_; }
   // Folds the flat per-type counters into the stats map before returning.
@@ -169,6 +195,8 @@ class Network {
   std::vector<Sink> sinks_;
   std::size_t registered_sites_ = 0;
   std::vector<Observer> observers_;
+  std::vector<Observer> send_observers_;
+  bool deferred_ = false;
   // Last crash time per SiteId (kNeverCrashed = never); see NoteSiteCrash.
   static constexpr msim::Time kNeverCrashed = -1;
   std::vector<msim::Time> last_crash_;

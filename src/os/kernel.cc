@@ -25,7 +25,7 @@ void Kernel::Start() {
   }
   msim::Time first_tick = (sim_->Now() / cfg_.tick_us + 1) * cfg_.tick_us;
   std::uint64_t gen = tick_gen_;
-  sim_->ScheduleAt(first_tick, [this, gen] { OnTick(gen); });
+  sim_->ScheduleAt(first_tick, Domain(), [this, gen] { OnTick(gen); });
 }
 
 Process* Kernel::Spawn(std::string name, Priority prio, ProcessBody body) {
@@ -130,7 +130,7 @@ void Kernel::RequestResched() {
     return;
   }
   resched_pending_ = true;
-  sim_->Schedule(0, [this] {
+  sim_->Schedule(0, Domain(), [this] {
     resched_pending_ = false;
     Resched();
   });
@@ -189,7 +189,7 @@ void Kernel::Revive() {
   ++tick_gen_;
   std::uint64_t gen = tick_gen_;
   msim::Time first_tick = (sim_->Now() / cfg_.tick_us + 1) * cfg_.tick_us;
-  sim_->ScheduleAt(first_tick, [this, gen] { OnTick(gen); });
+  sim_->ScheduleAt(first_tick, Domain(), [this, gen] { OnTick(gen); });
 }
 
 void Kernel::Resched() {
@@ -312,7 +312,7 @@ void Kernel::Dispatch() {
 
 void Kernel::BeginSlice() {
   slice_start_ = sim_->Now();
-  slice_event_ = sim_->Schedule(running_->cpu_needed, [this] { OnComputeDone(); });
+  slice_event_ = sim_->Schedule(running_->cpu_needed, Domain(), [this] { OnComputeDone(); });
 }
 
 void Kernel::OnComputeDone() {
@@ -400,7 +400,7 @@ void Kernel::HandleYield(Process* p) {
                     static_cast<msim::Duration>(cfg_.yield_idle_ticks - 1) * cfg_.tick_us;
   p->nap_time += wake - sim_->Now();
   std::uint64_t gen = p->block_gen;
-  sim_->ScheduleAt(wake, [this, p, gen] {
+  sim_->ScheduleAt(wake, Domain(), [this, p, gen] {
     if (p->state == ProcState::kBlocked && p->block_gen == gen) {
       MakeReady(p);
     }
@@ -427,7 +427,7 @@ void Kernel::OnTick(std::uint64_t gen) {
     return;  // the clock of a crashed site stops: no further ticks
   }
   ++stats_.ticks;
-  sim_->Schedule(cfg_.tick_us, [this, gen] { OnTick(gen); });
+  sim_->Schedule(cfg_.tick_us, Domain(), [this, gen] { OnTick(gen); });
   interrupt_resume_ = nullptr;  // the tick is a full rescheduling point
   if (running_ != nullptr) {
     Process* p = running_;
@@ -462,7 +462,7 @@ void Kernel::TimedSleepOnAwaiter::await_suspend(std::coroutine_handle<> h) {
   Kernel* kern = k;
   Process* proc = p;
   Channel* chan = ch;
-  kern->sim_->Schedule(timeout, [kern, proc, chan, gen] {
+  kern->sim_->Schedule(timeout, kern->Domain(), [kern, proc, chan, gen] {
     // The block_gen guard proves the process is still in THIS sleep: any
     // wakeup-and-reblock bumps the generation, making a stale timer a no-op
     // (and guaranteeing `chan` is still the channel it waits on).
@@ -486,7 +486,7 @@ void Kernel::TimedBlockAwaiter::await_suspend(std::coroutine_handle<> h) {
   std::uint64_t gen = p->block_gen;
   Kernel* kern = k;
   Process* proc = p;
-  kern->sim_->Schedule(delay, [kern, proc, gen] {
+  kern->sim_->Schedule(delay, kern->Domain(), [kern, proc, gen] {
     if (proc->state == ProcState::kBlocked && proc->block_gen == gen) {
       kern->MakeReady(proc);
     }

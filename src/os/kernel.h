@@ -209,6 +209,12 @@ class Kernel {
   bool ReadyAtOrBetter(Priority prio) const;
   Process* PopBestReady();
 
+  // Every event this kernel schedules models work on this site's one CPU, so
+  // they all share the site's event domain: a schedule controller (mcheck)
+  // may interleave different sites but never reorders one site against
+  // itself.
+  msim::EventDomain Domain() const { return static_cast<msim::EventDomain>(site_); }
+
   msim::Simulator* sim_;
   mnet::Network* net_;
   mnet::SiteId site_;

@@ -173,8 +173,17 @@ class InlineFunction<R(Args...), InlineBytes> {
       if (vt_->trivial) {
         // The whole buffer is copied unconditionally: a fixed-size memcpy
         // compiles to a handful of wide stores, with no branch on the
-        // closure's actual size.
+        // closure's actual size. The bytes past the closure's real size are
+        // indeterminate and never read again — GCC's -Wmaybe-uninitialized
+        // can't see that, so the copy is exempted from the warning.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
         std::memcpy(buf_, o.buf_, kInlineBytes);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
         obj_ = buf_;
       } else {
         obj_ = vt_->relocate(o.obj_, buf_);

@@ -1,5 +1,7 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
+
 namespace msim {
 
 bool Simulator::Cancel(EventId id) {
@@ -123,12 +125,83 @@ bool Simulator::SelectNext() {
 void Simulator::FireTop() {
   Entry e = heap_.front();
   PopHeapTop();
-  now_ = e.time;
+  // max(): a controller firing a later-stamped candidate first may already
+  // have advanced the clock past this entry's timestamp (the entry's work is
+  // then simply late). Without a controller heap order keeps this a no-op.
+  if (e.time > now_) {
+    now_ = e.time;
+  }
   EventFn fn = std::move(slots_[e.slot].fn);
   ReleaseSlot(e.slot);
   --live_;
   ++processed_;
   fn();
+}
+
+void Simulator::FireEntry(const Entry& e) {
+  if (e.time > now_) {
+    now_ = e.time;
+  }
+  EventFn fn = std::move(slots_[e.slot].fn);
+  // ReleaseSlot bumps the generation, turning the entry still inside the
+  // heap into a tombstone that SelectNext will skip later.
+  ReleaseSlot(e.slot);
+  --live_;
+  ++processed_;
+  fn();
+}
+
+// The controlled dispatch of DESIGN.md §11: collect every live entry whose
+// timestamp is within the perturbation window of the minimum, keep only the
+// entries with no earlier pending event in their own domain (per-domain
+// FIFO = each sequential machine stays sequential), and let the controller
+// pick which fires. Linear heap scans are fine here — controlled runs are
+// small-world model-checking runs, never the perf path.
+void Simulator::FireControlled() {
+  const Entry top = heap_.front();
+  const Time threshold = top.time + perturb_window_us_;
+  cand_scratch_.clear();
+  for (const Entry& e : heap_) {
+    if (e.time <= threshold && IsLive(e)) {
+      cand_scratch_.push_back(e);
+    }
+  }
+  std::sort(cand_scratch_.begin(), cand_scratch_.end(),
+            [](const Entry& a, const Entry& b) { return a.Before(b); });
+  eligible_scratch_.clear();
+  eligible_idx_scratch_.clear();
+  for (std::size_t i = 0; i < cand_scratch_.size(); ++i) {
+    const EventDomain dom = slots_[cand_scratch_[i].slot].domain;
+    if (dom == kNoDomain && i != 0) {
+      continue;  // untagged events fire only at their FIFO position
+    }
+    bool blocked = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (slots_[cand_scratch_[j].slot].domain == dom) {
+        blocked = true;  // an earlier event of the same domain is pending
+        break;
+      }
+    }
+    if (!blocked) {
+      eligible_scratch_.push_back(
+          SchedCandidate{cand_scratch_[i].time, cand_scratch_[i].seq, dom});
+      eligible_idx_scratch_.push_back(i);
+    }
+  }
+  std::size_t pick = 0;
+  if (eligible_scratch_.size() >= 2) {
+    pick = controller_->ChooseNext(eligible_scratch_);
+    if (pick >= eligible_scratch_.size()) {
+      pick = 0;  // defensive: an out-of-range choice degrades to FIFO
+    }
+  }
+  const Entry chosen = cand_scratch_[eligible_idx_scratch_[pick]];
+  if (chosen.slot == top.slot && chosen.gen == top.gen) {
+    FireTop();
+  } else {
+    FireEntry(chosen);
+  }
+  controller_->AfterEvent(now_);
 }
 
 std::uint64_t Simulator::Run(std::uint64_t max_events) {
@@ -138,7 +211,11 @@ std::uint64_t Simulator::Run(std::uint64_t max_events) {
     if (!SelectNext()) {
       break;  // unreachable while live_ > 0; defensive
     }
-    FireTop();
+    if (controller_ != nullptr) {
+      FireControlled();
+    } else {
+      FireTop();
+    }
     ++n;
   }
   return n;
@@ -154,7 +231,11 @@ std::uint64_t Simulator::RunUntil(Time deadline, std::uint64_t max_events) {
     if (heap_.front().time > deadline) {
       break;
     }
-    FireTop();
+    if (controller_ != nullptr) {
+      FireControlled();
+    } else {
+      FireTop();
+    }
     ++n;
   }
   if (!stop_requested_ && now_ < deadline) {

@@ -35,6 +35,43 @@ namespace msim {
 // Internally encoded as (generation << 32 | slot + 1); opaque to callers.
 using EventId = std::uint64_t;
 
+// Event ordering domain (src/check, DESIGN.md §11). Events in the same
+// domain model a sequential executor (one site's CPU, one FIFO circuit) and
+// always fire in schedule order relative to each other; events in different
+// domains model genuinely concurrent machinery, so a schedule controller may
+// legally reorder them. kNoDomain is its own group: untagged events stay
+// FIFO among themselves and are never offered as alternatives.
+using EventDomain = std::int32_t;
+inline constexpr EventDomain kNoDomain = -1;
+
+// One controller-visible candidate at a choice point.
+struct SchedCandidate {
+  Time time = 0;
+  std::uint64_t seq = 0;
+  EventDomain domain = kNoDomain;
+};
+
+// Controlled-scheduler hook (mcheck's systematic schedule exploration).
+//
+// When installed, the simulator stops firing strictly in (time, seq) order:
+// at every dispatch where more than one event is *eligible* — its timestamp
+// within `perturb_window_us` of the minimum and no earlier event pending in
+// its own domain — the controller picks which fires. Choosing a candidate
+// with a later timestamp advances the clock to that timestamp, i.e. it
+// delays every earlier-stamped pending event by up to the window: a bounded
+// latency perturbation. Per-domain FIFO is enforced by the eligibility rule,
+// so every choice sequence corresponds to a physically realizable execution
+// (machines run concurrently; each machine stays sequential).
+class ScheduleController {
+ public:
+  virtual ~ScheduleController() = default;
+  // `eligible` is sorted by (time, seq); index 0 is the default FIFO pick.
+  // Called only when eligible.size() >= 2. Return the index to fire.
+  virtual std::size_t ChooseNext(const std::vector<SchedCandidate>& eligible) = 0;
+  // Called after every event fires (invariant sampling hooks).
+  virtual void AfterEvent(Time now) { (void)now; }
+};
+
 // The event-driven heart of the simulation. Single-threaded by design: the
 // simulated world has concurrency, the simulator does not.
 class Simulator {
@@ -47,14 +84,20 @@ class Simulator {
   Time Now() const { return now_; }
 
   // Schedules `fn` to run `delay` microseconds from now. A negative delay is
-  // treated as zero. Returns an id usable with Cancel().
+  // treated as zero. Returns an id usable with Cancel(). The optional domain
+  // tags the event for a ScheduleController (see EventDomain); untagged
+  // events are never reordered.
   EventId Schedule(Duration delay, EventFn fn) {
-    return ScheduleAt(now_ + (delay > 0 ? delay : 0), std::move(fn));
+    return ScheduleAt(now_ + (delay > 0 ? delay : 0), kNoDomain, std::move(fn));
+  }
+  EventId Schedule(Duration delay, EventDomain domain, EventFn fn) {
+    return ScheduleAt(now_ + (delay > 0 ? delay : 0), domain, std::move(fn));
   }
 
   // Schedules `fn` at absolute time `t` (clamped to now).
-  EventId ScheduleAt(Time t, EventFn fn) {
-    std::uint32_t slot = AcquireSlot(std::move(fn));
+  EventId ScheduleAt(Time t, EventFn fn) { return ScheduleAt(t, kNoDomain, std::move(fn)); }
+  EventId ScheduleAt(Time t, EventDomain domain, EventFn fn) {
+    std::uint32_t slot = AcquireSlot(std::move(fn), domain);
     const std::uint32_t gen = slots_[slot].gen;
     ++live_;
     heap_.push_back(Entry{now_ < t ? t : now_, next_seq_++, slot, gen});
@@ -88,6 +131,17 @@ class Simulator {
   // Total events processed since construction.
   std::uint64_t ProcessedEvents() const { return processed_; }
 
+  // Installs (or, with nullptr, removes) the schedule controller. The
+  // controller is consulted only at dispatches with >= 2 eligible events;
+  // a null controller keeps the exact FIFO hot path. `perturb_window_us`
+  // widens the candidate set to events within that span of the minimum
+  // timestamp (0 = same-instant ties only).
+  void SetController(ScheduleController* c, Duration perturb_window_us = 0) {
+    controller_ = c;
+    perturb_window_us_ = perturb_window_us > 0 ? perturb_window_us : 0;
+  }
+  ScheduleController* controller() const { return controller_; }
+
  private:
   // One heap entry. (time, seq) is the global total firing order; (slot, gen)
   // locates the callable and detects cancellation (gen mismatch = tombstone,
@@ -105,11 +159,13 @@ class Simulator {
 
   // One pooled event record. `gen` counts reuses of the slot: every fire,
   // cancel, or reacquire bumps it, which invalidates any EventId or queue
-  // entry still pointing here.
+  // entry still pointing here. `domain` lives here rather than in Entry so
+  // heap sifts keep moving 24-byte entries.
   struct Slot {
     EventFn fn;
     std::uint32_t gen = 0;
     std::uint32_t next_free = kNoFree;
+    EventDomain domain = kNoDomain;
   };
 
   static constexpr std::uint32_t kNoFree = UINT32_MAX;
@@ -118,14 +174,15 @@ class Simulator {
     return (static_cast<EventId>(gen) << 32) | (slot + 1);
   }
 
-  std::uint32_t AcquireSlot(EventFn fn) {
+  std::uint32_t AcquireSlot(EventFn fn, EventDomain domain) {
     if (free_head_ != kNoFree) {
       std::uint32_t slot = free_head_;
       free_head_ = slots_[slot].next_free;
       slots_[slot].fn = std::move(fn);
+      slots_[slot].domain = domain;
       return slot;
     }
-    slots_.push_back(Slot{std::move(fn), 0, kNoFree});
+    slots_.push_back(Slot{std::move(fn), 0, kNoFree, domain});
     return static_cast<std::uint32_t>(slots_.size() - 1);
   }
 
@@ -145,6 +202,10 @@ class Simulator {
   // Prunes tombstones off the heap top; true if a live entry remains.
   bool SelectNext();
   void FireTop();
+  // Controller dispatch: gathers eligible candidates, lets the controller
+  // pick, and fires the chosen entry (possibly out of heap order).
+  void FireControlled();
+  void FireEntry(const Entry& e);
   void PopHeapTop();
   void SiftUp(std::size_t i);
   void SiftDown(std::size_t i);
@@ -159,6 +220,12 @@ class Simulator {
   std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoFree;
+  ScheduleController* controller_ = nullptr;
+  Duration perturb_window_us_ = 0;
+  // Scratch buffers for FireControlled (avoid per-dispatch allocation).
+  std::vector<Entry> cand_scratch_;
+  std::vector<SchedCandidate> eligible_scratch_;
+  std::vector<std::size_t> eligible_idx_scratch_;
 };
 
 }  // namespace msim

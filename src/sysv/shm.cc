@@ -189,12 +189,15 @@ msim::Task<ShmSystem::ResolvedAccess> ShmSystem::Prepare(mos::Process* p, mmem::
 
 msim::Task<std::uint32_t> ShmSystem::ReadWord(mos::Process* p, mmem::VAddr addr) {
   ResolvedAccess a = co_await Prepare(p, addr, /*write=*/false);
-  co_return a.r.attach->image->ReadWord(a.r.page, a.r.offset);
+  std::uint32_t v = a.r.attach->image->ReadWord(a.r.page, a.r.offset);
+  NoteAccess(p, a.r, AccessKind::kRead, v);
+  co_return v;
 }
 
 msim::Task<> ShmSystem::WriteWord(mos::Process* p, mmem::VAddr addr, std::uint32_t value) {
   ResolvedAccess a = co_await Prepare(p, addr, /*write=*/true);
   a.r.attach->image->WriteWord(a.r.page, a.r.offset, value);
+  NoteAccess(p, a.r, AccessKind::kWrite, value);
 }
 
 msim::Task<std::uint8_t> ShmSystem::ReadByte(mos::Process* p, mmem::VAddr addr) {
@@ -211,6 +214,7 @@ msim::Task<std::uint32_t> ShmSystem::TestAndSet(mos::Process* p, mmem::VAddr add
   ResolvedAccess a = co_await Prepare(p, addr, /*write=*/true);
   std::uint32_t old = a.r.attach->image->ReadWord(a.r.page, a.r.offset);
   a.r.attach->image->WriteWord(a.r.page, a.r.offset, 1);
+  NoteAccess(p, a.r, AccessKind::kRmw, old);
   co_return old;
 }
 

@@ -16,6 +16,7 @@
 #define SRC_SYSV_SHM_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -138,6 +139,27 @@ class ShmSystem {
   mos::Kernel* kernel() const { return kernel_; }
   mmem::DsmBackend* backend() const { return backend_; }
 
+  // ---- Access observation (mcheck, DESIGN.md §11) ----
+  // Fired after every *word* access completes (the page is held and the
+  // image has been read/written). The HB race detector uses (site, seg,
+  // page, kind) to linearize conflicting page touches; the SC witness
+  // checker replays (offset, kind, value) per-site streams. Byte and block
+  // accessors are deliberately unhooked — the checkers' scope is word ops.
+  enum class AccessKind { kRead, kWrite, kRmw };
+  struct AccessEvent {
+    mnet::SiteId site = mnet::kNoSite;
+    int pid = -1;
+    mmem::SegmentId seg = -1;
+    mmem::PageNum page = 0;
+    int offset = 0;
+    AccessKind kind = AccessKind::kRead;
+    // The value read (kRead), written (kWrite), or the pre-set value
+    // returned by TestAndSet (kRmw; the stored value is always 1).
+    std::uint32_t value = 0;
+  };
+  using AccessHook = std::function<void(const AccessEvent&)>;
+  void SetAccessHook(AccessHook h) { access_hook_ = std::move(h); }
+
  private:
   struct ResolvedAccess {
     mmem::AddressSpace* as;
@@ -149,9 +171,18 @@ class ShmSystem {
 
   void UpdateProcessMemoryHooks(mos::Process* p);
 
+  void NoteAccess(mos::Process* p, const mmem::AddressSpace::Resolved& r, AccessKind kind,
+                  std::uint32_t value) const {
+    if (access_hook_) {
+      access_hook_(AccessEvent{kernel_->site(), p->pid, r.attach->seg, r.page,
+                               r.offset, kind, value});
+    }
+  }
+
   mos::Kernel* kernel_;
   mmem::DsmBackend* backend_;
   mirage::SegmentRegistry* registry_;
+  AccessHook access_hook_;
   std::map<int, std::unique_ptr<mmem::AddressSpace>> spaces_;  // by pid
 };
 

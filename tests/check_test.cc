@@ -1,0 +1,188 @@
+// Unit tests for the verification layer's building blocks (DESIGN.md §11):
+// vector clocks, the sequential-consistency witness checker, schedule
+// encode/decode, and the explorer/replay machinery end to end on the
+// smallest scenario.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/check/explorer.h"
+#include "src/check/scenario.h"
+#include "src/check/schedule.h"
+#include "src/check/sc.h"
+#include "src/check/vclock.h"
+
+namespace {
+
+using mcheck::CheckSequentialConsistency;
+using mcheck::DecodeSchedule;
+using mcheck::EncodeSchedule;
+using mcheck::ExploreOptions;
+using mcheck::ExploreResult;
+using mcheck::FindScenario;
+using mcheck::ScenarioResult;
+using mcheck::ScheduleKey;
+using mcheck::ScKind;
+using mcheck::ScOp;
+using mcheck::VClock;
+
+// ---- vector clocks --------------------------------------------------------
+
+TEST(VClockTest, TickJoinAndCompare) {
+  VClock a(3), b(3);
+  EXPECT_TRUE(a.LessEq(b));  // equal clocks are ordered both ways
+  EXPECT_TRUE(b.LessEq(a));
+  a.Tick(0);
+  EXPECT_FALSE(a.LessEq(b));
+  EXPECT_TRUE(b.LessEq(a));
+  b.Tick(1);
+  // {1,0,0} vs {0,1,0}: concurrent — unordered in both directions.
+  EXPECT_FALSE(a.LessEq(b));
+  EXPECT_FALSE(b.LessEq(a));
+  b.Join(a);  // b = {1,1,0}: now a happened-before b
+  EXPECT_TRUE(a.LessEq(b));
+  EXPECT_FALSE(b.LessEq(a));
+  EXPECT_EQ(b.ToString(), "[1,1,0]");
+}
+
+TEST(VClockTest, JoinIsComponentwiseMax) {
+  VClock a(2), b(2);
+  a.Tick(0);
+  a.Tick(0);
+  b.Tick(1);
+  a.Join(b);
+  EXPECT_EQ(a.at(0), 2u);
+  EXPECT_EQ(a.at(1), 1u);
+}
+
+// ---- sequential-consistency witness ---------------------------------------
+
+TEST(ScCheckerTest, SimpleMessagePassingIsConsistent) {
+  // Site 0: W x=1. Site 1: R x=1. One interleaving explains it.
+  std::vector<std::vector<ScOp>> traces = {
+      {{ScKind::kWrite, 0, 1}},
+      {{ScKind::kRead, 0, 1}},
+  };
+  auto r = CheckSequentialConsistency(traces, 1);
+  EXPECT_TRUE(r.consistent);
+  ASSERT_EQ(r.witness.size(), 2u);
+  EXPECT_EQ(r.witness[0], (std::pair<int, int>{0, 0}));  // the write first
+}
+
+TEST(ScCheckerTest, ReadOfNeverWrittenValueIsInconsistent) {
+  std::vector<std::vector<ScOp>> traces = {
+      {{ScKind::kWrite, 0, 1}},
+      {{ScKind::kRead, 0, 7}},  // nobody ever wrote 7
+  };
+  auto r = CheckSequentialConsistency(traces, 1);
+  EXPECT_FALSE(r.consistent);
+  EXPECT_FALSE(r.failure.empty());
+}
+
+TEST(ScCheckerTest, StoreBufferingOutcomeIsRejected) {
+  // The classic SB litmus: W x=1; R y=0 || W y=1; R x=0 has no sequentially
+  // consistent interleaving — whichever write goes first is seen.
+  std::vector<std::vector<ScOp>> traces = {
+      {{ScKind::kWrite, 0, 1}, {ScKind::kRead, 1, 0}},
+      {{ScKind::kWrite, 1, 1}, {ScKind::kRead, 0, 0}},
+  };
+  EXPECT_FALSE(CheckSequentialConsistency(traces, 2).consistent);
+  // Flip one read to the other outcome and it becomes explainable.
+  traces[1][1].value = 1;
+  EXPECT_TRUE(CheckSequentialConsistency(traces, 2).consistent);
+}
+
+TEST(ScCheckerTest, StaleReadAfterNewerWriteIsRejected) {
+  // Coherence in miniature: once site 1 saw 2, a later read of 1 on the
+  // same site cannot be explained by any total order.
+  std::vector<std::vector<ScOp>> traces = {
+      {{ScKind::kWrite, 0, 1}, {ScKind::kWrite, 0, 2}},
+      {{ScKind::kRead, 0, 2}, {ScKind::kRead, 0, 1}},
+  };
+  EXPECT_FALSE(CheckSequentialConsistency(traces, 1).consistent);
+}
+
+// ---- schedule strings -----------------------------------------------------
+
+TEST(ScheduleTest, EncodeDecodeRoundtrip) {
+  ScheduleKey key;
+  key.scenario = "failover3";
+  key.variant = 4;
+  key.eps_us = 500;
+  key.choices = {0, 0, 2, 0, 1};  // sparse encoding drops the zeros
+  const std::string text = EncodeSchedule(key);
+  EXPECT_EQ(text, "failover3/v4/e500/2.2,4.1");
+  ScheduleKey back;
+  ASSERT_TRUE(DecodeSchedule(text, &back));
+  EXPECT_EQ(back.scenario, key.scenario);
+  EXPECT_EQ(back.variant, key.variant);
+  EXPECT_EQ(back.eps_us, key.eps_us);
+  EXPECT_EQ(back.choices, key.choices);
+}
+
+TEST(ScheduleTest, AllDefaultEncodesAsDash) {
+  ScheduleKey key;
+  key.scenario = "rw2";
+  key.choices = {0, 0, 0};
+  const std::string text = EncodeSchedule(key);
+  EXPECT_EQ(text, "rw2/v0/e0/-");
+  ScheduleKey back;
+  ASSERT_TRUE(DecodeSchedule(text, &back));
+  EXPECT_TRUE(back.choices.empty());
+}
+
+TEST(ScheduleTest, MalformedStringsAreRejected) {
+  ScheduleKey k;
+  EXPECT_FALSE(DecodeSchedule("", &k));
+  EXPECT_FALSE(DecodeSchedule("rw2", &k));
+  EXPECT_FALSE(DecodeSchedule("rw2/v0", &k));
+  EXPECT_FALSE(DecodeSchedule("rw2/x0/e0/-", &k));
+  EXPECT_FALSE(DecodeSchedule("rw2/v0/e0/banana", &k));
+}
+
+// ---- explorer + replay on the real protocol -------------------------------
+
+TEST(ExplorerTest, Rw2ExploresCleanAcrossVariants) {
+  const mcheck::ScenarioInfo* info = FindScenario("rw2");
+  ASSERT_NE(info, nullptr);
+  for (int v = 0; v < info->variants; ++v) {
+    ExploreOptions opts;
+    opts.eps_us = 300;
+    opts.max_runs = 16;
+    opts.max_depth = 2;
+    ExploreResult r = mcheck::Explore(*info, v, opts);
+    EXPECT_FALSE(r.found_violation) << "rw2/v" << v << ": " << r.schedule;
+    EXPECT_GE(r.runs, 1);
+  }
+}
+
+TEST(ExplorerTest, ReplayIsDeterministic) {
+  ScenarioResult a, b;
+  mirage::MutationOptions none;
+  ASSERT_TRUE(mcheck::Replay("quorum3/v0/e500/2.1", none, &a));
+  ASSERT_TRUE(mcheck::Replay("quorum3/v0/e500/2.1", none, &b));
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.completed, b.completed);
+}
+
+TEST(ExplorerTest, ReplayRejectsUnknownScenarioAndBadString) {
+  ScenarioResult r;
+  mirage::MutationOptions none;
+  EXPECT_FALSE(mcheck::Replay("nosuch/v0/e0/-", none, &r));
+  EXPECT_FALSE(mcheck::Replay("not a schedule", none, &r));
+}
+
+TEST(ExplorerTest, ScenarioRegistryIsWellFormed) {
+  ASSERT_FALSE(mcheck::Scenarios().empty());
+  for (const mcheck::ScenarioInfo& info : mcheck::Scenarios()) {
+    EXPECT_NE(info.run, nullptr);
+    EXPECT_GE(info.variants, 1);
+    EXPECT_GE(info.sites, 2);
+    EXPECT_EQ(FindScenario(info.name), &info) << info.name;
+  }
+}
+
+}  // namespace

@@ -103,16 +103,16 @@ TEST_F(CircuitFixture, CircuitsArePerDirectedPair) {
 
 TEST_F(CircuitFixture, DeterministicForSeed) {
   auto run = [](std::uint64_t seed) {
-    Simulator sim;
+    Simulator lsim;
     std::vector<msim::Time> times;
     CircuitOptions opts;
     opts.loss_probability = 0.3;
     opts.loss_seed = seed;
-    CircuitLayer layer(&sim, opts, [&](const Packet&) { times.push_back(sim.Now()); });
+    CircuitLayer llayer(&lsim, opts, [&](const Packet&) { times.push_back(lsim.Now()); });
     for (std::uint32_t i = 1; i <= 20; ++i) {
-      layer.Transmit(Pkt(0, 1, i));
+      llayer.Transmit(Pkt(0, 1, i));
     }
-    sim.RunUntil(60 * kSecond);
+    lsim.RunUntil(60 * kSecond);
     return times;
   };
   EXPECT_EQ(run(9), run(9));
@@ -222,19 +222,19 @@ TEST_F(CircuitFixture, PartitionHealsAndRetransmissionRecovers) {
 
 TEST_F(CircuitFixture, StatsDeterministicAcrossSameSeedRuns) {
   auto run = [](double loss, double ack_loss, std::uint64_t seed) {
-    Simulator sim;
+    Simulator lsim;
     std::vector<std::uint32_t> rel;
     CircuitOptions opts;
     opts.loss_probability = loss;
     opts.ack_loss_probability = ack_loss;
     opts.loss_seed = seed;
     opts.retransmit_timeout_us = 20 * kMillisecond;
-    CircuitLayer layer(&sim, opts, [&](const Packet& p) { rel.push_back(p.type); });
+    CircuitLayer llayer(&lsim, opts, [&](const Packet& p) { rel.push_back(p.type); });
     for (std::uint32_t i = 1; i <= 60; ++i) {
-      layer.Transmit(Pkt(0, 1, i));
+      llayer.Transmit(Pkt(0, 1, i));
     }
-    sim.RunUntil(300 * kSecond);
-    const mnet::CircuitStats& s = layer.stats();
+    lsim.RunUntil(300 * kSecond);
+    const mnet::CircuitStats& s = llayer.stats();
     return std::tuple{rel,
                       s.data_frames_sent,
                       s.frames_dropped,
@@ -242,7 +242,7 @@ TEST_F(CircuitFixture, StatsDeterministicAcrossSameSeedRuns) {
                       s.duplicates_suppressed,
                       s.acks_sent,
                       s.acks_dropped,
-                      sim.Now()};
+                      lsim.Now()};
   };
   EXPECT_EQ(run(0.3, 0.5, 21), run(0.3, 0.5, 21));
   EXPECT_NE(run(0.3, 0.5, 21), run(0.3, 0.5, 22));

@@ -145,8 +145,8 @@ TEST_P(RingBufferLayout, FifoIntegrityAcrossSites) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Layouts, RingBufferLayout, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "padded" : "compact";
+                         [](const ::testing::TestParamInfo<bool>& tpi) {
+                           return tpi.param ? "padded" : "compact";
                          });
 
 TEST(RingBuffer, PaddedLayoutWinsWhenItemsCarryWork) {

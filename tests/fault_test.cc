@@ -521,43 +521,43 @@ TEST_F(FaultTest, DeterministicAcrossIdenticalFaultedRuns) {
     WorldOptions opts;
     EnableRecovery(opts);
     opts.faults.CrashAt(20 * kMillisecond, 2);
-    World w(3, opts);
-    int shmid = w.shm(0).Shmget(1, 2048, true).value();
+    World lw(3, opts);
+    int lshmid = lw.shm(0).Shmget(1, 2048, true).value();
     int finished = 0;
     for (int s = 0; s < 2; ++s) {
-      w.kernel(s).Spawn("pp", Priority::kUser, [&w, s, shmid, &finished](Process* p) -> Task<> {
-        auto& shm = w.shm(s);
-        mmem::VAddr base = shm.Shmat(p, shmid).value();
+      lw.kernel(s).Spawn("pp", Priority::kUser, [&lw, s, lshmid, &finished](Process* p) -> Task<> {
+        auto& shm = lw.shm(s);
+        mmem::VAddr base = shm.Shmat(p, lshmid).value();
         for (int lap = 0; lap < 10; ++lap) {
           std::uint32_t my_turn = static_cast<std::uint32_t>(lap * 2 + s);
           for (;;) {
             if (co_await shm.ReadWord(p, base) == my_turn) {
               break;
             }
-            co_await w.kernel(s).Yield(p);
+            co_await lw.kernel(s).Yield(p);
           }
           co_await shm.WriteWord(p, base, my_turn + 1);
         }
         ++finished;
       });
     }
-    w.kernel(2).Spawn("by", Priority::kUser, [&w, shmid](Process* p) -> Task<> {
-      auto& shm = w.shm(2);
-      co_await w.kernel(2).SleepFor(p, 5 * kMillisecond);
-      mmem::VAddr base = shm.Shmat(p, shmid).value();
+    lw.kernel(2).Spawn("by", Priority::kUser, [&lw, lshmid](Process* p) -> Task<> {
+      auto& shm = lw.shm(2);
+      co_await lw.kernel(2).SleepFor(p, 5 * kMillisecond);
+      mmem::VAddr base = shm.Shmat(p, lshmid).value();
       for (;;) {
         (void)co_await shm.ReadWord(p, base);
-        co_await w.kernel(2).SleepFor(p, 2 * kMillisecond);
+        co_await lw.kernel(2).SleepFor(p, 2 * kMillisecond);
       }
     });
-    ASSERT_TRUE(w.RunUntil([&] { return finished == 2; }, 120 * kSecond));
-    out.push_back(static_cast<std::uint64_t>(w.sim().Now()));
-    const mnet::NetworkStats& ns = w.network().stats();
+    ASSERT_TRUE(lw.RunUntil([&] { return finished == 2; }, 120 * kSecond));
+    out.push_back(static_cast<std::uint64_t>(lw.sim().Now()));
+    const mnet::NetworkStats& ns = lw.network().stats();
     out.push_back(ns.packets);
     out.push_back(ns.dropped_site_down);
     out.push_back(ns.payload_bytes);
     for (int s = 0; s < 3; ++s) {
-      const mirage::EngineStats& es = w.engine(s)->stats();
+      const mirage::EngineStats& es = lw.engine(s)->stats();
       out.push_back(es.read_faults);
       out.push_back(es.write_faults);
       out.push_back(es.pages_installed);
@@ -565,7 +565,7 @@ TEST_F(FaultTest, DeterministicAcrossIdenticalFaultedRuns) {
       out.push_back(es.degraded_acks + es.degraded_invalidations);
       out.push_back(es.ops_failed);
     }
-    out.push_back(w.kernel(2).stats().packets_dropped_down);
+    out.push_back(lw.kernel(2).stats().packets_dropped_down);
   };
   std::vector<std::uint64_t> a;
   std::vector<std::uint64_t> b;
@@ -852,27 +852,27 @@ TEST_F(FaultTest, DeterministicAcrossIdenticalRejoinRuns) {
     EnableRecovery(opts);
     opts.protocol.replicas = 2;
     opts.faults.CrashAt(60 * kMillisecond, 1).RecoverAt(250 * kMillisecond, 1);
-    World w(3, opts);
-    int shmid = w.shm(0).Shmget(1, 2048, true).value();
+    World lw(3, opts);
+    int lshmid = lw.shm(0).Shmget(1, 2048, true).value();
     bool done = false;
-    w.kernel(0).Spawn("writer", Priority::kUser, [&w, shmid, &done](Process* p) -> Task<> {
-      auto& shm = w.shm(0);
-      mmem::VAddr base = shm.Shmat(p, shmid).value();
+    lw.kernel(0).Spawn("writer", Priority::kUser, [&lw, lshmid, &done](Process* p) -> Task<> {
+      auto& shm = lw.shm(0);
+      mmem::VAddr base = shm.Shmat(p, lshmid).value();
       for (std::uint32_t i = 1; i <= 25; ++i) {
         co_await shm.WriteWord(p, base, i);
-        co_await w.kernel(0).SleepFor(p, 20 * kMillisecond);
+        co_await lw.kernel(0).SleepFor(p, 20 * kMillisecond);
       }
       done = true;
     });
-    ASSERT_TRUE(w.RunUntil([&] { return done; }, 120 * kSecond));
-    w.RunFor(1 * kSecond);
-    out.push_back(static_cast<std::uint64_t>(w.sim().Now()));
-    out.push_back(w.faults()->stats().recoveries);
-    out.push_back(static_cast<std::uint64_t>(w.faults()->stats().downtime_us));
-    out.push_back(w.network().stats().packets);
-    out.push_back(w.network().stats().payload_bytes);
+    ASSERT_TRUE(lw.RunUntil([&] { return done; }, 120 * kSecond));
+    lw.RunFor(1 * kSecond);
+    out.push_back(static_cast<std::uint64_t>(lw.sim().Now()));
+    out.push_back(lw.faults()->stats().recoveries);
+    out.push_back(static_cast<std::uint64_t>(lw.faults()->stats().downtime_us));
+    out.push_back(lw.network().stats().packets);
+    out.push_back(lw.network().stats().payload_bytes);
     for (int s = 0; s < 3; ++s) {
-      const mirage::EngineStats& es = w.engine(s)->stats();
+      const mirage::EngineStats& es = lw.engine(s)->stats();
       out.push_back(es.rejoins);
       out.push_back(es.rejoin_welcomes);
       out.push_back(es.replica_respreads);

@@ -1,0 +1,88 @@
+// Mutation smoke (DESIGN.md §11): three documented protocol mutations, each
+// re-introducing a bug class the protocol's machinery exists to prevent.
+// mcheck must catch every one — if a seeded bug survives the exhaustive
+// small-world sweep, the checker (not the protocol) is what's broken.
+//
+//  * drop_invalidate_ack — the clock site grants without collecting
+//    invalidate acks, so a stale reader copy coexists with the new writable
+//    copy (a transient the per-event physical sampler and the HB race
+//    detector both see);
+//  * quorum_off_by_one — commits wait for one standby ack too few, leaving
+//    committed pages below full k coverage (CheckReplicaCoverage);
+//  * skip_epoch_fence — StaleEpoch always says "fresh", so a queued clock
+//    op from before a failover fires into the reconstructed world.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/check/explorer.h"
+#include "src/check/scenario.h"
+
+namespace {
+
+using mcheck::ExploreOptions;
+using mcheck::ExploreResult;
+using mcheck::FindScenario;
+
+// Explores `scenario` across variants under `mutations` until a violation
+// is found; returns the (minimized) counterexample schedule, or "" if the
+// mutation escaped.
+std::string Hunt(const char* scenario, const mirage::MutationOptions& mutations) {
+  const mcheck::ScenarioInfo* info = FindScenario(scenario);
+  EXPECT_NE(info, nullptr) << scenario;
+  if (info == nullptr) {
+    return "";
+  }
+  ExploreOptions opts;
+  opts.eps_us = 300;
+  opts.max_runs = 32;
+  opts.max_depth = 2;
+  opts.mutations = mutations;
+  for (int v = 0; v < info->variants; ++v) {
+    ExploreResult r = mcheck::Explore(*info, v, opts);
+    if (r.found_violation) {
+      return r.schedule;
+    }
+  }
+  return "";
+}
+
+TEST(MutationTest, DropInvalidateAckIsCaught) {
+  mirage::MutationOptions m;
+  m.drop_invalidate_ack = true;
+  const std::string schedule = Hunt("rw2", m);
+  ASSERT_FALSE(schedule.empty()) << "mutation escaped the sweep";
+  // The counterexample must replay to the same verdict, and the clean
+  // protocol must pass the identical schedule.
+  mcheck::ScenarioResult mutated, clean;
+  ASSERT_TRUE(mcheck::Replay(schedule, m, &mutated));
+  EXPECT_TRUE(mutated.failed());
+  ASSERT_TRUE(mcheck::Replay(schedule, mirage::MutationOptions{}, &clean));
+  EXPECT_FALSE(clean.failed()) << clean.violations[0];
+}
+
+TEST(MutationTest, QuorumOffByOneIsCaught) {
+  mirage::MutationOptions m;
+  m.quorum_off_by_one = true;
+  const std::string schedule = Hunt("quorum3", m);
+  ASSERT_FALSE(schedule.empty()) << "mutation escaped the sweep";
+  mcheck::ScenarioResult mutated, clean;
+  ASSERT_TRUE(mcheck::Replay(schedule, m, &mutated));
+  EXPECT_TRUE(mutated.failed());
+  ASSERT_TRUE(mcheck::Replay(schedule, mirage::MutationOptions{}, &clean));
+  EXPECT_FALSE(clean.failed()) << clean.violations[0];
+}
+
+TEST(MutationTest, SkipEpochFenceIsCaught) {
+  mirage::MutationOptions m;
+  m.skip_epoch_fence = true;
+  const std::string schedule = Hunt("failover3", m);
+  ASSERT_FALSE(schedule.empty()) << "mutation escaped the sweep";
+  mcheck::ScenarioResult mutated, clean;
+  ASSERT_TRUE(mcheck::Replay(schedule, m, &mutated));
+  EXPECT_TRUE(mutated.failed());
+  ASSERT_TRUE(mcheck::Replay(schedule, mirage::MutationOptions{}, &clean));
+  EXPECT_FALSE(clean.failed()) << clean.violations[0];
+}
+
+}  // namespace

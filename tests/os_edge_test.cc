@@ -219,21 +219,21 @@ TEST_F(SoloFixture, UserNeverStarvesUnderPeriodicKernelWork) {
 
 TEST_F(SoloFixture, DispatchOrderDeterministicAcrossRuns) {
   auto run = [] {
-    Simulator sim;
-    Kernel kernel(&sim, nullptr, 0);
-    kernel.Start();
+    Simulator lsim;
+    Kernel lkernel(&lsim, nullptr, 0);
+    lkernel.Start();
     std::vector<int> order;
     for (int i = 0; i < 4; ++i) {
-      kernel.Spawn("p" + std::to_string(i), Priority::kUser,
-                   [&kernel, &order, i](Process* p) -> Task<> {
+      lkernel.Spawn("p" + std::to_string(i), Priority::kUser,
+                   [&lkernel, &order, i](Process* p) -> Task<> {
                      for (int k = 0; k < 5; ++k) {
-                       co_await kernel.Compute(p, 1000 * (i + 1));
+                       co_await lkernel.Compute(p, 1000 * (i + 1));
                        order.push_back(i);
-                       co_await kernel.Yield(p);
+                       co_await lkernel.Yield(p);
                      }
                    });
     }
-    sim.RunUntil(msim::kSecond);
+    lsim.RunUntil(msim::kSecond);
     return order;
   };
   EXPECT_EQ(run(), run());

@@ -120,8 +120,8 @@ INSTANTIATE_TEST_SUITE_P(
                       PropertyCase{4, 2, 50 * kMillisecond, 8, true},
                       PropertyCase{5, 3, 33 * kMillisecond, 9, false},
                       PropertyCase{2, 1, 200 * kMillisecond, 10, true}),
-    [](const ::testing::TestParamInfo<PropertyCase>& info) {
-      const PropertyCase& c = info.param;
+    [](const ::testing::TestParamInfo<PropertyCase>& tpi) {
+      const PropertyCase& c = tpi.param;
       return "sites" + std::to_string(c.sites) + "_pages" + std::to_string(c.pages) +
              "_win" + std::to_string(c.window_us / kMillisecond) + "ms_seed" +
              std::to_string(c.seed) + (c.queued_invalidation ? "_queued" : "");

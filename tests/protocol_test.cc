@@ -341,33 +341,33 @@ TEST_F(ProtoTest, ParallelPageOpsOverlapIndependentPages) {
     proto.parallel_page_ops = parallel;
     WorldOptions opts;
     opts.protocol = proto;
-    World w(3, opts);
-    int id = w.shm(0).Shmget(1, 1024, true).value();
+    World lw(3, opts);
+    int id = lw.shm(0).Shmget(1, 1024, true).value();
     // Pin both pages at site 0 so each remote fetch needs a full clock
     // exchange, making serialization visible.
     bool pinned = false;
-    w.kernel(0).Spawn("pin", Priority::kUser, [&](Process* p) -> Task<> {
-      auto& shm = w.shm(0);
+    lw.kernel(0).Spawn("pin", Priority::kUser, [&](Process* p) -> Task<> {
+      auto& shm = lw.shm(0);
       mmem::VAddr base = shm.Shmat(p, id).value();
       co_await shm.WriteWord(p, base, 1);
       co_await shm.WriteWord(p, base + mmem::kPageSize, 1);
       pinned = true;
     });
-    EXPECT_TRUE(w.RunUntil([&] { return pinned; }, 10 * kSecond));
+    EXPECT_TRUE(lw.RunUntil([&] { return pinned; }, 10 * kSecond));
     int done = 0;
     msim::Time finish = 0;
     for (int s : {1, 2}) {
-      w.kernel(s).Spawn("get", Priority::kUser, [&w, &done, &finish, s, id](
-                                                    Process* p) -> Task<> {
-        auto& shm = w.shm(s);
+      lw.kernel(s).Spawn("get", Priority::kUser, [&lw, &done, &finish, s, id](
+                                                     Process* p) -> Task<> {
+        auto& shm = lw.shm(s);
         mmem::VAddr base = shm.Shmat(p, id).value();
         (void)co_await shm.ReadWord(p, base + static_cast<mmem::VAddr>(s - 1) *
                                            mmem::kPageSize);
         ++done;
-        finish = w.sim().Now();
+        finish = lw.sim().Now();
       });
     }
-    EXPECT_TRUE(w.RunUntil([&] { return done == 2; }, 30 * kSecond));
+    EXPECT_TRUE(lw.RunUntil([&] { return done == 2; }, 30 * kSecond));
     return finish;
   };
   EXPECT_LT(elapsed_for_second(true), elapsed_for_second(false));

@@ -107,32 +107,32 @@ TEST_F(ReplicationTest, SingleCopyModeIsByteIdenticalAndCountersStayZero) {
     if (set_explicitly) {
       opts.protocol.replicas = 1;
     }
-    World w(3, opts);
-    int shmid = w.shm(0).Shmget(1, 2048, true).value();
+    World lw(3, opts);
+    int lshmid = lw.shm(0).Shmget(1, 2048, true).value();
     int finished = 0;
     for (int s = 0; s < 2; ++s) {
-      w.kernel(s).Spawn("pp", Priority::kUser, [&w, s, shmid, &finished](Process* p) -> Task<> {
-        auto& shm = w.shm(s);
-        mmem::VAddr base = shm.Shmat(p, shmid).value();
+      lw.kernel(s).Spawn("pp", Priority::kUser, [&lw, s, lshmid, &finished](Process* p) -> Task<> {
+        auto& shm = lw.shm(s);
+        mmem::VAddr base = shm.Shmat(p, lshmid).value();
         for (int lap = 0; lap < 10; ++lap) {
           std::uint32_t my_turn = static_cast<std::uint32_t>(lap * 2 + s);
           for (;;) {
             if (co_await shm.ReadWord(p, base) == my_turn) {
               break;
             }
-            co_await w.kernel(s).Yield(p);
+            co_await lw.kernel(s).Yield(p);
           }
           co_await shm.WriteWord(p, base, my_turn + 1);
         }
         ++finished;
       });
     }
-    ASSERT_TRUE(w.RunUntil([&] { return finished == 2; }, 120 * kSecond));
-    out.push_back(static_cast<std::uint64_t>(w.sim().Now()));
-    out.push_back(w.network().stats().packets);
-    out.push_back(w.network().stats().payload_bytes);
+    ASSERT_TRUE(lw.RunUntil([&] { return finished == 2; }, 120 * kSecond));
+    out.push_back(static_cast<std::uint64_t>(lw.sim().Now()));
+    out.push_back(lw.network().stats().packets);
+    out.push_back(lw.network().stats().payload_bytes);
     for (int s = 0; s < 3; ++s) {
-      const mirage::EngineStats& es = w.engine(s)->stats();
+      const mirage::EngineStats& es = lw.engine(s)->stats();
       out.push_back(es.read_faults);
       out.push_back(es.write_faults);
       out.push_back(es.pages_installed);
@@ -284,29 +284,29 @@ TEST_F(ReplicationTest, ReplicatedFaultedRunsAreDeterministic) {
     EnableRecovery(opts);
     opts.protocol.replicas = 2;
     opts.faults.CrashAt(200 * kMillisecond, 1);
-    World w(3, opts);
-    int shmid = w.shm(0).Shmget(1, 2048, true).value();
+    World lw(3, opts);
+    int lshmid = lw.shm(0).Shmget(1, 2048, true).value();
     bool done = false;
-    w.kernel(1).Spawn("doomed", Priority::kUser, [&w, shmid](Process* p) -> Task<> {
-      auto& shm = w.shm(1);
-      mmem::VAddr base = shm.Shmat(p, shmid).value();
+    lw.kernel(1).Spawn("doomed", Priority::kUser, [&lw, lshmid](Process* p) -> Task<> {
+      auto& shm = lw.shm(1);
+      mmem::VAddr base = shm.Shmat(p, lshmid).value();
       (void)co_await shm.ReadWord(p, base);
-      co_await w.kernel(1).SleepFor(p, 10 * kSecond);
+      co_await lw.kernel(1).SleepFor(p, 10 * kSecond);
     });
-    w.kernel(2).Spawn("writer", Priority::kUser, [&w, shmid, &done](Process* p) -> Task<> {
-      auto& shm = w.shm(2);
-      co_await w.kernel(2).SleepFor(p, 400 * kMillisecond);
-      mmem::VAddr base = shm.Shmat(p, shmid).value();
+    lw.kernel(2).Spawn("writer", Priority::kUser, [&lw, lshmid, &done](Process* p) -> Task<> {
+      auto& shm = lw.shm(2);
+      co_await lw.kernel(2).SleepFor(p, 400 * kMillisecond);
+      mmem::VAddr base = shm.Shmat(p, lshmid).value();
       co_await shm.WriteWord(p, base, 9);
       done = true;
     });
-    ASSERT_TRUE(w.RunUntil([&] { return done; }, 60 * kSecond));
-    w.RunFor(1 * kSecond);
-    out.push_back(static_cast<std::uint64_t>(w.sim().Now()));
-    out.push_back(w.network().stats().packets);
-    out.push_back(w.network().stats().payload_bytes);
+    ASSERT_TRUE(lw.RunUntil([&] { return done; }, 60 * kSecond));
+    lw.RunFor(1 * kSecond);
+    out.push_back(static_cast<std::uint64_t>(lw.sim().Now()));
+    out.push_back(lw.network().stats().packets);
+    out.push_back(lw.network().stats().payload_bytes);
     for (int s = 0; s < 3; ++s) {
-      const mirage::EngineStats& es = w.engine(s)->stats();
+      const mirage::EngineStats& es = lw.engine(s)->stats();
       out.push_back(es.replica_writes);
       out.push_back(es.quorum_waits);
       out.push_back(es.degraded_reads);
@@ -337,18 +337,18 @@ TEST_F(ReplicationTest, TimeoutBackoffGoldenTrace) {
     // Pause the library across the first two timeouts (100 ms then 200 ms of
     // backoff); the third send lands after the resume and completes.
     opts.faults.PauseAt(1 * kMillisecond, 0).ResumeAt(450 * kMillisecond, 0);
-    World w(2, opts);
-    int shmid = w.shm(0).Shmget(1, 2048, true).value();
+    World lw(2, opts);
+    int lshmid = lw.shm(0).Shmget(1, 2048, true).value();
     bool read = false;
-    w.kernel(1).Spawn("reader", Priority::kUser, [&w, shmid, &read](Process* p) -> Task<> {
-      auto& shm = w.shm(1);
-      co_await w.kernel(1).SleepFor(p, 10 * kMillisecond);
-      mmem::VAddr base = shm.Shmat(p, shmid).value();
+    lw.kernel(1).Spawn("reader", Priority::kUser, [&lw, lshmid, &read](Process* p) -> Task<> {
+      auto& shm = lw.shm(1);
+      co_await lw.kernel(1).SleepFor(p, 10 * kMillisecond);
+      mmem::VAddr base = shm.Shmat(p, lshmid).value();
       EXPECT_EQ(co_await shm.ReadWord(p, base), 0u);
       read = true;
     });
-    ASSERT_TRUE(w.RunUntil([&] { return read; }, 60 * kSecond));
-    for (const mtrace::TraceEvent& e : w.tracer().Filter("recovery")) {
+    ASSERT_TRUE(lw.RunUntil([&] { return read; }, 60 * kSecond));
+    for (const mtrace::TraceEvent& e : lw.tracer().Filter("recovery")) {
       out.push_back(std::to_string(e.time) + "us site " + std::to_string(e.site) + ": " +
                     e.detail);
     }

@@ -153,8 +153,8 @@ INSTANTIATE_TEST_SUITE_P(
                       StressCase{3, 4, 1, 50, 0, 20, 0.0, true},
                       StressCase{4, 2, 2, 30, 33 * kMillisecond, 21, 0.15, true},
                       StressCase{8, 4, 1, 30, 17 * kMillisecond, 22, 0.0, false}),
-    [](const ::testing::TestParamInfo<StressCase>& info) {
-      const StressCase& c = info.param;
+    [](const ::testing::TestParamInfo<StressCase>& tpi) {
+      const StressCase& c = tpi.param;
       return "s" + std::to_string(c.sites) + "g" + std::to_string(c.segments) + "p" +
              std::to_string(c.procs_per_site) + "w" +
              std::to_string(c.window_us / kMillisecond) + "seed" + std::to_string(c.seed) +
