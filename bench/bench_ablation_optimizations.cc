@@ -84,7 +84,7 @@ int main() {
       mwork::PingPongParams prm;
       prm.rounds = 30;
       auto r = mwork::LaunchPingPong(world, prm);
-      world.RunUntil([&] { return r->completed; }, 600 * msim::kSecond);
+      world.RunUntil([&] { return r->completed(); }, 600 * msim::kSecond);
       o.pingpong_cps = r->CyclesPerSecond();
       o.pp_large_per_cycle =
           static_cast<double>(world.network().stats().large_packets) / prm.rounds;
@@ -98,7 +98,7 @@ int main() {
       mwork::ReadWritersParams prm;
       prm.iterations = 50000;
       auto r = mwork::LaunchReadWriters(world, prm);
-      world.RunUntil([&] { return r->completed; }, 600 * msim::kSecond);
+      world.RunUntil([&] { return r->completed(); }, 600 * msim::kSecond);
       o.rw_ops_per_sec = r->OpsPerSecond();
       for (int s = 0; s < 2; ++s) {
         o.refusals += world.engine(s)->stats().wait_replies_sent +

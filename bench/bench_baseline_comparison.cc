@@ -37,7 +37,7 @@ Row RunSuite(const msysv::WorldOptions& base_opts) {
     mwork::PingPongParams prm;
     prm.rounds = 40;
     auto r = mwork::LaunchPingPong(world, prm);
-    world.RunUntil([&] { return r->completed; }, 600 * msim::kSecond);
+    world.RunUntil([&] { return r->completed(); }, 600 * msim::kSecond);
     row.pingpong_cps = r->CyclesPerSecond();
     row.packets = world.network().stats().packets;
   }
@@ -46,7 +46,7 @@ Row RunSuite(const msysv::WorldOptions& base_opts) {
     mwork::ReadWritersParams prm;
     prm.iterations = 50000;
     auto r = mwork::LaunchReadWriters(world, prm);
-    world.RunUntil([&] { return r->completed; }, 600 * msim::kSecond);
+    world.RunUntil([&] { return r->completed(); }, 600 * msim::kSecond);
     row.readwriters_ops = r->OpsPerSecond();
   }
   return row;

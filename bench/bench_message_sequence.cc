@@ -19,7 +19,7 @@ int main() {
   prm.rounds = 6;
   prm.use_yield = true;
   auto result = mwork::LaunchPingPong(world, prm);
-  world.RunUntil([&] { return result->completed; }, 60 * msim::kSecond);
+  world.RunUntil([&] { return result->completed(); }, 60 * msim::kSecond);
 
   // Count messages over the steady-state cycles (skip the warm-up cycle).
   const auto& events = world.tracer().events();

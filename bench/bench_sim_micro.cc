@@ -231,7 +231,7 @@ BenchResult BenchFig8EndToEnd(int iterations) {
   prm.iterations = iterations;
   auto t0 = WallClock::now();
   auto r = mwork::LaunchReadWriters(world, prm);
-  world.RunUntil([&] { return r->completed; }, 600 * msim::kSecond);
+  world.RunUntil([&] { return r->completed(); }, 600 * msim::kSecond);
   out.wall_seconds = SecondsSince(t0);
   out.sim_events = world.sim().ProcessedEvents();
   out.events_per_sec = static_cast<double>(out.sim_events) / out.wall_seconds;

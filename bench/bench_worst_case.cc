@@ -29,7 +29,7 @@ RunOut Run(int sites, bool use_yield, msim::Duration window_us, int rounds) {
   prm.site_b = sites >= 2 ? 1 : 0;
   auto result = mwork::LaunchPingPong(world, prm);
   RunOut out;
-  out.completed = world.RunUntil([&] { return result->completed; }, 900 * msim::kSecond);
+  out.completed = world.RunUntil([&] { return result->completed(); }, 900 * msim::kSecond);
   out.cycles_per_sec = result->CyclesPerSecond();
   out.packets = world.network().stats().packets;
   return out;
@@ -75,7 +75,7 @@ int main() {
     mwork::RingPingPongParams prm;
     prm.rounds = 12;
     auto r = mwork::LaunchRingPingPong(world, prm);
-    world.RunUntil([&] { return r->completed; }, 900 * msim::kSecond);
+    world.RunUntil([&] { return r->completed(); }, 900 * msim::kSecond);
     nsite.AddRow({mtrace::TextTable::Int(sites),
                   mtrace::TextTable::Num(r->CyclesPerSecond(), 2),
                   mtrace::TextTable::Num(

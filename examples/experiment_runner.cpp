@@ -35,6 +35,7 @@
 //   --zipf=0,0.9,1.3         kvstore key-popularity-skew axis
 //   --mix=0.5,0.95           kvstore get-fraction axis
 //   --kvreplicas=1,2         kvstore data-replication axis (table copies)
+//   --cost=ethernet1989,rdma cost-model preset axis (network/CPU constants)
 //   --keys=N --rate=R --kvops=N
 //                            kvstore key space, per-site arrival rate (/s),
 //                            and generated ops per site
@@ -55,7 +56,10 @@
 //
 // Execution and output:
 //   --threads=N     worker threads (default: hardware concurrency). The
-//                   report is byte-identical for every N.
+//                   report is byte-identical for every N. Independently,
+//                   MIRAGE_SIM_WORKERS=K parallelizes eligible single runs
+//                   inside the simulator (DESIGN.md #12) - also
+//                   byte-identical for every K.
 //   --out=FILE      write the JSON report (default: stdout)
 //   --csv=FILE      also write the long-form CSV
 //   --baseline=FILE diff against a stored JSON report; regressions beyond
@@ -72,6 +76,7 @@
 #include <vector>
 
 #include "src/exp/report.h"
+#include "src/net/cost_model.h"
 #include "src/trace/table.h"
 
 namespace {
@@ -127,7 +132,11 @@ mexp::ExperimentSpec ScaleMatrixSpec() {
   mexp::ExperimentSpec spec;
   spec.name = "scalematrix";
   spec.workload = "scalability";
-  spec.sites = {2, 3, 4, 6, 8, 10, 12};
+  // Extends well past the paper's testbed: the wide tail (up to 512 sites,
+  // SiteMask is 512 bits wide) maps how sequential point-to-point
+  // invalidation scales, and is where the parallel simulator core pays off
+  // (run with MIRAGE_SIM_WORKERS=4; the loss-free points are eligible).
+  spec.sites = {2, 3, 4, 6, 8, 10, 12, 16, 32, 64, 128, 256, 512};
   spec.delta_ms = {50};
   spec.loss = {0.0, 0.01};
   spec.rounds = 8;
@@ -322,6 +331,16 @@ int main(int argc, char** argv) {
     } else if (s.rfind("--kvreplicas=", 0) == 0) {
       ok = ParseList<int>(value(), &spec.kv_replicas,
                           [](const std::string& v) { return std::atoi(v.c_str()); });
+    } else if (s.rfind("--cost=", 0) == 0) {
+      ok = ParseList<std::string>(value(), &spec.cost_presets,
+                                  [](const std::string& v) { return v; });
+      for (const std::string& cp : spec.cost_presets) {
+        mnet::CostModel unused;
+        if (!mnet::CostModel::FromName(cp, &unused)) {
+          std::fprintf(stderr, "unknown cost preset '%s' (ethernet1989, rdma)\n", cp.c_str());
+          return 2;
+        }
+      }
     } else if (s.rfind("--keys=", 0) == 0) {
       spec.kv_keys = static_cast<std::uint32_t>(std::atol(value().c_str()));
     } else if (s.rfind("--rate=", 0) == 0) {

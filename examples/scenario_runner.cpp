@@ -9,6 +9,9 @@
 //     delta_ms:  window in ms     (default 0)
 //   options:
 //     --no-yield      busy-wait instead of yield() in spin loops
+//     --cost=NAME     cost-model preset: ethernet1989 (default, the paper's
+//                     measured VAX/Ethernet constants) or rdma (a modern
+//                     microsecond-scale interconnect ablation)
 //     --zipf=S        kvstore key-popularity skew (0 = uniform)
 //     --mix=G         kvstore get fraction (default 0.95)
 //     --kvreplicas=R  kvstore data-level table copies (default 1)
@@ -85,6 +88,7 @@ struct Args {
   std::uint32_t kv_keys = 192;
   double kv_rate = 120.0;
   std::uint32_t kv_ops = 200;
+  std::string cost_preset = "ethernet1989";
   mfault::FaultPlan faults;
   bool faulted = false;
 };
@@ -104,6 +108,14 @@ Args Parse(int argc, char** argv) {
       a.parallel_lib = true;
     } else if (s == "--baseline") {
       a.baseline = true;
+    } else if (s.rfind("--cost=", 0) == 0) {
+      a.cost_preset = s.substr(7);
+      mnet::CostModel unused;
+      if (!mnet::CostModel::FromName(a.cost_preset, &unused)) {
+        std::fprintf(stderr, "unknown cost preset '%s' (ethernet1989, rdma)\n",
+                     a.cost_preset.c_str());
+        std::exit(2);
+      }
     } else if (s.rfind("--loss=", 0) == 0) {
       a.loss = std::atof(s.c_str() + 7);
     } else if (s.rfind("--replicas=", 0) == 0) {
@@ -226,6 +238,7 @@ int main(int argc, char** argv) {
     spec.kv_keys = args.kv_keys;
     spec.kv_arrival_per_s = args.kv_rate;
     spec.kv_ops_per_site = args.kv_ops;
+    spec.cost_presets = {args.cost_preset};
     if (args.faulted) {
       mexp::FaultPlanSpec fp;
       fp.name = "scenario";
@@ -239,6 +252,10 @@ int main(int argc, char** argv) {
   }
 
   msysv::WorldOptions opts;
+  if (!mnet::CostModel::FromName(args.cost_preset, &opts.costs)) {
+    std::fprintf(stderr, "unknown cost preset '%s'\n", args.cost_preset.c_str());
+    return 2;
+  }
   opts.enable_trace = args.trace;
   opts.protocol.default_window_us =
       static_cast<msim::Duration>(args.delta_ms) * msim::kMillisecond;
@@ -272,6 +289,9 @@ int main(int argc, char** argv) {
               args.sites, args.delta_ms, args.yield ? "" : ", no yield",
               args.parallel_lib ? ", parallel library" : "",
               args.baseline ? ", Li/Hudak baseline" : "");
+  if (args.cost_preset != "ethernet1989") {
+    std::printf(", %s costs", args.cost_preset.c_str());
+  }
   if (args.loss > 0.0) {
     std::printf(", %.0f%% frame loss", args.loss * 100.0);
   }
@@ -310,7 +330,7 @@ int main(int argc, char** argv) {
     prm.site_b = args.sites >= 2 ? 1 : 0;
     prehome(prm.key, prm.segment_bytes);
     auto r = mwork::LaunchPingPong(world, prm);
-    ok = run_workload([&] { return r->completed; });
+    ok = run_workload([&] { return r->completed(); });
     std::printf("throughput: %.2f cycles/s over %d cycles\n\n", r->CyclesPerSecond(),
                 r->cycles);
   } else if (args.workload == "readwriters") {
@@ -318,7 +338,7 @@ int main(int argc, char** argv) {
     prm.iterations = 50000;
     prehome(prm.key, prm.segment_bytes);
     auto r = mwork::LaunchReadWriters(world, prm);
-    ok = run_workload([&] { return r->completed; });
+    ok = run_workload([&] { return r->completed(); });
     std::printf("throughput: %.0f read-write ops/s\n\n", r->OpsPerSecond());
   } else if (args.workload == "spinlock") {
     mwork::SpinlockParams prm;
@@ -362,18 +382,18 @@ int main(int argc, char** argv) {
     prm.arrival_per_s = args.kv_rate;
     prm.ops_per_site = args.kv_ops;
     auto r = mwork::LaunchKvStore(world, prm);
-    ok = run_workload([&] { return r->completed; });
+    ok = run_workload([&] { return r->completed(); });
     std::printf("throughput: %.1f ops/s (%llu gets, %llu sets; %llu misses, "
                 "%llu torn, %llu integrity failures)\n",
-                r->OpsPerSecond(), static_cast<unsigned long long>(r->gets),
-                static_cast<unsigned long long>(r->sets),
-                static_cast<unsigned long long>(r->misses),
-                static_cast<unsigned long long>(r->torn_reads),
-                static_cast<unsigned long long>(r->integrity_failures));
+                r->OpsPerSecond(), static_cast<unsigned long long>(r->gets()),
+                static_cast<unsigned long long>(r->sets()),
+                static_cast<unsigned long long>(r->misses()),
+                static_cast<unsigned long long>(r->torn_reads()),
+                static_cast<unsigned long long>(r->integrity_failures()));
     std::printf("request queues: peak %llu, mean depth %.2f\n",
-                static_cast<unsigned long long>(r->queue_peak), r->MeanQueueDepth());
-    r->get_latency.Print(std::cout, "get latency (arrival to completion)");
-    r->set_latency.Print(std::cout, "set latency (arrival to completion)");
+                static_cast<unsigned long long>(r->queue_peak()), r->MeanQueueDepth());
+    r->get_latency().Print(std::cout, "get latency (arrival to completion)");
+    r->set_latency().Print(std::cout, "set latency (arrival to completion)");
     std::printf("\n");
   } else {
     std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());

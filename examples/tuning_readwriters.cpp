@@ -34,7 +34,7 @@ Sample Run(msim::Duration window_us, bool adaptive = false,
   mwork::BackgroundParams bg;
   bg.site = 0;
   auto background = mwork::LaunchBackground(world, bg);
-  world.RunUntil([&] { return app->completed; }, 600 * msim::kSecond);
+  world.RunUntil([&] { return app->completed(); }, 600 * msim::kSecond);
   return Sample{app->OpsPerSecond(), background->UnitsPerSecond()};
 }
 

@@ -19,7 +19,7 @@ double RunPingPong(int sites, bool use_yield, msim::Duration window_us, int roun
   prm.site_a = 0;
   prm.site_b = sites >= 2 ? 1 : 0;
   auto result = mwork::LaunchPingPong(world, prm);
-  world.RunUntil([&] { return result->completed; }, 600 * msim::kSecond);
+  world.RunUntil([&] { return result->completed(); }, 600 * msim::kSecond);
   return result->CyclesPerSecond();
 }
 

@@ -29,6 +29,10 @@ Json ParamsToJson(const RunConfig& p) {
     j.Set("get_mix", Json(p.get_mix));
     j.Set("kv_replicas", Json(p.kv_replicas));
   }
+  // The default preset is omitted: pre-preset reports stay byte-compatible.
+  if (p.cost_preset != "ethernet1989" && !p.cost_preset.empty()) {
+    j.Set("cost", Json(p.cost_preset));
+  }
   j.Set("fault_plan", Json(p.fault_plan));
   return j;
 }

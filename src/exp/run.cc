@@ -3,6 +3,8 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "src/baseline/li_engine.h"
 #include "src/mirage/invariants.h"
@@ -21,8 +23,21 @@ namespace mexp {
 
 namespace {
 
+// Workloads whose shared result state is partition-safe (per-site slots,
+// out-of-band cells) and may therefore run on the parallel simulator core.
+// World still applies its own structural gates (no faults/circuit/trace/
+// replication), so listing a workload here never changes its results — only
+// how many host threads may execute it.
+bool ParallelSafeWorkload(const std::string& w) {
+  return w == "readwriters" || w == "pingpong" || w == "scalability" || w == "kvstore";
+}
+
 msysv::WorldOptions BuildWorldOptions(const RunConfig& cfg) {
   msysv::WorldOptions opts;
+  if (!mnet::CostModel::FromName(cfg.cost_preset, &opts.costs)) {
+    throw std::runtime_error("unknown cost preset '" + cfg.cost_preset + "'");
+  }
+  opts.parallel_ok = ParallelSafeWorkload(cfg.workload);
   opts.sched.quantum_ticks = cfg.quantum_ticks;
   opts.protocol.default_window_us = cfg.delta_ms * msim::kMillisecond;
   opts.protocol.parallel_page_ops = cfg.parallel_lib;
@@ -234,9 +249,9 @@ RunResult ExecuteRun(const RunConfig& cfg) {
         bprm.unit_cost_us = 1000;
         bg = mwork::LaunchBackground(world, bprm);
       }
-      completed = run_until([&] { return r->completed; });
+      completed = run_until([&] { return r->completed(); });
       out.metrics["throughput"] = r->OpsPerSecond();
-      out.metrics["total_ops"] = static_cast<double>(r->total_ops);
+      out.metrics["total_ops"] = static_cast<double>(r->total_ops());
       if (bg != nullptr) {
         out.metrics["background_units_per_s"] = bg->UnitsPerSecond();
       }
@@ -247,7 +262,7 @@ RunResult ExecuteRun(const RunConfig& cfg) {
       prm.site_b = cfg.sites >= 2 ? 1 : 0;
       prehome(prm.key, prm.segment_bytes);
       auto r = mwork::LaunchPingPong(world, prm);
-      completed = run_until([&] { return r->completed; });
+      completed = run_until([&] { return r->completed(); });
       out.metrics["throughput"] = r->CyclesPerSecond();
       out.metrics["cycles"] = static_cast<double>(r->cycles);
     } else if (cfg.workload == "spinlock") {
@@ -311,23 +326,25 @@ RunResult ExecuteRun(const RunConfig& cfg) {
       prm.kv_replicas = static_cast<std::uint32_t>(cfg.kv_replicas);
       prm.seed = cfg.seed;
       auto r = mwork::LaunchKvStore(world, prm);
-      completed = run_until([&] { return r->completed; });
+      completed = run_until([&] { return r->completed(); });
       out.metrics["throughput"] = r->OpsPerSecond();
-      out.metrics["kv_gets"] = static_cast<double>(r->gets);
-      out.metrics["kv_sets"] = static_cast<double>(r->sets);
-      out.metrics["kv_misses"] = static_cast<double>(r->misses);
-      out.metrics["kv_torn_reads"] = static_cast<double>(r->torn_reads);
-      out.metrics["kv_integrity_failures"] = static_cast<double>(r->integrity_failures);
-      out.metrics["kv_queue_peak"] = static_cast<double>(r->queue_peak);
+      out.metrics["kv_gets"] = static_cast<double>(r->gets());
+      out.metrics["kv_sets"] = static_cast<double>(r->sets());
+      out.metrics["kv_misses"] = static_cast<double>(r->misses());
+      out.metrics["kv_torn_reads"] = static_cast<double>(r->torn_reads());
+      out.metrics["kv_integrity_failures"] = static_cast<double>(r->integrity_failures());
+      out.metrics["kv_queue_peak"] = static_cast<double>(r->queue_peak());
       out.metrics["kv_queue_mean_depth"] = r->MeanQueueDepth();
-      out.metrics["kv_get_mean_ms"] = r->get_latency.MeanMs();
-      out.metrics["kv_get_p50_ms"] = r->get_latency.PercentileMs(0.50);
-      out.metrics["kv_get_p95_ms"] = r->get_latency.PercentileMs(0.95);
-      out.metrics["kv_get_p99_ms"] = r->get_latency.PercentileMs(0.99);
-      out.metrics["kv_set_mean_ms"] = r->set_latency.MeanMs();
-      out.metrics["kv_set_p50_ms"] = r->set_latency.PercentileMs(0.50);
-      out.metrics["kv_set_p95_ms"] = r->set_latency.PercentileMs(0.95);
-      out.metrics["kv_set_p99_ms"] = r->set_latency.PercentileMs(0.99);
+      const mtrace::LatencyHistogram kv_get_hist = r->get_latency();
+      const mtrace::LatencyHistogram kv_set_hist = r->set_latency();
+      out.metrics["kv_get_mean_ms"] = kv_get_hist.MeanMs();
+      out.metrics["kv_get_p50_ms"] = kv_get_hist.PercentileMs(0.50);
+      out.metrics["kv_get_p95_ms"] = kv_get_hist.PercentileMs(0.95);
+      out.metrics["kv_get_p99_ms"] = kv_get_hist.PercentileMs(0.99);
+      out.metrics["kv_set_mean_ms"] = kv_set_hist.MeanMs();
+      out.metrics["kv_set_p50_ms"] = kv_set_hist.PercentileMs(0.50);
+      out.metrics["kv_set_p95_ms"] = kv_set_hist.PercentileMs(0.95);
+      out.metrics["kv_set_p99_ms"] = kv_set_hist.PercentileMs(0.99);
     }
 
     out.metrics["completed"] = completed ? 1.0 : 0.0;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/net/cost_model.h"
 #include "src/sim/random.h"
 
 namespace mexp {
@@ -52,7 +53,8 @@ int ExperimentSpec::PointCount() const {
   std::size_t plans = fault_plans.empty() ? 1 : fault_plans.size();
   return static_cast<int>(sites.size() * delta_ms.size() * quantum_ticks.size() *
                           segment_bytes.size() * loss.size() * replicas.size() *
-                          zipf_s.size() * get_mix.size() * kv_replicas.size() * plans);
+                          zipf_s.size() * get_mix.size() * kv_replicas.size() *
+                          cost_presets.size() * plans);
 }
 
 std::uint64_t ExperimentSpec::DeriveSeed(std::uint64_t base, int run_index) {
@@ -81,6 +83,7 @@ std::vector<RunConfig> ExperimentSpec::Expand() const {
               for (double zs : zipf_s) {
                 for (double gm : get_mix) {
                   for (int kvr : kv_replicas) {
+                    for (const std::string& cp : cost_presets) {
                     for (const FaultPlanSpec& fp : plans) {
                       for (int r = 0; r < reps; ++r) {
                         RunConfig cfg;
@@ -97,6 +100,7 @@ std::vector<RunConfig> ExperimentSpec::Expand() const {
                         cfg.zipf_s = zs;
                         cfg.get_mix = gm;
                         cfg.kv_replicas = kvr;
+                        cfg.cost_preset = cp;
                         cfg.fault_plan = fp.name;
                         cfg.faults = fp.plan;
                         cfg.seed = DeriveSeed(seed, run_index);
@@ -125,6 +129,7 @@ std::vector<RunConfig> ExperimentSpec::Expand() const {
                         ++run_index;
                       }
                       ++point;
+                    }
                     }
                   }
                 }
@@ -217,6 +222,14 @@ Json ExperimentSpec::ToJson() const {
   j.Set("zipf_s", NumArray(zipf_s));
   j.Set("get_mix", NumArray(get_mix));
   j.Set("kv_replicas", NumArray(kv_replicas));
+  // Omitted at the default so pre-axis specs round-trip byte-identically.
+  if (!(cost_presets.size() == 1 && cost_presets[0] == "ethernet1989")) {
+    Json presets = Json::Array();
+    for (const std::string& cp : cost_presets) {
+      presets.Push(Json(cp));
+    }
+    j.Set("cost_presets", std::move(presets));
+  }
   if (!fault_plans.empty()) {
     Json plans = Json::Array();
     for (const FaultPlanSpec& fp : fault_plans) {
@@ -269,6 +282,25 @@ bool ExperimentSpec::FromJson(const Json& j, ExperimentSpec* out, std::string* e
     *error = "axis members must be non-empty arrays of numbers";
     return false;
   }
+  const Json* presets = j.Find("cost_presets");
+  if (presets != nullptr) {
+    if (!presets->is_array()) {
+      *error = "'cost_presets' must be an array of strings";
+      return false;
+    }
+    spec.cost_presets.clear();
+    for (const Json& cp : presets->items()) {
+      if (!cp.is_string()) {
+        *error = "'cost_presets' must be an array of strings";
+        return false;
+      }
+      spec.cost_presets.push_back(cp.AsString());
+    }
+    if (spec.cost_presets.empty()) {
+      *error = "'cost_presets' must be non-empty";
+      return false;
+    }
+  }
   const Json* plans = j.Find("fault_plans");
   if (plans != nullptr) {
     if (!plans->is_array()) {
@@ -318,8 +350,15 @@ bool ExperimentSpec::FromJson(const Json& j, ExperimentSpec* out, std::string* e
     return false;
   }
   for (int s : spec.sites) {
-    if (s < 1 || s > 12) {
-      *error = "sites values must be in 1..12";
+    if (s < 1 || s > 512) {
+      *error = "sites values must be in 1..512";
+      return false;
+    }
+  }
+  for (const std::string& cp : spec.cost_presets) {
+    mnet::CostModel unused;
+    if (!mnet::CostModel::FromName(cp, &unused)) {
+      *error = "unknown cost preset '" + cp + "'";
       return false;
     }
   }

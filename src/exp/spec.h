@@ -56,6 +56,11 @@ struct RunConfig {
   double get_mix = 0.95;
   int kv_replicas = 1;
 
+  // Cost-model preset (mnet::CostModel::FromName): "ethernet1989" is the
+  // paper's measured VAX/Ethernet constants, "rdma" a modern low-latency
+  // interconnect ablation.
+  std::string cost_preset = "ethernet1989";
+
   // Derived per-run values.
   std::uint64_t seed = 0;
   msim::Duration start_offset_us = 0;
@@ -103,6 +108,10 @@ struct ExperimentSpec {
   std::vector<double> zipf_s{0.0};
   std::vector<double> get_mix{0.95};
   std::vector<int> kv_replicas{1};
+  // Cost-model preset axis; the {"ethernet1989"} default leaves every
+  // existing spec's expansion (point order, run order, seeds) and report
+  // byte-identical to before the axis existed.
+  std::vector<std::string> cost_presets{"ethernet1989"};
   // Empty = one implicit fault-free plan named "none".
   std::vector<FaultPlanSpec> fault_plans;
 
@@ -137,7 +146,7 @@ struct ExperimentSpec {
   int PointCount() const;
   // Flattens the grid in nesting order sites > delta > quantum >
   // segment_bytes > loss > replicas > zipf_s > get_mix > kv_replicas >
-  // fault_plan, repetitions innermost. Deterministic.
+  // cost_preset > fault_plan, repetitions innermost. Deterministic.
   std::vector<RunConfig> Expand() const;
 
   // The seed for global run `run_index`, splitmix-derived from the spec seed.

@@ -12,16 +12,20 @@ namespace {
 // Iteration helper over a site mask, lowest site first (the sequential
 // point-to-point order of §7.1).
 template <typename Fn>
-void ForEachSite(mmem::SiteMask mask, Fn&& fn) {
-  while (mask != 0) {
-    int s = __builtin_ctzll(mask);
-    mask &= mask - 1;
-    fn(static_cast<mnet::SiteId>(s));
+void ForEachSite(const mmem::SiteMask& mask, Fn&& fn) {
+  for (int wi = 0; wi < mmem::SiteMask::kWords; ++wi) {
+    std::uint64_t w = mask.words[wi];
+    while (w != 0) {
+      int s = wi * 64 + __builtin_ctzll(w);
+      w &= w - 1;
+      fn(static_cast<mnet::SiteId>(s));
+    }
   }
 }
 
-mnet::SiteId FirstSite(mmem::SiteMask mask) {
-  return mask == 0 ? mnet::kNoSite : static_cast<mnet::SiteId>(__builtin_ctzll(mask));
+mnet::SiteId FirstSite(const mmem::SiteMask& mask) {
+  int s = mmem::MaskLowest(mask);
+  return s < 0 ? mnet::kNoSite : static_cast<mnet::SiteId>(s);
 }
 
 }  // namespace
@@ -853,7 +857,7 @@ msim::Task<> Engine::ProcessRequest(mos::Process* self, Request req, LibPending&
     slot.created_at = kernel_->Now();
     slot.op_deadline = opts_.op_timeout_us > 0 ? kernel_->Now() + opts_.op_timeout_us : 0;
     Trace("replicate", "re-spread page " + std::to_string(page) + " of seg " +
-                           std::to_string(seg) + " to mask " + std::to_string(rset));
+                           std::to_string(seg) + " to mask " + mmem::MaskToString(rset));
     bool rok = co_await IssueClockOp(self, pd.clock_site, op, 1, slot);
     if (rok) {
       pd.version = op.commit_version;

@@ -250,16 +250,18 @@ void InvariantChecker::CheckSegmentReplication(const mmem::SegmentMeta& meta,
     // Replica-set ⊆ live sites: the library scrubs dead members and
     // re-spreads on every membership change, so a quiescent directory that
     // still names a dead (or nonexistent) standby has lost a scrub.
-    mmem::SiteMask rs = dv->replica_set;
-    for (mnet::SiteId s = 0; rs != 0; ++s, rs >>= 1) {
-      if ((rs & 1) == 0) {
-        continue;
-      }
-      Engine* member = EngineAt(s);
-      if (member == nullptr || !Live(s)) {
-        report->violations.push_back(Where(meta, page) + ": replica set names " +
-                                     (member == nullptr ? "unknown" : "dead") + " site " +
-                                     std::to_string(s));
+    const mmem::SiteMask& rs = dv->replica_set;
+    for (int wi = 0; wi < mmem::SiteMask::kWords; ++wi) {
+      std::uint64_t w = rs.words[wi];
+      while (w != 0) {
+        mnet::SiteId s = static_cast<mnet::SiteId>(wi * 64 + __builtin_ctzll(w));
+        w &= w - 1;
+        Engine* member = EngineAt(s);
+        if (member == nullptr || !Live(s)) {
+          report->violations.push_back(Where(meta, page) + ": replica set names " +
+                                       (member == nullptr ? "unknown" : "dead") + " site " +
+                                       std::to_string(s));
+        }
       }
     }
     // Quorum-intersection witness: the live members of the declared standby

@@ -4,6 +4,17 @@
 // looking a key up costs no DSM protocol traffic. We model that as a shared
 // registry object: name resolution is free, all page traffic is simulated.
 // (Documented substitution, DESIGN.md §2.)
+//
+// The registry is the one mutable object shared by every site, so under the
+// parallel simulation core (DESIGN.md §12) concurrent windows may touch it
+// from different threads. A single mutex guards all state; every operation a
+// window may perform (attach/detach accounting, lookups) is commutative over
+// integer counts, so the final registry contents — and therefore reports —
+// are independent of thread interleaving. Segment creation and destruction
+// are *not* commutative (ids are ordered, destroy fans out to every
+// backend); workloads keep those on the serial path by creating segments at
+// launch time and pinning them (Pin) so the last worker detach never
+// triggers a mid-run destroy.
 #ifndef SRC_MIRAGE_REGISTRY_H_
 #define SRC_MIRAGE_REGISTRY_H_
 
@@ -11,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -24,6 +36,7 @@ class SegmentRegistry {
   // Returns nullopt if the key already exists.
   std::optional<mmem::SegmentMeta> Create(std::uint64_t key, std::uint32_t size_bytes,
                                           mmem::SegmentPerms perms, mnet::SiteId creator) {
+    std::lock_guard<std::mutex> lk(mu_);
     if (key != 0 && by_key_.count(key) != 0) {
       return std::nullopt;
     }
@@ -41,6 +54,7 @@ class SegmentRegistry {
   }
 
   std::optional<mmem::SegmentMeta> FindByKey(std::uint64_t key) const {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = by_key_.find(key);
     if (it == by_key_.end()) {
       return std::nullopt;
@@ -49,6 +63,7 @@ class SegmentRegistry {
   }
 
   std::optional<mmem::SegmentMeta> FindById(mmem::SegmentId id) const {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = by_id_.find(id);
     if (it == by_id_.end()) {
       return std::nullopt;
@@ -60,16 +75,21 @@ class SegmentRegistry {
   // site's backend drops its local state). The last detach destroys the
   // segment, as in the paper's System V model (§2.2).
   bool Destroy(mmem::SegmentId id) {
-    auto it = by_id_.find(id);
-    if (it == by_id_.end()) {
-      return false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = by_id_.find(id);
+      if (it == by_id_.end()) {
+        return false;
+      }
+      if (it->second.key != 0) {
+        by_key_.erase(it->second.key);
+      }
+      by_id_.erase(it);
+      attach_counts_.erase(id);
+      site_attach_counts_.erase(id);
     }
-    if (it->second.key != 0) {
-      by_key_.erase(it->second.key);
-    }
-    by_id_.erase(it);
-    attach_counts_.erase(id);
-    site_attach_counts_.erase(id);
+    // Observers fan out to every site's backend; run them unlocked so a
+    // backend consulting the registry during teardown cannot deadlock.
     for (const auto& obs : destroy_observers_) {
       obs(id);
     }
@@ -80,10 +100,12 @@ class SegmentRegistry {
   // feeds the failover election set: a successor library site is chosen
   // among the live attached sites.
   int NoteAttach(mmem::SegmentId id, mnet::SiteId site) {
+    std::lock_guard<std::mutex> lk(mu_);
     ++site_attach_counts_[id][site];
     return ++attach_counts_[id];
   }
   int NoteDetach(mmem::SegmentId id, mnet::SiteId site) {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = attach_counts_.find(id);
     if (it == attach_counts_.end() || it->second == 0) {
       return 0;
@@ -98,11 +120,13 @@ class SegmentRegistry {
     return --it->second;
   }
   int AttachCount(mmem::SegmentId id) const {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = attach_counts_.find(id);
     return it == attach_counts_.end() ? 0 : it->second;
   }
   // Mask of sites with at least one live attach of the segment.
   mmem::SiteMask AttachedSites(mmem::SegmentId id) const {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = site_attach_counts_.find(id);
     if (it == site_attach_counts_.end()) {
       return 0;
@@ -121,6 +145,7 @@ class SegmentRegistry {
   // the new controller the next time they consult the registry; protocol
   // messages still carry the epoch to fence pre-crash traffic in flight.
   bool UpdateLibrary(mmem::SegmentId id, mnet::SiteId successor, std::uint32_t epoch) {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = by_id_.find(id);
     if (it == by_id_.end() || epoch <= it->second.epoch) {
       return false;
@@ -134,10 +159,24 @@ class SegmentRegistry {
     destroy_observers_.push_back(std::move(obs));
   }
 
-  std::size_t Count() const { return by_id_.size(); }
+  // Pins a segment: one extra attach count owned by the harness, so the
+  // last worker Shmdt never becomes the destroying detach. Workloads pin the
+  // segments they create at launch; the pin is never released — pinned
+  // segments live until the World is torn down, which keeps segment
+  // destruction off the parallel execution path entirely.
+  void Pin(mmem::SegmentId id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++attach_counts_[id];
+  }
+
+  std::size_t Count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return by_id_.size();
+  }
 
   // All live segments (for global invariant checks and admin tooling).
   std::vector<mmem::SegmentMeta> All() const {
+    std::lock_guard<std::mutex> lk(mu_);
     std::vector<mmem::SegmentMeta> out;
     out.reserve(by_id_.size());
     for (const auto& [id, meta] : by_id_) {
@@ -147,6 +186,7 @@ class SegmentRegistry {
   }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::uint64_t, mmem::SegmentId> by_key_;
   std::map<mmem::SegmentId, mmem::SegmentMeta> by_id_;
   std::map<mmem::SegmentId, int> attach_counts_;

@@ -15,10 +15,17 @@
 //  * remapping one 512-byte page: 115 us (paper: 106-125 us);
 //  * an invalidation refused with less than 12.9 ms remaining in the window
 //    is cheaper to honor than to retry (the paper's first caveat, §7.1).
+// Named presets select between interconnect generations: `ethernet1989` is
+// the calibrated default above; `rdma` models a modern µs-scale kernel-bypass
+// fabric (~2–5 µs short messages, ~10 µs page-carrying transfers, CPU costs
+// scaled proportionally) per the user-level DSM literature in PAPERS.md —
+// at 1000× lower latency the protocol's bottlenecks move, which is the point
+// of the ablation axis.
 #ifndef SRC_NET_COST_MODEL_H_
 #define SRC_NET_COST_MODEL_H_
 
 #include <cstdint>
+#include <string_view>
 
 #include "src/sim/time.h"
 
@@ -55,6 +62,50 @@ struct CostModel {
   }
   msim::Duration RxCost(std::uint32_t payload_bytes) const {
     return payload_bytes >= large_threshold_bytes ? rx_large_us : rx_short_us;
+  }
+
+  // The minimum simulated time between deciding to send any message and its
+  // delivery — the conservative lookahead of the parallel simulation core
+  // (DESIGN.md §12): a partition that has fired everything up to T cannot
+  // receive anything new below T + MinSendLatency().
+  msim::Duration MinSendLatency() const {
+    return tx_short_us < tx_large_us ? tx_short_us : tx_large_us;
+  }
+
+  // The paper's calibrated 10 Mbit Ethernet numbers (the defaults above).
+  static CostModel Ethernet1989() { return CostModel{}; }
+
+  // A modern kernel-bypass RDMA-class fabric: single-digit-µs short messages,
+  // ~10 µs for a page-carrying transfer, and CPU costs scaled by roughly the
+  // same 1000× factor (polling completion queues instead of taking the
+  // paper's 1.5 ms interrupt path). The retry threshold keeps the paper's
+  // structure — one short round trip (4 × 3 µs) — at the new scale.
+  static CostModel Rdma() {
+    CostModel m;
+    m.tx_short_us = 3;
+    m.rx_short_us = 3;
+    m.tx_large_us = 10;
+    m.rx_large_us = 10;
+    m.fault_request_cpu_us = 2;
+    m.local_fault_cpu_us = 1;
+    m.input_handle_cpu_us = 1;
+    m.library_processing_cpu_us = 2;
+    m.invalidation_retry_threshold_us = 12;
+    return m;
+  }
+
+  // Preset lookup by name ("ethernet1989", "rdma"). Returns true and fills
+  // `*out` on a match; unknown names leave `*out` untouched.
+  static bool FromName(std::string_view name, CostModel* out) {
+    if (name == "ethernet1989" || name.empty()) {
+      *out = Ethernet1989();
+      return true;
+    }
+    if (name == "rdma") {
+      *out = Rdma();
+      return true;
+    }
+    return false;
   }
 };
 

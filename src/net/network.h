@@ -34,6 +34,7 @@
 #include "src/net/circuit.h"
 #include "src/net/cost_model.h"
 #include "src/net/packet.h"
+#include "src/sim/inline_fn.h"
 #include "src/sim/simulator.h"
 
 namespace mnet {
@@ -58,9 +59,12 @@ struct NetworkStats {
 class Network {
  public:
   // A sink accepts a delivered packet at the destination site (the NIC).
-  using Sink = std::function<void(const Packet&)>;
+  // Sinks and observers are on the per-packet hot path, so they use the
+  // same small-buffer move-only callable as the event queue (no per-install
+  // heap allocation, one indirect call to invoke).
+  using Sink = msim::InlineFunction<void(const Packet&), 64>;
   // Observers see every packet at delivery time (used by trace capture).
-  using Observer = std::function<void(const Packet&, msim::Time)>;
+  using Observer = msim::InlineFunction<void(const Packet&, msim::Time), 64>;
   // Fault-layer predicates; see SetFaultHooks.
   using SitePredicate = std::function<bool(SiteId)>;
   using LinkPredicate = std::function<bool(SiteId, SiteId)>;

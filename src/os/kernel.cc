@@ -85,8 +85,17 @@ msim::Task<> Kernel::IsrMain(Process* self) {
 }
 
 msim::Task<> Kernel::Send(Process* p, mnet::Packet pkt) {
+  // Network delivery is the only cross-partition edge of the parallel
+  // simulation core (DESIGN.md §12). Fence the in-flight transmit at its
+  // earliest possible delivery instant so no conservative window advances
+  // past it while the transmit cost is still being paid; the fence is a
+  // no-op in serial mode. The delivery itself then always executes as a
+  // coordinator serial step with full cross-partition visibility.
+  const msim::Time send_lb = sim_->Now() + costs().TxCost(pkt.size_bytes);
+  sim_->BeginSendFence(Domain(), send_lb);
   co_await Compute(p, costs().TxCost(pkt.size_bytes));
   net_->Deliver(std::move(pkt));
+  sim_->EndSendFence(Domain(), send_lb);
 }
 
 msim::Task<> Kernel::Join(Process* p, Process* target) {

@@ -1,0 +1,92 @@
+// Out-of-band visibility cells: host-side cross-site coordination for
+// workload harnesses, made race-free AND deterministic under the parallel
+// simulation core (DESIGN.md §12).
+//
+// Problem: workloads sometimes coordinate processes at different sites
+// through host memory (a setup-done flag, a per-round ack) precisely so the
+// coordination does not show up as measured DSM traffic. Under the serial
+// simulator a plain int works; under conservative parallel windows two sites
+// may execute on different threads, so the write would race with the read —
+// and even with atomics the *observed value* would depend on host thread
+// timing, breaking the byte-identical-reports guarantee.
+//
+// Solution: each cell records the simulated time it was marked, and a read
+// at simulated time t observes the mark only once t >= mark_time + delay,
+// where delay is at least every window's width (the cost model's
+// MinSendLatency — the same quantity the conservative lookahead is derived
+// from). Inside the window that performs the mark the condition is provably
+// false for every concurrent read: all events in a window lie within
+// lookahead of each other, so t < T + lookahead <= mark_time + delay. After
+// the window, the barrier makes the mark host-visible to every thread. The
+// predicate is therefore pure arithmetic on simulated timestamps and
+// evaluates identically under any worker count. The delay applies in serial
+// mode too, keeping workload behaviour a function of the cost model alone —
+// the simulated analogue of "the ack takes one short message to arrive".
+//
+// Rules: one writer per cell; a cell is marked at most once while parallel
+// windows may be running (Clear/re-Mark are for serial-only paths such as
+// fault-injection write-offs); reads are point-in-time visibility checks,
+// not ordering guarantees across cells.
+#ifndef SRC_SIM_OOB_BOARD_H_
+#define SRC_SIM_OOB_BOARD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace msim {
+
+class OobCells {
+ public:
+  OobCells(std::size_t n, Duration delay) : delay_(delay), cells_(n) {
+    for (std::atomic<Time>& c : cells_) {
+      c.store(kUnmarked, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t size() const { return cells_.size(); }
+  Duration delay() const { return delay_; }
+
+  // Marks cell `i` at simulated time `now`. Relaxed is sufficient: the
+  // window barrier provides the cross-thread happens-before, and a racing
+  // same-window reader computes "invisible" from the timestamp no matter
+  // which value its load returns.
+  void Mark(std::size_t i, Time now) { cells_[i].store(now, std::memory_order_relaxed); }
+
+  // True once the mark has become visible at simulated time `now`.
+  bool Visible(std::size_t i, Time now) const {
+    const Time t = cells_[i].load(std::memory_order_relaxed);
+    return t != kUnmarked && now >= t + delay_;
+  }
+
+  // Number of visible cells in [begin, end).
+  std::size_t CountVisible(Time now, std::size_t begin, std::size_t end) const {
+    std::size_t n = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (Visible(i, now)) {
+        ++n;
+      }
+    }
+    return n;
+  }
+  std::size_t CountVisible(Time now) const { return CountVisible(now, 0, cells_.size()); }
+  bool AllVisible(Time now) const { return CountVisible(now) == cells_.size(); }
+
+  // ---- Serial-only helpers (fault-injection write-off paths; parallel
+  // execution is structurally disabled under a fault plan) ----
+  bool Marked(std::size_t i) const {
+    return cells_[i].load(std::memory_order_relaxed) != kUnmarked;
+  }
+  void Clear(std::size_t i) { cells_[i].store(kUnmarked, std::memory_order_relaxed); }
+
+ private:
+  static constexpr Time kUnmarked = -1;
+  Duration delay_;
+  std::vector<std::atomic<Time>> cells_;
+};
+
+}  // namespace msim
+
+#endif  // SRC_SIM_OOB_BOARD_H_

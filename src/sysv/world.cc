@@ -1,6 +1,7 @@
 #include "src/sysv/world.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <ostream>
 #include <string>
 
@@ -8,8 +9,47 @@
 
 namespace msysv {
 
+namespace {
+
+// Resolves the effective simulator worker count (DESIGN.md §12). Parallel
+// mode requires both the harness's opt-in (`parallel_ok`: the workload keeps
+// partition-safe shared state) and structural eligibility — fault plans,
+// lossy circuits, tracing, and page replication all funnel cross-site work
+// through shared observers, so those worlds stay serial.
+int ResolveSimWorkers(const WorldOptions& opts, int num_sites) {
+  if (!opts.parallel_ok || num_sites < 2) {
+    return 1;
+  }
+  if (!opts.faults.empty() || opts.circuit.has_value() || opts.enable_trace ||
+      opts.protocol.replicas >= 2) {
+    return 1;
+  }
+  int n = opts.sim_workers;
+  if (n == 0) {
+    if (const char* env = std::getenv("MIRAGE_SIM_WORKERS")) {
+      n = std::atoi(env);
+    }
+  }
+  if (n < 1) {
+    n = 1;
+  }
+  if (n > num_sites) {
+    n = num_sites;  // more partitions than sites would idle
+  }
+  return n;
+}
+
+}  // namespace
+
 World::World(int num_sites, WorldOptions opts)
     : costs_(opts.costs), tick_us_(opts.sched.tick_us) {
+  // Workers must be configured before anything schedules (events are routed
+  // to their partition at schedule time), i.e. before kernels start.
+  const int sim_workers = ResolveSimWorkers(opts, num_sites);
+  if (sim_workers > 1) {
+    sim_.SetWorkers(sim_workers);
+    sim_.SetMinLookahead(costs_.MinSendLatency());
+  }
   tracer_.SetEnabled(opts.enable_trace);
   net_ = std::make_unique<mnet::Network>(&sim_, &costs_);
   if (opts.circuit.has_value()) {

@@ -42,6 +42,17 @@ struct WorldOptions {
   // clients, by design.
   mfault::FaultPlan faults;
 
+  // Conservative parallel simulation (DESIGN.md §12). `sim_workers` requests
+  // that many simulator worker threads; 0 consults the MIRAGE_SIM_WORKERS
+  // environment variable, 1 (or an eligibility miss) keeps the serial core.
+  // Applied only when the harness sets `parallel_ok` — the workload must use
+  // partition-safe shared state (per-site accumulators, out-of-band cells) —
+  // and the world is structurally eligible: no fault plan, no lossy circuit
+  // transport, no tracing, no page replication. Reports are byte-identical
+  // at any worker count; the knobs change only wall-clock time.
+  int sim_workers = 0;
+  bool parallel_ok = false;
+
   // Replaces the Mirage engine with another protocol (e.g. the Li/Hudak
   // baseline). When empty, each site gets a mirage::Engine with `protocol`.
   using BackendFactory = std::function<std::unique_ptr<mmem::DsmBackend>(

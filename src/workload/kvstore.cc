@@ -7,6 +7,7 @@
 
 #include "src/dsmlib/dist_hashmap.h"
 #include "src/fault/fault.h"
+#include "src/sim/oob_board.h"
 #include "src/sim/random.h"
 
 namespace mwork {
@@ -52,10 +53,14 @@ struct State {
   std::vector<std::deque<std::shared_ptr<SetJob>>> set_queues;
   std::vector<std::unique_ptr<mos::Channel>> get_ready;   // per site
   std::vector<std::unique_ptr<mos::Channel>> set_ready;   // per (site, replica)
-  int setup_done = 0;                      // replicas prepopulated so far
-  int generators_done = 0;
-  int generators_expected = 0;             // grows when a rejoin respawns one
-  int parties_remaining = 0;               // all processes, for `completed`
+  // Cross-site coordination goes through OobCells (src/sim/oob_board.h):
+  // visibility is arithmetic on simulated timestamps, so generators at other
+  // sites observe "replica r prepopulated" / "site s out of arrivals" at a
+  // deterministic simulated time under any worker count. setup_cells has one
+  // cell per data replica; gen_done_cells one per site (Cleared when a rejoin
+  // respawns that site's generator — serial-only, faults disable parallel).
+  std::unique_ptr<msim::OobCells> setup_cells;
+  std::unique_ptr<msim::OobCells> gen_done_cells;
   std::vector<SiteParties> site_parties;   // per site, for crash write-off
   std::vector<int> generation;             // per site, rejoin respawn counter
   // Arms DistHashMap's latch/lock crash repair (set by the crash observer):
@@ -125,9 +130,7 @@ std::unique_ptr<mdsm::DistHashMap> AttachReplica(msysv::World& world, int site,
 
 void NoteDone(State& st, int site) {
   --st.site_parties[site].total;
-  if (--st.parties_remaining == 0) {
-    st.result->completed = true;
-  }
+  --st.result->sites[site].parties_remaining;
 }
 
 // Inserts every key into replica `r` (run at that replica's first home).
@@ -139,7 +142,7 @@ msim::Task<> SetupProc(msysv::World& world, int site, mos::Process* p,
     FillValue(*st, key, /*nonce=*/0, value.data());
     co_await map->Put(p, key, value.data());
   }
-  ++st->setup_done;
+  st->setup_cells->Mark(r, world.sim().Now());
   --st->site_parties[site].setups;
   NoteDone(*st, site);
 }
@@ -149,11 +152,11 @@ msim::Task<> GeneratorProc(msysv::World& world, int site, mos::Process* p,
   auto& kernel = world.kernel(site);
   // Hold arrivals until every replica is fully prepopulated, so a miss is a
   // bug rather than a race with setup.
-  while (st->setup_done < static_cast<int>(st->prm.kv_replicas)) {
+  while (st->setup_cells->CountVisible(world.sim().Now()) < st->prm.kv_replicas) {
     co_await kernel.SleepFor(p, 1000);
   }
-  KvStoreResult& res = *st->result;
-  if (res.start_time == 0) {
+  KvStoreResult::SiteSlot& res = st->result->sites[site];
+  if (res.start_time == 0) {  // a rejoin-respawned generator keeps the original
     res.start_time = world.sim().Now();
   }
   // Generation salt: a rejoined site's respawned generator draws a fresh
@@ -195,7 +198,7 @@ msim::Task<> GeneratorProc(msysv::World& world, int site, mos::Process* p,
       res.queue_peak = depth;
     }
   }
-  ++st->generators_done;
+  st->gen_done_cells->Mark(static_cast<std::size_t>(site), world.sim().Now());
   --st->site_parties[site].generators;
   // Let idle readers and writers observe the end of arrivals.
   kernel.Wakeup(*st->get_ready[site]);
@@ -213,12 +216,12 @@ msim::Task<> ReaderProc(msysv::World& world, int site, mos::Process* p,
   auto& kernel = world.kernel(site);
   const std::uint32_t r = static_cast<std::uint32_t>(site) % st->prm.kv_replicas;
   auto map = AttachReplica(world, site, p, *st, r);
-  KvStoreResult& res = *st->result;
+  KvStoreResult::SiteSlot& res = st->result->sites[site];
   std::vector<std::uint32_t> value(st->prm.value_words);
   auto& q = st->get_queues[site];
   for (;;) {
     if (q.empty()) {
-      if (st->generators_done >= st->generators_expected) {
+      if (st->gen_done_cells->AllVisible(world.sim().Now())) {
         break;  // no more arrivals anywhere; this site's queue is drained
       }
       // The generator wakes this channel on every push (and at the end), so
@@ -257,13 +260,13 @@ msim::Task<> WriterProc(msysv::World& world, int site, mos::Process* p,
                         std::shared_ptr<State> st, std::uint32_t r) {
   auto& kernel = world.kernel(site);
   auto map = AttachReplica(world, site, p, *st, r);
-  KvStoreResult& res = *st->result;
+  KvStoreResult::SiteSlot& res = st->result->sites[site];
   std::vector<std::uint32_t> value(st->prm.value_words);
   const std::uint32_t qi = static_cast<std::uint32_t>(site) * st->prm.kv_replicas + r;
   auto& q = st->set_queues[qi];
   for (;;) {
     if (q.empty()) {
-      if (st->generators_done >= st->generators_expected) {
+      if (st->gen_done_cells->AllVisible(world.sim().Now())) {
         break;
       }
       // Same long-timeout rationale as the readers.
@@ -295,8 +298,9 @@ void SpawnSiteWorkers(msysv::World& world, int site, std::shared_ptr<State> st,
   const int parties = 1 + static_cast<int>(st->prm.kv_replicas) + st->prm.workers_per_site;
   sp.total += parties;
   sp.generators += 1;
-  st->parties_remaining += parties;
-  ++st->generators_expected;
+  st->result->sites[site].parties_remaining += parties;
+  // A fresh generation's arrivals are pending again (no-op at first launch).
+  st->gen_done_cells->Clear(static_cast<std::size_t>(site));
   world.kernel(site).Spawn(
       "kv-gen-" + std::to_string(site) + suffix, mos::Priority::kUser,
       [&world, site, st, generation](mos::Process* p) {
@@ -323,6 +327,14 @@ std::shared_ptr<KvStoreResult> LaunchKvStore(msysv::World& world, KvStoreParams 
   auto st = std::make_shared<State>();
   st->prm = params;
   st->result = std::make_shared<KvStoreResult>();
+  st->result->sites.resize(static_cast<std::size_t>(sites));
+  // "The ack takes one short message": out-of-band coordination becomes
+  // visible one minimum send latency after it is posted — at least every
+  // parallel window's width, so the predicates are deterministic.
+  st->setup_cells =
+      std::make_unique<msim::OobCells>(params.kv_replicas, world.costs().MinSendLatency());
+  st->gen_done_cells = std::make_unique<msim::OobCells>(static_cast<std::size_t>(sites),
+                                                        world.costs().MinSendLatency());
   st->shards = params.shards != 0 ? params.shards : static_cast<std::uint32_t>(sites);
   // Default table size: 2x the expected keys per shard keeps open-addressing
   // probes short (load factor ~0.5) without doubling the page footprint that
@@ -361,10 +373,14 @@ std::shared_ptr<KvStoreResult> LaunchKvStore(msysv::World& world, KvStoreParams 
   for (std::uint32_t r = 0; r < params.kv_replicas; ++r) {
     for (std::uint32_t s = 0; s < st->shards; ++s) {
       const int home = static_cast<int>((s + r) % static_cast<std::uint32_t>(sites));
+      const std::uint64_t shard_key = mdsm::DistHashMap::ShardKey(params.base_key, r, s);
       world.shm(home)
-          .Shmget(mdsm::DistHashMap::ShardKey(params.base_key, r, s),
-                  layout.ShardFootprintBytes(), /*create=*/true)
+          .Shmget(shard_key, layout.ShardFootprintBytes(), /*create=*/true)
           .value();
+      // Pin: the last worker's Shmdt must not destroy the shard mid-run
+      // (destruction fans out to every site's backend — kept off the
+      // parallel path).
+      world.registry().Pin(world.registry().FindByKey(shard_key)->id);
     }
   }
 
@@ -376,7 +392,7 @@ std::shared_ptr<KvStoreResult> LaunchKvStore(msysv::World& world, KvStoreParams 
     const int site = static_cast<int>(r % static_cast<std::uint32_t>(sites));
     ++st->site_parties[site].total;
     ++st->site_parties[site].setups;
-    ++st->parties_remaining;
+    ++st->result->sites[site].parties_remaining;
     world.kernel(site).Spawn(
         "kv-setup-" + std::to_string(r), mos::Priority::kUser,
         [&world, site, st, r](mos::Process* p) { return SetupProc(world, site, p, st, r); });
@@ -401,17 +417,24 @@ std::shared_ptr<KvStoreResult> LaunchKvStore(msysv::World& world, KvStoreParams 
       SiteParties& sp = st->site_parties[site];
       // A generator or setup proc lost mid-run counts as done: the other
       // sites' workers must not wait forever on arrivals (or prepopulation)
-      // that will never come. Missing keys simply read as misses.
-      st->generators_done += sp.generators;
-      st->setup_done += sp.setups;
-      st->parties_remaining -= sp.total;
+      // that will never come. Missing keys simply read as misses. (Serial
+      // path: fault plans disable parallel execution, so marking here is
+      // race-free; the write-off becomes visible one send latency later,
+      // like a timeout-detected death would.)
+      if (sp.generators > 0) {
+        st->gen_done_cells->Mark(static_cast<std::size_t>(site), world.sim().Now());
+      }
+      const auto n_sites = static_cast<std::uint32_t>(st->site_parties.size());
+      for (std::uint32_t r = 0; r < st->prm.kv_replicas; ++r) {
+        if (static_cast<int>(r % n_sites) == site && !st->setup_cells->Marked(r)) {
+          st->setup_cells->Mark(r, world.sim().Now());
+        }
+      }
+      st->result->sites[site].parties_remaining -= sp.total;
       sp = SiteParties{};
       st->get_queues[site].clear();
       for (std::uint32_t r = 0; r < st->prm.kv_replicas; ++r) {
         st->set_queues[static_cast<std::uint32_t>(site) * st->prm.kv_replicas + r].clear();
-      }
-      if (st->parties_remaining == 0) {
-        st->result->completed = true;
       }
     });
     inj->AddRecoverObserver([&world, st](mnet::SiteId revived) {

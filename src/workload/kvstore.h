@@ -38,6 +38,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/sim/time.h"
 #include "src/sysv/world.h"
@@ -62,31 +63,111 @@ struct KvStoreParams {
 };
 
 struct KvStoreResult {
-  bool completed = false;
-  msim::Time start_time = 0;  // generators released (after prepopulation)
-  msim::Time end_time = 0;    // last op completed
-  std::uint64_t gets = 0;
-  std::uint64_t sets = 0;
-  std::uint64_t misses = 0;              // expected zero: table is prepopulated
-  std::uint64_t torn_reads = 0;          // seqlock retries exhausted
-  std::uint64_t integrity_failures = 0;  // value failed its checksum (must be 0)
-  mtrace::LatencyHistogram get_latency;  // arrival-to-completion, per op kind
-  mtrace::LatencyHistogram set_latency;
-  // Client-side request queues (the open-loop overload signal).
-  std::uint64_t queue_peak = 0;
-  std::uint64_t queue_depth_sum = 0;  // summed at each arrival, across sites
-  std::uint64_t queue_samples = 0;
+  // Per-site accumulator slots: every counter is written only by processes
+  // homed at that site (a set's fan-out writers all run at the generating
+  // site), so the partitions of a parallel run never write the same field.
+  // The accessors below merge the slots with order-independent reductions
+  // (sum / min / max / histogram merge), reproducing exactly the values the
+  // serial run's shared fields would have accumulated — reports stay
+  // byte-identical at any worker count.
+  struct SiteSlot {
+    msim::Time start_time = 0;  // this site's generator released
+    msim::Time end_time = 0;    // last op completed at this site
+    std::uint64_t gets = 0;
+    std::uint64_t sets = 0;
+    std::uint64_t misses = 0;              // expected zero: table is prepopulated
+    std::uint64_t torn_reads = 0;          // seqlock retries exhausted
+    std::uint64_t integrity_failures = 0;  // value failed its checksum (must be 0)
+    mtrace::LatencyHistogram get_latency;  // arrival-to-completion, per op kind
+    mtrace::LatencyHistogram set_latency;
+    // Client-side request queues (the open-loop overload signal).
+    std::uint64_t queue_peak = 0;
+    std::uint64_t queue_depth_sum = 0;  // summed at each arrival
+    std::uint64_t queue_samples = 0;
+    int parties_remaining = 0;  // unfinished processes homed here
+  };
+  std::vector<SiteSlot> sites;
+
+  bool completed() const {
+    if (sites.empty()) {
+      return false;
+    }
+    for (const SiteSlot& s : sites) {
+      if (s.parties_remaining != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Generators released (after prepopulation): the earliest site to start.
+  msim::Time start_time() const {
+    msim::Time t = 0;
+    for (const SiteSlot& s : sites) {
+      if (s.start_time != 0 && (t == 0 || s.start_time < t)) {
+        t = s.start_time;
+      }
+    }
+    return t;
+  }
+  msim::Time end_time() const {
+    msim::Time t = 0;
+    for (const SiteSlot& s : sites) {
+      if (s.end_time > t) {
+        t = s.end_time;
+      }
+    }
+    return t;
+  }
+  std::uint64_t gets() const { return Sum(&SiteSlot::gets); }
+  std::uint64_t sets() const { return Sum(&SiteSlot::sets); }
+  std::uint64_t misses() const { return Sum(&SiteSlot::misses); }
+  std::uint64_t torn_reads() const { return Sum(&SiteSlot::torn_reads); }
+  std::uint64_t integrity_failures() const { return Sum(&SiteSlot::integrity_failures); }
+  std::uint64_t queue_depth_sum() const { return Sum(&SiteSlot::queue_depth_sum); }
+  std::uint64_t queue_samples() const { return Sum(&SiteSlot::queue_samples); }
+  std::uint64_t queue_peak() const {
+    std::uint64_t peak = 0;
+    for (const SiteSlot& s : sites) {
+      if (s.queue_peak > peak) {
+        peak = s.queue_peak;
+      }
+    }
+    return peak;
+  }
+  mtrace::LatencyHistogram get_latency() const {
+    return MergedHist(&SiteSlot::get_latency);
+  }
+  mtrace::LatencyHistogram set_latency() const {
+    return MergedHist(&SiteSlot::set_latency);
+  }
 
   double OpsPerSecond() const {
-    if (end_time <= start_time) {
+    if (end_time() <= start_time()) {
       return 0.0;
     }
-    return static_cast<double>(gets + sets) / msim::ToSeconds(end_time - start_time);
+    return static_cast<double>(gets() + sets()) / msim::ToSeconds(end_time() - start_time());
   }
   double MeanQueueDepth() const {
-    return queue_samples == 0
+    return queue_samples() == 0
                ? 0.0
-               : static_cast<double>(queue_depth_sum) / static_cast<double>(queue_samples);
+               : static_cast<double>(queue_depth_sum()) /
+                     static_cast<double>(queue_samples());
+  }
+
+ private:
+  std::uint64_t Sum(std::uint64_t SiteSlot::* f) const {
+    std::uint64_t n = 0;
+    for (const SiteSlot& s : sites) {
+      n += s.*f;
+    }
+    return n;
+  }
+  mtrace::LatencyHistogram MergedHist(mtrace::LatencyHistogram SiteSlot::* f) const {
+    mtrace::LatencyHistogram h;
+    for (const SiteSlot& s : sites) {
+      h.Merge(s.*f);
+    }
+    return h;
   }
 };
 

@@ -33,15 +33,18 @@ mmem::VAddr PairAddr(mmem::VAddr base, std::uint32_t segment_bytes, int round) {
 
 std::shared_ptr<PingPongResult> LaunchPingPong(msysv::World& world, PingPongParams params) {
   auto result = std::make_shared<PingPongResult>();
-  auto done = std::make_shared<int>(0);
+  result->done.assign(2, 0);
   int id = world.shm(params.site_a)
                .Shmget(params.key, params.segment_bytes, /*create=*/true)
                .value();
+  // Pin the segment so the last Shmdt cannot destroy it mid-run (destruction
+  // fans out to every site's backend — kept off the parallel path).
+  world.registry().Pin(world.registry().FindByKey(params.key)->id);
 
   // Process 1 (site A): write CHECKVAL, await CHECKVAL+1.
   world.kernel(params.site_a)
       .Spawn("pingpong-p1", mos::Priority::kUser,
-             [&world, params, id, result, done](mos::Process* p) -> msim::Task<> {
+             [&world, params, id, result](mos::Process* p) -> msim::Task<> {
                auto& shm = world.shm(params.site_a);
                mmem::VAddr base = shm.Shmat(p, id).value();
                result->start_time = world.sim().Now();
@@ -54,15 +57,13 @@ std::shared_ptr<PingPongResult> LaunchPingPong(msysv::World& world, PingPongPara
                  result->end_time = world.sim().Now();
                }
                shm.Shmdt(p, base);
-               if (++*done == 2) {
-                 result->completed = true;
-               }
+               result->done[0] = 1;
              });
 
   // Process 2 (site B): await CHECKVAL, write CHECKVAL+1.
   world.kernel(params.site_b)
       .Spawn("pingpong-p2", mos::Priority::kUser,
-             [&world, params, id, result, done](mos::Process* p) -> msim::Task<> {
+             [&world, params, id, result](mos::Process* p) -> msim::Task<> {
                auto& shm = world.shm(params.site_b);
                mmem::VAddr base = shm.Shmat(p, id).value();
                for (int i = 0; i < params.rounds; ++i) {
@@ -72,9 +73,7 @@ std::shared_ptr<PingPongResult> LaunchPingPong(msysv::World& world, PingPongPara
                  co_await shm.WriteWord(p, a + 4, 0x20000u + i);
                }
                shm.Shmdt(p, base);
-               if (++*done == 2) {
-                 result->completed = true;
-               }
+               result->done[1] = 1;
              });
   return result;
 }
@@ -82,13 +81,14 @@ std::shared_ptr<PingPongResult> LaunchPingPong(msysv::World& world, PingPongPara
 std::shared_ptr<PingPongResult> LaunchRingPingPong(msysv::World& world,
                                                    RingPingPongParams params) {
   auto result = std::make_shared<PingPongResult>();
-  auto done = std::make_shared<int>(0);
   const int sites = world.site_count();
+  result->done.assign(static_cast<std::size_t>(sites), 0);
   int id = world.shm(0).Shmget(params.key, 512, /*create=*/true).value();
+  world.registry().Pin(world.registry().FindByKey(params.key)->id);
   for (int s = 0; s < sites; ++s) {
     world.kernel(s).Spawn(
         "ringpong-" + std::to_string(s), mos::Priority::kUser,
-        [&world, s, id, params, sites, result, done](mos::Process* p) -> msim::Task<> {
+        [&world, s, id, params, sites, result](mos::Process* p) -> msim::Task<> {
           auto& shm = world.shm(s);
           mmem::VAddr addr = shm.Shmat(p, id).value();
           if (s == 0) {
@@ -113,9 +113,7 @@ std::shared_ptr<PingPongResult> LaunchRingPingPong(msysv::World& world,
             }
           }
           shm.Shmdt(p, addr);
-          if (++*done == sites) {
-            result->completed = true;
-          }
+          result->done[static_cast<std::size_t>(s)] = 1;
         });
   }
   return result;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/sim/time.h"
 #include "src/sysv/world.h"
@@ -33,10 +34,26 @@ struct PingPongParams {
 };
 
 struct PingPongResult {
-  bool completed = false;
+  // cycles/start/end each have a single writing process (cycle accounting
+  // belongs to one designated site); completion is tracked as one flag per
+  // spawned process — each written only by its own site — so the partitions
+  // of a parallel run never write the same field.
   int cycles = 0;
   msim::Time start_time = 0;
   msim::Time end_time = 0;
+  std::vector<char> done;  // sized by the launcher, one flag per process
+
+  bool completed() const {
+    if (done.empty()) {
+      return false;
+    }
+    for (char d : done) {
+      if (d == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
 
   double CyclesPerSecond() const {
     if (end_time <= start_time || cycles == 0) {

@@ -6,28 +6,26 @@ namespace {
 
 msim::Task<> DecrementLoop(msysv::World& world, int site, mos::Process* p, int shmid,
                            int offset, const ReadWritersParams& prm,
-                           std::shared_ptr<ReadWritersResult> result,
-                           std::shared_ptr<int> done) {
+                           std::shared_ptr<ReadWritersResult> result, int role) {
   auto& shm = world.shm(site);
+  ReadWritersResult::Slot& slot = result->slots[role];
   mmem::VAddr base = shm.Shmat(p, shmid).value();
   if (offset != 0 && prm.start_offset_us > 0) {
     co_await world.kernel(site).Compute(p, prm.start_offset_us);
   }
   mmem::VAddr addr = base + static_cast<mmem::VAddr>(offset);
-  if (result->start_time == 0) {
-    result->start_time = world.sim().Now();
-  }
+  slot.start_time = world.sim().Now();
   for (int burst = 0; burst < prm.bursts; ++burst) {
     co_await shm.WriteWord(p, addr, static_cast<std::uint32_t>(prm.iterations));
     for (;;) {
       std::uint32_t v = co_await shm.ReadWord(p, addr);
-      ++result->total_ops;
+      ++slot.ops;
       if (v == 0) {
         break;
       }
       co_await world.kernel(site).Compute(p, prm.iter_cost_us);
       co_await shm.WriteWord(p, addr, v - 1);
-      ++result->total_ops;
+      ++slot.ops;
     }
     if (prm.gap_cost_us > 0 && burst + 1 < prm.bursts) {
       // Local, off-page phase: the page is not needed but remains installed
@@ -35,11 +33,9 @@ msim::Task<> DecrementLoop(msysv::World& world, int site, mos::Process* p, int s
       co_await world.kernel(site).Compute(p, prm.gap_cost_us);
     }
   }
-  result->end_time = world.sim().Now();
+  slot.end_time = world.sim().Now();
   shm.Shmdt(p, base);
-  if (++*done == 2) {
-    result->completed = true;
-  }
+  slot.done = true;
 }
 
 }  // namespace
@@ -47,19 +43,22 @@ msim::Task<> DecrementLoop(msysv::World& world, int site, mos::Process* p, int s
 std::shared_ptr<ReadWritersResult> LaunchReadWriters(msysv::World& world,
                                                      ReadWritersParams params) {
   auto result = std::make_shared<ReadWritersResult>();
-  auto done = std::make_shared<int>(0);
   int id = world.shm(params.site_a)
                .Shmget(params.key, params.segment_bytes, /*create=*/true)
                .value();
+  // Pin the segment so the last worker's Shmdt does not destroy it mid-run
+  // (destruction fans out to every site's backend — kept off the parallel
+  // path; the segment now lives until the World is torn down).
+  world.registry().Pin(world.registry().FindByKey(params.key)->id);
   world.kernel(params.site_a)
       .Spawn("readwriter-a", mos::Priority::kUser,
-             [&world, params, id, result, done](mos::Process* p) -> msim::Task<> {
-               return DecrementLoop(world, params.site_a, p, id, 0, params, result, done);
+             [&world, params, id, result](mos::Process* p) -> msim::Task<> {
+               return DecrementLoop(world, params.site_a, p, id, 0, params, result, /*role=*/0);
              });
   world.kernel(params.site_b)
       .Spawn("readwriter-b", mos::Priority::kUser,
-             [&world, params, id, result, done](mos::Process* p) -> msim::Task<> {
-               return DecrementLoop(world, params.site_b, p, id, 4, params, result, done);
+             [&world, params, id, result](mos::Process* p) -> msim::Task<> {
+               return DecrementLoop(world, params.site_b, p, id, 4, params, result, /*role=*/1);
              });
   return result;
 }

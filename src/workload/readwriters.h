@@ -37,18 +37,42 @@ struct ReadWritersParams {
 };
 
 struct ReadWritersResult {
-  bool completed = false;
-  msim::Time start_time = 0;
-  msim::Time end_time = 0;
+  // Per-process accumulator slots (A = 0, B = 1): each is written only by
+  // its own site's process, so the two partitions of a parallel run never
+  // write the same field; the accessors below merge them the way the serial
+  // run's shared fields would have ended up, so reports are byte-identical
+  // at any worker count.
+  struct Slot {
+    msim::Time start_time = 0;
+    msim::Time end_time = 0;
+    std::uint64_t ops = 0;
+    bool done = false;
+  };
+  Slot slots[2];
+
+  bool completed() const { return slots[0].done && slots[1].done; }
+  // First process to enter its loop (0 if neither has started).
+  msim::Time start_time() const {
+    if (slots[0].start_time == 0) {
+      return slots[1].start_time;
+    }
+    if (slots[1].start_time == 0) {
+      return slots[0].start_time;
+    }
+    return slots[0].start_time < slots[1].start_time ? slots[0].start_time : slots[1].start_time;
+  }
+  msim::Time end_time() const {
+    return slots[0].end_time > slots[1].end_time ? slots[0].end_time : slots[1].end_time;
+  }
   // Each loop iteration performs one read and one write ("read-write
   // instructions" in the paper's Figure 8 units).
-  std::uint64_t total_ops = 0;
+  std::uint64_t total_ops() const { return slots[0].ops + slots[1].ops; }
 
   double OpsPerSecond() const {
-    if (end_time <= start_time) {
+    if (end_time() <= start_time()) {
       return 0.0;
     }
-    return static_cast<double>(total_ops) / msim::ToSeconds(end_time - start_time);
+    return static_cast<double>(total_ops()) / msim::ToSeconds(end_time() - start_time());
   }
 };
 

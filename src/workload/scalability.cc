@@ -1,15 +1,21 @@
 #include "src/workload/scalability.h"
 
+#include "src/sim/oob_board.h"
+
 namespace mwork {
 
 namespace {
 
-struct Barrier {
-  std::vector<int> seen;  // per-round count of readers that saw the value
-};
+// Per-(round, reader) acknowledgement cells: keeps the measured DSM traffic
+// limited to the hot page itself, and stays deterministic under parallel
+// execution because visibility is arithmetic on simulated timestamps (the
+// delay is the cost model's minimum send latency — "the ack takes one short
+// message").
+using Barrier = msim::OobCells;
 
 msim::Task<> ReaderLoop(msysv::World& world, int site, mos::Process* p, int shmid,
-                        const ScalabilityParams& prm, std::shared_ptr<Barrier> barrier) {
+                        const ScalabilityParams& prm, std::shared_ptr<Barrier> barrier,
+                        int readers) {
   auto& shm = world.shm(site);
   mmem::VAddr base = shm.Shmat(p, shmid).value();
   for (int r = 0; r < prm.rounds; ++r) {
@@ -20,9 +26,7 @@ msim::Task<> ReaderLoop(msysv::World& world, int site, mos::Process* p, int shmi
       }
       co_await world.kernel(site).Yield(p);
     }
-    // Out-of-band acknowledgement: keeps the measured DSM traffic limited to
-    // the hot page itself.
-    ++barrier->seen[r];
+    barrier->Mark(static_cast<std::size_t>(r) * readers + (site - 1), world.sim().Now());
   }
   shm.Shmdt(p, base);
 }
@@ -34,7 +38,9 @@ msim::Task<> WriterLoop(msysv::World& world, mos::Process* p, int shmid,
   mmem::VAddr base = shm.Shmat(p, shmid).value();
   co_await shm.WriteWord(p, base, 0);  // round 0 value; readers copy it
   for (int r = 0; r < prm.rounds; ++r) {
-    while (barrier->seen[r] < readers) {
+    const std::size_t begin = static_cast<std::size_t>(r) * readers;
+    while (barrier->CountVisible(world.sim().Now(), begin, begin + readers) <
+           static_cast<std::size_t>(readers)) {
       co_await world.kernel(0).Yield(p);
     }
     // All readers hold copies: this write must invalidate each of them,
@@ -53,15 +59,16 @@ msim::Task<> WriterLoop(msysv::World& world, mos::Process* p, int shmid,
 std::shared_ptr<ScalabilityResult> LaunchScalability(msysv::World& world,
                                                      ScalabilityParams params) {
   auto result = std::make_shared<ScalabilityResult>();
-  auto barrier = std::make_shared<Barrier>();
-  barrier->seen.assign(params.rounds + 1, 0);
   int readers = world.site_count() - 1;
+  auto barrier = std::make_shared<Barrier>(
+      static_cast<std::size_t>(params.rounds) * readers, world.costs().MinSendLatency());
   int id = world.shm(0).Shmget(params.key, 512, /*create=*/true).value();
+  world.registry().Pin(world.registry().FindByKey(params.key)->id);
   for (int s = 1; s < world.site_count(); ++s) {
     world.kernel(s).Spawn(
         "scale-reader-" + std::to_string(s), mos::Priority::kUser,
-        [&world, s, id, params, barrier](mos::Process* p) -> msim::Task<> {
-          return ReaderLoop(world, s, p, id, params, barrier);
+        [&world, s, id, params, barrier, readers](mos::Process* p) -> msim::Task<> {
+          return ReaderLoop(world, s, p, id, params, barrier, readers);
         });
   }
   world.kernel(0).Spawn("scale-writer", mos::Priority::kUser,

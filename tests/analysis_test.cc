@@ -97,7 +97,7 @@ TEST(LogAnalyzer, LiveWorldPingPongIsDiagnosedAsHotSpot) {
   mwork::PingPongParams prm;
   prm.rounds = 12;
   auto r = mwork::LaunchPingPong(w, prm);
-  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 300 * kSecond));
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed(); }, 300 * kSecond));
   LogAnalyzer an(&w.engine(0)->request_log());
   // The segment id is 1 (first created).
   mirage::SegmentReport report = an.Analyze(1);
@@ -177,7 +177,7 @@ TEST(AdaptiveWindow, LiveIntegrationGrowsWindowOfThrashingPage) {
   prm.rounds = 15;
   prm.key = 78;  // fresh segment (the engine options were already set)
   auto r = mwork::LaunchPingPong(w, prm);
-  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 300 * kSecond));
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed(); }, 300 * kSecond));
   // The ping-ponged page's window grew from the initial value.
   mmem::SegmentId seg = 2;  // second segment created
   EXPECT_GT(policy.Grows(seg, 0), 0);

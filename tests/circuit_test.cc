@@ -258,7 +258,7 @@ TEST(LossyWorld, PingPongStaysCoherentAt20PercentLoss) {
   mwork::PingPongParams prm;
   prm.rounds = 10;
   auto r = mwork::LaunchPingPong(w, prm);
-  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 300 * kSecond));
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed(); }, 300 * kSecond));
   EXPECT_EQ(r->cycles, 10);
   const mnet::CircuitStats* cs = w.network().circuit_stats();
   ASSERT_NE(cs, nullptr);
@@ -275,9 +275,9 @@ TEST(LossyWorld, ReadWritersExactOpsUnderLoss) {
   mwork::ReadWritersParams prm;
   prm.iterations = 2000;
   auto r = mwork::LaunchReadWriters(w, prm);
-  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 600 * kSecond));
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed(); }, 600 * kSecond));
   // The exact op count proves no protocol message was lost or duplicated.
-  EXPECT_EQ(r->total_ops, 2u * (2u * 2000u + 1u));
+  EXPECT_EQ(r->total_ops(), 2u * (2u * 2000u + 1u));
 }
 
 TEST(LossyWorld, LossSlowsButNeverCorrupts) {
@@ -291,7 +291,7 @@ TEST(LossyWorld, LossSlowsButNeverCorrupts) {
     mwork::PingPongParams prm;
     prm.rounds = 8;
     auto r = mwork::LaunchPingPong(w, prm);
-    EXPECT_TRUE(w.RunUntil([&] { return r->completed; }, 600 * kSecond));
+    EXPECT_TRUE(w.RunUntil([&] { return r->completed(); }, 600 * kSecond));
     return w.sim().Now();
   };
   msim::Time clean = run(0.0);

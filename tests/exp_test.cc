@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <string>
 
 #include "src/exp/report.h"
@@ -114,9 +115,11 @@ TEST(ExperimentSpec, FromJsonRejectsBadInput) {
   mexp::ExperimentSpec out;
   mexp::Json bad = mexp::Json::Parse(R"({"sites": []})", &error);
   EXPECT_FALSE(mexp::ExperimentSpec::FromJson(bad, &out, &error));
-  bad = mexp::Json::Parse(R"({"sites": [99]})", &error);
+  bad = mexp::Json::Parse(R"({"sites": [1000]})", &error);
   EXPECT_FALSE(mexp::ExperimentSpec::FromJson(bad, &out, &error));
   bad = mexp::Json::Parse(R"({"repetitions": 0})", &error);
+  EXPECT_FALSE(mexp::ExperimentSpec::FromJson(bad, &out, &error));
+  bad = mexp::Json::Parse(R"({"cost_presets": ["token-ring"]})", &error);
   EXPECT_FALSE(mexp::ExperimentSpec::FromJson(bad, &out, &error));
 }
 
@@ -209,6 +212,72 @@ TEST(ExperimentRunner, KvstoreReportBytesIdenticalAcrossThreadCounts) {
   std::string eight = mexp::ReportToJson(mexp::ExperimentRunner(8).Run(spec)).ToString();
   EXPECT_EQ(one, eight);
   EXPECT_FALSE(one.empty());
+}
+
+// The tentpole determinism claim (DESIGN.md §12): a report produced with the
+// parallel simulator core (MIRAGE_SIM_WORKERS) is byte-identical to the
+// serial one, for both a fig8-style sweep and the kvstore serving scenario.
+TEST(ExperimentRunner, ReportBytesIdenticalAcrossSimWorkerCounts) {
+  mexp::ExperimentSpec fig8;
+  fig8.name = "sim-worker-determinism";
+  fig8.workload = "readwriters";
+  fig8.sites = {2};
+  fig8.delta_ms = {0, 120};
+  fig8.iterations = 4000;
+  fig8.repetitions = 2;
+  fig8.max_time_s = 300;
+
+  mexp::ExperimentSpec kv;
+  kv.name = "kv-sim-worker-determinism";
+  kv.workload = "kvstore";
+  kv.sites = {3};
+  kv.delta_ms = {0};
+  kv.kv_keys = 64;
+  kv.kv_ops_per_site = 60;
+  kv.kv_arrival_per_s = 240.0;
+  kv.max_time_s = 300;
+
+  for (const mexp::ExperimentSpec& spec : {fig8, kv}) {
+    unsetenv("MIRAGE_SIM_WORKERS");
+    const std::string serial =
+        mexp::ReportToJson(mexp::ExperimentRunner(1).Run(spec)).ToString();
+    EXPECT_FALSE(serial.empty());
+    for (const char* w : {"2", "4"}) {
+      setenv("MIRAGE_SIM_WORKERS", w, /*overwrite=*/1);
+      const std::string parallel =
+          mexp::ReportToJson(mexp::ExperimentRunner(1).Run(spec)).ToString();
+      EXPECT_EQ(serial, parallel) << spec.name << " workers=" << w;
+    }
+    unsetenv("MIRAGE_SIM_WORKERS");
+  }
+}
+
+// The rdma cost preset reprices every network/CPU constant; runs must still
+// complete, and the non-default preset must be named in the report params
+// (while the default stays omitted for baseline byte-compatibility).
+TEST(ExperimentRunner, RdmaCostPresetCompletesAndIsNamedInParams) {
+  mexp::ExperimentSpec spec;
+  spec.name = "cost-presets";
+  spec.workload = "readwriters";
+  spec.sites = {2};
+  spec.delta_ms = {0};
+  spec.iterations = 2000;
+  spec.cost_presets = {"ethernet1989", "rdma"};
+  spec.max_time_s = 300;
+
+  mexp::ExperimentReport report = mexp::ExperimentRunner(2).Run(spec);
+  ASSERT_EQ(report.points.size(), 2u);
+  EXPECT_EQ(report.failed_runs, 0);
+  for (const mexp::PointResult& pt : report.points) {
+    EXPECT_EQ(pt.metrics.at("completed").Mean(), 1.0) << pt.params.cost_preset;
+  }
+  const std::string json = mexp::ReportToJson(report).ToString();
+  EXPECT_NE(json.find("\"cost\": \"rdma\""), std::string::npos);
+  EXPECT_EQ(json.find("\"cost\": \"ethernet1989\""), std::string::npos);
+  // rdma's cheaper fabric must actually change the measured world: the two
+  // points may not report identical sim times.
+  EXPECT_NE(report.points[0].metrics.at("sim_time_ms").Mean(),
+            report.points[1].metrics.at("sim_time_ms").Mean());
 }
 
 TEST(ExperimentRunner, AggregatesAcrossRepetitionsInSpecOrder) {

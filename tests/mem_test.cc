@@ -40,6 +40,29 @@ TEST(SiteMask, BasicOperations) {
   EXPECT_EQ(mmem::MaskCount(m), 3);
 }
 
+TEST(SiteMask, WideSites) {
+  // The mask spans kMaxSites sites; bits past 63 land in higher words.
+  mmem::SiteMask m = 0;
+  m |= mmem::MaskOf(64);
+  m |= mmem::MaskOf(200);
+  m |= mmem::MaskOf(mmem::kMaxSites - 1);
+  EXPECT_TRUE(mmem::MaskHas(m, 64));
+  EXPECT_TRUE(mmem::MaskHas(m, 200));
+  EXPECT_TRUE(mmem::MaskHas(m, mmem::kMaxSites - 1));
+  EXPECT_FALSE(mmem::MaskHas(m, 63));
+  EXPECT_EQ(mmem::MaskCount(m), 3);
+  EXPECT_EQ(mmem::MaskLowest(m), 64);
+  EXPECT_NE(m, 0u);
+  m &= ~mmem::MaskOf(64);
+  m ^= mmem::MaskOf(200);
+  EXPECT_EQ(mmem::MaskCount(m), 1);
+  EXPECT_EQ(m, mmem::MaskOf(mmem::kMaxSites - 1));
+  EXPECT_EQ(mmem::MaskLowest(mmem::SiteMask{0}), -1);
+  // Word-0 masks keep the old uint64_t text form; wide masks go hex.
+  EXPECT_EQ(mmem::MaskToString(mmem::MaskOf(5)), "32");
+  EXPECT_EQ(mmem::MaskToString(mmem::MaskOf(64))[1], 'x');
+}
+
 TEST(SegmentMeta, PageCountRoundsUp) {
   EXPECT_EQ(Meta(1, 512).PageCount(), 1);
   EXPECT_EQ(Meta(1, 513).PageCount(), 2);

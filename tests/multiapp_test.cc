@@ -40,7 +40,7 @@ TEST(MultiApp, ThreeApplicationsCoexistOnSharedSites) {
   auto tsp = mwork::LaunchTsp(w, tp);
 
   ASSERT_TRUE(w.RunUntil(
-      [&] { return pingpong->completed && dot->completed && tsp->completed; },
+      [&] { return pingpong->completed() && dot->completed && tsp->completed; },
       900 * kSecond));
   EXPECT_EQ(pingpong->cycles, 15);
   EXPECT_TRUE(dot->verified) << dot->value << " != " << dot->expected;
@@ -60,7 +60,7 @@ TEST(MultiApp, DeterministicUnderCoexistence) {
     dp.length = 256;
     dp.key = 302;
     auto dot = mwork::LaunchDotProduct(w, dp);
-    w.RunUntil([&] { return pingpong->completed && dot->completed; }, 900 * kSecond);
+    w.RunUntil([&] { return pingpong->completed() && dot->completed; }, 900 * kSecond);
     return std::make_tuple(w.sim().Now(), w.network().stats().packets, dot->value);
   };
   EXPECT_EQ(run(), run());

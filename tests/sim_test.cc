@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "src/sim/time.h"
 #include "src/sysv/world.h"
 #include "src/workload/readwriters.h"
+#include "src/workload/scalability.h"
 
 namespace {
 
@@ -404,7 +406,7 @@ TEST(SimulatorGolden, ProtocolPacketOrderMatchesPreHeapQueue) {
   mwork::ReadWritersParams prm;
   prm.iterations = 4000;
   auto r = mwork::LaunchReadWriters(world, prm);
-  world.RunUntil([&] { return r->completed; }, 60 * msim::kSecond);
+  world.RunUntil([&] { return r->completed(); }, 60 * msim::kSecond);
   // The fingerprint pins the full interleaving, not just the packet list:
   // final virtual time and total event count catch any divergence the first
   // 160 deliveries miss.
@@ -519,6 +521,115 @@ TEST(SimulatorCancel, MassCancellationCompactsAndStaysCorrect) {
   EXPECT_EQ(sim.Run(), 20u);
   EXPECT_EQ(fired, 20);
   EXPECT_EQ(sim.Now(), 1000 + 1900);
+}
+
+// ------------------------------------------------------------------------
+// Conservative parallel execution (DESIGN.md §12): a parallel world must be
+// observably indistinguishable from the serial one — same final virtual
+// time, same event count, same packet interleaving.
+
+struct WorldFingerprint {
+  std::vector<GoldenPacket> packets;
+  Time now = 0;
+  std::uint64_t events = 0;
+};
+
+WorldFingerprint RunScalabilityWorld(int sites, int workers) {
+  msysv::WorldOptions opts;
+  // A modest retention window, as in the scalematrix preset: with Delta = 0
+  // the hot page thrashes and many-reader rounds never converge.
+  opts.protocol.default_window_us = 50 * msim::kMillisecond;
+  opts.parallel_ok = true;
+  opts.sim_workers = workers;
+  msysv::World world(sites, opts);
+  WorldFingerprint fp;
+  world.network().AddObserver([&](const mnet::Packet& p, Time t) {
+    fp.packets.push_back(
+        GoldenPacket{t, static_cast<int>(p.src), static_cast<int>(p.dst), p.type});
+  });
+  mwork::ScalabilityParams prm;
+  prm.rounds = 6;
+  auto r = mwork::LaunchScalability(world, prm);
+  world.RunUntil([&] { return r->completed; }, 120 * msim::kSecond);
+  EXPECT_TRUE(r->completed);
+  fp.now = world.sim().Now();
+  fp.events = world.sim().ProcessedEvents();
+  return fp;
+}
+
+TEST(SimulatorParallel, GoldenWorldIdenticalAtTwoWorkers) {
+  // The exact scenario of SimulatorGolden.ProtocolPacketOrderMatchesPreHeapQueue,
+  // run on two partitions: every golden constant must still hold.
+  msysv::WorldOptions opts;
+  opts.protocol.default_window_us = 0;
+  opts.parallel_ok = true;
+  opts.sim_workers = 2;
+  msysv::World world(2, opts);
+  std::vector<GoldenPacket> seen;
+  world.network().AddObserver([&](const mnet::Packet& p, Time t) {
+    if (seen.size() < 160) {
+      seen.push_back(GoldenPacket{t, static_cast<int>(p.src), static_cast<int>(p.dst), p.type});
+    }
+  });
+  mwork::ReadWritersParams prm;
+  prm.iterations = 4000;
+  auto r = mwork::LaunchReadWriters(world, prm);
+  world.RunUntil([&] { return r->completed(); }, 60 * msim::kSecond);
+  EXPECT_EQ(world.sim().workers(), 2);
+  EXPECT_EQ(world.sim().Now(), 416675);
+  EXPECT_EQ(world.sim().ProcessedEvents(), 8283u);
+  const std::size_t n = sizeof(kGoldenPacketOrder) / sizeof(kGoldenPacketOrder[0]);
+  ASSERT_EQ(seen.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(seen[i].at, kGoldenPacketOrder[i].at) << "packet " << i;
+    EXPECT_EQ(seen[i].src, kGoldenPacketOrder[i].src) << "packet " << i;
+    EXPECT_EQ(seen[i].dst, kGoldenPacketOrder[i].dst) << "packet " << i;
+    EXPECT_EQ(seen[i].type, kGoldenPacketOrder[i].type) << "packet " << i;
+  }
+}
+
+TEST(SimulatorParallel, MultiSiteWorldIdenticalAcrossWorkerCounts) {
+  const WorldFingerprint serial = RunScalabilityWorld(6, 1);
+  ASSERT_GT(serial.packets.size(), 0u);
+  for (int w : {2, 4}) {
+    const WorldFingerprint par = RunScalabilityWorld(6, w);
+    EXPECT_EQ(par.now, serial.now) << "workers=" << w;
+    EXPECT_EQ(par.events, serial.events) << "workers=" << w;
+    ASSERT_EQ(par.packets.size(), serial.packets.size()) << "workers=" << w;
+    for (std::size_t i = 0; i < serial.packets.size(); ++i) {
+      EXPECT_EQ(par.packets[i].at, serial.packets[i].at) << "w=" << w << " packet " << i;
+      EXPECT_EQ(par.packets[i].src, serial.packets[i].src) << "w=" << w << " packet " << i;
+      EXPECT_EQ(par.packets[i].dst, serial.packets[i].dst) << "w=" << w << " packet " << i;
+      EXPECT_EQ(par.packets[i].type, serial.packets[i].type) << "w=" << w << " packet " << i;
+    }
+  }
+}
+
+TEST(SimulatorParallel, WorkersAndControllerAreMutuallyExclusive) {
+  struct FifoController : msim::ScheduleController {
+    std::size_t ChooseNext(const std::vector<msim::SchedCandidate>& eligible) override {
+      (void)eligible;
+      return 0;
+    }
+  } ctrl;
+  Simulator sim;
+  sim.SetWorkers(2);
+  EXPECT_THROW(sim.SetController(&ctrl), std::logic_error);
+  sim.SetWorkers(1);
+  sim.SetController(&ctrl);
+  EXPECT_THROW(sim.SetWorkers(2), std::logic_error);
+  sim.SetController(nullptr);
+  sim.SetWorkers(2);
+  EXPECT_EQ(sim.workers(), 2);
+}
+
+TEST(SimulatorParallel, SetWorkersRejectedWithEventsPending) {
+  Simulator sim;
+  sim.Schedule(10, [] {});
+  EXPECT_THROW(sim.SetWorkers(2), std::logic_error);
+  sim.Run();
+  sim.SetWorkers(2);  // legal once the queue drained
+  EXPECT_EQ(sim.workers(), 2);
 }
 
 }  // namespace

@@ -21,7 +21,7 @@ TEST(PingPong, CompletesAllRoundsTwoSites) {
   mwork::PingPongParams prm;
   prm.rounds = 10;
   auto r = mwork::LaunchPingPong(w, prm);
-  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 120 * kSecond));
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed(); }, 120 * kSecond));
   EXPECT_EQ(r->cycles, 10);
   EXPECT_GT(r->CyclesPerSecond(), 0.0);
 }
@@ -34,7 +34,7 @@ TEST(PingPong, SingleSiteIsMuchFasterWithYield) {
     prm.use_yield = use_yield;
     prm.site_b = 0;
     auto r = mwork::LaunchPingPong(w, prm);
-    w.RunUntil([&] { return r->completed; }, 600 * kSecond);
+    w.RunUntil([&] { return r->completed(); }, 600 * kSecond);
     return r->CyclesPerSecond();
   };
   double with_yield = run(true, 200);
@@ -49,7 +49,7 @@ TEST(PingPong, WrapsAroundSegmentSafely) {
   mwork::PingPongParams prm;
   prm.rounds = 70;  // > 64 pairs in a 512-byte page: wraps
   auto r = mwork::LaunchPingPong(w, prm);
-  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 600 * kSecond));
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed(); }, 600 * kSecond));
   EXPECT_EQ(r->cycles, 70);
 }
 
@@ -58,9 +58,9 @@ TEST(ReadWriters, OpsCountIsExact) {
   mwork::ReadWritersParams prm;
   prm.iterations = 500;
   auto r = mwork::LaunchReadWriters(w, prm);
-  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 120 * kSecond));
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed(); }, 120 * kSecond));
   // Each process: (iterations+1) reads and iterations writes.
-  EXPECT_EQ(r->total_ops, 2u * (2u * 500u + 1u));
+  EXPECT_EQ(r->total_ops(), 2u * (2u * 500u + 1u));
   EXPECT_GT(r->OpsPerSecond(), 0.0);
 }
 
@@ -71,8 +71,8 @@ TEST(ReadWriters, BurstsAndGapsComplete) {
   prm.bursts = 3;
   prm.gap_cost_us = 50 * kMillisecond;
   auto r = mwork::LaunchReadWriters(w, prm);
-  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 120 * kSecond));
-  EXPECT_EQ(r->total_ops, 2u * 3u * (2u * 200u + 1u));
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed(); }, 120 * kSecond));
+  EXPECT_EQ(r->total_ops(), 2u * 3u * (2u * 200u + 1u));
 }
 
 TEST(Spinlock, MutualExclusionHolds) {
@@ -122,7 +122,7 @@ TEST(RingPingPong, FullRotationsCompleteAcrossFourSites) {
   mwork::RingPingPongParams prm;
   prm.rounds = 5;
   auto r = mwork::LaunchRingPingPong(w, prm);
-  ASSERT_TRUE(w.RunUntil([&] { return r->completed; }, 300 * kSecond));
+  ASSERT_TRUE(w.RunUntil([&] { return r->completed(); }, 300 * kSecond));
   EXPECT_EQ(r->cycles, 5);
   EXPECT_GT(r->CyclesPerSecond(), 0.0);
 }
